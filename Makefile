@@ -1,0 +1,43 @@
+# Build, test and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench figures scorecard examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus kernel/engine/ablation benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the evaluation as text.
+figures:
+	$(GO) run ./cmd/figures
+
+# PASS/FAIL report over every tracked paper claim.
+scorecard:
+	$(GO) run ./cmd/scorecard
+
+examples:
+	for ex in quickstart chatbot batch_analytics numa_tuning capacity_planner \
+	          serving_policies offload_trace speculative streaming; do \
+		echo "=== $$ex ==="; $(GO) run ./examples/$$ex || exit 1; \
+	done
+
+# Archive the outputs the reproduction is judged on.
+results:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,318 @@
+package repro
+
+// Benchmarks for the extension subsystems: the serving simulator, the
+// cache-hierarchy simulator, the quantization kernels, and the functional
+// engine's chunked prefill. These back the ablation discussions in
+// DESIGN.md beyond the paper's own tables and figures.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/quant"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// runExtExp runs a registered experiment b.N times.
+func runExtExp(b *testing.B, key string) []experiments.Table {
+	b.Helper()
+	e, err := experiments.ByKey(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tabs []experiments.Table
+	for i := 0; i < b.N; i++ {
+		tabs, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tabs
+}
+
+func parseCellExtra(b *testing.B, tab experiments.Table, row, col int) float64 {
+	b.Helper()
+	var v float64
+	if _, err := fmtSscan(tab.Rows[row][col], &v); err != nil {
+		b.Fatalf("%s[%d][%d]=%q", tab.ID, row, col, tab.Rows[row][col])
+	}
+	return v
+}
+
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", v)
+}
+
+// --- serving simulator -------------------------------------------------------
+
+func benchServe(b *testing.B, policy serve.Policy) {
+	cost := serve.NewCPUCost(experiments.SPRSetup(), model.Llama13B)
+	gen := workload.NewGenerator(17)
+	gen.ArrivalRate = 4
+	gen.LenJitter = 0.8
+	trace := gen.Trace(48)
+	var sm serve.Summary
+	for i := 0; i < b.N; i++ {
+		srv := serve.Server{Cost: cost, Policy: policy, MaxBatch: 8, BatchWait: 0.25}
+		cs, err := srv.Run(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sm = serve.Summarize(cs)
+	}
+	b.ReportMetric(sm.TokensPerSecond, "served_tok/s")
+	b.ReportMetric(sm.P95E2E, "p95_e2e_s")
+}
+
+func BenchmarkServeFCFS(b *testing.B)       { benchServe(b, serve.FCFS) }
+func BenchmarkServeStatic(b *testing.B)     { benchServe(b, serve.Static) }
+func BenchmarkServeContinuous(b *testing.B) { benchServe(b, serve.Continuous) }
+
+// --- cache simulator ---------------------------------------------------------
+
+func benchCacheTrace(b *testing.B, trace func(m, n, k int, visit func(uint64))) float64 {
+	const dim = 192 // working set ≈ 442 KB ≫ L1, so locality differentiates
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		h, err := cachesim.SPRLike(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trace(dim, dim, dim, func(a uint64) { h.Access(a) })
+		rate = h.Levels[0].MissRate()
+	}
+	return rate
+}
+
+func BenchmarkCacheNaiveGemm(b *testing.B) {
+	r := benchCacheTrace(b, cachesim.TraceGemmNaive)
+	b.ReportMetric(r*100, "l1_miss_pct")
+}
+
+func BenchmarkCacheBlockedGemm(b *testing.B) {
+	r := benchCacheTrace(b, cachesim.TraceGemmBlocked)
+	b.ReportMetric(r*100, "l1_miss_pct")
+}
+
+// --- quantization kernels ----------------------------------------------------
+
+func BenchmarkQuantGemvInt4(b *testing.B) {
+	const m, k = 256, 256
+	w := make([]float32, m*k)
+	for i := range w {
+		w[i] = float32(i%17) * 0.01
+	}
+	g, err := quant.QuantizeInt4(w, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float32, k)
+	y := make([]float32, m)
+	for i := range x {
+		x[i] = 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := quant.GemvInt4(m, k, g, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.Bytes()), "weight_bytes")
+}
+
+func BenchmarkQuantGemvInt8(b *testing.B) {
+	const m, k = 256, 256
+	w := make([]float32, m*k)
+	for i := range w {
+		w[i] = float32(i%17) * 0.01
+	}
+	g, err := quant.QuantizeInt8(w, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float32, k)
+	y := make([]float32, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := quant.GemvInt8(m, k, g, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.Bytes()), "weight_bytes")
+}
+
+// --- extension ablations -------------------------------------------------------
+
+func benchAblation(b *testing.B, key string, row, col int, metric string) {
+	tabs := runExtExp(b, key)
+	v := parseCellExtra(b, tabs[0], row, col)
+	b.ReportMetric(v, metric)
+}
+
+func BenchmarkOptPagedKV(b *testing.B) { benchAblation(b, "opt-paged", 4, 3, "paged_gain_x@256") }
+func BenchmarkOptTensorParallel(b *testing.B) {
+	benchAblation(b, "opt-tp", 2, 4, "tp2_vs_1socket_x_opt66b")
+}
+func BenchmarkOptSpeculative(b *testing.B) {
+	benchAblation(b, "opt-spec", 4, 5, "spec_speedup_a08_k4")
+}
+func BenchmarkServePoliciesTable(b *testing.B) {
+	benchAblation(b, "serve-policies", 8, 4, "continuous_tok_s@8rps")
+}
+
+// --- functional speculative decoding -------------------------------------------
+
+func BenchmarkEngineSpeculative(b *testing.B) {
+	cfg := model.Tiny(model.OPT)
+	tw, err := engine.NewWeights(cfg, 42, tensor.FP32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, _ := engine.New(tw, engine.Options{Kernel: engine.KernelBlocked})
+	dcfg := cfg
+	dcfg.Layers = 1
+	dw, _ := engine.NewWeights(dcfg, 7, tensor.FP32)
+	draft, _ := engine.New(dw, engine.Options{Kernel: engine.KernelBlocked})
+	p := workload.NewGenerator(1).Prompt(12, cfg.Vocab)
+	var st engine.SpecStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, st, err = engine.SpeculativeGenerate(target, draft, p, 16, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(st.AcceptanceRate()*100, "acceptance_pct")
+	b.ReportMetric(float64(st.TargetPasses), "target_passes")
+}
+
+// --- paged vs dense engine sessions --------------------------------------------
+
+func benchEngineSession(b *testing.B, paged bool) {
+	w, err := engine.NewWeights(model.Tiny(model.LLaMA2), 42, tensor.BF16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(w, engine.Options{Kernel: engine.KernelBlocked})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := workload.NewGenerator(1).Prompt(16, e.Config().Vocab)
+	var kvBytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s *engine.Session
+		if paged {
+			s = e.NewPagedSession(1, 32, 8)
+		} else {
+			s = e.NewSession(1, 32)
+		}
+		toks, err := e.Prefill(s, [][]int{p})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for step := 1; step < 8; step++ {
+			if toks, err = e.DecodeStep(s, toks); err != nil {
+				b.Fatal(err)
+			}
+		}
+		kvBytes = s.KVBytes()
+	}
+	b.ReportMetric(float64(kvBytes), "kv_bytes")
+}
+
+func BenchmarkEngineDenseSession(b *testing.B) { benchEngineSession(b, false) }
+func BenchmarkEnginePagedSession(b *testing.B) { benchEngineSession(b, true) }
+
+// --- flash vs standard attention ---------------------------------------------------
+
+func benchEngineAttention(b *testing.B, flash bool) {
+	w, err := engine.NewWeights(model.Tiny(model.LLaMA2), 42, tensor.BF16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(w, engine.Options{Kernel: engine.KernelBlocked, FlashAttention: flash})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := workload.NewGenerator(1).Prompt(48, e.Config().Vocab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Generate([][]int{p}, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineStandardAttention(b *testing.B) { benchEngineAttention(b, false) }
+func BenchmarkEngineFlashAttention(b *testing.B)    { benchEngineAttention(b, true) }
+
+// --- chunked-prefill serving --------------------------------------------------------
+
+func BenchmarkServeChunkedPrefill(b *testing.B) {
+	cost := serve.NewCPUCost(experiments.SPRSetup(), model.Llama13B)
+	gen := workload.NewGenerator(29)
+	gen.ArrivalRate = 4
+	trace := gen.Trace(24)
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		srv := serve.ChunkedServer{Cost: cost, MaxBatch: 8, PrefillChunk: 64}
+		if _, err := srv.Run(trace); err != nil {
+			b.Fatal(err)
+		}
+		worst = srv.MaxIterationSeconds
+	}
+	b.ReportMetric(worst*1e3, "max_iteration_ms")
+}
+
+// --- perplexity evaluation -------------------------------------------------------
+
+func BenchmarkEnginePerplexity(b *testing.B) {
+	w, err := engine.NewWeights(model.Tiny(model.OPT), 42, tensor.BF16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(w, engine.Options{Kernel: engine.KernelBlocked})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := workload.NewGenerator(2).Prompt(32, e.Config().Vocab)
+	var ppl float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Perplexity(seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ppl = res.Perplexity
+	}
+	b.ReportMetric(ppl, "perplexity")
+}
+
+// --- chunked prefill ---------------------------------------------------------
+
+func BenchmarkEngineChunkedPrefill(b *testing.B) {
+	w, err := engine.NewWeights(model.Tiny(model.OPT), 42, tensor.BF16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(w, engine.Options{Kernel: engine.KernelBlocked})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := workload.NewGenerator(1).Prompt(32, e.Config().Vocab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.GenerateWith([][]int{p},
+			engine.GenerateOptions{MaxNew: 4, PrefillChunk: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

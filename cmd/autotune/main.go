@@ -1,0 +1,82 @@
+// Command autotune searches the SPR configuration space (cores × memory
+// mode × clustering × batch) for the best configuration of a workload,
+// optionally under latency budgets — the paper's §IV-B study as a tool.
+//
+// Usage:
+//
+//	autotune -model LLaMA2-13B -objective throughput
+//	autotune -model OPT-30B -objective e2e -batch 8
+//	autotune -model LLaMA2-13B -objective throughput -max-ttft 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/autotune"
+	"repro/internal/model"
+)
+
+func main() {
+	modelName := flag.String("model", "LLaMA2-13B", "model preset")
+	objective := flag.String("objective", "e2e", "e2e | throughput | ttft")
+	batch := flag.Int("batch", 0, "pin the batch size (0 = search 1..32)")
+	in := flag.Int("in", 128, "input length")
+	out := flag.Int("out", 32, "output length")
+	maxTTFT := flag.Float64("max-ttft", 0, "TTFT budget in seconds (0 = none)")
+	maxTPOT := flag.Float64("max-tpot", 0, "TPOT budget in seconds (0 = none)")
+	top := flag.Int("top", 8, "show the N best candidates")
+	flag.Parse()
+
+	m, err := model.ByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	var obj autotune.Objective
+	switch *objective {
+	case "e2e":
+		obj = autotune.MinE2ELatency
+	case "throughput":
+		obj = autotune.MaxThroughput
+	case "ttft":
+		obj = autotune.MinTTFT
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+
+	cands, err := autotune.Tune(autotune.DefaultSpace(), autotune.Request{
+		Model: m, InputLen: *in, OutputLen: *out,
+		Objective:   obj,
+		Constraints: autotune.Constraints{MaxTTFTSeconds: *maxTTFT, MaxTPOTSeconds: *maxTPOT},
+		FixedBatch:  *batch,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("tuning %s for %s (in=%d out=%d), %d feasible configurations\n\n",
+		m.Name, obj, *in, *out, len(cands))
+	fmt.Printf("%-22s %10s %10s %10s %12s\n",
+		"configuration", "TTFT (ms)", "TPOT (ms)", "E2E (s)", "tokens/s")
+	n := *top
+	if n > len(cands) {
+		n = len(cands)
+	}
+	for i := 0; i < n; i++ {
+		c := cands[i]
+		marker := " "
+		if i == 0 {
+			marker = "→"
+		}
+		fmt.Printf("%s %-20s %10.0f %10.1f %10.2f %12.1f\n",
+			marker, c.Name(),
+			c.Result.Latency.TTFT*1e3, c.Result.Latency.TPOT*1e3,
+			c.Result.Latency.E2E, c.Result.Throughput.E2E)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autotune:", err)
+	os.Exit(1)
+}

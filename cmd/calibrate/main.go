@@ -1,0 +1,77 @@
+// Command calibrate audits the simulator's calibration: it evaluates the
+// paper anchors against the shipped constants and sweeps each calibration
+// knob to show the anchor-loss landscape around the shipped setting.
+//
+// Usage:
+//
+//	calibrate              # anchor table + per-knob loss curves
+//	calibrate -steps 13 -lo 0.5 -hi 1.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/calibrate"
+)
+
+func main() {
+	lo := flag.Float64("lo", 0.6, "lowest knob factor")
+	hi := flag.Float64("hi", 1.4, "highest knob factor")
+	steps := flag.Int("steps", 9, "sweep points per knob")
+	flag.Parse()
+
+	env := calibrate.DefaultEnv()
+	fmt.Println("anchor audit (shipped constants):")
+	fmt.Printf("  %-40s %10s %10s %8s\n", "anchor", "target", "measured", "error")
+	for _, a := range calibrate.Anchors() {
+		got, err := a.Measure(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-40s %10.3g %10.3g %7.1f%%\n",
+			a.Name, a.Target, got, (got-a.Target)/a.Target*100)
+	}
+	base, err := calibrate.Loss(env)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ntotal loss (Σ squared relative error): %.4f\n\n", base)
+
+	fmt.Println("knob sweeps (loss vs multiplicative factor; '*' marks the shipped 1.0):")
+	for _, k := range calibrate.Knobs() {
+		pts, err := calibrate.SweepKnob(k, *lo, *hi, *steps)
+		if err != nil {
+			fatal(err)
+		}
+		maxLoss := 0.0
+		for _, p := range pts {
+			if p.Loss > maxLoss {
+				maxLoss = p.Loss
+			}
+		}
+		fmt.Printf("  %-18s", k.Name)
+		for _, p := range pts {
+			bar := int(p.Loss / (maxLoss + 1e-12) * 6)
+			mark := fmt.Sprintf("%s", strings.Repeat("#", bar+1))
+			if math.Abs(p.Factor-1) < 1e-9 {
+				mark = "*" + mark
+			}
+			fmt.Printf(" %6s", mark)
+		}
+		fmt.Println()
+		fmt.Printf("  %-18s", "")
+		for _, p := range pts {
+			fmt.Printf(" %6.2f", p.Factor)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
+}

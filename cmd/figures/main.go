@@ -1,0 +1,64 @@
+// Command figures regenerates the paper's tables and figures as plain-text
+// tables.
+//
+// Usage:
+//
+//	figures              # run every experiment in paper order
+//	figures -exp fig18   # run one experiment
+//	figures -list        # list experiment keys
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment key (e.g. fig18, table1); empty = all")
+	list := flag.Bool("list", false, "list experiment keys and exit")
+	markdown := flag.Bool("markdown", false, "render tables as GitHub Markdown")
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-10s %s\n", e.Key, e.Title)
+		}
+		return
+	}
+
+	run := func(e core.Experiment) error {
+		tabs, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Key, err)
+		}
+		for _, t := range tabs {
+			if *markdown {
+				fmt.Println(t.Markdown())
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+		return nil
+	}
+
+	if *exp != "" {
+		e, err := core.ExperimentByKey(*exp)
+		if err == nil {
+			err = run(e)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range core.Experiments() {
+		if err := run(e); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Command llmperf simulates one LLM-inference point on a modeled platform
+// and prints the paper's metrics (TTFT, TPOT, E2E latency, tokens/s) plus
+// emulated hardware counters for CPU runs.
+//
+// Usage:
+//
+//	llmperf -platform spr -model OPT-30B -batch 4
+//	llmperf -platform h100 -model OPT-66B -in 512 -out 32
+//	llmperf -platform spr -cores 96 -cluster snc -memmode cache -model LLaMA2-13B
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/offload"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+func main() {
+	platform := flag.String("platform", "spr", "spr | icl | a100 | h100 | gh200")
+	modelName := flag.String("model", "OPT-13B", "model preset (see README)")
+	batch := flag.Int("batch", 1, "batch size")
+	in := flag.Int("in", 128, "input (prompt) length")
+	out := flag.Int("out", 32, "output (generation) length")
+	cores := flag.Int("cores", 48, "active CPU cores (CPU platforms)")
+	memmode := flag.String("memmode", "flat", "SPR memory mode: flat | cache | hbm-only")
+	cluster := flag.String("cluster", "quad", "SPR clustering mode: quad | snc")
+	showOps := flag.Bool("ops", false, "print the per-operator roofline breakdown (CPU platforms)")
+	traceOut := flag.String("trace", "", "write a Chrome trace JSON of one offloaded decode step to this file (GPU platforms)")
+	flag.Parse()
+
+	m, err := core.ModelByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res core.Result
+	switch *platform {
+	case "spr", "icl":
+		setup, err := cpuSetup(*platform, *cores, *memmode, *cluster)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = core.SimulateCPU(setup, m, *batch, *in, *out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		c := res.Counters
+		fmt.Printf("counters: LLC MPKI=%.1f core-util=%.2f UPI-util=%.2f remote-LLC=%.3g\n",
+			c.LLCMPKI, c.CoreUtilization, c.UPIUtilization, c.RemoteLLCAccess)
+		if *showOps {
+			run := perfmodel.CPURun{Model: m, Setup: setup, Batch: *batch,
+				InputLen: *in, OutputLen: *out, Weights: tensor.BF16}
+			pre, err := run.Analyze(model.Prefill, *in, 0)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println("\nprefill roofline:")
+			fmt.Print(perfmodel.RenderAnalysis(pre))
+			dec, err := run.Analyze(model.Decode, 1, *in)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println("\ndecode-step roofline:")
+			fmt.Print(perfmodel.RenderAnalysis(dec))
+		}
+	case "a100", "h100", "gh200":
+		g := core.A100()
+		switch *platform {
+		case "h100":
+			g = core.H100()
+		case "gh200":
+			g = hw.GH200
+		}
+		res, err = core.SimulateGPU(g, m, *batch, *in, *out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		if res.TransferSeconds > 0 {
+			fmt.Printf("offloading: %.0f%% of time on PCIe data loading (Fig 18 metric)\n",
+				res.PCIeFraction()*100)
+		}
+		if *traceOut != "" {
+			if res.TransferSeconds == 0 {
+				fatal(fmt.Errorf("-trace requires an offloaded run (model fits resident)"))
+			}
+			run := offload.Run{GPU: g, Host: hw.SPRMax9468, Model: m,
+				Batch: *batch, InputLen: *in, OutputLen: *out, Weights: tensor.BF16}
+			tl, err := run.Trace(model.Decode, *in)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := tl.WriteChromeTrace(f); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote Chrome trace of one decode step to %s (open in chrome://tracing)\n", *traceOut)
+		}
+	default:
+		fatal(fmt.Errorf("unknown platform %q", *platform))
+	}
+}
+
+func cpuSetup(platform string, cores int, memmode, cluster string) (core.CPUSetup, error) {
+	setup := core.SPRQuadFlat(cores)
+	if platform == "icl" {
+		setup = core.ICLBaseline()
+		setup.Cores = cores
+		if cores > 64 {
+			return setup, fmt.Errorf("icl has 64 cores total")
+		}
+		return setup, nil
+	}
+	switch memmode {
+	case "flat":
+		setup.Mem = memsim.Flat
+	case "cache":
+		setup.Mem = memsim.Cache
+	case "hbm-only":
+		setup.Mem = memsim.HBMOnly
+	default:
+		return setup, fmt.Errorf("unknown memory mode %q", memmode)
+	}
+	switch cluster {
+	case "quad":
+		setup.Cluster = memsim.Quad
+	case "snc":
+		setup.Cluster = memsim.SNC4
+	default:
+		return setup, fmt.Errorf("unknown clustering mode %q", cluster)
+	}
+	_ = hw.SPRMax9468
+	return setup, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llmperf:", err)
+	os.Exit(1)
+}

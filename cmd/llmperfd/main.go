@@ -1,0 +1,35 @@
+// Command llmperfd serves the simulator over HTTP as a JSON API.
+//
+// Usage:
+//
+//	llmperfd -addr :8080
+//	curl 'localhost:8080/v1/simulate?platform=spr&model=OPT-30B&batch=4'
+//	curl 'localhost:8080/v1/experiments/fig18'
+//	curl 'localhost:8080/v1/scorecard'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/api"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.NewHandler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("llmperfd listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "llmperfd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+// Command modelinfo prints the analytic properties of the evaluated
+// models: architecture, parameter counts, weight footprints per dtype,
+// per-phase FLOPs and bytes for a workload shape, and KV-cache demand —
+// the quantities behind Figs 6 and 7.
+//
+// Usage:
+//
+//	modelinfo                      # all eight evaluated models
+//	modelinfo -model LLaMA2-70B -batch 16 -in 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+func main() {
+	name := flag.String("model", "", "model preset (empty = all evaluated)")
+	batch := flag.Int("batch", 1, "batch size for the workload columns")
+	in := flag.Int("in", 128, "input length")
+	out := flag.Int("out", 32, "output length")
+	flag.Parse()
+
+	var models []model.Config
+	if *name == "" {
+		models = model.Evaluated()
+	} else {
+		m, err := model.ByName(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "modelinfo:", err)
+			os.Exit(1)
+		}
+		models = []model.Config{m}
+	}
+
+	fmt.Printf("workload: batch=%d input=%d output=%d\n\n", *batch, *in, *out)
+	fmt.Printf("%-11s %7s %6s %6s %7s %6s | %9s %9s %9s | %12s %12s %14s\n",
+		"model", "layers", "d", "heads", "dff", "kvdim",
+		"params(B)", "BF16(GB)", "INT8(GB)",
+		"prefillTF", "decodeGF/t", "KV@done(GiB)")
+	for _, m := range models {
+		kvDone := float64(m.KVCacheBytes(*in+*out, *batch, tensor.BF16)) / (1 << 30)
+		fmt.Printf("%-11s %7d %6d %6d %7d %6d | %9.2f %9.1f %9.1f | %12.2f %12.1f %14.2f\n",
+			m.Name, m.Layers, m.DModel, m.Heads, m.DFF, m.KVDim(),
+			float64(m.ParamCount())/1e9,
+			float64(m.WeightBytes(tensor.BF16))/1e9,
+			float64(m.WeightBytes(tensor.INT8))/1e9,
+			m.PrefillFLOPs(*in, *batch)/1e12,
+			m.DecodeStepFLOPs(*in, *batch)/1e9,
+			kvDone)
+	}
+	fmt.Println("\nper-op work inventory (decode step, ctx=input):")
+	for _, m := range models {
+		if len(models) > 1 {
+			continue // op dump only for a single model
+		}
+		for _, o := range m.Ops(model.Decode, *batch, 1, *in, tensor.BF16) {
+			fmt.Printf("  %-13s M=%-6d N=%-6d K=%-6d ×%-5d  %8.2f GFLOP  %8.1f MB  AI=%.2f\n",
+				o.Name, o.M, o.N, o.K, o.Instances,
+				o.FLOPs()/1e9, float64(o.Bytes())/1e6, o.ArithmeticIntensity())
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command sweep runs parameter sweeps over (platform, model, batch, input
+// length) and emits CSV rows for plotting or regression tracking.
+//
+// Usage:
+//
+//	sweep                                 # paper default grid, all platforms
+//	sweep -models OPT-30B,OPT-66B -batches 1,16 -inputs 128,1024
+//	sweep -platforms spr,h100 > results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sweeprun"
+)
+
+func main() {
+	platforms := flag.String("platforms", "spr,icl,a100,h100", "comma-separated platforms")
+	models := flag.String("models", "", "comma-separated model presets (default: all eight)")
+	batches := flag.String("batches", "1,2,4,8,16,32", "comma-separated batch sizes")
+	inputs := flag.String("inputs", "128", "comma-separated input lengths")
+	out := flag.Int("out", 32, "output length")
+	flag.Parse()
+
+	grid := sweeprun.Grid{Output: *out}
+	for _, p := range strings.Split(*platforms, ",") {
+		grid.Platforms = append(grid.Platforms, strings.TrimSpace(p))
+	}
+	if *models == "" {
+		grid.Models = core.Models()
+	} else {
+		for _, name := range strings.Split(*models, ",") {
+			m, err := core.ModelByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			grid.Models = append(grid.Models, m)
+		}
+	}
+	var err error
+	if grid.Batches, err = ints(*batches); err != nil {
+		fatal(err)
+	}
+	if grid.Inputs, err = ints(*inputs); err != nil {
+		fatal(err)
+	}
+
+	rows, err := sweeprun.Run(grid)
+	if err != nil {
+		fatal(err)
+	}
+	skipped, err := sweeprun.WriteCSV(os.Stdout, *out, rows)
+	if err != nil {
+		fatal(err)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: skipped %d infeasible points\n", skipped)
+	}
+}
+
+func ints(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Capacity planner: given a model and workload, decide where to serve it —
+// resident GPU, offloading GPU, AMX CPU, or the §VI CPU-GPU hybrid split.
+// This walks the paper's decision surface (Key Findings #4 and #5): GPUs
+// win when the model fits, the CPU wins when offloading would dominate,
+// and the hybrid partition beats both for oversized models at small batch.
+//
+// Run with: go run ./examples/capacity_planner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/hybrid"
+	"repro/internal/tensor"
+)
+
+func main() {
+	scenarios := []struct {
+		model string
+		batch int
+		in    int
+	}{
+		{"OPT-13B", 1, 128},
+		{"OPT-30B", 1, 128},
+		{"OPT-66B", 1, 128},
+		{"LLaMA2-70B", 16, 512},
+	}
+	fmt.Println("capacity planning (output = 32 tokens):")
+	for _, sc := range scenarios {
+		m := core.MustModel(sc.model)
+		weightsGB := float64(m.WeightBytes(tensor.BF16)) / 1e9
+		fmt.Printf("\n== %s (%.0f GB BF16), batch %d, input %d ==\n",
+			m.Name, weightsGB, sc.batch, sc.in)
+
+		type option struct {
+			name string
+			e2e  float64
+		}
+		var opts []option
+
+		cpu, err := core.SimulateCPU(core.SPRQuadFlat(48), m, sc.batch, sc.in, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, option{"SPR CPU (quad_flat)", cpu.Latency.E2E})
+
+		for _, g := range []core.GPU{core.A100(), core.H100()} {
+			res, err := core.SimulateGPU(g, m, sc.batch, sc.in, 32)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mode := "resident"
+			if res.TransferSeconds > 0 {
+				mode = fmt.Sprintf("offload, %.0f%% PCIe", res.PCIeFraction()*100)
+			}
+			opts = append(opts, option{fmt.Sprintf("%s (%s)", g.Name, mode), res.Latency.E2E})
+
+			// Hybrid split only makes sense when the model does not fit.
+			if !g.FitsWeights(weightsGB) {
+				run := hybrid.Run{GPU: g, Host: core.SPRQuadFlat(48), Model: m,
+					Batch: sc.batch, InputLen: sc.in, OutputLen: 32,
+					Weights: tensor.BF16}
+				split, best, err := run.BestSplit()
+				if err != nil {
+					log.Fatal(err)
+				}
+				opts = append(opts, option{
+					fmt.Sprintf("hybrid %s (%d/%d layers on GPU)",
+						g.Name, split.GPULayers, m.Layers),
+					best.Latency.E2E})
+			}
+		}
+
+		bestIdx := 0
+		for i, o := range opts {
+			if o.e2e < opts[bestIdx].e2e {
+				bestIdx = i
+			}
+		}
+		for i, o := range opts {
+			marker := " "
+			if i == bestIdx {
+				marker = "→"
+			}
+			fmt.Printf("  %s %-42s E2E %8.2fs\n", marker, o.name, o.e2e)
+		}
+	}
+	_ = hw.SPRMax9468
+}

@@ -1,0 +1,83 @@
+// Chatbot: a TTFT-critical serving scenario (§II-C: "for a real-time
+// chatbot service, TTFT is crucial"). A Poisson stream of user requests is
+// batched and replayed against each platform; the example reports the
+// latency metrics an interactive service cares about and picks the
+// platform that meets a TTFT budget at the highest throughput.
+//
+// Run with: go run ./examples/chatbot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+const (
+	ttftBudgetSeconds = 2.0
+	requests          = 48
+	maxBatch          = 4 // interactive services keep batches small
+)
+
+func main() {
+	m := core.MustModel("LLaMA2-13B")
+	gen := workload.NewGenerator(11)
+	gen.ArrivalRate = 2 // requests/second
+	trace := gen.Trace(requests)
+	batches := workload.Batches(trace, maxBatch)
+
+	fmt.Printf("chatbot workload: %d requests, %d batches (≤%d each), model %s\n\n",
+		len(trace), len(batches), maxBatch, m.Name)
+
+	type candidate struct {
+		name string
+		sim  func(batch, in, out int) (core.Result, error)
+	}
+	candidates := []candidate{
+		{"ICL CPU", func(b, in, out int) (core.Result, error) {
+			return core.SimulateCPU(core.ICLBaseline(), m, b, in, out)
+		}},
+		{"SPR CPU (quad_flat, 48c)", func(b, in, out int) (core.Result, error) {
+			return core.SimulateCPU(core.SPRQuadFlat(48), m, b, in, out)
+		}},
+		{"A100-40GB", func(b, in, out int) (core.Result, error) {
+			return core.SimulateGPU(core.A100(), m, b, in, out)
+		}},
+		{"H100-80GB", func(b, in, out int) (core.Result, error) {
+			return core.SimulateGPU(core.H100(), m, b, in, out)
+		}},
+	}
+
+	fmt.Printf("%-26s %10s %10s %10s %12s  %s\n",
+		"platform", "mean TTFT", "p-worst", "mean TPOT", "tokens/s", "meets budget?")
+	bestName, bestThpt := "", 0.0
+	for _, c := range candidates {
+		var ttfts, tpots, thpts []float64
+		for _, b := range batches {
+			res, err := c.sim(b.Size(), b.InputLen(), b.OutputLen())
+			if err != nil {
+				log.Fatal(err)
+			}
+			ttfts = append(ttfts, res.Latency.TTFT)
+			tpots = append(tpots, res.Latency.TPOT)
+			thpts = append(thpts, res.Throughput.E2E)
+		}
+		meanTTFT, worst := stats.Mean(ttfts), stats.Max(ttfts)
+		thpt := stats.Mean(thpts)
+		ok := worst <= ttftBudgetSeconds
+		fmt.Printf("%-26s %9.2fs %9.2fs %9.0fms %12.1f  %v\n",
+			c.name, meanTTFT, worst, stats.Mean(tpots)*1e3, thpt, ok)
+		if ok && thpt > bestThpt {
+			bestName, bestThpt = c.name, thpt
+		}
+	}
+	if bestName == "" {
+		fmt.Println("\nno platform meets the TTFT budget")
+		return
+	}
+	fmt.Printf("\nrecommendation: %s — highest throughput under the %.1fs TTFT budget\n",
+		bestName, ttftBudgetSeconds)
+}

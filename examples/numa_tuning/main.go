@@ -1,0 +1,91 @@
+// NUMA tuning: reproduce the paper's server-configuration study (§IV-B,
+// Figs 13–16) as a decision procedure — sweep the four memory/clustering
+// modes and the core counts for a target model, print the normalized
+// metrics, and recommend a configuration (Key Findings #2 and #3). Then
+// apply the §VI hot/cold placement optimization on top.
+//
+// Run with: go run ./examples/numa_tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/memsim"
+	"repro/internal/numa"
+	"repro/internal/tensor"
+)
+
+func main() {
+	m := core.MustModel("LLaMA2-13B")
+	const batch, in, out = 8, 128, 32
+
+	// --- memory × clustering sweep --------------------------------------
+	fmt.Printf("configuration sweep for %s (batch %d):\n\n", m.Name, batch)
+	fmt.Printf("%-12s %12s %12s %12s\n", "config", "E2E (s)", "tokens/s", "TTFT (ms)")
+	type cfgResult struct {
+		name string
+		e2e  float64
+	}
+	var bestCfg cfgResult
+	for _, cl := range []memsim.ClusterMode{memsim.Quad, memsim.SNC4} {
+		for _, mem := range []memsim.MemMode{memsim.Cache, memsim.Flat} {
+			setup := core.SPRQuadFlat(48)
+			setup.Mem, setup.Cluster = mem, cl
+			res, err := core.SimulateCPU(setup, m, batch, in, out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s %12.3f %12.1f %12.0f\n",
+				setup.Name(), res.Latency.E2E, res.Throughput.E2E, res.Latency.TTFT*1e3)
+			if bestCfg.name == "" || res.Latency.E2E < bestCfg.e2e {
+				bestCfg = cfgResult{setup.Name(), res.Latency.E2E}
+			}
+		}
+	}
+	fmt.Printf("\n→ best configuration: %s (the paper's Key Finding #2)\n\n", bestCfg.name)
+
+	// --- core-count sweep -------------------------------------------------
+	fmt.Println("core-count sweep (quad_flat):")
+	fmt.Printf("%-8s %12s %12s\n", "cores", "E2E (s)", "tokens/s")
+	bestCores, bestE2E := 0, 0.0
+	for _, cores := range []int{12, 24, 48, 96} {
+		res, err := core.SimulateCPU(core.SPRQuadFlat(cores), m, batch, in, out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %12.3f %12.1f\n", cores, res.Latency.E2E, res.Throughput.E2E)
+		if bestCores == 0 || res.Latency.E2E < bestE2E {
+			bestCores, bestE2E = cores, res.Latency.E2E
+		}
+	}
+	fmt.Printf("\n→ best core count: %d (96 cores regress via UPI — Key Finding #3)\n\n", bestCores)
+
+	// --- §VI hot/cold placement ------------------------------------------
+	fmt.Println("§VI optimization: hot/cold NUMA placement for an oversized working set")
+	topo := numa.SPRTopology(hw.SPRMax9468)
+	big := core.MustModel("OPT-66B")
+	weightsGB := float64(big.WeightBytes(tensor.BF16)) / 1e9
+	items := []numa.Item{
+		{Name: "kv-cache", SizeGB: 22, Heat: 8},
+		{Name: "attn-weights", SizeGB: weightsGB * 0.33, Heat: 6},
+		{Name: "ffn-weights", SizeGB: weightsGB * 0.67, Heat: 4},
+		{Name: "cold-activations", SizeGB: 180, Heat: 0.3},
+	}
+	smart, err := numa.PlaceHotCold(items, topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive, err := numa.PlaceOblivious(items, topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bwSmart, _ := numa.EffectiveBandwidth(items, smart, topo)
+	bwNaive, _ := numa.EffectiveBandwidth(items, naive, topo)
+	fmt.Printf("oblivious interleave: %6.0f GB/s (remote traffic %.0f%%)\n",
+		bwNaive, numa.RemoteTrafficFraction(items, naive, topo)*100)
+	fmt.Printf("hot/cold placement:   %6.0f GB/s (remote traffic %.0f%%) — %.2fx\n",
+		bwSmart, numa.RemoteTrafficFraction(items, smart, topo)*100, bwSmart/bwNaive)
+}

@@ -1,0 +1,76 @@
+// Quickstart: run the two substrates end to end —
+//
+//  1. the functional engine: a real pure-Go transformer generating tokens
+//     through the AMX-style BF16 tile kernels, and
+//  2. the platform simulator: price the same workload shape on the
+//     paper's four evaluation platforms.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/texttoken"
+)
+
+func main() {
+	// --- 1. Functional engine -------------------------------------------
+	eng, err := core.TinyEngine("llama", engine.KernelTileBF16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prompt, err := texttoken.Encode("CPUs can serve LLMs: ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, stats, err := eng.Generate([][]int{prompt}, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err := texttoken.Decode(out[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== functional engine (tiny LLaMA-2, AMX-style BF16 tiles) ==")
+	fmt.Printf("prompt tokens:    %v\n", prompt)
+	fmt.Printf("generated tokens: %v\n", out[0])
+	fmt.Printf("as text (random weights, so gibberish): %q\n", text)
+	fmt.Printf("measured TTFT=%.2fms TPOT=%.2fms\n\n",
+		stats.TTFT()*1e3, stats.TPOT()*1e3)
+
+	// --- 2. Platform simulator ------------------------------------------
+	fmt.Println("== platform simulator (OPT-30B, batch 1, in=128, out=32) ==")
+	m := core.MustModel("OPT-30B")
+
+	spr, err := core.SimulateCPU(core.SPRQuadFlat(48), m, 1, 128, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	icl, err := core.SimulateCPU(core.ICLBaseline(), m, 1, 128, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a100, err := core.SimulateGPU(core.A100(), m, 1, 128, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h100, err := core.SimulateGPU(core.H100(), m, 1, 128, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, r := range []core.Result{icl, spr, a100, h100} {
+		line := fmt.Sprintf("%-22s E2E=%7.2fs  tokens/s=%6.2f", r.Platform, r.Latency.E2E, r.Throughput.E2E)
+		if r.TransferSeconds > 0 {
+			line += fmt.Sprintf("  (offloading: %.0f%% PCIe)", r.PCIeFraction()*100)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("\nOPT-30B exceeds the A100's 40 GB: the AMX+HBM CPU beats the")
+	fmt.Println("offloading GPU (the paper's Key Finding #4), while the H100-80GB")
+	fmt.Println("holds the model resident and wins.")
+}

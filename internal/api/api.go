@@ -1,0 +1,305 @@
+// Package api exposes the simulator over HTTP as a small JSON service —
+// the shape a capacity-planning or benchmarking dashboard would consume.
+// Endpoints:
+//
+//	GET /v1/models                       model presets
+//	GET /v1/platforms                    platform names
+//	GET /v1/simulate?platform=&model=&batch=&in=&out=[&cores=&memmode=&cluster=]
+//	GET /v1/experiments                  experiment keys
+//	GET /v1/experiments/{key}            one experiment's rendered tables
+//	GET /v1/scorecard                    reproduction scorecard
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/autotune"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// NewHandler returns the service's HTTP handler.
+func NewHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/models", handleModels)
+	mux.HandleFunc("/v1/platforms", handlePlatforms)
+	mux.HandleFunc("/v1/simulate", handleSimulate)
+	mux.HandleFunc("/v1/experiments", handleExperimentList)
+	mux.HandleFunc("/v1/experiments/", handleExperiment)
+	mux.HandleFunc("/v1/scorecard", handleScorecard)
+	mux.HandleFunc("/v1/autotune", handleAutotune)
+	return mux
+}
+
+// tuneResponse is one autotune candidate in JSON form.
+type tuneResponse struct {
+	Config          string  `json:"config"`
+	Cores           int     `json:"cores"`
+	Batch           int     `json:"batch"`
+	TTFTMillis      float64 `json:"ttft_ms"`
+	TPOTMillis      float64 `json:"tpot_ms"`
+	E2ESeconds      float64 `json:"e2e_s"`
+	TokensPerSecond float64 `json:"tokens_per_second"`
+}
+
+func handleAutotune(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	m, err := core.ModelByName(q.Get("model"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var obj autotune.Objective
+	switch q.Get("objective") {
+	case "", "e2e":
+		obj = autotune.MinE2ELatency
+	case "throughput":
+		obj = autotune.MaxThroughput
+	case "ttft":
+		obj = autotune.MinTTFT
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown objective %q", q.Get("objective")))
+		return
+	}
+	in, err := intParam(r, "in", 128)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := intParam(r, "out", 32)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	top, err := intParam(r, "top", 5)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cands, err := autotune.Tune(autotune.DefaultSpace(), autotune.Request{
+		Model: m, InputLen: in, OutputLen: out, Objective: obj,
+	})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if top < len(cands) {
+		cands = cands[:top]
+	}
+	resp := make([]tuneResponse, len(cands))
+	for i, c := range cands {
+		resp[i] = tuneResponse{
+			Config: c.Setup.Name(), Cores: c.Setup.Cores, Batch: c.Batch,
+			TTFTMillis:      c.Result.Latency.TTFT * 1e3,
+			TPOTMillis:      c.Result.Latency.TPOT * 1e3,
+			E2ESeconds:      c.Result.Latency.E2E,
+			TokensPerSecond: c.Result.Throughput.E2E,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+type modelInfo struct {
+	Name      string  `json:"name"`
+	Family    string  `json:"family"`
+	Layers    int     `json:"layers"`
+	DModel    int     `json:"d_model"`
+	ParamsB   float64 `json:"params_billion"`
+	BF16GB    float64 `json:"bf16_gb"`
+	MaxSeqLen int     `json:"max_seq_len"`
+}
+
+func handleModels(w http.ResponseWriter, r *http.Request) {
+	var out []modelInfo
+	for _, m := range model.Evaluated() {
+		out = append(out, modelInfo{
+			Name: m.Name, Family: m.Family.String(),
+			Layers: m.Layers, DModel: m.DModel,
+			ParamsB:   float64(m.ParamCount()) / 1e9,
+			BF16GB:    float64(m.WeightBytes(tensor.BF16)) / 1e9,
+			MaxSeqLen: m.MaxSeq,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, []string{"spr", "icl", "a100", "h100", "gh200"})
+}
+
+// simResponse is the JSON form of a simulation result.
+type simResponse struct {
+	Platform        string  `json:"platform"`
+	Model           string  `json:"model"`
+	Batch           int     `json:"batch"`
+	InputLen        int     `json:"input_len"`
+	OutputLen       int     `json:"output_len"`
+	TTFTMillis      float64 `json:"ttft_ms"`
+	TPOTMillis      float64 `json:"tpot_ms"`
+	E2ESeconds      float64 `json:"e2e_s"`
+	TokensPerSecond float64 `json:"tokens_per_second"`
+	PCIeFraction    float64 `json:"pcie_fraction"`
+	LLCMPKI         float64 `json:"llc_mpki,omitempty"`
+	CoreUtilization float64 `json:"core_utilization,omitempty"`
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %w", name, err)
+	}
+	return v, nil
+}
+
+func handleSimulate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	m, err := core.ModelByName(q.Get("model"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	batch, err := intParam(r, "batch", 1)
+	if err == nil && batch < 1 {
+		err = fmt.Errorf("batch must be positive")
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	in, err := intParam(r, "in", 128)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := intParam(r, "out", 32)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	var res core.Result
+	switch q.Get("platform") {
+	case "spr", "icl":
+		setup := core.SPRQuadFlat(0)
+		if q.Get("platform") == "icl" {
+			setup = core.ICLBaseline()
+		}
+		if cores, err := intParam(r, "cores", setup.Cores); err == nil {
+			setup.Cores = cores
+		} else {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		switch q.Get("memmode") {
+		case "", "flat":
+		case "cache":
+			setup.Mem = memsim.Cache
+		case "hbm-only":
+			setup.Mem = memsim.HBMOnly
+		case "ddr":
+			setup.Mem = memsim.DDROnly
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown memmode %q", q.Get("memmode")))
+			return
+		}
+		switch q.Get("cluster") {
+		case "", "quad":
+		case "snc":
+			setup.Cluster = memsim.SNC4
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown cluster %q", q.Get("cluster")))
+			return
+		}
+		res, err = core.SimulateCPU(setup, m, batch, in, out)
+	case "a100":
+		res, err = core.SimulateGPU(core.A100(), m, batch, in, out)
+	case "h100":
+		res, err = core.SimulateGPU(core.H100(), m, batch, in, out)
+	case "gh200":
+		res, err = core.SimulateGPU(hw.GH200, m, batch, in, out)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown platform %q", q.Get("platform")))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simResponse{
+		Platform: res.Platform, Model: res.Model,
+		Batch: res.Batch, InputLen: res.InputLen, OutputLen: res.OutputLen,
+		TTFTMillis: res.Latency.TTFT * 1e3, TPOTMillis: res.Latency.TPOT * 1e3,
+		E2ESeconds: res.Latency.E2E, TokensPerSecond: res.Throughput.E2E,
+		PCIeFraction:    res.PCIeFraction(),
+		LLCMPKI:         res.Counters.LLCMPKI,
+		CoreUtilization: res.Counters.CoreUtilization,
+	})
+}
+
+func handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	type exp struct{ Key, Title string }
+	var out []exp
+	for _, e := range experiments.All() {
+		out = append(out, exp{e.Key, e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// tableJSON is the JSON form of an experiment table.
+type tableJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+func handleExperiment(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/v1/experiments/")
+	e, err := experiments.ByKey(key)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	tabs, err := e.Run()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]tableJSON, len(tabs))
+	for i, t := range tabs {
+		out[i] = tableJSON{ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func handleScorecard(w http.ResponseWriter, r *http.Request) {
+	tab, err := experiments.RunScorecard()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tableJSON{ID: tab.ID, Title: tab.Title,
+		Columns: tab.Columns, Rows: tab.Rows})
+}

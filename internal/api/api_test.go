@@ -1,0 +1,185 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func get(t *testing.T, path string) (*http.Response, []byte) {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf []byte
+	buf = make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	for n > 0 && buf[n-1] == '\n' {
+		n--
+	}
+	return resp, buf[:n]
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	resp, body := get(t, "/v1/models")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var models []map[string]any
+	if err := json.Unmarshal(body, &models); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(models) != 8 {
+		t.Errorf("got %d models, want 8", len(models))
+	}
+	if models[0]["name"] != "OPT-1.3B" {
+		t.Errorf("first model %v", models[0]["name"])
+	}
+}
+
+func TestPlatformsEndpoint(t *testing.T) {
+	resp, body := get(t, "/v1/platforms")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal(resp.StatusCode)
+	}
+	var ps []string
+	if err := json.Unmarshal(body, &ps); err != nil || len(ps) != 5 {
+		t.Fatalf("platforms: %v %s", err, body)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	resp, body := get(t, "/v1/simulate?platform=spr&model=OPT-30B&batch=4")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res["tokens_per_second"].(float64) <= 0 {
+		t.Error("degenerate throughput")
+	}
+	if res["llc_mpki"].(float64) <= 0 {
+		t.Error("CPU run must include counters")
+	}
+	// Offloaded GPU run reports a PCIe fraction.
+	resp, body = get(t, "/v1/simulate?platform=a100&model=OPT-30B")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res["pcie_fraction"].(float64) < 0.5 {
+		t.Errorf("offloaded PCIe fraction %v", res["pcie_fraction"])
+	}
+}
+
+func TestSimulateWithConfig(t *testing.T) {
+	resp, _ := get(t, "/v1/simulate?platform=spr&model=LLaMA2-13B&cores=12&memmode=cache&cluster=snc")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/v1/simulate?platform=tpu&model=OPT-13B", http.StatusBadRequest},
+		{"/v1/simulate?platform=spr&model=GPT-5", http.StatusBadRequest},
+		{"/v1/simulate?platform=spr&model=OPT-13B&batch=zero", http.StatusBadRequest},
+		{"/v1/simulate?platform=spr&model=OPT-13B&batch=-1", http.StatusBadRequest},
+		{"/v1/simulate?platform=spr&model=OPT-13B&memmode=weird", http.StatusBadRequest},
+		{"/v1/simulate?platform=spr&model=OPT-13B&cluster=weird", http.StatusBadRequest},
+		{"/v1/simulate?platform=spr&model=OPT-13B&in=bad", http.StatusBadRequest},
+		{"/v1/simulate?platform=spr&model=OPT-13B&out=bad", http.StatusBadRequest},
+		{"/v1/simulate?platform=spr&model=OPT-13B&cores=bad", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := get(t, c.path)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d want %d (%s)", c.path, resp.StatusCode, c.want, body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body malformed: %s", c.path, body)
+		}
+	}
+}
+
+func TestExperimentEndpoints(t *testing.T) {
+	resp, body := get(t, "/v1/experiments")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal(resp.StatusCode)
+	}
+	var list []map[string]string
+	if err := json.Unmarshal(body, &list); err != nil || len(list) < 20 {
+		t.Fatalf("experiment list: %v (%d)", err, len(list))
+	}
+	resp, body = get(t, "/v1/experiments/fig18")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fig18 status %d", resp.StatusCode)
+	}
+	var tabs []map[string]any
+	if err := json.Unmarshal(body, &tabs); err != nil || len(tabs) != 1 {
+		t.Fatalf("fig18 body: %v %s", err, body)
+	}
+	resp, _ = get(t, "/v1/experiments/fig99")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown experiment status %d", resp.StatusCode)
+	}
+}
+
+func TestAutotuneEndpoint(t *testing.T) {
+	resp, body := get(t, "/v1/autotune?model=LLaMA2-13B&objective=throughput&top=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cands []map[string]any
+	if err := json.Unmarshal(body, &cands); err != nil || len(cands) != 3 {
+		t.Fatalf("autotune body: %v %s", err, body)
+	}
+	if cands[0]["config"] != "quad_flat" {
+		t.Errorf("best config %v, want quad_flat", cands[0]["config"])
+	}
+	if cands[0]["batch"].(float64) != 32 {
+		t.Errorf("throughput objective should pick batch 32, got %v", cands[0]["batch"])
+	}
+	resp, _ = get(t, "/v1/autotune?model=nope")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad model status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, "/v1/autotune?model=OPT-13B&objective=weird")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad objective status %d", resp.StatusCode)
+	}
+}
+
+func TestScorecardEndpoint(t *testing.T) {
+	resp, body := get(t, "/v1/scorecard")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal(resp.StatusCode)
+	}
+	var tab map[string]any
+	if err := json.Unmarshal(body, &tab); err != nil {
+		t.Fatal(err)
+	}
+	rows := tab["rows"].([]any)
+	if len(rows) < 13 {
+		t.Errorf("scorecard has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		cells := r.([]any)
+		if cells[len(cells)-1] != "PASS" {
+			t.Errorf("claim %v did not pass", cells[0])
+		}
+	}
+}

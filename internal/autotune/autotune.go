@@ -1,0 +1,165 @@
+// Package autotune searches the CPU configuration space the paper
+// characterizes by hand — active cores × memory mode × clustering mode ×
+// batch size — for the best configuration of a given workload, optionally
+// under latency constraints. It operationalizes Key Findings #2 and #3:
+// given the paper's workload, the tuner must rediscover quad_flat at 48
+// cores on its own.
+package autotune
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// Objective selects what the tuner maximizes or minimizes.
+type Objective int
+
+const (
+	// MinE2ELatency minimizes end-to-end request latency.
+	MinE2ELatency Objective = iota
+	// MaxThroughput maximizes E2E tokens per second.
+	MaxThroughput
+	// MinTTFT minimizes time to first token.
+	MinTTFT
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MinE2ELatency:
+		return "min-e2e-latency"
+	case MaxThroughput:
+		return "max-throughput"
+	case MinTTFT:
+		return "min-ttft"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// Constraints bound acceptable configurations (0 disables a bound).
+type Constraints struct {
+	MaxTTFTSeconds float64
+	MaxTPOTSeconds float64
+}
+
+func (c Constraints) admits(r metrics.Result) bool {
+	if c.MaxTTFTSeconds > 0 && r.Latency.TTFT > c.MaxTTFTSeconds {
+		return false
+	}
+	if c.MaxTPOTSeconds > 0 && r.Latency.TPOT > c.MaxTPOTSeconds {
+		return false
+	}
+	return true
+}
+
+// Space is the search space. Zero-value fields get the paper's defaults.
+type Space struct {
+	CPU      hw.CPU
+	Cores    []int
+	MemModes []memsim.MemMode
+	Clusters []memsim.ClusterMode
+	Batches  []int
+}
+
+// DefaultSpace returns the paper's §IV-B configuration grid for the SPR
+// CPU.
+func DefaultSpace() Space {
+	return Space{
+		CPU:      hw.SPRMax9468,
+		Cores:    []int{12, 24, 48, 96},
+		MemModes: []memsim.MemMode{memsim.Flat, memsim.Cache},
+		Clusters: []memsim.ClusterMode{memsim.Quad, memsim.SNC4},
+		Batches:  []int{1, 2, 4, 8, 16, 32},
+	}
+}
+
+// Candidate is one evaluated configuration.
+type Candidate struct {
+	Setup  memsim.Config
+	Batch  int
+	Result metrics.Result
+	Score  float64 // objective value; lower is better (throughput negated)
+}
+
+// Name renders the candidate's configuration label.
+func (c Candidate) Name() string {
+	return fmt.Sprintf("%s/%dc/b%d", c.Setup.Name(), c.Setup.Cores, c.Batch)
+}
+
+// Request describes the workload to tune for.
+type Request struct {
+	Model               model.Config
+	InputLen, OutputLen int
+	Objective           Objective
+	Constraints         Constraints
+	// FixedBatch pins the batch size (0 searches the space's batches).
+	FixedBatch int
+}
+
+// Tune evaluates the grid and returns all feasible candidates sorted best
+// first. It returns an error only if simulation fails or nothing is
+// feasible.
+func Tune(space Space, req Request) ([]Candidate, error) {
+	if err := req.Model.Validate(); err != nil {
+		return nil, err
+	}
+	batches := space.Batches
+	if req.FixedBatch > 0 {
+		batches = []int{req.FixedBatch}
+	}
+	var out []Candidate
+	for _, cores := range space.Cores {
+		for _, mem := range space.MemModes {
+			for _, cl := range space.Clusters {
+				setup := memsim.Config{CPU: space.CPU, Cores: cores, Mem: mem, Cluster: cl}
+				if setup.Validate() != nil {
+					continue // e.g. HBM mode on an HBM-less CPU
+				}
+				for _, b := range batches {
+					res, err := perfmodel.CPURun{
+						Model: req.Model, Setup: setup, Batch: b,
+						InputLen: req.InputLen, OutputLen: req.OutputLen,
+						Weights: tensor.BF16,
+					}.Simulate()
+					if err != nil {
+						// Infeasible placement (e.g. HBM-only overflow):
+						// skip rather than fail the whole search.
+						continue
+					}
+					if !req.Constraints.admits(res) {
+						continue
+					}
+					out = append(out, Candidate{
+						Setup: setup, Batch: b, Result: res,
+						Score: score(req.Objective, res),
+					})
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("autotune: no feasible configuration for %s under %+v",
+			req.Model.Name, req.Constraints)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Score < out[b].Score })
+	return out, nil
+}
+
+func score(o Objective, r metrics.Result) float64 {
+	switch o {
+	case MaxThroughput:
+		return -r.Throughput.E2E
+	case MinTTFT:
+		return r.Latency.TTFT
+	default:
+		return r.Latency.E2E
+	}
+}

@@ -1,0 +1,146 @@
+package autotune
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/memsim"
+	"repro/internal/model"
+)
+
+// TestRediscoversKeyFindings: for the paper's workload, the tuner must
+// land on quad_flat with 48 cores (Key Findings #2 and #3) without being
+// told.
+func TestRediscoversKeyFindings(t *testing.T) {
+	cands, err := Tune(DefaultSpace(), Request{
+		Model: model.Llama13B, InputLen: 128, OutputLen: 32,
+		Objective: MinE2ELatency, FixedBatch: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := cands[0]
+	if best.Setup.Name() != "quad_flat" || best.Setup.Cores != 48 {
+		t.Errorf("tuner picked %s, paper says quad_flat/48c", best.Name())
+	}
+	// The grid has 4 cores × 2 mem × 2 cluster = 16 configurations.
+	if len(cands) != 16 {
+		t.Errorf("evaluated %d candidates, want 16", len(cands))
+	}
+	// Sorted best-first.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Score < cands[i-1].Score {
+			t.Fatal("candidates not sorted")
+		}
+	}
+}
+
+// TestThroughputObjectivePrefersBigBatch: maximizing tokens/s must choose
+// the largest batch.
+func TestThroughputObjectivePrefersBigBatch(t *testing.T) {
+	cands, err := Tune(DefaultSpace(), Request{
+		Model: model.OPT13B, InputLen: 128, OutputLen: 32,
+		Objective: MaxThroughput,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0].Batch != 32 {
+		t.Errorf("throughput tuner picked batch %d, want 32", cands[0].Batch)
+	}
+}
+
+// TestConstraintsFilter: a tight TTFT budget must exclude large batches
+// (their prefill is slower) while remaining feasible at batch 1.
+func TestConstraintsFilter(t *testing.T) {
+	unconstrained, err := Tune(DefaultSpace(), Request{
+		Model: model.OPT13B, InputLen: 128, OutputLen: 32,
+		Objective: MaxThroughput,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := unconstrained[0].Result.Latency.TTFT / 4
+	constrained, err := Tune(DefaultSpace(), Request{
+		Model: model.OPT13B, InputLen: 128, OutputLen: 32,
+		Objective:   MaxThroughput,
+		Constraints: Constraints{MaxTTFTSeconds: budget},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained[0].Batch >= unconstrained[0].Batch {
+		t.Errorf("TTFT budget should force a smaller batch (%d vs %d)",
+			constrained[0].Batch, unconstrained[0].Batch)
+	}
+	for _, c := range constrained {
+		if c.Result.Latency.TTFT > budget {
+			t.Fatalf("infeasible candidate survived: %s", c.Name())
+		}
+	}
+}
+
+// TestInfeasibleErrors: an impossible constraint must return an error,
+// not an empty slice.
+func TestInfeasibleErrors(t *testing.T) {
+	_, err := Tune(DefaultSpace(), Request{
+		Model: model.OPT66B, InputLen: 128, OutputLen: 32,
+		Objective:   MinTTFT,
+		Constraints: Constraints{MaxTTFTSeconds: 1e-6},
+	})
+	if err == nil {
+		t.Error("impossible constraint must error")
+	}
+}
+
+// TestICLSpace: tuning the HBM-less ICL CPU must skip HBM-dependent modes
+// rather than fail.
+func TestICLSpace(t *testing.T) {
+	space := Space{
+		CPU:      hw.ICL8352Y,
+		Cores:    []int{16, 32},
+		MemModes: []memsim.MemMode{memsim.DDROnly, memsim.Flat}, // Flat invalid on ICL
+		Clusters: []memsim.ClusterMode{memsim.Quad},
+		Batches:  []int{1, 8},
+	}
+	cands, err := Tune(space, Request{
+		Model: model.OPT6B7, InputLen: 128, OutputLen: 32, Objective: MinE2ELatency,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 cores × 1 valid mem × 1 cluster × 2 batches.
+	if len(cands) != 4 {
+		t.Errorf("ICL candidates = %d, want 4", len(cands))
+	}
+	if cands[0].Setup.Cores != 32 {
+		t.Errorf("ICL best cores = %d, want 32", cands[0].Setup.Cores)
+	}
+}
+
+func TestMinTTFTObjective(t *testing.T) {
+	cands, err := Tune(DefaultSpace(), Request{
+		Model: model.Llama7B, InputLen: 512, OutputLen: 32,
+		Objective: MinTTFT, FixedBatch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefill is compute-bound at long inputs: more cores help; two
+	// sockets' extra compute may or may not pay its UPI tax, but the best
+	// candidate must not be the 12-core point.
+	if cands[0].Setup.Cores == 12 {
+		t.Error("min-TTFT should not pick the fewest cores")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Tune(DefaultSpace(), Request{Model: model.Config{Name: "bad"}}); err == nil {
+		t.Error("invalid model must fail")
+	}
+	for _, o := range []Objective{MinE2ELatency, MaxThroughput, MinTTFT} {
+		if o.String() == "" {
+			t.Error("objective name empty")
+		}
+	}
+}

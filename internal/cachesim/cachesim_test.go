@@ -1,0 +1,173 @@
+package cachesim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheGeometryErrors(t *testing.T) {
+	cases := []struct{ size, ways, line int }{
+		{0, 4, 64},
+		{1024, 0, 64},
+		{1024, 4, 48},    // line not power of two
+		{1024, 3, 64},    // lines not divisible by ways
+		{64 * 24, 8, 64}, // sets not power of two (24/8 = 3)
+	}
+	for _, c := range cases {
+		if _, err := NewCache("x", c.size, c.ways, c.line); err == nil {
+			t.Errorf("geometry %+v must fail", c)
+		}
+	}
+	if _, err := NewCache("ok", 32<<10, 8, 64); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c, _ := NewCache("l1", 1<<10, 2, 64)
+	if c.Access(0) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(0) {
+		t.Error("second access must hit")
+	}
+	if !c.Access(63) {
+		t.Error("same line must hit")
+	}
+	if c.Access(64) {
+		t.Error("next line must miss")
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Errorf("stats wrong: %d/%d", c.Misses, c.Accesses)
+	}
+	if c.MissRate() != 0.5 {
+		t.Errorf("miss rate = %v", c.MissRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way cache with 2 sets of 64B lines (256 B total). Lines mapping
+	// to set 0: addresses 0, 128, 256, ...
+	c, _ := NewCache("l1", 256, 2, 64)
+	c.Access(0)   // set 0, way A
+	c.Access(128) // set 0, way B
+	c.Access(0)   // refresh A
+	c.Access(256) // evicts 128 (LRU)
+	if !c.Access(0) {
+		t.Error("0 must survive (recently used)")
+	}
+	if c.Access(128) {
+		t.Error("128 must have been evicted")
+	}
+}
+
+func TestEmptyMissRate(t *testing.T) {
+	c, _ := NewCache("l1", 1<<10, 2, 64)
+	if c.MissRate() != 0 {
+		t.Error("empty cache miss rate must be 0")
+	}
+	if c.Name() != "l1" {
+		t.Error("name wrong")
+	}
+}
+
+func TestHierarchyInclusive(t *testing.T) {
+	h, err := SPRLike(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl := h.Access(0); lvl != 3 {
+		t.Errorf("cold access hit level %d, want memory (3)", lvl)
+	}
+	if lvl := h.Access(0); lvl != 0 {
+		t.Errorf("warm access hit level %d, want L1 (0)", lvl)
+	}
+	// Thrash L1 with a working set beyond 48 KB but within L2.
+	for addr := uint64(0); addr < 256<<10; addr += 64 {
+		h.Access(addr)
+	}
+	if lvl := h.Access(0); lvl != 1 {
+		t.Errorf("L1-evicted line hit level %d, want L2 (1)", lvl)
+	}
+	rep := h.Report()
+	for _, want := range []string{"L1D", "L2", "L3"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %s", want)
+		}
+	}
+}
+
+func TestInvariantHitsPlusMisses(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c, _ := NewCache("x", 1<<12, 4, 64)
+		for _, a := range addrs {
+			c.Access(uint64(a))
+		}
+		return c.Misses <= c.Accesses && c.Accesses == uint64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBlockingReducesMisses is the package's headline result: on a GEMM
+// whose working set exceeds L1/L2, the blocked loop nest produces far
+// fewer LLC misses than the naive one — the mechanism that makes the
+// paper's prefill GEMMs compute-bound rather than memory-bound.
+func TestBlockingReducesMisses(t *testing.T) {
+	const m, n, k = 192, 192, 192 // 3 × 192² × 4 B ≈ 442 KB ≫ L1
+	naive, err := SPRLike(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	TraceGemmNaive(m, n, k, func(a uint64) { naive.Access(a) })
+
+	blocked, err := SPRLike(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	TraceGemmBlocked(m, n, k, func(a uint64) { blocked.Access(a) })
+
+	nL1 := naive.Levels[0].MissRate()
+	bL1 := blocked.Levels[0].MissRate()
+	if bL1 >= nL1 {
+		t.Errorf("blocked L1 miss rate %.3f must beat naive %.3f", bL1, nL1)
+	}
+}
+
+// TestWeightStreamAlwaysMisses: streaming weights touches each line once;
+// the LLC miss count must equal the line count regardless of cache size.
+func TestWeightStreamAlwaysMisses(t *testing.T) {
+	h, err := SPRLike(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 1 << 20
+	TraceWeightStream(bytes, func(a uint64) { h.Access(a) })
+	wantLines := uint64(bytes / 64)
+	if h.LLCMisses() != wantLines {
+		t.Errorf("LLC misses = %d, want %d (every line once)", h.LLCMisses(), wantLines)
+	}
+	// L1 hit rate is high (15/16 accesses within each line hit).
+	if r := h.Levels[0].MissRate(); r < 0.05 || r > 0.08 {
+		t.Errorf("stream L1 miss rate = %.3f, want ≈1/16", r)
+	}
+}
+
+// TestTraceElementCounts: the generators must visit the analytically
+// expected number of elements.
+func TestTraceElementCounts(t *testing.T) {
+	const m, n, k = 8, 12, 16
+	var naive, blocked int
+	TraceGemmNaive(m, n, k, func(uint64) { naive++ })
+	TraceGemmBlocked(m, n, k, func(uint64) { blocked++ })
+	wantNaive := m*n*k*2 + m*n // A+B per MAC, C once per output
+	if naive != wantNaive {
+		t.Errorf("naive trace = %d accesses, want %d", naive, wantNaive)
+	}
+	wantBlocked := m*k + m*n*k*2 // A once per (i,p) in block walk + B,C per MAC
+	if blocked != wantBlocked {
+		t.Errorf("blocked trace = %d accesses, want %d", blocked, wantBlocked)
+	}
+}

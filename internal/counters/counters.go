@@ -1,0 +1,100 @@
+// Package counters emulates the hardware performance counters the paper
+// reports via Linux perf and VTune (Figs 11, 12, 15, 16): LLC misses per
+// kilo-instruction, core utilization, normalized load/store counts, remote
+// LLC accesses, and UPI utilization.
+//
+// Counts are derived from the same quantities the performance model
+// prices: retired vector/matrix instructions follow from FLOPs and the
+// ISA's FLOPs-per-instruction, memory-side counters follow from the bytes
+// each phase streams, and locality counters follow from the NUMA model's
+// remote-access fractions.
+package counters
+
+// CacheLineBytes is the coherence granularity of the modeled CPUs.
+const CacheLineBytes = 64
+
+// FLOPs retired per dynamic instruction for each compute path. An AMX
+// TDPBF16PS retires 16×16×32 MACs; an AVX-512 BF16 dot-product instruction
+// retires 32 MACs per 512-bit lane-pair.
+const (
+	FLOPsPerInstrAMX    = 16 * 16 * 32 * 2
+	FLOPsPerInstrAVX512 = 64
+)
+
+// scalarOverheadPerFLOP models the scalar bookkeeping instructions
+// (address generation, loop control, framework glue) retired per
+// floating-point operation's worth of work.
+const scalarOverheadPerFLOP = 0.002
+
+// Inputs are the phase-level quantities the performance model hands to the
+// counter emulation.
+type Inputs struct {
+	FLOPs           float64 // floating-point operations executed
+	FLOPsPerInstr   float64 // of the dominant compute path
+	BytesFromMemory float64 // bytes streamed past the LLC (misses)
+	BytesRead       float64 // total bytes loaded (incl. cache hits)
+	BytesWritten    float64 // total bytes stored
+	ComputeSeconds  float64 // time the cores spent compute-bound
+	TotalSeconds    float64 // wall-clock time of the phase
+	RemoteFraction  float64 // LLC misses served by a remote NUMA domain
+	UPIFraction     float64 // bytes crossing sockets over UPI
+	UPIBandwidthGBs float64 // available UPI bandwidth
+	ActiveCores     int
+	TotalCores      int
+}
+
+// Report is the emulated counter set for one run.
+type Report struct {
+	Instructions     float64
+	Loads            float64
+	Stores           float64
+	LLCMisses        float64
+	LLCMPKI          float64 // misses per kilo-instruction
+	CoreUtilization  float64 // 0..1, fraction of cycle capacity doing work
+	RemoteLLCAccess  float64 // LLC misses served remotely
+	UPIUtilization   float64 // 0..1 of UPI bandwidth
+	PhysicalCoreUtil float64 // CoreUtilization × ActiveCores/TotalCores
+}
+
+// Derive computes the counter report from the model inputs.
+func Derive(in Inputs) Report {
+	var r Report
+	if in.FLOPsPerInstr <= 0 {
+		in.FLOPsPerInstr = FLOPsPerInstrAVX512
+	}
+	compute := in.FLOPs / in.FLOPsPerInstr
+	loads := in.BytesRead / CacheLineBytes
+	stores := in.BytesWritten / CacheLineBytes
+	overhead := in.FLOPs * scalarOverheadPerFLOP
+	r.Instructions = compute + loads + stores + overhead
+	r.Loads = loads
+	r.Stores = stores
+	r.LLCMisses = in.BytesFromMemory / CacheLineBytes
+	if r.Instructions > 0 {
+		r.LLCMPKI = r.LLCMisses / (r.Instructions / 1000)
+	}
+	if in.TotalSeconds > 0 {
+		r.CoreUtilization = clamp01(in.ComputeSeconds / in.TotalSeconds)
+		if in.UPIBandwidthGBs > 0 {
+			upiBytes := in.BytesFromMemory * in.UPIFraction
+			r.UPIUtilization = clamp01(upiBytes / 1e9 / in.UPIBandwidthGBs / in.TotalSeconds)
+		}
+	}
+	r.RemoteLLCAccess = r.LLCMisses * in.RemoteFraction
+	if in.TotalCores > 0 {
+		r.PhysicalCoreUtil = r.CoreUtilization * float64(in.ActiveCores) / float64(in.TotalCores)
+	} else {
+		r.PhysicalCoreUtil = r.CoreUtilization
+	}
+	return r
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

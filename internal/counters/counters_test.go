@@ -1,0 +1,129 @@
+package counters
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func baseInputs() Inputs {
+	return Inputs{
+		FLOPs:           1e12,
+		FLOPsPerInstr:   FLOPsPerInstrAMX,
+		BytesFromMemory: 26e9,
+		BytesRead:       60e9,
+		BytesWritten:    5e9,
+		ComputeSeconds:  0.02,
+		TotalSeconds:    0.06,
+		RemoteFraction:  0.1,
+		UPIFraction:     0,
+		UPIBandwidthGBs: 62.4,
+		ActiveCores:     48,
+		TotalCores:      48,
+	}
+}
+
+func TestDeriveBasics(t *testing.T) {
+	r := Derive(baseInputs())
+	if r.Instructions <= 0 || r.LLCMisses <= 0 || r.LLCMPKI <= 0 {
+		t.Fatalf("non-positive counters: %+v", r)
+	}
+	wantMisses := 26e9 / 64
+	if r.LLCMisses != wantMisses {
+		t.Errorf("LLC misses = %g, want %g", r.LLCMisses, wantMisses)
+	}
+	if r.CoreUtilization < 0.32 || r.CoreUtilization > 0.34 {
+		t.Errorf("core util = %g, want 1/3", r.CoreUtilization)
+	}
+	if r.RemoteLLCAccess != r.LLCMisses*0.1 {
+		t.Error("remote LLC accesses wrong")
+	}
+}
+
+// TestMPKIFallsWithBatchScaling models the Fig 11/12 trend: multiplying
+// compute (batch) while memory traffic stays near-constant must lower
+// MPKI and raise core utilization.
+func TestMPKIFallsWithBatchScaling(t *testing.T) {
+	b1 := baseInputs()
+	b32 := b1
+	b32.FLOPs *= 32    // decode compute scales with batch
+	b32.BytesRead *= 2 // KV grows, weights don't
+	b32.BytesFromMemory *= 2
+	b32.ComputeSeconds *= 20 // compute time grows with batch
+	b32.TotalSeconds *= 4    // total grows less: step stays memory-dominated
+	r1, r32 := Derive(b1), Derive(b32)
+	if r32.LLCMPKI >= r1.LLCMPKI {
+		t.Errorf("MPKI must fall with batch: %g -> %g", r1.LLCMPKI, r32.LLCMPKI)
+	}
+	if r32.CoreUtilization <= r1.CoreUtilization {
+		t.Errorf("core util must rise with batch: %g -> %g",
+			r1.CoreUtilization, r32.CoreUtilization)
+	}
+}
+
+func TestUPIUtilization(t *testing.T) {
+	in := baseInputs()
+	in.UPIFraction = 0.5
+	in.TotalSeconds = 0.1
+	r := Derive(in)
+	// 13 GB over UPI in 0.1 s = 130 GB/s demand on a 62.4 GB/s link → 1.0.
+	if r.UPIUtilization != 1 {
+		t.Errorf("UPI utilization = %g, want saturated 1.0", r.UPIUtilization)
+	}
+	in.UPIFraction = 0
+	if Derive(in).UPIUtilization != 0 {
+		t.Error("no UPI traffic must mean zero utilization")
+	}
+}
+
+func TestAMXRetiresFewerInstructions(t *testing.T) {
+	amx := baseInputs()
+	avx := amx
+	avx.FLOPsPerInstr = FLOPsPerInstrAVX512
+	if Derive(amx).Instructions >= Derive(avx).Instructions {
+		t.Error("AMX path must retire fewer instructions for equal FLOPs")
+	}
+}
+
+func TestDefaultsAndClamps(t *testing.T) {
+	in := baseInputs()
+	in.FLOPsPerInstr = 0 // must default, not divide by zero
+	if r := Derive(in); r.Instructions <= 0 {
+		t.Error("default FLOPs-per-instr not applied")
+	}
+	in = baseInputs()
+	in.ComputeSeconds = 10
+	in.TotalSeconds = 1
+	if r := Derive(in); r.CoreUtilization != 1 {
+		t.Error("core utilization must clamp to 1")
+	}
+	in = baseInputs()
+	in.TotalSeconds = 0
+	r := Derive(in)
+	if r.CoreUtilization != 0 || r.UPIUtilization != 0 {
+		t.Error("zero wall time must yield zero utilizations")
+	}
+	in = baseInputs()
+	in.TotalCores = 0
+	if r := Derive(in); r.PhysicalCoreUtil != r.CoreUtilization {
+		t.Error("zero TotalCores must fall back to CoreUtilization")
+	}
+}
+
+func TestCounterProperties(t *testing.T) {
+	f := func(flopsRaw, memRaw uint32, remotePct uint8) bool {
+		in := baseInputs()
+		in.FLOPs = float64(flopsRaw) + 1
+		in.BytesFromMemory = float64(memRaw) + 1
+		in.BytesRead = in.BytesFromMemory * 2
+		in.RemoteFraction = float64(remotePct%101) / 100
+		r := Derive(in)
+		return r.Instructions > 0 &&
+			r.LLCMPKI >= 0 &&
+			r.RemoteLLCAccess <= r.LLCMisses+1e-9 &&
+			r.CoreUtilization >= 0 && r.CoreUtilization <= 1 &&
+			r.UPIUtilization >= 0 && r.UPIUtilization <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

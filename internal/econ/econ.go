@@ -1,0 +1,72 @@
+// Package econ quantifies the paper's economic motivation: footnote 1
+// notes the Xeon Max 9468's listing price is ~3× below an H100-80GB, and
+// §I frames CPU inference as attractive "when considering the hardware
+// cost". This module combines the performance model's tokens/s with
+// hardware listing prices into throughput-per-dollar, the metric that
+// decides whether an AMX CPU or an offloading GPU serves a model more
+// economically.
+package econ
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Pricing is a hardware listing price in USD plus the part's TDP. The
+// paper's proxy values (late-2023/2024 listing prices, as in its footnote
+// 1 and ref [41]): the Max 9468 lists ~$12.9k, the H100-80GB $30–40k, the
+// A100-40GB ~$10k on the refurb market it competed in; §V-B puts
+// Grace-Hopper at ~4× the SPR's cost. TDPs are the public specifications.
+// A server chassis, memory and power delivery are deliberately excluded,
+// as in the paper's own proxy.
+type Pricing struct {
+	Name     string
+	PriceUSD float64
+	TDPWatts float64
+}
+
+// Paper-proxy listing prices and spec TDPs.
+var (
+	PriceSPRMax9468 = Pricing{Name: "Xeon Max 9468", PriceUSD: 12980, TDPWatts: 350}
+	PriceICL8352Y   = Pricing{Name: "Xeon 8352Y", PriceUSD: 3450, TDPWatts: 205}
+	PriceA100       = Pricing{Name: "A100-40GB", PriceUSD: 10000, TDPWatts: 400}
+	PriceH100       = Pricing{Name: "H100-80GB", PriceUSD: 36500, TDPWatts: 700}
+	PriceGH200      = Pricing{Name: "GH200", PriceUSD: 4 * 12980, TDPWatts: 1000}
+)
+
+// Efficiency is the cost-normalized view of one simulation result.
+type Efficiency struct {
+	Platform               string
+	PriceUSD               float64
+	TokensPerSecond        float64
+	TokensPerSecondPerKUSD float64 // throughput per thousand dollars
+	// JoulesPerToken is a TDP-based upper bound on energy per generated
+	// token (the part running at its rated power for the whole request).
+	JoulesPerToken float64
+}
+
+// Evaluate derives cost efficiency from a simulated result. For CPU
+// platforms that use one socket of a two-socket server, pass the
+// per-socket price (the paper's per-processor listing).
+func Evaluate(res metrics.Result, price Pricing) (Efficiency, error) {
+	if price.PriceUSD <= 0 {
+		return Efficiency{}, fmt.Errorf("econ: non-positive price for %s", price.Name)
+	}
+	e := Efficiency{
+		Platform:               res.Platform,
+		PriceUSD:               price.PriceUSD,
+		TokensPerSecond:        res.Throughput.E2E,
+		TokensPerSecondPerKUSD: res.Throughput.E2E / (price.PriceUSD / 1000),
+	}
+	if price.TDPWatts > 0 && res.Throughput.E2E > 0 {
+		e.JoulesPerToken = price.TDPWatts / res.Throughput.E2E
+	}
+	return e, nil
+}
+
+// PriceRatio returns a.Price/b.Price — e.g. H100 vs SPR ≈ 2.8, the
+// paper's "3× cheaper" proxy.
+func PriceRatio(a, b Pricing) float64 {
+	return a.PriceUSD / b.PriceUSD
+}

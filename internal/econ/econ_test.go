@@ -1,0 +1,33 @@
+package econ
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestPriceRatioMatchesPaperFootnote(t *testing.T) {
+	// Footnote 1: the Max 9468 is ~3× cheaper than an H100-80GB.
+	r := PriceRatio(PriceH100, PriceSPRMax9468)
+	if r < 2.4 || r > 3.6 {
+		t.Errorf("H100/SPR price ratio = %.2f, paper proxy ≈3", r)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	res := metrics.New("SPR", "OPT-30B", 1, 128, 32, 0.2, 3.0)
+	e, err := Evaluate(res, PriceSPRMax9468)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TokensPerSecond != res.Throughput.E2E {
+		t.Error("tokens/s must pass through")
+	}
+	want := res.Throughput.E2E / (PriceSPRMax9468.PriceUSD / 1000)
+	if e.TokensPerSecondPerKUSD != want {
+		t.Errorf("per-k$ = %v, want %v", e.TokensPerSecondPerKUSD, want)
+	}
+	if _, err := Evaluate(res, Pricing{Name: "free"}); err == nil {
+		t.Error("zero price must fail")
+	}
+}

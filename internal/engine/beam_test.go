@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestBeamWidthOneIsGreedy: beam search with width 1 must produce exactly
+// the greedy tokens.
+func TestBeamWidthOneIsGreedy(t *testing.T) {
+	for _, f := range []model.Family{model.OPT, model.LLaMA2} {
+		e := tinyEngine(t, f, KernelBlocked)
+		p := prompt(e, 10, 61)
+		want, _, err := e.Generate([][]int{p}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.BeamSearch(p, 7, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 {
+			t.Fatalf("%s: width-1 returned %d hypotheses", f, len(res))
+		}
+		for i := range want[0] {
+			if res[0].Tokens[i] != want[0][i] {
+				t.Fatalf("%s: width-1 beam diverged from greedy at %d", f, i)
+			}
+		}
+	}
+}
+
+// TestBeamImprovesLogProb: the best width-4 hypothesis must score at
+// least as well as the greedy sequence (greedy is in the width-1 search
+// space, which is a subset).
+func TestBeamImprovesLogProb(t *testing.T) {
+	e := tinyEngine(t, model.OPT, KernelBlocked)
+	p := prompt(e, 10, 62)
+	greedy, err := e.BeamSearch(p, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := e.BeamSearch(p, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide[0].LogProb < greedy[0].LogProb-1e-9 {
+		t.Errorf("width-4 best %.4f worse than greedy %.4f",
+			wide[0].LogProb, greedy[0].LogProb)
+	}
+	if len(wide) != 4 {
+		t.Errorf("width-4 returned %d hypotheses", len(wide))
+	}
+	// Hypotheses sorted best-first and all distinct.
+	seen := map[string]bool{}
+	for i, h := range wide {
+		if i > 0 && h.LogProb > wide[i-1].LogProb+1e-12 {
+			t.Error("hypotheses not sorted")
+		}
+		key := fmtTokens(h.Tokens)
+		if seen[key] {
+			t.Errorf("duplicate hypothesis %v", h.Tokens)
+		}
+		seen[key] = true
+		if len(h.Tokens) != 6 {
+			t.Errorf("hypothesis length %d", len(h.Tokens))
+		}
+	}
+}
+
+func fmtTokens(toks []int) string {
+	s := ""
+	for _, t := range toks {
+		s += string(rune(t + 33))
+	}
+	return s
+}
+
+// TestBeamLogProbsAreValid: scores must be finite negative log-probs.
+func TestBeamLogProbsAreValid(t *testing.T) {
+	e := tinyEngine(t, model.LLaMA2, KernelBlocked)
+	res, err := e.BeamSearch(prompt(e, 8, 63), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res {
+		if math.IsNaN(h.LogProb) || math.IsInf(h.LogProb, 0) || h.LogProb > 0 {
+			t.Errorf("invalid log-prob %v", h.LogProb)
+		}
+	}
+}
+
+// TestBeamCacheIsolation: running beam search must not corrupt a
+// subsequent greedy generation (cache cloning must be complete).
+func TestBeamCacheIsolation(t *testing.T) {
+	e := tinyEngine(t, model.OPT, KernelBlocked)
+	p := prompt(e, 8, 64)
+	before, _, err := e.Generate([][]int{p}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.BeamSearch(p, 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := e.Generate([][]int{p}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before[0] {
+		if before[0][i] != after[0][i] {
+			t.Fatal("beam search corrupted engine state")
+		}
+	}
+}
+
+func TestBeamValidation(t *testing.T) {
+	e := tinyEngine(t, model.OPT, KernelBlocked)
+	if _, err := e.BeamSearch(nil, 4, 2); err == nil {
+		t.Error("empty prompt must fail")
+	}
+	if _, err := e.BeamSearch([]int{1}, 0, 2); err == nil {
+		t.Error("zero maxNew must fail")
+	}
+	if _, err := e.BeamSearch([]int{1}, 4, 0); err == nil {
+		t.Error("zero width must fail")
+	}
+	if _, err := e.BeamSearch([]int{-5}, 4, 2); err == nil {
+		t.Error("bad token must fail")
+	}
+}
+
+func TestLogSoftmax(t *testing.T) {
+	lps := logSoftmax([]float32{1, 2, 3})
+	var sum float64
+	for _, lp := range lps {
+		sum += math.Exp(lp)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("log-softmax probs sum to %v", sum)
+	}
+	if !(lps[2] > lps[1] && lps[1] > lps[0]) {
+		t.Error("ordering not preserved")
+	}
+}
+
+func TestKVCacheClone(t *testing.T) {
+	c := NewKVCache(1, 2, 4)
+	c.Put(0, 0, []float32{1, 2}, []float32{3, 4})
+	c.ExtendTo(1)
+	d := c.Clone()
+	d.Put(0, 1, []float32{9, 9}, []float32{9, 9})
+	d.ExtendTo(2)
+	if c.Len() != 1 {
+		t.Error("clone must not share length")
+	}
+	c.Put(0, 1, []float32{5, 5}, []float32{5, 5})
+	c.ExtendTo(2)
+	if d.Keys(0)[2] != 9 || c.Keys(0)[2] != 5 {
+		t.Error("clone must not share storage")
+	}
+}

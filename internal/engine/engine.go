@@ -1,0 +1,509 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+var (
+	errMaxNew    = errors.New("engine: maxNew must be positive")
+	errNoPrompts = errors.New("engine: no prompts")
+)
+
+// forEachSeq runs f for every sequence index, in parallel when the engine
+// is configured for sequence parallelism. It returns the first error.
+func (e *Engine) forEachSeq(n int, f func(b int) error) error {
+	if !e.opts.SeqParallel || n <= 1 {
+		for b := 0; b < n; b++ {
+			if err := f(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for b := 0; b < n; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			errs[b] = f(b)
+		}(b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lapTimer measures consecutive phase durations.
+type lapTimer struct{ last time.Time }
+
+func newTimer() *lapTimer { return &lapTimer{last: time.Now()} }
+
+func (t *lapTimer) lap() float64 {
+	now := time.Now()
+	d := now.Sub(t.last).Seconds()
+	t.last = now
+	return d
+}
+
+// Options configures the execution of forward passes.
+type Options struct {
+	// Kernel selects the GEMM tier for linear layers.
+	Kernel Kernel
+	// Workers bounds goroutines for the parallel kernels (0 = GOMAXPROCS).
+	Workers int
+	// SeqParallel runs the independent sequences of a batch on separate
+	// goroutines (sampling stays serialized, so outputs are identical to
+	// serial execution).
+	SeqParallel bool
+	// FlashAttention switches attention to the single-pass online-softmax
+	// formulation (numerically equivalent; one KV stream per query).
+	FlashAttention bool
+}
+
+// Engine executes forward passes for one set of weights.
+type Engine struct {
+	cfg  model.Config
+	w    *Weights
+	opts Options
+}
+
+// New returns an engine over the given weights. The INT8 kernel requires
+// quantized shadows (Weights.QuantizeAll).
+func New(w *Weights, opts Options) (*Engine, error) {
+	if w == nil {
+		return nil, fmt.Errorf("engine: nil weights")
+	}
+	if opts.Kernel == KernelInt8 && w.Layers[0].Wq.Q == nil {
+		return nil, fmt.Errorf("engine: int8 kernel requires quantized weights (call QuantizeAll)")
+	}
+	return &Engine{cfg: w.Config, w: w, opts: opts}, nil
+}
+
+// Config returns the model configuration the engine runs.
+func (e *Engine) Config() model.Config { return e.cfg }
+
+// Session holds the per-request state of a batch of sequences generated in
+// lockstep (homogeneous lengths, as in the paper's workloads).
+type Session struct {
+	caches []KVStore
+	pos    int // committed tokens per sequence
+}
+
+// NewSession allocates dense KV caches for a batch of sequences.
+func (e *Engine) NewSession(batch, maxSeq int) *Session {
+	if maxSeq <= 0 || maxSeq > e.cfg.MaxSeq {
+		maxSeq = e.cfg.MaxSeq
+	}
+	s := &Session{caches: make([]KVStore, batch)}
+	for i := range s.caches {
+		s.caches[i] = NewKVCache(e.cfg.Layers, e.cfg.KVDim(), maxSeq)
+	}
+	return s
+}
+
+// NewPagedSession allocates paged KV caches (vLLM-style lazy blocks of
+// blockSize positions). Generation is bit-identical to a dense session;
+// only the allocation pattern differs.
+func (e *Engine) NewPagedSession(batch, maxSeq, blockSize int) *Session {
+	if maxSeq <= 0 || maxSeq > e.cfg.MaxSeq {
+		maxSeq = e.cfg.MaxSeq
+	}
+	s := &Session{caches: make([]KVStore, batch)}
+	for i := range s.caches {
+		s.caches[i] = NewPagedKVCache(e.cfg.Layers, e.cfg.KVDim(), maxSeq, blockSize)
+	}
+	return s
+}
+
+// Pos returns the number of committed tokens per sequence.
+func (s *Session) Pos() int { return s.pos }
+
+// Batch returns the session's batch size.
+func (s *Session) Batch() int { return len(s.caches) }
+
+// KVBytes returns the total allocated KV-cache footprint of the session.
+func (s *Session) KVBytes() int64 {
+	var b int64
+	for _, c := range s.caches {
+		b += c.Bytes()
+	}
+	return b
+}
+
+// linear computes out = x·W (+bias) for m rows using the configured
+// kernel. x is [m, l.In] row-major; out must hold m*l.Out values.
+func (e *Engine) linear(m int, x []float32, l *Linear, out []float32) {
+	switch e.opts.Kernel {
+	case KernelBlocked:
+		kernels.GemmBlocked(m, l.Out, l.In, x, l.W, out)
+	case KernelParallel:
+		kernels.GemmParallel(m, l.Out, l.In, x, l.W, out, e.opts.Workers)
+	case KernelTileBF16:
+		kernels.GemmTileBF16(m, l.Out, l.In, x, l.W, out)
+	case KernelTileBF16Parallel:
+		kernels.GemmTileBF16Parallel(m, l.Out, l.In, x, l.W, out, e.opts.Workers)
+	case KernelInt8:
+		xq, xs := tensor.QuantizeInt8(x[:m*l.In])
+		kernels.GemmInt8(m, l.Out, l.In, xq, xs, l.Q, l.QScale, out)
+	default:
+		kernels.GemmBlocked(m, l.Out, l.In, x, l.W, out)
+	}
+	if l.Bias != nil {
+		for i := 0; i < m; i++ {
+			kernels.AddBias(out[i*l.Out:(i+1)*l.Out], l.Bias)
+		}
+	}
+}
+
+func (e *Engine) norm(x, gain, bias []float32) {
+	if e.cfg.Family == model.OPT {
+		kernels.LayerNorm(x, gain, bias, 1e-5)
+	} else {
+		kernels.RMSNorm(x, gain, 1e-5)
+	}
+}
+
+// embed writes the embedding of token at position pos into dst.
+func (e *Engine) embed(token, pos int, dst []float32) {
+	d := e.cfg.DModel
+	copy(dst, e.w.TokenEmb[token*d:(token+1)*d])
+	if e.w.PosEmb != nil {
+		kernels.Add(dst, e.w.PosEmb[pos*d:(pos+1)*d])
+	}
+}
+
+// attention computes causal multi-head attention for rows x[q..] of one
+// sequence. q/k/v are [rows, ·] projections for positions startPos..; the
+// KV cache must already contain k/v for all attended positions. Output is
+// written to att [rows, d].
+func (e *Engine) attention(cache KVStore, layer, rows, startPos int, q, att []float32) {
+	d := e.cfg.DModel
+	hd := e.cfg.HeadDim()
+	groups := e.cfg.Heads / e.cfg.KVHeads
+	scale := float32(1 / math.Sqrt(float64(hd)))
+
+	maxCtx := startPos + rows
+	scores := make([]float32, maxCtx)
+
+	for i := 0; i < rows; i++ {
+		ctx := startPos + i + 1 // causal: attend to positions < ctx
+		for h := 0; h < e.cfg.Heads; h++ {
+			kvh := h / groups
+			qv := q[i*d+h*hd : i*d+(h+1)*hd]
+			sc := scores[:ctx]
+			for t := 0; t < ctx; t++ {
+				kr := cache.RowK(layer, t)
+				sc[t] = kernels.Dot(qv, kr[kvh*hd:kvh*hd+hd]) * scale
+			}
+			kernels.Softmax(sc)
+			out := att[i*d+h*hd : i*d+(h+1)*hd]
+			for j := range out {
+				out[j] = 0
+			}
+			for t := 0; t < ctx; t++ {
+				w := sc[t]
+				vr := cache.RowV(layer, t)
+				vv := vr[kvh*hd : kvh*hd+hd]
+				for j := range out {
+					out[j] += w * vv[j]
+				}
+			}
+		}
+	}
+}
+
+// forwardSeq runs all decoder blocks over rows tokens of one sequence
+// starting at startPos, filling the KV cache, and returns the hidden
+// states [rows, d]. x is modified in place.
+func (e *Engine) forwardSeq(cache KVStore, x []float32, rows, startPos int) []float32 {
+	d, kvDim, dff := e.cfg.DModel, e.cfg.KVDim(), e.cfg.DFF
+	hd := e.cfg.HeadDim()
+	h := make([]float32, rows*d)
+	q := make([]float32, rows*d)
+	k := make([]float32, rows*kvDim)
+	v := make([]float32, rows*kvDim)
+	att := make([]float32, rows*d)
+	proj := make([]float32, rows*d)
+	up := make([]float32, rows*dff)
+	gate := make([]float32, rows*dff)
+
+	for layer := range e.w.Layers {
+		lw := &e.w.Layers[layer]
+		// Attention block.
+		copy(h, x)
+		for i := 0; i < rows; i++ {
+			e.norm(h[i*d:(i+1)*d], lw.AttnNormGain, lw.AttnNormBias)
+		}
+		e.linear(rows, h, &lw.Wq, q)
+		e.linear(rows, h, &lw.Wk, k)
+		e.linear(rows, h, &lw.Wv, v)
+		if e.cfg.Family == model.LLaMA2 {
+			for i := 0; i < rows; i++ {
+				pos := startPos + i
+				for head := 0; head < e.cfg.Heads; head++ {
+					kernels.RoPE(q[i*d+head*hd:i*d+(head+1)*hd], pos, hd)
+				}
+				for head := 0; head < e.cfg.KVHeads; head++ {
+					kernels.RoPE(k[i*kvDim+head*hd:i*kvDim+(head+1)*hd], pos, hd)
+				}
+			}
+		}
+		for i := 0; i < rows; i++ {
+			cache.Put(layer, startPos+i, k[i*kvDim:(i+1)*kvDim], v[i*kvDim:(i+1)*kvDim])
+		}
+		if e.opts.FlashAttention {
+			e.flashAttention(cache, layer, rows, startPos, q, att)
+		} else {
+			e.attention(cache, layer, rows, startPos, q, att)
+		}
+		e.linear(rows, att, &lw.Wo, proj)
+		kernels.Add(x[:rows*d], proj[:rows*d])
+
+		// Feed-forward block.
+		copy(h, x)
+		for i := 0; i < rows; i++ {
+			e.norm(h[i*d:(i+1)*d], lw.FFNNormGain, lw.FFNNormBias)
+		}
+		if e.cfg.Family == model.LLaMA2 {
+			e.linear(rows, h, &lw.WGate, gate)
+			kernels.SiLU(gate[:rows*dff])
+			e.linear(rows, h, &lw.W1, up)
+			for i := range gate[:rows*dff] {
+				gate[i] *= up[i]
+			}
+			e.linear(rows, gate, &lw.W2, proj)
+		} else {
+			e.linear(rows, h, &lw.W1, up)
+			kernels.ReLU(up[:rows*dff])
+			e.linear(rows, up, &lw.W2, proj)
+		}
+		kernels.Add(x[:rows*d], proj[:rows*d])
+	}
+	return x
+}
+
+// logits computes the vocabulary logits for one hidden state (the final
+// norm is applied to a copy).
+func (e *Engine) logits(hidden []float32) []float32 {
+	d := e.cfg.DModel
+	h := append([]float32(nil), hidden[:d]...)
+	e.norm(h, e.w.FinalNormGain, e.w.FinalNormBias)
+	out := make([]float32, e.cfg.Vocab)
+	if e.cfg.Family == model.OPT {
+		// Tied head: logits = TokenEmb · h.
+		kernels.GemmTransB(1, e.cfg.Vocab, d, h, e.w.TokenEmb, out)
+	} else {
+		e.linear(1, h, &e.w.LMHead, out)
+	}
+	return out
+}
+
+// Prefill processes the prompts of a batch (all of equal length) and
+// returns the greedy first output token of each sequence.
+func (e *Engine) Prefill(s *Session, prompts [][]int) ([]int, error) {
+	return e.prefillSample(s, prompts, nil)
+}
+
+func (e *Engine) prefillSample(s *Session, prompts [][]int, sampler *Sampler) ([]int, error) {
+	if len(prompts) != s.Batch() {
+		return nil, fmt.Errorf("engine: %d prompts for batch %d", len(prompts), s.Batch())
+	}
+	if s.pos != 0 {
+		return nil, fmt.Errorf("engine: session already prefilled")
+	}
+	rows := len(prompts[0])
+	if rows == 0 {
+		return nil, fmt.Errorf("engine: empty prompt")
+	}
+	d := e.cfg.DModel
+	for _, prompt := range prompts {
+		if len(prompt) != rows {
+			return nil, fmt.Errorf("engine: ragged prompts (%d vs %d); pad the batch", len(prompt), rows)
+		}
+		if err := e.checkTokens(prompt); err != nil {
+			return nil, err
+		}
+	}
+	logits := make([][]float32, len(prompts))
+	err := e.forEachSeq(len(prompts), func(b int) error {
+		x := make([]float32, rows*d)
+		for i, tok := range prompts[b] {
+			e.embed(tok, i, x[i*d:(i+1)*d])
+		}
+		e.forwardSeq(s.caches[b], x, rows, 0)
+		s.caches[b].ExtendTo(rows)
+		logits[b] = e.logits(x[(rows-1)*d:])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	next := make([]int, len(prompts))
+	for b := range next {
+		next[b] = sampler.Sample(logits[b])
+	}
+	s.pos = rows
+	return next, nil
+}
+
+// PrefillChunked processes the prompts in chunks of at most `chunk`
+// tokens (Sarathi-style chunked prefill). The KV cache and the returned
+// first tokens are identical to a monolithic Prefill — causal attention
+// makes prefix processing order-independent across chunk boundaries.
+func (e *Engine) PrefillChunked(s *Session, prompts [][]int, chunk int, sampler *Sampler) ([]int, error) {
+	if chunk <= 0 {
+		return nil, fmt.Errorf("engine: non-positive prefill chunk %d", chunk)
+	}
+	if len(prompts) != s.Batch() {
+		return nil, fmt.Errorf("engine: %d prompts for batch %d", len(prompts), s.Batch())
+	}
+	if s.pos != 0 {
+		return nil, fmt.Errorf("engine: session already prefilled")
+	}
+	rows := len(prompts[0])
+	if rows == 0 {
+		return nil, fmt.Errorf("engine: empty prompt")
+	}
+	d := e.cfg.DModel
+	next := make([]int, len(prompts))
+	for b, prompt := range prompts {
+		if len(prompt) != rows {
+			return nil, fmt.Errorf("engine: ragged prompts (%d vs %d); pad the batch", len(prompt), rows)
+		}
+		if err := e.checkTokens(prompt); err != nil {
+			return nil, err
+		}
+		var lastHidden []float32
+		for start := 0; start < rows; start += chunk {
+			end := start + chunk
+			if end > rows {
+				end = rows
+			}
+			n := end - start
+			x := make([]float32, n*d)
+			for i := 0; i < n; i++ {
+				e.embed(prompt[start+i], start+i, x[i*d:(i+1)*d])
+			}
+			e.forwardSeq(s.caches[b], x, n, start)
+			s.caches[b].ExtendTo(end)
+			lastHidden = x[(n-1)*d:]
+		}
+		next[b] = sampler.Sample(e.logits(lastHidden))
+	}
+	s.pos = rows
+	return next, nil
+}
+
+// DecodeStep feeds one token per sequence and returns the next greedy
+// token for each.
+func (e *Engine) DecodeStep(s *Session, tokens []int) ([]int, error) {
+	return e.decodeSample(s, tokens, nil)
+}
+
+func (e *Engine) decodeSample(s *Session, tokens []int, sampler *Sampler) ([]int, error) {
+	if len(tokens) != s.Batch() {
+		return nil, fmt.Errorf("engine: %d tokens for batch %d", len(tokens), s.Batch())
+	}
+	if s.pos == 0 {
+		return nil, fmt.Errorf("engine: decode before prefill")
+	}
+	if err := e.checkTokens(tokens); err != nil {
+		return nil, err
+	}
+	d := e.cfg.DModel
+	logits := make([][]float32, len(tokens))
+	err := e.forEachSeq(len(tokens), func(b int) error {
+		x := make([]float32, d)
+		e.embed(tokens[b], s.pos, x)
+		e.forwardSeq(s.caches[b], x, 1, s.pos)
+		s.caches[b].ExtendTo(s.pos + 1)
+		logits[b] = e.logits(x)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	next := make([]int, len(tokens))
+	for b := range next {
+		next[b] = sampler.Sample(logits[b])
+	}
+	s.pos++
+	return next, nil
+}
+
+func (e *Engine) checkTokens(toks []int) error {
+	for _, t := range toks {
+		if t < 0 || t >= e.cfg.Vocab {
+			return fmt.Errorf("engine: token %d outside vocab %d", t, e.cfg.Vocab)
+		}
+	}
+	return nil
+}
+
+// Stats reports measured timings of a Generate call — the functional
+// engine's real TTFT/TPOT, the quantities the simulator models at scale.
+type Stats struct {
+	PrefillSeconds float64
+	DecodeSeconds  float64
+	TokensOut      int
+}
+
+// TTFT returns the measured time to first token.
+func (s Stats) TTFT() float64 { return s.PrefillSeconds }
+
+// TPOT returns the measured mean time per subsequent output token.
+func (s Stats) TPOT() float64 {
+	if s.TokensOut <= 1 {
+		return 0
+	}
+	return s.DecodeSeconds / float64(s.TokensOut-1)
+}
+
+// Generate runs greedy generation of maxNew tokens for a batch of equal-
+// length prompts, returning the generated tokens per sequence and timing.
+func (e *Engine) Generate(prompts [][]int, maxNew int) ([][]int, Stats, error) {
+	if maxNew <= 0 {
+		return nil, Stats{}, errMaxNew
+	}
+	if len(prompts) == 0 {
+		return nil, Stats{}, errNoPrompts
+	}
+	s := e.NewSession(len(prompts), len(prompts[0])+maxNew)
+
+	start := time.Now()
+	toks, err := e.Prefill(s, prompts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{PrefillSeconds: time.Since(start).Seconds(), TokensOut: maxNew}
+
+	out := make([][]int, len(prompts))
+	for b := range out {
+		out[b] = append(out[b], toks[b])
+	}
+	decodeStart := time.Now()
+	for step := 1; step < maxNew; step++ {
+		toks, err = e.DecodeStep(s, toks)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		for b := range out {
+			out[b] = append(out[b], toks[b])
+		}
+	}
+	stats.DecodeSeconds = time.Since(decodeStart).Seconds()
+	return out, stats, nil
+}

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"math"
+)
+
+// FlashAttention-style attention: instead of materializing the full score
+// vector, applying softmax, and re-reading the values, the online-softmax
+// formulation streams the KV cache once per query, maintaining a running
+// maximum, a running denominator, and a running weighted sum that are
+// rescaled as larger scores appear. The result is mathematically
+// identical to softmax attention but touches each KV row exactly once
+// with O(1) extra state — the memory-traffic shape that makes long-context
+// attention tractable on bandwidth-bound hardware (the decode regime of
+// Figs 11/12).
+//
+// Reference: Dao et al., "FlashAttention: Fast and Memory-Efficient Exact
+// Attention with IO-Awareness" (the single-pass online softmax of
+// Milakov & Gimelshein).
+
+// flashAttention computes causal multi-head attention for `rows` query
+// rows starting at startPos, equivalent to Engine.attention but with the
+// streaming formulation.
+func (e *Engine) flashAttention(cache KVStore, layer, rows, startPos int, q, att []float32) {
+	d := e.cfg.DModel
+	hd := e.cfg.HeadDim()
+	groups := e.cfg.Heads / e.cfg.KVHeads
+	scale := 1 / math.Sqrt(float64(hd))
+
+	acc := make([]float64, hd)
+	for i := 0; i < rows; i++ {
+		ctx := startPos + i + 1
+		for h := 0; h < e.cfg.Heads; h++ {
+			kvh := h / groups
+			qv := q[i*d+h*hd : i*d+(h+1)*hd]
+
+			// Online softmax state: running max m, denominator l, and the
+			// value accumulator (scaled by exp(score-m) weights).
+			m := math.Inf(-1)
+			l := 0.0
+			for j := range acc {
+				acc[j] = 0
+			}
+			for t := 0; t < ctx; t++ {
+				kr := cache.RowK(layer, t)
+				var s float64
+				for j := 0; j < hd; j++ {
+					s += float64(qv[j]) * float64(kr[kvh*hd+j])
+				}
+				s *= scale
+				if s > m {
+					// Rescale previous accumulation to the new maximum.
+					corr := math.Exp(m - s)
+					l *= corr
+					for j := range acc {
+						acc[j] *= corr
+					}
+					m = s
+				}
+				w := math.Exp(s - m)
+				l += w
+				vr := cache.RowV(layer, t)
+				for j := 0; j < hd; j++ {
+					acc[j] += w * float64(vr[kvh*hd+j])
+				}
+			}
+			out := att[i*d+h*hd : i*d+(h+1)*hd]
+			inv := 1 / l
+			for j := range out {
+				out[j] = float32(acc[j] * inv)
+			}
+		}
+	}
+}

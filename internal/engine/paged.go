@@ -1,0 +1,130 @@
+package engine
+
+import "fmt"
+
+// PagedKVCache is the functional counterpart of vLLM's PagedAttention
+// storage (and of the allocation policy package kvpool models at fleet
+// scale): the KV cache is split into fixed-size blocks of positions,
+// allocated lazily as the sequence grows. A request that reserves a long
+// maximum context but generates little occupies only the blocks it
+// actually touched — the property behind the Fig 7 capacity argument.
+type PagedKVCache struct {
+	layers    int
+	kvDim     int
+	blockSize int
+	maxSeq    int
+	n         int
+	// k and v are [layer][block] → []float32 of blockSize×kvDim values,
+	// nil until first touched.
+	k, v      [][][]float32
+	allocated int // blocks allocated across layers (K and V pairs)
+}
+
+// NewPagedKVCache builds an empty paged cache.
+func NewPagedKVCache(layers, kvDim, maxSeq, blockSize int) *PagedKVCache {
+	if blockSize <= 0 {
+		panic(fmt.Sprintf("engine: non-positive KV block size %d", blockSize))
+	}
+	blocks := (maxSeq + blockSize - 1) / blockSize
+	c := &PagedKVCache{
+		layers: layers, kvDim: kvDim, blockSize: blockSize, maxSeq: maxSeq,
+		k: make([][][]float32, layers),
+		v: make([][][]float32, layers),
+	}
+	for l := 0; l < layers; l++ {
+		c.k[l] = make([][]float32, blocks)
+		c.v[l] = make([][]float32, blocks)
+	}
+	return c
+}
+
+// Len returns the committed length; Cap the maximum.
+func (c *PagedKVCache) Len() int { return c.n }
+
+// Cap returns the maximum number of positions.
+func (c *PagedKVCache) Cap() int { return c.maxSeq }
+
+// AllocatedBlocks returns how many (K,V) block pairs exist.
+func (c *PagedKVCache) AllocatedBlocks() int { return c.allocated }
+
+// Bytes returns the footprint of the allocated blocks (FP32 storage).
+func (c *PagedKVCache) Bytes() int64 {
+	return int64(c.allocated) * int64(c.blockSize*c.kvDim) * 4 * 2
+}
+
+func (c *PagedKVCache) check(layer, pos int) {
+	if layer < 0 || layer >= c.layers {
+		panic(fmt.Sprintf("engine: kv layer %d out of [0,%d)", layer, c.layers))
+	}
+	if pos < 0 || pos >= c.maxSeq {
+		panic(fmt.Sprintf("engine: kv position %d out of [0,%d)", pos, c.maxSeq))
+	}
+}
+
+// Put stores one position's key/value, allocating its block on first
+// touch.
+func (c *PagedKVCache) Put(layer, pos int, key, value []float32) {
+	c.check(layer, pos)
+	if len(key) != c.kvDim || len(value) != c.kvDim {
+		panic(fmt.Sprintf("engine: kv put dim %d/%d, want %d", len(key), len(value), c.kvDim))
+	}
+	b := pos / c.blockSize
+	if c.k[layer][b] == nil {
+		c.k[layer][b] = make([]float32, c.blockSize*c.kvDim)
+		c.v[layer][b] = make([]float32, c.blockSize*c.kvDim)
+		c.allocated++
+	}
+	off := (pos % c.blockSize) * c.kvDim
+	copy(c.k[layer][b][off:off+c.kvDim], key)
+	copy(c.v[layer][b][off:off+c.kvDim], value)
+}
+
+// RowK returns the key vector at one position. The block must have been
+// written (reading an untouched block panics, catching misuse early).
+func (c *PagedKVCache) RowK(layer, pos int) []float32 {
+	c.check(layer, pos)
+	b := c.k[layer][pos/c.blockSize]
+	if b == nil {
+		panic(fmt.Sprintf("engine: read of unwritten kv block at layer %d pos %d", layer, pos))
+	}
+	off := (pos % c.blockSize) * c.kvDim
+	return b[off : off+c.kvDim]
+}
+
+// RowV returns the value vector at one position.
+func (c *PagedKVCache) RowV(layer, pos int) []float32 {
+	c.check(layer, pos)
+	b := c.v[layer][pos/c.blockSize]
+	if b == nil {
+		panic(fmt.Sprintf("engine: read of unwritten kv block at layer %d pos %d", layer, pos))
+	}
+	off := (pos % c.blockSize) * c.kvDim
+	return b[off : off+c.kvDim]
+}
+
+// ExtendTo commits positions up to n (exclusive).
+func (c *PagedKVCache) ExtendTo(n int) {
+	if n < c.n || n > c.maxSeq {
+		panic(fmt.Sprintf("engine: kv extend to %d outside [%d,%d]", n, c.n, c.maxSeq))
+	}
+	c.n = n
+}
+
+// Truncate discards committed positions beyond n. Blocks past the new
+// length are released (freeing their memory), except the partial boundary
+// block.
+func (c *PagedKVCache) Truncate(n int) {
+	if n < 0 || n > c.n {
+		panic(fmt.Sprintf("engine: truncate to %d outside [0,%d]", n, c.n))
+	}
+	c.n = n
+	firstFree := (n + c.blockSize - 1) / c.blockSize
+	for l := 0; l < c.layers; l++ {
+		for b := firstFree; b < len(c.k[l]); b++ {
+			if c.k[l][b] != nil {
+				c.k[l][b], c.v[l][b] = nil, nil
+				c.allocated--
+			}
+		}
+	}
+}

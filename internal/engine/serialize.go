@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/model"
+)
+
+// Weight-file format: a small header followed by raw little-endian
+// float32 tensors in a fixed traversal order. The format stores the full
+// architecture so a file round-trips without external metadata.
+const (
+	weightsMagic   = 0x4C4C4D57 // "LLMW"
+	weightsVersion = 1
+)
+
+type weightsHeader struct {
+	Magic, Version                                  uint32
+	Family                                          uint32
+	Layers, DModel, Heads, KVHeads, DFF, Vocab, Max uint32
+}
+
+// WriteTo serializes the weights. It implements io.WriterTo.
+func (w *Weights) WriteTo(out io.Writer) (int64, error) {
+	bw := bufio.NewWriter(out)
+	cw := &countWriter{w: bw}
+	h := weightsHeader{
+		Magic: weightsMagic, Version: weightsVersion,
+		Family: uint32(w.Config.Family),
+		Layers: uint32(w.Config.Layers), DModel: uint32(w.Config.DModel),
+		Heads: uint32(w.Config.Heads), KVHeads: uint32(w.Config.KVHeads),
+		DFF: uint32(w.Config.DFF), Vocab: uint32(w.Config.Vocab),
+		Max: uint32(w.Config.MaxSeq),
+	}
+	if err := binary.Write(cw, binary.LittleEndian, h); err != nil {
+		return cw.n, err
+	}
+	var err error
+	w.visit(func(name string, s []float32) {
+		if err != nil {
+			return
+		}
+		if werr := writeSlice(cw, s); werr != nil {
+			err = fmt.Errorf("engine: writing %s: %w", name, werr)
+		}
+	})
+	if err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadWeights deserializes a weight file written by WriteTo.
+func ReadWeights(in io.Reader) (*Weights, error) {
+	br := bufio.NewReader(in)
+	var h weightsHeader
+	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+		return nil, fmt.Errorf("engine: reading header: %w", err)
+	}
+	if h.Magic != weightsMagic {
+		return nil, fmt.Errorf("engine: bad magic %#x", h.Magic)
+	}
+	if h.Version != weightsVersion {
+		return nil, fmt.Errorf("engine: unsupported version %d", h.Version)
+	}
+	cfg := model.Config{
+		Name:   "loaded",
+		Family: model.Family(h.Family),
+		Layers: int(h.Layers), DModel: int(h.DModel),
+		Heads: int(h.Heads), KVHeads: int(h.KVHeads),
+		DFF: int(h.DFF), Vocab: int(h.Vocab), MaxSeq: int(h.Max),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Build a skeleton with the right slice shapes, then overwrite.
+	w, err := NewWeights(cfg, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	w.visit(func(name string, s []float32) {
+		if err != nil {
+			return
+		}
+		if rerr := readSlice(br, s); rerr != nil {
+			err = fmt.Errorf("engine: reading %s: %w", name, rerr)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// visit walks every float32 tensor in a deterministic order shared by the
+// writer and the reader.
+func (w *Weights) visit(f func(name string, s []float32)) {
+	visitMaybe := func(name string, s []float32) {
+		if s != nil {
+			f(name, s)
+		}
+	}
+	f("token_emb", w.TokenEmb)
+	visitMaybe("pos_emb", w.PosEmb)
+	f("final_norm_gain", w.FinalNormGain)
+	visitMaybe("final_norm_bias", w.FinalNormBias)
+	visitMaybe("lm_head", w.LMHead.W)
+	visitMaybe("lm_head_bias", w.LMHead.Bias)
+	for i := range w.Layers {
+		lw := &w.Layers[i]
+		pfx := fmt.Sprintf("layer%d.", i)
+		f(pfx+"attn_norm_gain", lw.AttnNormGain)
+		visitMaybe(pfx+"attn_norm_bias", lw.AttnNormBias)
+		f(pfx+"ffn_norm_gain", lw.FFNNormGain)
+		visitMaybe(pfx+"ffn_norm_bias", lw.FFNNormBias)
+		for _, l := range []struct {
+			name string
+			lin  *Linear
+		}{
+			{"wq", &lw.Wq}, {"wk", &lw.Wk}, {"wv", &lw.Wv}, {"wo", &lw.Wo},
+			{"w1", &lw.W1}, {"wgate", &lw.WGate}, {"w2", &lw.W2},
+		} {
+			visitMaybe(pfx+l.name, l.lin.W)
+			visitMaybe(pfx+l.name+"_bias", l.lin.Bias)
+		}
+	}
+}
+
+func writeSlice(w io.Writer, s []float32) error {
+	buf := make([]byte, 4*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readSlice(r io.Reader, s []float32) error {
+	buf := make([]byte, 4*len(s))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range s {
+		s[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

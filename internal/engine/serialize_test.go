@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+func TestWeightsRoundTrip(t *testing.T) {
+	for _, fam := range []model.Family{model.OPT, model.LLaMA2} {
+		w, err := NewWeights(model.Tiny(fam), 42, tensor.BF16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		n, err := w.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+		}
+		got, err := ReadWeights(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-tripped weights must generate identical tokens.
+		e1, _ := New(w, Options{Kernel: KernelBlocked})
+		e2, _ := New(got, Options{Kernel: KernelBlocked})
+		p := prompt(e1, 10, 31)
+		out1, _, err := e1.Generate([][]int{p}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out2, _, err := e2.Generate([][]int{p}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range out1[0] {
+			if out1[0][i] != out2[0][i] {
+				t.Fatalf("%s: loaded weights diverged at token %d", fam, i)
+			}
+		}
+		// Config fields must survive.
+		if got.Config.DFF != w.Config.DFF || got.Config.KVHeads != w.Config.KVHeads {
+			t.Errorf("%s: config fields lost: %+v", fam, got.Config)
+		}
+	}
+}
+
+func TestReadWeightsErrors(t *testing.T) {
+	if _, err := ReadWeights(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must fail")
+	}
+	// Bad magic.
+	bad := make([]byte, 4*9)
+	if _, err := ReadWeights(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic must fail")
+	}
+	// Truncated body: valid header, missing tensors.
+	w, _ := NewWeights(model.Tiny(model.OPT), 1, tensor.FP32)
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadWeights(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated file must fail")
+	}
+	// Corrupted version.
+	data := append([]byte(nil), buf.Bytes()...)
+	data[4] = 99
+	if _, err := ReadWeights(bytes.NewReader(data)); err == nil {
+		t.Error("bad version must fail")
+	}
+}
+
+func TestVisitCoversEverything(t *testing.T) {
+	// The serialized byte count must equal the header plus 4 bytes per
+	// parameter-or-norm scalar the config implies, for both families.
+	for _, fam := range []model.Family{model.OPT, model.LLaMA2} {
+		w, _ := NewWeights(model.Tiny(fam), 1, tensor.FP32)
+		var total int
+		w.visit(func(_ string, s []float32) { total += len(s) })
+		var buf bytes.Buffer
+		n, err := w.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(4*10) + int64(4*total) // 10-field header + tensors
+		if n != want {
+			t.Errorf("%s: wrote %d bytes, want %d", fam, n, want)
+		}
+	}
+}

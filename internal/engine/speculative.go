@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+)
+
+// Speculative decoding (the paper's related work [37], SpecInfer): a small
+// draft model proposes lookahead tokens autoregressively and the target
+// model verifies the whole proposal in one forward pass. With greedy
+// acceptance the output is bit-identical to the target's own greedy
+// generation — the draft only changes *how fast* tokens are produced,
+// converting k memory-bound target steps into one multi-row pass. On the
+// CPUs this paper characterizes that is exactly the decode-phase
+// bandwidth bottleneck (Figs 9–12), which makes speculation a natural
+// §VI-style optimization.
+
+// SpecStats reports the dynamics of one speculative generation.
+type SpecStats struct {
+	// Proposed counts draft-proposed tokens; Accepted counts those the
+	// target kept. AcceptanceRate is their ratio.
+	Proposed, Accepted int
+	// TargetPasses counts target forward passes (each verifies k+ tokens);
+	// plain greedy decoding would need one pass per token.
+	TargetPasses int
+}
+
+// AcceptanceRate returns Accepted/Proposed (0 when nothing was proposed).
+func (s SpecStats) AcceptanceRate() float64 {
+	if s.Proposed == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Proposed)
+}
+
+// SpeculativeGenerate generates maxNew tokens for a single prompt using
+// draft to propose lookahead batches of k tokens and the target engine to
+// verify them greedily. Both engines must share the vocabulary. The
+// returned tokens are identical to target.Generate's greedy output.
+func SpeculativeGenerate(target, draft *Engine, prompt []int, maxNew, k int) ([]int, SpecStats, error) {
+	var st SpecStats
+	if maxNew <= 0 {
+		return nil, st, errMaxNew
+	}
+	if k <= 0 {
+		return nil, st, fmt.Errorf("engine: lookahead k must be positive")
+	}
+	if target.cfg.Vocab != draft.cfg.Vocab {
+		return nil, st, fmt.Errorf("engine: draft vocab %d != target vocab %d",
+			draft.cfg.Vocab, target.cfg.Vocab)
+	}
+	maxSeq := len(prompt) + maxNew + k + 1
+	ts := target.NewSession(1, maxSeq)
+	ds := draft.NewSession(1, maxSeq)
+
+	// Both models prefill the prompt; the target's greedy token is the
+	// first output.
+	tTok, err := target.Prefill(ts, [][]int{prompt})
+	if err != nil {
+		return nil, st, err
+	}
+	if _, err := draft.Prefill(ds, [][]int{prompt}); err != nil {
+		return nil, st, err
+	}
+	st.TargetPasses++
+	out := []int{tTok[0]}
+
+	for len(out) < maxNew {
+		// Draft proposes up to k tokens continuing from the accepted
+		// sequence. The draft cache first catches up on any accepted
+		// tokens it has not seen (they were produced by the target).
+		if err := syncDraft(draft, ds, prompt, out); err != nil {
+			return nil, st, err
+		}
+		lookahead := k
+		if rem := maxNew - len(out); lookahead > rem {
+			lookahead = rem
+		}
+		proposal := make([]int, 0, lookahead)
+		last := out[len(out)-1]
+		for i := 0; i < lookahead; i++ {
+			next, err := draft.DecodeStep(ds, []int{last})
+			if err != nil {
+				return nil, st, err
+			}
+			proposal = append(proposal, next[0])
+			last = next[0]
+		}
+		st.Proposed += len(proposal)
+
+		// Target verifies: one forward pass over [lastAccepted, proposal...]
+		// produces the target's greedy next-token at every position.
+		verify := append([]int{out[len(out)-1]}, proposal...)
+		targetNext, err := target.verifyRows(ts, verify)
+		if err != nil {
+			return nil, st, err
+		}
+		st.TargetPasses++
+
+		// Greedy acceptance: keep proposals while they match the target's
+		// own choice; the first mismatch is replaced by the target token.
+		accepted := 0
+		for accepted < len(proposal) && proposal[accepted] == targetNext[accepted] {
+			accepted++
+		}
+		st.Accepted += accepted
+		newTokens := append(append([]int{}, proposal[:accepted]...), targetNext[accepted])
+		// Commit exactly the consumed rows into the target cache: the row
+		// for out's last token plus the accepted proposals.
+		ts.rollback(ts.pos + 1 + accepted)
+		for _, tok := range newTokens {
+			out = append(out, tok)
+			if len(out) == maxNew {
+				break
+			}
+		}
+	}
+	return out[:maxNew], st, nil
+}
+
+// verifyRows runs one multi-row target pass over toks (continuing the
+// committed cache) and returns the greedy next token after each row. The
+// cache is left *uncommitted* beyond the current position; the caller
+// commits the accepted prefix via rollback.
+func (e *Engine) verifyRows(s *Session, toks []int) ([]int, error) {
+	if err := e.checkTokens(toks); err != nil {
+		return nil, err
+	}
+	d := e.cfg.DModel
+	rows := len(toks)
+	x := make([]float32, rows*d)
+	for i, tok := range toks {
+		e.embed(tok, s.pos+i, x[i*d:(i+1)*d])
+	}
+	e.forwardSeq(s.caches[0], x, rows, s.pos)
+	next := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		next[i] = kernels.Argmax(e.logits(x[i*d : (i+1)*d]))
+	}
+	return next, nil
+}
+
+// rollback commits the session's caches to exactly n positions (which may
+// be beyond the previous commit — forwardSeq has already written the KV
+// entries — but never before it).
+func (s *Session) rollback(n int) {
+	for _, c := range s.caches {
+		c.ExtendTo(n)
+	}
+	s.pos = n
+}
+
+// syncDraft replays target-accepted tokens the draft has not processed
+// yet, so the draft cache always reflects the accepted sequence.
+func syncDraft(draft *Engine, ds *Session, prompt, out []int) error {
+	want := len(prompt) + len(out) - 1 // cache holds everything before the last token
+	if ds.pos > want {
+		// The draft speculated past the accepted point: discard.
+		for _, c := range ds.caches {
+			c.Truncate(want)
+		}
+		ds.pos = want
+		return nil
+	}
+	full := append(append([]int{}, prompt...), out...)
+	for ds.pos < want {
+		tok := full[ds.pos] // the sequence token belonging at cache position ds.pos
+		if _, err := draft.DecodeStep(ds, []int{tok}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

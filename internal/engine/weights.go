@@ -1,0 +1,173 @@
+// Package engine is a functional decoder-only transformer inference engine
+// in pure Go. It executes real forward passes (prefill and decode with a
+// KV cache, batching, greedy sampling) over the kernels package, supporting
+// the architectural variants of both model families the paper evaluates
+// (OPT: LayerNorm/ReLU/learned positions/biases; LLaMA-2: RMSNorm/SwiGLU/
+// RoPE/grouped-query attention) and the numeric paths of the studied
+// hardware (FP32 reference, AMX-style BF16 tiles, INT8).
+//
+// The engine is the laptop-scale substitute for running IPEX on Xeon
+// silicon: it exercises the same dataflow the performance model prices.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// Kernel selects the GEMM implementation for the linear layers.
+type Kernel int
+
+const (
+	// KernelBlocked uses the cache-blocked FP32 GEMM (AVX-512 analog).
+	KernelBlocked Kernel = iota
+	// KernelParallel uses the multi-goroutine blocked GEMM.
+	KernelParallel
+	// KernelTileBF16 uses the AMX-emulating BF16 tile GEMM.
+	KernelTileBF16
+	// KernelTileBF16Parallel uses the parallel AMX-emulating GEMM.
+	KernelTileBF16Parallel
+	// KernelInt8 uses INT8 weights with VNNI-style int32 accumulation.
+	KernelInt8
+)
+
+// String returns the kernel name.
+func (k Kernel) String() string {
+	switch k {
+	case KernelBlocked:
+		return "blocked-fp32"
+	case KernelParallel:
+		return "parallel-fp32"
+	case KernelTileBF16:
+		return "tile-bf16"
+	case KernelTileBF16Parallel:
+		return "parallel-tile-bf16"
+	case KernelInt8:
+		return "int8"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// Linear is one weight matrix with optional bias and an optional INT8
+// shadow for the quantized path. Weights are stored row-major [In, Out] so
+// that Y = X·W.
+type Linear struct {
+	In, Out int
+	W       []float32
+	Bias    []float32 // nil for bias-free families
+	Q       []int8    // int8 shadow, populated by Quantize
+	QScale  float32
+}
+
+// Quantize populates the INT8 shadow representation.
+func (l *Linear) Quantize() {
+	l.Q, l.QScale = tensor.QuantizeInt8(l.W)
+}
+
+// LayerWeights holds one decoder block's parameters.
+type LayerWeights struct {
+	AttnNormGain, AttnNormBias []float32
+	Wq, Wk, Wv, Wo             Linear
+	FFNNormGain, FFNNormBias   []float32
+	W1                         Linear // up projection
+	WGate                      Linear // LLaMA-2 gate projection (zero for OPT)
+	W2                         Linear // down projection
+}
+
+// Weights holds a full model's parameters.
+type Weights struct {
+	Config        model.Config
+	TokenEmb      []float32 // [vocab, d]
+	PosEmb        []float32 // [maxSeq, d], OPT only
+	Layers        []LayerWeights
+	FinalNormGain []float32
+	FinalNormBias []float32
+	LMHead        Linear // untied head (LLaMA-2); OPT ties to TokenEmb
+}
+
+// NewWeights initializes deterministic random weights at the scale typical
+// of trained transformers (N(0, 0.02)), optionally rounding to BF16 so the
+// stored values match what an AMX pipeline would hold.
+func NewWeights(cfg model.Config, seed int64, dt tensor.DType) (*Weights, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d, kv, dff := cfg.DModel, cfg.KVDim(), cfg.DFF
+	hasBias := cfg.Family == model.OPT
+
+	randSlice := func(n int, scale float64) []float32 {
+		s := make([]float32, n)
+		for i := range s {
+			v := float32(rng.NormFloat64() * scale)
+			if dt == tensor.BF16 {
+				v = tensor.RoundBF16(v)
+			}
+			s[i] = v
+		}
+		return s
+	}
+	ones := func(n int) []float32 {
+		s := make([]float32, n)
+		for i := range s {
+			s[i] = 1
+		}
+		return s
+	}
+	lin := func(in, out int) Linear {
+		l := Linear{In: in, Out: out, W: randSlice(in*out, 0.02/math.Sqrt(float64(in)/128))}
+		if hasBias {
+			l.Bias = make([]float32, out) // zero biases, still exercised
+		}
+		return l
+	}
+
+	w := &Weights{
+		Config:        cfg,
+		TokenEmb:      randSlice(cfg.Vocab*d, 0.02),
+		FinalNormGain: ones(d),
+		Layers:        make([]LayerWeights, cfg.Layers),
+	}
+	if cfg.Family == model.OPT {
+		w.PosEmb = randSlice(cfg.MaxSeq*d, 0.02)
+		w.FinalNormBias = make([]float32, d)
+	} else {
+		w.LMHead = lin(d, cfg.Vocab)
+	}
+	for i := range w.Layers {
+		lw := &w.Layers[i]
+		lw.AttnNormGain, lw.FFNNormGain = ones(d), ones(d)
+		if hasBias {
+			lw.AttnNormBias = make([]float32, d)
+			lw.FFNNormBias = make([]float32, d)
+		}
+		lw.Wq, lw.Wk, lw.Wv = lin(d, d), lin(d, kv), lin(d, kv)
+		lw.Wo = lin(d, d)
+		lw.W1, lw.W2 = lin(d, dff), lin(dff, d)
+		if cfg.Family == model.LLaMA2 {
+			lw.WGate = lin(d, dff)
+		}
+	}
+	return w, nil
+}
+
+// QuantizeAll populates INT8 shadows on every linear layer.
+func (w *Weights) QuantizeAll() {
+	for i := range w.Layers {
+		lw := &w.Layers[i]
+		for _, l := range []*Linear{&lw.Wq, &lw.Wk, &lw.Wv, &lw.Wo, &lw.W1, &lw.W2} {
+			l.Quantize()
+		}
+		if lw.WGate.W != nil {
+			lw.WGate.Quantize()
+		}
+	}
+	if w.LMHead.W != nil {
+		w.LMHead.Quantize()
+	}
+}

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Fig8 reproduces the end-to-end ICL-vs-SPR comparison: per model and
+// batch size, SPR's E2E latency normalized to ICL (a) and its throughput
+// speedup (b).
+func Fig8() ([]Table, error) {
+	lat := Table{ID: "Fig 8a", Title: "E2E latency, SPR normalized to ICL (lower is better)",
+		Columns: batchColumns("model")}
+	thr := Table{ID: "Fig 8b", Title: "E2E throughput speedup, SPR over ICL",
+		Columns: batchColumns("model")}
+	for _, m := range model.Evaluated() {
+		latRow, thrRow := []string{m.Name}, []string{m.Name}
+		for _, b := range PaperBatches {
+			spr, err := CPUPoint(SPRSetup(), m, b, DefaultIn, DefaultOut)
+			if err != nil {
+				return nil, err
+			}
+			icl, err := CPUPoint(ICLSetup(), m, b, DefaultIn, DefaultOut)
+			if err != nil {
+				return nil, err
+			}
+			latRow = append(latRow, f2(spr.Latency.E2E/icl.Latency.E2E))
+			thrRow = append(thrRow, f2(spr.Throughput.E2E/icl.Throughput.E2E))
+		}
+		lat.Rows = append(lat.Rows, latRow)
+		thr.Rows = append(thr.Rows, thrRow)
+	}
+	return []Table{lat, thr}, nil
+}
+
+// Fig9 reproduces the phase-latency comparison: SPR's TTFT and TPOT
+// normalized to ICL per model and batch.
+func Fig9() ([]Table, error) {
+	pre := Table{ID: "Fig 9a", Title: "Prefill latency (TTFT), SPR normalized to ICL",
+		Columns: batchColumns("model")}
+	dec := Table{ID: "Fig 9b", Title: "Decode latency (TPOT), SPR normalized to ICL",
+		Columns: batchColumns("model")}
+	err := forEachPair(func(m model.Config, b int, spr, icl metrics.Result) {
+		appendCell(&pre, m.Name, f2(spr.Latency.TTFT/icl.Latency.TTFT))
+		appendCell(&dec, m.Name, f2(spr.Latency.TPOT/icl.Latency.TPOT))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []Table{pre, dec}, nil
+}
+
+// Fig10 reproduces the phase-throughput comparison: SPR's prefill and
+// decode tokens/s speedup over ICL.
+func Fig10() ([]Table, error) {
+	pre := Table{ID: "Fig 10a", Title: "Prefill throughput speedup, SPR over ICL",
+		Columns: batchColumns("model")}
+	dec := Table{ID: "Fig 10b", Title: "Decode throughput speedup, SPR over ICL",
+		Columns: batchColumns("model")}
+	err := forEachPair(func(m model.Config, b int, spr, icl metrics.Result) {
+		appendCell(&pre, m.Name, f2(spr.Throughput.Prefill/icl.Throughput.Prefill))
+		appendCell(&dec, m.Name, f2(spr.Throughput.Decode/icl.Throughput.Decode))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []Table{pre, dec}, nil
+}
+
+// countersByBatch renders the Fig 11/12 counter trends for one model on
+// the SPR CPU: LLC MPKI, core utilization, and load/store counts
+// normalized to batch 1.
+func countersByBatch(id string, m model.Config) (Table, error) {
+	t := Table{ID: id,
+		Title:   fmt.Sprintf("HW counters for %s on SPR vs batch size (loads/stores normalized to batch 1)", m.Name),
+		Columns: []string{"batch", "LLC MPKI", "core util", "loads (norm)", "stores (norm)"},
+	}
+	var base metrics.Result
+	for i, b := range PaperBatches {
+		res, err := CPUPoint(SPRSetup(), m, b, DefaultIn, DefaultOut)
+		if err != nil {
+			return Table{}, err
+		}
+		if i == 0 {
+			base = res
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", b),
+			f1(res.Counters.LLCMPKI),
+			f2(res.Counters.CoreUtilization),
+			f2(res.Counters.Loads / base.Counters.Loads),
+			f2(res.Counters.Stores / base.Counters.Stores),
+		})
+	}
+	return t, nil
+}
+
+// Fig11 renders the LLaMA2-13B counter trends.
+func Fig11() ([]Table, error) {
+	t, err := countersByBatch("Fig 11", model.Llama13B)
+	if err != nil {
+		return nil, err
+	}
+	return []Table{t}, nil
+}
+
+// Fig12 renders the OPT-66B counter trends.
+func Fig12() ([]Table, error) {
+	t, err := countersByBatch("Fig 12", model.OPT66B)
+	if err != nil {
+		return nil, err
+	}
+	return []Table{t}, nil
+}
+
+// numaConfigs are the four SPR memory/clustering combinations of Fig 13.
+func numaConfigs() []memsim.Config {
+	var cfgs []memsim.Config
+	for _, cl := range []memsim.ClusterMode{memsim.Quad, memsim.SNC4} {
+		for _, mem := range []memsim.MemMode{memsim.Cache, memsim.Flat} {
+			c := SPRSetup()
+			c.Mem, c.Cluster = mem, cl
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
+}
+
+// aggregate runs every evaluated model × paper batch under setup and
+// returns the mean of each metric extractor.
+func aggregate(setup memsim.Config, extract map[string]func(metrics.Result) float64) (map[string]float64, error) {
+	sums := map[string][]float64{}
+	for _, m := range model.Evaluated() {
+		for _, b := range PaperBatches {
+			res, err := CPUPoint(setup, m, b, DefaultIn, DefaultOut)
+			if err != nil {
+				return nil, err
+			}
+			for name, f := range extract {
+				sums[name] = append(sums[name], f(res))
+			}
+		}
+	}
+	out := map[string]float64{}
+	for name, vals := range sums {
+		out[name] = stats.Mean(vals)
+	}
+	return out, nil
+}
+
+var latThptMetrics = map[string]func(metrics.Result) float64{
+	"E2E latency":  func(r metrics.Result) float64 { return r.Latency.E2E },
+	"TTFT":         func(r metrics.Result) float64 { return r.Latency.TTFT },
+	"TPOT":         func(r metrics.Result) float64 { return r.Latency.TPOT },
+	"prefill thpt": func(r metrics.Result) float64 { return r.Throughput.Prefill },
+	"decode thpt":  func(r metrics.Result) float64 { return r.Throughput.Decode },
+	"E2E thpt":     func(r metrics.Result) float64 { return r.Throughput.E2E },
+}
+
+var metricOrder = []string{"E2E latency", "TTFT", "TPOT", "prefill thpt", "decode thpt", "E2E thpt"}
+
+// Fig13 reproduces the NUMA-configuration comparison: each latency and
+// throughput metric averaged across all models and batches, normalized to
+// the quad_cache configuration.
+func Fig13() ([]Table, error) {
+	t := Table{ID: "Fig 13",
+		Title:   "SPR server configurations, metrics normalized to quad_cache (mean over models and batches)",
+		Columns: append([]string{"config"}, metricOrder...),
+	}
+	var base map[string]float64
+	for i, cfg := range numaConfigs() {
+		agg, err := aggregate(cfg, latThptMetrics)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base = agg
+		}
+		row := []string{cfg.Name()}
+		for _, name := range metricOrder {
+			row = append(row, f2(agg[name]/base[name]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}
+
+// Fig14Cores is the core-count sweep of Fig 14.
+var Fig14Cores = []int{12, 24, 48, 96}
+
+// Fig14 reproduces the core-count comparison: metrics averaged across all
+// models and batches, normalized to 12 cores.
+func Fig14() ([]Table, error) {
+	t := Table{ID: "Fig 14",
+		Title:   "Core-count sweep on SPR quad_flat, metrics normalized to 12 cores (mean over models and batches)",
+		Columns: append([]string{"cores"}, metricOrder...),
+	}
+	var base map[string]float64
+	for i, cores := range Fig14Cores {
+		cfg := SPRSetup()
+		cfg.Cores = cores
+		agg, err := aggregate(cfg, latThptMetrics)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base = agg
+		}
+		row := []string{fmt.Sprintf("%d", cores)}
+		for _, name := range metricOrder {
+			row = append(row, f2(agg[name]/base[name]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}
+
+// Fig15 reproduces the per-configuration counters for LLaMA2-13B at batch
+// 8: LLC MPKI, core utilization, and remote LLC accesses (normalized to
+// quad_cache).
+func Fig15() ([]Table, error) {
+	t := Table{ID: "Fig 15",
+		Title:   "HW counters for LLaMA2-13B (batch 8) across SPR configurations",
+		Columns: []string{"config", "LLC MPKI", "core util", "remote LLC misses (M)"},
+	}
+	for _, cfg := range numaConfigs() {
+		res, err := CPUPoint(cfg, model.Llama13B, 8, DefaultIn, DefaultOut)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			cfg.Name(), f1(res.Counters.LLCMPKI),
+			f2(res.Counters.CoreUtilization),
+			f1(res.Counters.RemoteLLCAccess / 1e6),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// Fig16 reproduces the per-core-count counters for LLaMA2-7B at batch 8:
+// LLC MPKI, core utilization, and UPI utilization.
+func Fig16() ([]Table, error) {
+	t := Table{ID: "Fig 16",
+		Title:   "HW counters for LLaMA2-7B (batch 8) as core count increases",
+		Columns: []string{"cores", "LLC MPKI", "physical core util", "UPI util"},
+	}
+	for _, cores := range Fig14Cores {
+		cfg := SPRSetup()
+		cfg.Cores = cores
+		res, err := CPUPoint(cfg, model.Llama7B, 8, DefaultIn, DefaultOut)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", cores), f1(res.Counters.LLCMPKI),
+			f2(res.Counters.PhysicalCoreUtil), f2(res.Counters.UPIUtilization),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// batchColumns builds the standard "<first>, b=1..32" header.
+func batchColumns(first string) []string {
+	cols := []string{first}
+	for _, b := range PaperBatches {
+		cols = append(cols, fmt.Sprintf("b=%d", b))
+	}
+	return cols
+}
+
+// forEachPair runs every evaluated model × batch on SPR and ICL.
+func forEachPair(visit func(m model.Config, b int, spr, icl metrics.Result)) error {
+	for _, m := range model.Evaluated() {
+		for _, b := range PaperBatches {
+			spr, err := CPUPoint(SPRSetup(), m, b, DefaultIn, DefaultOut)
+			if err != nil {
+				return err
+			}
+			icl, err := CPUPoint(ICLSetup(), m, b, DefaultIn, DefaultOut)
+			if err != nil {
+				return err
+			}
+			visit(m, b, spr, icl)
+		}
+	}
+	return nil
+}
+
+// appendCell appends a value to the row labeled `label`, creating it on
+// first use (rows fill left to right across the batch sweep).
+func appendCell(t *Table, label, cell string) {
+	for i := range t.Rows {
+		if t.Rows[i][0] == label {
+			t.Rows[i] = append(t.Rows[i], cell)
+			return
+		}
+	}
+	t.Rows = append(t.Rows, []string{label, cell})
+}

@@ -1,0 +1,179 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a named constructor that runs the
+// simulator (and, where relevant, the functional engine) over the paper's
+// workload grid and renders the same rows/series the paper reports.
+//
+// The per-experiment index lives in DESIGN.md; paper-vs-measured values
+// are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/offload"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// Table is a rendered experiment result: an ID (matching the paper's
+// numbering), a caption, column headers, and formatted rows.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Markdown formats the table as a GitHub-flavored Markdown table.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	b.WriteString("|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Render formats the table as aligned plain text.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Standard configurations used across the evaluation (§IV-B): the SPR CPU
+// at its best configuration (48 cores, quad_flat) and the ICL CPU on one
+// 32-core socket.
+func SPRSetup() memsim.Config {
+	return memsim.Config{CPU: hw.SPRMax9468, Cores: 48, Mem: memsim.Flat, Cluster: memsim.Quad}
+}
+
+// ICLSetup returns the IceLake baseline configuration.
+func ICLSetup() memsim.Config {
+	return memsim.Config{CPU: hw.ICL8352Y, Cores: 32, Mem: memsim.DDROnly, Cluster: memsim.Quad}
+}
+
+// PaperBatches are the batch sizes of the paper's sweeps.
+var PaperBatches = []int{1, 2, 4, 8, 16, 32}
+
+// DefaultIn and DefaultOut are the paper's workload shape.
+const (
+	DefaultIn  = 128
+	DefaultOut = 32
+)
+
+// CPUPoint simulates one CPU point with the standard workload shape.
+func CPUPoint(setup memsim.Config, m model.Config, batch, in, out int) (metrics.Result, error) {
+	return perfmodel.CPURun{
+		Model: m, Setup: setup, Batch: batch,
+		InputLen: in, OutputLen: out, Weights: tensor.BF16,
+	}.Simulate()
+}
+
+// GPUPoint simulates one GPU point, choosing resident execution when the
+// model fits and FlexGen-style offloading when it does not — exactly the
+// paper's §V methodology.
+func GPUPoint(g hw.GPU, m model.Config, batch, in, out int) (metrics.Result, error) {
+	resident := perfmodel.GPURun{GPU: g, Model: m, Batch: batch,
+		InputLen: in, OutputLen: out, Weights: tensor.BF16}
+	if resident.Fits() {
+		return resident.Simulate()
+	}
+	return offload.Run{GPU: g, Host: hw.SPRMax9468, Model: m, Batch: batch,
+		InputLen: in, OutputLen: out, Weights: tensor.BF16}.Simulate()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// TableI renders the CPU server table.
+func TableI() Table {
+	row := func(c hw.CPU, compute string) []string {
+		hbm := "-"
+		if c.HBM.CapacityGB > 0 {
+			hbm = fmt.Sprintf("%s %.0fGB @ %.0f GB/s", c.HBM.Name, c.HBM.CapacityGB*float64(c.Sockets), c.HBM.BandwidthGBs)
+		}
+		return []string{
+			c.Name, c.Gen, fmt.Sprintf("%.2f GHz", c.FreqGHz),
+			compute,
+			fmt.Sprintf("%d / %d", c.CoresPerSocket, c.Sockets),
+			fmt.Sprintf("%.0fKB / %.2gMB", c.L1DKB, c.L2MB),
+			fmt.Sprintf("%.0f MB", c.L3MB),
+			fmt.Sprintf("%s %.0fGB @ %.1f GB/s", c.DDR.Name, c.DDR.CapacityGB*float64(c.Sockets), c.DDR.BandwidthGBs),
+			hbm,
+		}
+	}
+	return Table{
+		ID: "Table I", Title: "Evaluation setup for CPU servers",
+		Columns: []string{"CPU", "Gen", "Freq", "BF16 TFLOPS", "Cores/Sockets",
+			"L1D/L2 per core", "L3", "DDR (STREAM)", "HBM (STREAM)"},
+		Rows: [][]string{
+			row(hw.ICL8352Y, "18.0 (AVX-512)"),
+			row(hw.SPRMax9468, "25.6 (AVX-512) / 206.4 (AMX)"),
+		},
+	}
+}
+
+// TableII renders the GPU server table.
+func TableII() Table {
+	row := func(g hw.GPU) []string {
+		return []string{
+			g.Name, fmt.Sprintf("%d", g.SMs), f0(g.PeakTFLOPS),
+			fmt.Sprintf("%.0fKB / %.0fMB", g.L1KB, g.L2MB),
+			fmt.Sprintf("%.0f GB", g.MemGB),
+			fmt.Sprintf("%.1f GB/s", g.BandwidthGBs),
+			fmt.Sprintf("%s, %.0f GB/s", g.PCIe.Name, g.PCIe.TheoreticalGBs),
+		}
+	}
+	return Table{
+		ID: "Table II", Title: "Evaluation setup for GPU servers",
+		Columns: []string{"GPU", "SMs", "BF16 TFLOPS", "L1/L2", "Memory",
+			"Mem BW (STREAM)", "CPU-GPU interconnect"},
+		Rows: [][]string{row(hw.A100), row(hw.H100)},
+	}
+}

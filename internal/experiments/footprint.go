@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// Fig1Dims is the matrix-dimension sweep of Fig 1.
+var Fig1Dims = []int64{256, 512, 1024, 2048, 4096, 8192}
+
+// Fig1 reproduces the GEMM-throughput comparison of Fig 1: achievable
+// TFLOPS on square M×N×K GEMMs for the ICL CPU (AVX-512), the SPR Max CPU
+// (AMX), and the A100/H100 tensor cores.
+func Fig1() Table {
+	t := Table{
+		ID:    "Fig 1",
+		Title: "GEMM throughput (TFLOPS) across matrix dimensions",
+		Columns: []string{"dim", "ICL 8352Y (AVX-512)", "SPR Max 9468 (AMX)",
+			"A100", "H100"},
+	}
+	paths := []hw.ComputePath{
+		hw.ICL8352Y.AVX512, hw.SPRMax9468.AMX, hw.A100.Compute, hw.H100.Compute,
+	}
+	for _, d := range Fig1Dims {
+		row := []string{fmt.Sprintf("%d", d)}
+		for _, p := range paths {
+			row = append(row, f1(p.EffectiveFLOPS(d, d, d)/1e12))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig6Models is the model list of Fig 6.
+var Fig6Models = []model.Config{
+	model.OPT1B3, model.OPT6B7, model.Llama7B, model.OPT13B, model.Llama13B,
+	model.OPT30B, model.OPT66B, model.Llama70B, model.OPT175B,
+}
+
+// Fig6 reproduces the FP16 weight-footprint chart of Fig 6, annotating
+// which GPUs each model fits into.
+func Fig6() Table {
+	t := Table{
+		ID:      "Fig 6",
+		Title:   "Memory footprint of model parameters (FP16)",
+		Columns: []string{"model", "params (B)", "FP16 GB", "fits A100-40G", "fits H100-80G"},
+	}
+	for _, m := range Fig6Models {
+		gb := float64(m.WeightBytes(tensor.FP16)) / 1e9
+		t.Rows = append(t.Rows, []string{
+			m.Name,
+			f1(float64(m.ParamCount()) / 1e9),
+			f1(gb),
+			fmt.Sprintf("%v", hw.A100.FitsWeights(gb)),
+			fmt.Sprintf("%v", hw.H100.FitsWeights(gb)),
+		})
+	}
+	return t
+}
+
+// Fig7SeqLens and Fig7Batches are the sweep of Fig 7.
+var (
+	Fig7SeqLens = []int{128, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+	Fig7Batches = []int{1, 8, 16, 32}
+)
+
+// Fig7 reproduces the KV-cache footprint chart of Fig 7 for LLaMA2-13B:
+// GiB of KV cache per (sequence length, batch size), with the model's own
+// footprint as the reference line.
+func Fig7() Table {
+	m := model.Llama13B
+	t := Table{
+		ID: "Fig 7",
+		Title: fmt.Sprintf("KV-cache footprint (GiB) for %s; model weights = %.1f GiB",
+			m.Name, float64(m.WeightBytes(tensor.FP16))/(1<<30)),
+		Columns: []string{"seq len", "batch 1", "batch 8", "batch 16", "batch 32",
+			"exceeds model @"},
+	}
+	modelGiB := float64(m.WeightBytes(tensor.FP16)) / (1 << 30)
+	for _, s := range Fig7SeqLens {
+		row := []string{fmt.Sprintf("%d", s)}
+		exceeds := "-"
+		for _, b := range Fig7Batches {
+			gib := float64(m.KVCacheBytes(s, b, tensor.FP16)) / (1 << 30)
+			row = append(row, f2(gib))
+			if exceeds == "-" && gib > modelGiB {
+				exceeds = fmt.Sprintf("batch %d", b)
+			}
+		}
+		row = append(row, exceeds)
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

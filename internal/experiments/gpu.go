@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/offload"
+	"repro/internal/tensor"
+)
+
+// cpuVsGPUs renders the Fig 17/19 comparison at one batch size: per
+// model, A100 and H100 latency and throughput normalized to the SPR CPU,
+// with offloading engaged automatically for models beyond GPU memory.
+func cpuVsGPUs(id string, batch int) ([]Table, error) {
+	lat := Table{ID: id + "a",
+		Title:   fmt.Sprintf("E2E latency normalized to SPR CPU, batch=%d (<1 means GPU faster)", batch),
+		Columns: []string{"model", "CPU (s)", "A100", "H100", "A100 mode", "H100 mode"},
+	}
+	thr := Table{ID: id + "b",
+		Title:   fmt.Sprintf("Throughput normalized to SPR CPU, batch=%d (>1 means GPU faster)", batch),
+		Columns: []string{"model", "CPU (tok/s)", "A100", "H100"},
+	}
+	for _, m := range model.Evaluated() {
+		cpu, err := CPUPoint(SPRSetup(), m, batch, DefaultIn, DefaultOut)
+		if err != nil {
+			return nil, err
+		}
+		a, err := GPUPoint(hw.A100, m, batch, DefaultIn, DefaultOut)
+		if err != nil {
+			return nil, err
+		}
+		h, err := GPUPoint(hw.H100, m, batch, DefaultIn, DefaultOut)
+		if err != nil {
+			return nil, err
+		}
+		mode := func(g hw.GPU) string {
+			if g.FitsWeights(float64(m.WeightBytes(tensor.BF16)) / 1e9) {
+				return "resident"
+			}
+			return "offload"
+		}
+		lat.Rows = append(lat.Rows, []string{
+			m.Name, f2(cpu.Latency.E2E),
+			f2(a.Latency.E2E / cpu.Latency.E2E),
+			f2(h.Latency.E2E / cpu.Latency.E2E),
+			mode(hw.A100), mode(hw.H100),
+		})
+		thr.Rows = append(thr.Rows, []string{
+			m.Name, f1(cpu.Throughput.E2E),
+			f2(a.Throughput.E2E / cpu.Throughput.E2E),
+			f2(h.Throughput.E2E / cpu.Throughput.E2E),
+		})
+	}
+	return []Table{lat, thr}, nil
+}
+
+// Fig17 reproduces the batch-1 CPU-vs-GPU comparison.
+func Fig17() ([]Table, error) { return cpuVsGPUs("Fig 17", 1) }
+
+// Fig19 reproduces the batch-16 CPU-vs-GPU comparison.
+func Fig19() ([]Table, error) { return cpuVsGPUs("Fig 19", 16) }
+
+// Fig18 reproduces the offloading execution-time breakdown: the share of
+// time spent loading data over PCIe for OPT-30B on the A100 and OPT-66B
+// on the H100, batch 1–32.
+func Fig18() ([]Table, error) {
+	t := Table{ID: "Fig 18",
+		Title:   "GPU execution-time breakdown under offloading (% of E2E)",
+		Columns: []string{"batch", "A100/OPT-30B PCIe", "A100/OPT-30B compute", "H100/OPT-66B PCIe", "H100/OPT-66B compute"},
+	}
+	for _, b := range PaperBatches {
+		row := []string{fmt.Sprintf("%d", b)}
+		for _, c := range []struct {
+			g hw.GPU
+			m model.Config
+		}{{hw.A100, model.OPT30B}, {hw.H100, model.OPT66B}} {
+			res, err := offload.Run{GPU: c.g, Host: hw.SPRMax9468, Model: c.m,
+				Batch: b, InputLen: DefaultIn, OutputLen: DefaultOut,
+				Weights: tensor.BF16}.Simulate()
+			if err != nil {
+				return nil, err
+			}
+			pcie := res.PCIeFraction() * 100
+			row = append(row, f0(pcie)+"%", f0(100-pcie)+"%")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}
+
+// SeqLens is the §V-C input-length sweep.
+var SeqLens = []int{128, 256, 512, 1024}
+
+// seqLenSweep renders Fig 20/21: E2E latency and throughput for every
+// model across input lengths at one batch size, on all three platforms.
+func seqLenSweep(id string, batch int) ([]Table, error) {
+	t := Table{ID: id,
+		Title:   fmt.Sprintf("Sequence-length sensitivity, batch=%d, output=32", batch),
+		Columns: []string{"model", "input", "CPU E2E (s)", "A100 E2E (s)", "H100 E2E (s)", "CPU tok/s", "best"},
+	}
+	for _, m := range model.Evaluated() {
+		for _, in := range SeqLens {
+			cpu, err := CPUPoint(SPRSetup(), m, batch, in, DefaultOut)
+			if err != nil {
+				return nil, err
+			}
+			a, err := GPUPoint(hw.A100, m, batch, in, DefaultOut)
+			if err != nil {
+				return nil, err
+			}
+			h, err := GPUPoint(hw.H100, m, batch, in, DefaultOut)
+			if err != nil {
+				return nil, err
+			}
+			best := "CPU"
+			bestLat := cpu.Latency.E2E
+			if a.Latency.E2E < bestLat {
+				best, bestLat = "A100", a.Latency.E2E
+			}
+			if h.Latency.E2E < bestLat {
+				best = "H100"
+			}
+			t.Rows = append(t.Rows, []string{
+				m.Name, fmt.Sprintf("%d", in),
+				f2(cpu.Latency.E2E), f2(a.Latency.E2E), f2(h.Latency.E2E),
+				f1(cpu.Throughput.E2E), best,
+			})
+		}
+	}
+	return []Table{t}, nil
+}
+
+// Fig20 reproduces the batch-1 sequence-length sweep.
+func Fig20() ([]Table, error) { return seqLenSweep("Fig 20", 1) }
+
+// Fig21 reproduces the batch-16 sequence-length sweep.
+func Fig21() ([]Table, error) { return seqLenSweep("Fig 21", 16) }

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/hybrid"
+	"repro/internal/model"
+	"repro/internal/numa"
+	"repro/internal/offload"
+	"repro/internal/tensor"
+)
+
+// OptNUMA renders the §VI "NUMA-aware designs" ablation: effective memory
+// bandwidth and remote-traffic fraction of hot/cold placement versus
+// NUMA-oblivious interleaving for an OPT-66B-scale working set that
+// exceeds one socket's local memory.
+func OptNUMA() ([]Table, error) {
+	topo := numa.SPRTopology(hw.SPRMax9468)
+	items := []numa.Item{
+		{Name: "kv-cache", SizeGB: 22, Heat: 8},
+		{Name: "attn-weights", SizeGB: 44, Heat: 6},
+		{Name: "ffn-weights-hot", SizeGB: 60, Heat: 4},
+		{Name: "ffn-weights-cold", SizeGB: 28, Heat: 1},
+		{Name: "activations-cold", SizeGB: 180, Heat: 0.3},
+	}
+	t := Table{ID: "Opt 1 (§VI)",
+		Title:   "NUMA-aware hot/cold placement vs oblivious interleaving (OPT-66B-scale working set)",
+		Columns: []string{"policy", "effective GB/s", "remote traffic", "speedup"},
+	}
+	smart, err := numa.PlaceHotCold(items, topo)
+	if err != nil {
+		return nil, err
+	}
+	naive, err := numa.PlaceOblivious(items, topo)
+	if err != nil {
+		return nil, err
+	}
+	bwSmart, err := numa.EffectiveBandwidth(items, smart, topo)
+	if err != nil {
+		return nil, err
+	}
+	bwNaive, err := numa.EffectiveBandwidth(items, naive, topo)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{"oblivious interleave", f0(bwNaive),
+			fmt.Sprintf("%.0f%%", numa.RemoteTrafficFraction(items, naive, topo)*100), "1.00"},
+		[]string{"hot/cold placement", f0(bwSmart),
+			fmt.Sprintf("%.0f%%", numa.RemoteTrafficFraction(items, smart, topo)*100),
+			f2(bwSmart / bwNaive)},
+	)
+	return []Table{t}, nil
+}
+
+// OptHybrid renders the §VI "CPU-GPU hybrid execution" ablation: E2E
+// latency of pure offloading, pure CPU, and the best layer partition for
+// the two oversized-model configurations, batch 1.
+func OptHybrid() ([]Table, error) {
+	t := Table{ID: "Opt 2 (§VI)",
+		Title:   "CPU-GPU hybrid layer partitioning vs offloading and pure CPU (batch 1, in=128, out=32)",
+		Columns: []string{"config", "offload E2E (s)", "CPU E2E (s)", "hybrid E2E (s)", "GPU layers", "hybrid vs offload", "hybrid vs CPU"},
+	}
+	for _, c := range []struct {
+		g hw.GPU
+		m model.Config
+	}{{hw.A100, model.OPT30B}, {hw.H100, model.OPT66B}} {
+		run := hybrid.Run{GPU: c.g, Host: SPRSetup(), Model: c.m, Batch: 1,
+			InputLen: DefaultIn, OutputLen: DefaultOut, Weights: tensor.BF16}
+		split, best, err := run.BestSplit()
+		if err != nil {
+			return nil, err
+		}
+		cpu, err := run.CPUOnly()
+		if err != nil {
+			return nil, err
+		}
+		off, err := offload.Run{GPU: c.g, Host: hw.SPRMax9468, Model: c.m,
+			Batch: 1, InputLen: DefaultIn, OutputLen: DefaultOut,
+			Weights: tensor.BF16}.Simulate()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%s/%s", c.g.Name, c.m.Name),
+			f2(off.Latency.E2E), f2(cpu.Latency.E2E), f2(best.Latency.E2E),
+			fmt.Sprintf("%d/%d", split.GPULayers, c.m.Layers),
+			f2(off.Latency.E2E / best.Latency.E2E),
+			f2(cpu.Latency.E2E / best.Latency.E2E),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// OptInt8 renders the INT8 (AMX INT8 path) ablation: simulated SPR
+// latency/throughput with BF16 versus INT8 weights, which halve the
+// streamed bytes of the memory-bound decode phase.
+func OptInt8() ([]Table, error) {
+	t := Table{ID: "Opt 3 (ext)",
+		Title:   "Weight-only INT8 on SPR quad_flat (batch 1, in=128, out=32)",
+		Columns: []string{"model", "BF16 TPOT (ms)", "INT8 TPOT (ms)", "BF16 tok/s", "INT8 tok/s", "speedup"},
+	}
+	for _, m := range []model.Config{model.OPT13B, model.OPT30B, model.OPT66B, model.Llama70B} {
+		bf, err := CPUPoint(SPRSetup(), m, 1, DefaultIn, DefaultOut)
+		if err != nil {
+			return nil, err
+		}
+		i8run := SPRSetup()
+		res, err := CPUPointWithWeights(i8run, m, 1, DefaultIn, DefaultOut, tensor.INT8)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			m.Name,
+			f1(bf.Latency.TPOT * 1e3), f1(res.Latency.TPOT * 1e3),
+			f2(bf.Throughput.E2E), f2(res.Throughput.E2E),
+			f2(res.Throughput.E2E / bf.Throughput.E2E),
+		})
+	}
+	return []Table{t}, nil
+}

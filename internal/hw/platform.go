@@ -1,0 +1,163 @@
+// Package hw describes the evaluation platforms of the paper: the two CPU
+// servers of Table I (Xeon 8352Y "ICL" and Xeon Max 9468 "SPR") and the two
+// GPU servers of Table II (A100-40GB, H100-80GB), together with the
+// calibrated efficiency curves the performance model uses to turn peak
+// numbers into achievable throughput.
+//
+// Peak compute, cache sizes, memory capacities and STREAM bandwidths are
+// taken verbatim from the paper's tables. Efficiency-curve constants are
+// calibration: they are chosen once so that the simulator lands inside the
+// paper's reported performance ratios (see DESIGN.md "Shape targets"), and
+// are documented at their definitions.
+package hw
+
+import "fmt"
+
+// ComputePath models one way a processor can execute GEMMs (e.g. AVX-512
+// FMA vs. AMX TMUL on the same core). Achievable throughput on an M×N×K
+// GEMM is PeakTFLOPS scaled by a saturating shape-efficiency curve
+//
+//	eff = Base · M/(M+M50) · N/(N+N50) · K/(K+K50)
+//
+// which captures that matrix engines need enough rows/columns to fill
+// their tiles: AMX with its 16×32 tiles loses most of its advantage on the
+// skinny GEMMs of small-batch decode, exactly as the paper observes.
+type ComputePath struct {
+	Name       string
+	PeakTFLOPS float64 // dense BF16 peak
+	// Base is the fraction of peak achievable on large square GEMMs.
+	Base float64
+	// M50/N50/K50 are the dimensions at which the respective axis reaches
+	// half of its asymptotic utilization.
+	M50, N50, K50 float64
+}
+
+// Efficiency returns the achievable fraction of peak for an M×N×K GEMM.
+func (p ComputePath) Efficiency(m, n, k int64) float64 {
+	if p.PeakTFLOPS == 0 {
+		return 0
+	}
+	fm := float64(m) / (float64(m) + p.M50)
+	fn := float64(n) / (float64(n) + p.N50)
+	fk := float64(k) / (float64(k) + p.K50)
+	return p.Base * fm * fn * fk
+}
+
+// EffectiveFLOPS returns achievable FLOP/s for an M×N×K GEMM.
+func (p ComputePath) EffectiveFLOPS(m, n, k int64) float64 {
+	return p.PeakTFLOPS * 1e12 * p.Efficiency(m, n, k)
+}
+
+// MemTier is one memory technology attached to a socket.
+type MemTier struct {
+	Name         string
+	CapacityGB   float64 // per socket
+	BandwidthGBs float64 // per socket, STREAM-measured
+}
+
+// CPU describes a CPU server (one entry of Table I).
+type CPU struct {
+	Name           string
+	Gen            string // microarchitecture
+	CoresPerSocket int
+	Sockets        int
+	FreqGHz        float64
+	AVX512         ComputePath // per socket at full cores
+	AMX            ComputePath // zero PeakTFLOPS if unsupported
+	L1DKB          float64     // per core
+	L2MB           float64     // per core
+	L3MB           float64     // per socket
+	DDR            MemTier
+	HBM            MemTier // zero capacity if absent
+	// UPIGBs is the per-direction inter-socket UPI bandwidth.
+	UPIGBs float64
+	// MemEff is the fraction of STREAM bandwidth the inference runtime
+	// sustains on large streaming reads (weights, KV cache).
+	MemEff float64
+	// StepOverheadMS is the per-forward-pass framework overhead (token
+	// loop, op dispatch) observed with IPEX-style runtimes.
+	StepOverheadMS float64
+	// BWSaturationCores is the core count at which a socket reaches half
+	// of its saturated memory bandwidth; memory-bound phases scale with
+	// cores/(cores+BWSaturationCores).
+	BWSaturationCores float64
+}
+
+// HasAMX reports whether the CPU has an AMX matrix engine.
+func (c CPU) HasAMX() bool { return c.AMX.PeakTFLOPS > 0 }
+
+// BestPath returns the fastest compute path for an M×N×K GEMM, comparing
+// the AVX-512 and (if present) AMX paths at their achievable throughput.
+func (c CPU) BestPath(m, n, k int64) ComputePath {
+	if c.HasAMX() && c.AMX.EffectiveFLOPS(m, n, k) > c.AVX512.EffectiveFLOPS(m, n, k) {
+		return c.AMX
+	}
+	return c.AVX512
+}
+
+// TotalMemoryGB returns the per-socket memory capacity across tiers.
+func (c CPU) TotalMemoryGB() float64 { return c.DDR.CapacityGB + c.HBM.CapacityGB }
+
+// Link is a host-device interconnect. Sustained offloading bandwidth
+// depends on how deeply the runtime can pipeline DMA chunks: at batch 1
+// each per-layer transfer completes before the next microsecond-scale
+// kernel issues, so per-chunk latency and scheduling gaps dominate; at
+// large batch the compute between transfers keeps the DMA queue full and
+// throughput approaches spec. Achieved(batch) interpolates between the
+// two regimes.
+type Link struct {
+	Name string
+	// TheoreticalGBs is the spec bandwidth (e.g. PCIe 4.0 x16 = 64 GB/s).
+	TheoreticalGBs float64
+	// BasePipeEff is the fraction of spec sustained with an idle pipeline
+	// (batch-1 decode).
+	BasePipeEff float64
+	// FullPipeEff is the fraction of spec sustained with a saturated DMA
+	// pipeline (large-batch runs).
+	FullPipeEff float64
+}
+
+// Achieved returns the sustained link bandwidth in GB/s at the given batch
+// size, saturating at batch ≥ 16.
+func (l Link) Achieved(batch int) float64 {
+	f := float64(batch-1) / 15
+	if f > 1 {
+		f = 1
+	}
+	if f < 0 {
+		f = 0
+	}
+	return l.TheoreticalGBs * (l.BasePipeEff + (l.FullPipeEff-l.BasePipeEff)*f)
+}
+
+// GPU describes a GPU server (one entry of Table II).
+type GPU struct {
+	Name       string
+	SMs        int
+	PeakTFLOPS float64 // dense BF16
+	L1KB       float64 // per SM
+	L2MB       float64
+	MemGB      float64
+	// BandwidthGBs is STREAM-measured HBM bandwidth.
+	BandwidthGBs float64
+	PCIe         Link
+	Compute      ComputePath
+	// MemEff is the fraction of HBM bandwidth sustained on streaming
+	// inference reads.
+	MemEff float64
+	// StepOverheadMS is per-forward-pass launch/sync overhead.
+	StepOverheadMS float64
+	// WorkspaceGB is memory reserved for activations, workspace and
+	// fragmentation, unavailable for weights/KV.
+	WorkspaceGB float64
+}
+
+// FitsWeights reports whether weightGB of parameters fit in GPU memory
+// alongside the reserved workspace.
+func (g GPU) FitsWeights(weightGB float64) bool {
+	return weightGB <= g.MemGB-g.WorkspaceGB
+}
+
+func (g GPU) String() string { return g.Name }
+
+func (c CPU) String() string { return fmt.Sprintf("%s (%s)", c.Name, c.Gen) }

@@ -1,0 +1,158 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTableI pins the CPU presets to the paper's Table I values.
+func TestTableI(t *testing.T) {
+	if ICL8352Y.CoresPerSocket != 32 || ICL8352Y.Sockets != 2 ||
+		ICL8352Y.FreqGHz != 2.20 || ICL8352Y.AVX512.PeakTFLOPS != 18.0 ||
+		ICL8352Y.DDR.BandwidthGBs != 156.2 || ICL8352Y.HasAMX() {
+		t.Errorf("ICL preset deviates from Table I: %+v", ICL8352Y)
+	}
+	if SPRMax9468.CoresPerSocket != 48 || SPRMax9468.Sockets != 2 ||
+		SPRMax9468.FreqGHz != 2.10 || SPRMax9468.AVX512.PeakTFLOPS != 25.6 ||
+		SPRMax9468.AMX.PeakTFLOPS != 206.4 ||
+		SPRMax9468.DDR.BandwidthGBs != 233.8 ||
+		SPRMax9468.HBM.BandwidthGBs != 588 || SPRMax9468.HBM.CapacityGB != 64 ||
+		!SPRMax9468.HasAMX() {
+		t.Errorf("SPR preset deviates from Table I: %+v", SPRMax9468)
+	}
+	if ICL8352Y.L2MB != 1.25 || SPRMax9468.L2MB != 2 ||
+		ICL8352Y.L3MB != 48 || SPRMax9468.L3MB != 105 {
+		t.Error("cache sizes deviate from Table I")
+	}
+	// Table I lists total DDR capacity (256 / 512 GB across two sockets).
+	if ICL8352Y.DDR.CapacityGB*2 != 256 || SPRMax9468.DDR.CapacityGB*2 != 512 {
+		t.Error("DDR capacities deviate from Table I")
+	}
+}
+
+// TestTableII pins the GPU presets to the paper's Table II values.
+func TestTableII(t *testing.T) {
+	if A100.SMs != 108 || A100.PeakTFLOPS != 312 || A100.MemGB != 40 ||
+		A100.BandwidthGBs != 1299.9 || A100.PCIe.TheoreticalGBs != 64 {
+		t.Errorf("A100 preset deviates from Table II: %+v", A100)
+	}
+	if H100.SMs != 132 || H100.PeakTFLOPS != 756 || H100.MemGB != 80 ||
+		H100.BandwidthGBs != 1754.4 || H100.PCIe.TheoreticalGBs != 128 {
+		t.Errorf("H100 preset deviates from Table II: %+v", H100)
+	}
+}
+
+func TestEfficiencyBounds(t *testing.T) {
+	// Property: efficiency always lies in (0, Base] for positive dims.
+	f := func(m, n, k uint16) bool {
+		mm, nn, kk := int64(m)+1, int64(n)+1, int64(k)+1
+		for _, p := range []ComputePath{SPRMax9468.AMX, ICL8352Y.AVX512, H100.Compute} {
+			e := p.Efficiency(mm, nn, kk)
+			if e <= 0 || e > p.Base {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEfficiencyMonotone(t *testing.T) {
+	// Bigger GEMMs never run at lower fraction of peak.
+	p := SPRMax9468.AMX
+	if p.Efficiency(1, 4096, 4096) >= p.Efficiency(64, 4096, 4096) {
+		t.Error("efficiency must grow with M")
+	}
+	if p.Efficiency(64, 64, 4096) >= p.Efficiency(64, 4096, 4096) {
+		t.Error("efficiency must grow with N")
+	}
+}
+
+// TestAMXAdvantageByShape: the paper's core compute observation — AMX wins
+// big on prefill-shaped GEMMs but barely matters for batch-1 decode GEMVs.
+func TestAMXAdvantageByShape(t *testing.T) {
+	spr := SPRMax9468
+	// Prefill shape: 128 rows, big N/K.
+	preAMX := spr.AMX.EffectiveFLOPS(128, 5120, 5120)
+	preAVX := spr.AVX512.EffectiveFLOPS(128, 5120, 5120)
+	if preAMX < 3*preAVX {
+		t.Errorf("AMX prefill advantage only %.1fx", preAMX/preAVX)
+	}
+	if best := spr.BestPath(128, 5120, 5120); best.Name != "amx-bf16" {
+		t.Errorf("BestPath(prefill) = %s", best.Name)
+	}
+	// Decode shape: single row.
+	decAMX := spr.AMX.EffectiveFLOPS(1, 5120, 5120)
+	decAVX := spr.AVX512.EffectiveFLOPS(1, 5120, 5120)
+	if decAMX > 3*decAVX {
+		t.Errorf("AMX decode advantage implausibly large: %.1fx", decAMX/decAVX)
+	}
+}
+
+// TestSPRPrefillThroughputWindow: achievable AMX throughput on a typical
+// prefill GEMM must give a 6.3–9.1× edge over ICL (the paper's Fig 10a
+// prefill range).
+func TestSPRPrefillThroughputWindow(t *testing.T) {
+	m, n, k := int64(128), int64(5120), int64(5120)
+	ratio := SPRMax9468.AMX.EffectiveFLOPS(m, n, k) / ICL8352Y.AVX512.EffectiveFLOPS(m, n, k)
+	if ratio < 5.5 || ratio > 10 {
+		t.Errorf("SPR/ICL prefill compute ratio = %.2f, want ≈6.3–9.1", ratio)
+	}
+}
+
+func TestGPUFitsWeights(t *testing.T) {
+	if !H100.FitsWeights(60) {
+		t.Error("H100 must fit OPT-30B (60 GB)")
+	}
+	if A100.FitsWeights(60) {
+		t.Error("A100-40GB must not fit OPT-30B")
+	}
+	if H100.FitsWeights(132) {
+		t.Error("H100 must not fit OPT-66B")
+	}
+}
+
+func TestLinkAchievedBelowTheoretical(t *testing.T) {
+	for _, g := range []GPU{A100, H100} {
+		for _, b := range []int{1, 4, 16, 32} {
+			if got := g.PCIe.Achieved(b); got >= g.PCIe.TheoreticalGBs || got <= 0 {
+				t.Errorf("%s batch %d: achieved %.0f GB/s out of (0, %.0f)",
+					g.Name, b, got, g.PCIe.TheoreticalGBs)
+			}
+		}
+	}
+}
+
+func TestLinkPipelining(t *testing.T) {
+	// Achieved bandwidth must grow with batch and saturate at 16.
+	l := H100.PCIe
+	if !(l.Achieved(1) < l.Achieved(8) && l.Achieved(8) < l.Achieved(16)) {
+		t.Error("achieved bandwidth must grow with batch")
+	}
+	if l.Achieved(16) != l.Achieved(32) {
+		t.Error("achieved bandwidth must saturate at batch 16")
+	}
+	if l.Achieved(1) != 128*0.45 {
+		t.Errorf("H100 batch-1 achieved = %v, want %v", l.Achieved(1), 128*0.45)
+	}
+}
+
+func TestTotalMemory(t *testing.T) {
+	if got := SPRMax9468.TotalMemoryGB(); got != 320 {
+		t.Errorf("SPR per-socket memory = %v GB, want 320 (256 DDR + 64 HBM)", got)
+	}
+	if ICL8352Y.TotalMemoryGB() != 128 {
+		t.Error("ICL per-socket memory wrong")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if A100.String() != "A100-40GB" {
+		t.Error("GPU String wrong")
+	}
+	if SPRMax9468.String() != "Xeon Max 9468 (SapphireRapids)" {
+		t.Errorf("CPU String = %q", SPRMax9468.String())
+	}
+}

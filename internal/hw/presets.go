@@ -1,0 +1,147 @@
+package hw
+
+// ICL8352Y is CPU 1 of Table I: 3rd-generation Xeon (IceLake) 8352Y.
+// 32 cores/socket × 2, 2.20 GHz, AVX-512 BF16 18.0 TFLOPS, DDR4-256GB at
+// 156.2 GB/s STREAM. No AMX, no HBM.
+var ICL8352Y = CPU{
+	Name:           "Xeon 8352Y",
+	Gen:            "IceLake",
+	CoresPerSocket: 32,
+	Sockets:        2,
+	FreqGHz:        2.20,
+	AVX512: ComputePath{
+		Name:       "avx512-bf16",
+		PeakTFLOPS: 18.0,
+		// AVX-512 FMA pipelines fill with small operands; utilization is
+		// limited mainly by load/store pressure on large GEMMs.
+		Base: 0.85, M50: 6, N50: 48, K50: 96,
+	},
+	L1DKB: 48, L2MB: 1.25, L3MB: 48,
+	DDR:               MemTier{Name: "DDR4", CapacityGB: 128, BandwidthGBs: 156.2},
+	UPIGBs:            41.6,
+	MemEff:            0.85,
+	StepOverheadMS:    5.0,
+	BWSaturationCores: 6,
+}
+
+// SPRMax9468 is CPU 2 of Table I: 4th-generation Xeon Max 9468 (Sapphire
+// Rapids). 48 cores/socket × 2, 2.10 GHz, AVX-512 25.6 / AMX 206.4 TFLOPS
+// BF16, DDR5-512GB at 233.8 GB/s plus 64GB HBM per socket at 588 GB/s.
+var SPRMax9468 = CPU{
+	Name:           "Xeon Max 9468",
+	Gen:            "SapphireRapids",
+	CoresPerSocket: 48,
+	Sockets:        2,
+	FreqGHz:        2.10,
+	AVX512: ComputePath{
+		Name:       "avx512-bf16",
+		PeakTFLOPS: 25.6,
+		Base:       0.85, M50: 6, N50: 48, K50: 96,
+	},
+	AMX: ComputePath{
+		Name:       "amx-bf16",
+		PeakTFLOPS: 206.4,
+		// AMX needs 16-row × 16-col tiles with 32-deep K to approach peak;
+		// small-batch GEMVs leave most of the TMUL idle, and sustained
+		// large-GEMM utilization is bounded by tile load bandwidth. The
+		// constants land oneDNN-like fractions: ~50 % of peak on large
+		// prefill GEMMs, a few percent on batch-1 decode.
+		Base: 0.75, M50: 30, N50: 96, K50: 192,
+	},
+	L1DKB: 48, L2MB: 2, L3MB: 105,
+	DDR:               MemTier{Name: "DDR5", CapacityGB: 256, BandwidthGBs: 233.8},
+	HBM:               MemTier{Name: "HBM2e", CapacityGB: 64, BandwidthGBs: 588},
+	UPIGBs:            62.4,
+	MemEff:            0.85,
+	StepOverheadMS:    4.0,
+	BWSaturationCores: 10,
+}
+
+// A100 is GPU 1 of Table II: NVIDIA A100-40GB, 108 SMs, 312 TFLOPS dense
+// BF16, 40 MB L2, 1299.9 GB/s STREAM HBM, PCIe 4.0 x16 (64 GB/s).
+var A100 = GPU{
+	Name:       "A100-40GB",
+	SMs:        108,
+	PeakTFLOPS: 312,
+	L1KB:       192, L2MB: 40,
+	MemGB:        40,
+	BandwidthGBs: 1299.9,
+	PCIe: Link{
+		Name:           "PCIe 4.0 x16",
+		TheoreticalGBs: 64,
+		// PCIe 4.0 DMA engines are mature: even unpipelined transfers
+		// sustain ~60 % of spec. Calibrated against the paper's OPT-30B
+		// batch-1 result (CPU 12.7× faster than the offloading A100).
+		BasePipeEff: 0.60,
+		FullPipeEff: 0.85,
+	},
+	Compute: ComputePath{
+		Name:       "tensor-core-bf16",
+		PeakTFLOPS: 312,
+		// Tensor cores need large tiles; small-batch prefill reaches ~half
+		// of peak, batch-1 decode GEMVs are bandwidth-bound anyway.
+		Base: 0.65, M50: 48, N50: 256, K50: 512,
+	},
+	MemEff:         0.92,
+	StepOverheadMS: 0.35,
+	WorkspaceGB:    6,
+}
+
+// GH200 models the Grace-Hopper Superchip the paper's §V-B discusses:
+// the same H100 silicon, but offloaded tensors reach it over the 900 GB/s
+// (450 GB/s per direction) NVLink-C2C instead of PCIe — "lower overheads
+// for offloading from DRAM ... albeit at a cost of ~4× of the SPR CPU and
+// DDR5". Grace's LPDDR5X (480 GB) is the host side.
+var GH200 = GPU{
+	Name:       "GH200",
+	SMs:        132,
+	PeakTFLOPS: 756, // same Hopper GPU (SXM clocks are higher; keep Table II's dense BF16)
+	L1KB:       256, L2MB: 50,
+	MemGB:        96,         // HBM3 variant
+	BandwidthGBs: 3350 * 0.6, // HBM3 spec discounted to STREAM-like sustained
+	PCIe: Link{
+		Name:           "NVLink-C2C",
+		TheoreticalGBs: 450, // per direction
+		// Coherent NVLink sustains a high fraction of spec even without
+		// deep pipelining.
+		BasePipeEff: 0.70,
+		FullPipeEff: 0.90,
+	},
+	Compute: ComputePath{
+		Name:       "tensor-core-bf16",
+		PeakTFLOPS: 756,
+		Base:       0.60, M50: 48, N50: 256, K50: 512,
+	},
+	MemEff:         0.92,
+	StepOverheadMS: 0.30,
+	WorkspaceGB:    8,
+}
+
+// H100 is GPU 2 of Table II: NVIDIA H100-80GB, 132 SMs, 756 TFLOPS dense
+// BF16, 50 MB L2, 1754.4 GB/s STREAM HBM, PCIe 5.0 x16 (128 GB/s).
+var H100 = GPU{
+	Name:       "H100-80GB",
+	SMs:        132,
+	PeakTFLOPS: 756,
+	L1KB:       256, L2MB: 50,
+	MemGB:        80,
+	BandwidthGBs: 1754.4,
+	PCIe: Link{
+		Name:           "PCIe 5.0 x16",
+		TheoreticalGBs: 128,
+		// PCIe 5.0 sustains a much lower fraction of spec on unpipelined
+		// chunked transfers (observed broadly in offloading studies);
+		// calibrated against the paper's OPT-66B batch-1 CPU-vs-H100
+		// ratio (5× throughput in the CPU's favor).
+		BasePipeEff: 0.45,
+		FullPipeEff: 0.85,
+	},
+	Compute: ComputePath{
+		Name:       "tensor-core-bf16",
+		PeakTFLOPS: 756,
+		Base:       0.60, M50: 48, N50: 256, K50: 512,
+	},
+	MemEff:         0.92,
+	StepOverheadMS: 0.30,
+	WorkspaceGB:    8,
+}

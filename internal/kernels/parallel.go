@@ -1,0 +1,73 @@
+package kernels
+
+import (
+	"runtime"
+	"sync"
+)
+
+// GemmParallel computes C = A·B splitting rows of A across workers
+// goroutines (0 means GOMAXPROCS). Each worker runs the cache-blocked
+// kernel on its row band, mirroring how IPEX parallelizes GEMMs across
+// physical cores.
+func GemmParallel(m, n, k int, a, b, c []float32, workers int) {
+	checkDims(m, n, k, a, b, c)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		GemmBlocked(m, n, k, a, b, c)
+		return
+	}
+	var wg sync.WaitGroup
+	rowsPer := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		if lo >= m {
+			break
+		}
+		hi := min(lo+rowsPer, m)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			GemmBlocked(hi-lo, n, k, a[lo*k:hi*k], b, c[lo*n:hi*n])
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// GemmTileBF16Parallel runs the AMX-emulating tile kernel with rows split
+// across workers goroutines, the closest software analog of a multi-core
+// AMX GEMM.
+func GemmTileBF16Parallel(m, n, k int, a, b, c []float32, workers int) {
+	checkDims(m, n, k, a, b, c)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Split on tile-row boundaries so every worker computes whole tiles.
+	tiles := (m + TileRows - 1) / TileRows
+	if workers > tiles {
+		workers = tiles
+	}
+	if workers <= 1 {
+		GemmTileBF16(m, n, k, a, b, c)
+		return
+	}
+	var wg sync.WaitGroup
+	tilesPer := (tiles + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * tilesPer * TileRows
+		if lo >= m {
+			break
+		}
+		hi := min(lo+tilesPer*TileRows, m)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			GemmTileBF16(hi-lo, n, k, a[lo*k:hi*k], b, c[lo*n:hi*n])
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,233 @@
+// Package kvpool is a paged KV-cache allocator in the style of vLLM's
+// PagedAttention (related work §VII-C). The paper shows KV-cache demand
+// growing linearly with batch × sequence length until it dominates memory
+// (§III, Fig 7); contiguous per-sequence preallocation wastes most of that
+// reservation on requests that finish early. Paging the cache into fixed
+// blocks allocated on demand — with copy-on-write sharing of common
+// prefixes — lets a memory budget admit far more concurrent sequences.
+package kvpool
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// Pool manages a fixed budget of KV-cache blocks. A block holds BlockSize
+// token positions of K and V for every layer of the model. Blocks are
+// reference-counted so sequences can share prefix blocks copy-on-write.
+type Pool struct {
+	cfg       model.Config
+	dt        tensor.DType
+	blockSize int
+	total     int
+	refs      []int // refcount per block; 0 = free
+	freeList  []int
+
+	allocs    int // statistics
+	cowCopies int
+}
+
+// BytesPerBlock returns the memory one block occupies.
+func (p *Pool) BytesPerBlock() int64 {
+	return p.cfg.KVBytesPerTokenPerLayer(p.dt) * int64(p.cfg.Layers) * int64(p.blockSize)
+}
+
+// New sizes a pool for a model under a memory budget.
+func New(cfg model.Config, dt tensor.DType, blockSize int, budgetBytes int64) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("kvpool: non-positive block size %d", blockSize)
+	}
+	p := &Pool{cfg: cfg, dt: dt, blockSize: blockSize}
+	per := p.BytesPerBlock()
+	if per <= 0 || budgetBytes < per {
+		return nil, fmt.Errorf("kvpool: budget %d below one block (%d)", budgetBytes, per)
+	}
+	p.total = int(budgetBytes / per)
+	p.refs = make([]int, p.total)
+	p.freeList = make([]int, p.total)
+	for i := range p.freeList {
+		p.freeList[p.total-1-i] = i // allocate low block IDs first
+	}
+	return p, nil
+}
+
+// TotalBlocks returns the pool capacity in blocks.
+func (p *Pool) TotalBlocks() int { return p.total }
+
+// FreeBlocks returns the currently unallocated block count.
+func (p *Pool) FreeBlocks() int { return len(p.freeList) }
+
+// Utilization returns the fraction of blocks in use.
+func (p *Pool) Utilization() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 1 - float64(len(p.freeList))/float64(p.total)
+}
+
+func (p *Pool) allocBlock() (int, error) {
+	if len(p.freeList) == 0 {
+		return 0, ErrOutOfBlocks
+	}
+	id := p.freeList[len(p.freeList)-1]
+	p.freeList = p.freeList[:len(p.freeList)-1]
+	p.refs[id] = 1
+	p.allocs++
+	return id, nil
+}
+
+func (p *Pool) releaseBlock(id int) {
+	p.refs[id]--
+	if p.refs[id] < 0 {
+		panic(fmt.Sprintf("kvpool: double free of block %d", id))
+	}
+	if p.refs[id] == 0 {
+		p.freeList = append(p.freeList, id)
+	}
+}
+
+// ErrOutOfBlocks reports pool exhaustion — the serving layer's signal to
+// queue, preempt, or swap (vLLM's recompute/swap policies).
+var ErrOutOfBlocks = fmt.Errorf("kvpool: out of blocks")
+
+// Sequence is one request's block table.
+type Sequence struct {
+	pool   *Pool
+	blocks []int
+	tokens int
+	freed  bool
+}
+
+// NewSequence starts an empty sequence.
+func (p *Pool) NewSequence() *Sequence {
+	return &Sequence{pool: p}
+}
+
+// Append reserves capacity for n more token positions, allocating blocks
+// as needed. On exhaustion it returns ErrOutOfBlocks with the sequence
+// unchanged.
+func (s *Sequence) Append(n int) error {
+	if s.freed {
+		return fmt.Errorf("kvpool: append to freed sequence")
+	}
+	if n < 0 {
+		return fmt.Errorf("kvpool: negative append %d", n)
+	}
+	needTokens := s.tokens + n
+	needBlocks := (needTokens + s.pool.blockSize - 1) / s.pool.blockSize
+	add := needBlocks - len(s.blocks)
+	if add > s.pool.FreeBlocks() {
+		return ErrOutOfBlocks
+	}
+	for i := 0; i < add; i++ {
+		id, err := s.pool.allocBlock()
+		if err != nil {
+			return err // unreachable given the precheck, kept for safety
+		}
+		s.blocks = append(s.blocks, id)
+	}
+	s.tokens = needTokens
+	return nil
+}
+
+// Tokens returns the sequence's current length in tokens.
+func (s *Sequence) Tokens() int { return s.tokens }
+
+// Blocks returns the sequence's block table (not to be modified).
+func (s *Sequence) Blocks() []int { return s.blocks }
+
+// WastedSlots returns reserved-but-unused token positions in the last
+// block — paged allocation's only internal fragmentation.
+func (s *Sequence) WastedSlots() int {
+	if len(s.blocks) == 0 {
+		return 0
+	}
+	return len(s.blocks)*s.pool.blockSize - s.tokens
+}
+
+// Fork creates a copy-on-write child sharing every block (prefix sharing
+// for beam search or common system prompts). The child starts at the same
+// token length; diverging appends allocate fresh blocks.
+func (s *Sequence) Fork() (*Sequence, error) {
+	if s.freed {
+		return nil, fmt.Errorf("kvpool: fork of freed sequence")
+	}
+	for _, id := range s.blocks {
+		s.pool.refs[id]++
+	}
+	child := &Sequence{
+		pool:   s.pool,
+		blocks: append([]int(nil), s.blocks...),
+		tokens: s.tokens,
+	}
+	return child, nil
+}
+
+// WriteLast marks the last block as written. If the block is shared
+// (ref > 1), it is copied first (copy-on-write) so siblings keep their
+// version; the method returns whether a copy happened.
+func (s *Sequence) WriteLast() (copied bool, err error) {
+	if s.freed {
+		return false, fmt.Errorf("kvpool: write to freed sequence")
+	}
+	if len(s.blocks) == 0 {
+		return false, fmt.Errorf("kvpool: write to empty sequence")
+	}
+	last := len(s.blocks) - 1
+	id := s.blocks[last]
+	if s.pool.refs[id] == 1 {
+		return false, nil
+	}
+	fresh, err := s.pool.allocBlock()
+	if err != nil {
+		return false, err
+	}
+	s.pool.releaseBlock(id) // drop our shared reference
+	s.blocks[last] = fresh
+	s.pool.cowCopies++
+	return true, nil
+}
+
+// Free releases every block reference. Double frees are rejected.
+func (s *Sequence) Free() error {
+	if s.freed {
+		return fmt.Errorf("kvpool: double free of sequence")
+	}
+	for _, id := range s.blocks {
+		s.pool.releaseBlock(id)
+	}
+	s.blocks = nil
+	s.freed = true
+	return nil
+}
+
+// Stats summarizes pool activity.
+type Stats struct {
+	TotalBlocks, FreeBlocks int
+	Allocations             int
+	CoWCopies               int
+}
+
+// Stats returns a snapshot.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		TotalBlocks: p.total, FreeBlocks: len(p.freeList),
+		Allocations: p.allocs, CoWCopies: p.cowCopies,
+	}
+}
+
+// MaxContiguousSequences returns how many sequences of maxLen tokens a
+// budget admits when each sequence preallocates its full contiguous
+// reservation — the baseline the paper's Fig 7 pressure implies.
+func MaxContiguousSequences(cfg model.Config, dt tensor.DType, budgetBytes int64, maxLen int) int {
+	per := cfg.KVCacheBytes(maxLen, 1, dt)
+	if per <= 0 {
+		return 0
+	}
+	return int(budgetBytes / per)
+}

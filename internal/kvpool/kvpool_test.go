@@ -1,0 +1,276 @@
+package kvpool
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+func newPool(t *testing.T, blocks int) *Pool {
+	t.Helper()
+	cfg := model.Tiny(model.OPT)
+	tmp, err := New(cfg, tensor.BF16, 16, 1)
+	if err == nil {
+		t.Fatal("1-byte budget must fail")
+		_ = tmp
+	}
+	per := (&Pool{cfg: cfg, dt: tensor.BF16, blockSize: 16}).BytesPerBlock()
+	p, err := New(cfg, tensor.BF16, 16, per*int64(blocks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalBlocks() != blocks {
+		t.Fatalf("pool sized %d blocks, want %d", p.TotalBlocks(), blocks)
+	}
+	return p
+}
+
+func TestPoolSizing(t *testing.T) {
+	p := newPool(t, 8)
+	if p.FreeBlocks() != 8 || p.Utilization() != 0 {
+		t.Error("fresh pool state wrong")
+	}
+	if _, err := New(model.Config{}, tensor.BF16, 16, 1<<20); err == nil {
+		t.Error("invalid config must fail")
+	}
+	if _, err := New(model.Tiny(model.OPT), tensor.BF16, 0, 1<<20); err == nil {
+		t.Error("zero block size must fail")
+	}
+}
+
+func TestAppendAllocatesBlocks(t *testing.T) {
+	p := newPool(t, 4)
+	s := p.NewSequence()
+	if err := s.Append(10); err != nil { // 10 tokens → 1 block of 16
+		t.Fatal(err)
+	}
+	if len(s.Blocks()) != 1 || s.Tokens() != 10 || s.WastedSlots() != 6 {
+		t.Errorf("state: blocks=%d tokens=%d wasted=%d", len(s.Blocks()), s.Tokens(), s.WastedSlots())
+	}
+	if err := s.Append(6); err != nil { // fills the block exactly
+		t.Fatal(err)
+	}
+	if len(s.Blocks()) != 1 || s.WastedSlots() != 0 {
+		t.Error("exact fill must not allocate")
+	}
+	if err := s.Append(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Blocks()) != 2 {
+		t.Error("17th token must open block 2")
+	}
+	if p.FreeBlocks() != 2 {
+		t.Errorf("pool free = %d, want 2", p.FreeBlocks())
+	}
+}
+
+func TestExhaustionAtomic(t *testing.T) {
+	p := newPool(t, 2)
+	s := p.NewSequence()
+	if err := s.Append(32); err != nil {
+		t.Fatal(err)
+	}
+	s2 := p.NewSequence()
+	if err := s2.Append(1); err != ErrOutOfBlocks {
+		t.Fatalf("expected ErrOutOfBlocks, got %v", err)
+	}
+	// Failed append must not leak state.
+	if s2.Tokens() != 0 || len(s2.Blocks()) != 0 {
+		t.Error("failed append mutated sequence")
+	}
+	if err := s.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append(1); err != nil {
+		t.Errorf("append after free must succeed: %v", err)
+	}
+}
+
+func TestFreeAndDoubleFree(t *testing.T) {
+	p := newPool(t, 4)
+	s := p.NewSequence()
+	if err := s.Append(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeBlocks() != 4 {
+		t.Error("free must return all blocks")
+	}
+	if err := s.Free(); err == nil {
+		t.Error("double free must fail")
+	}
+	if err := s.Append(1); err == nil {
+		t.Error("append after free must fail")
+	}
+	if _, err := s.Fork(); err == nil {
+		t.Error("fork after free must fail")
+	}
+	if _, err := s.WriteLast(); err == nil {
+		t.Error("write after free must fail")
+	}
+}
+
+func TestForkSharesBlocks(t *testing.T) {
+	p := newPool(t, 8)
+	parent := p.NewSequence()
+	if err := parent.Append(32); err != nil { // 2 blocks
+		t.Fatal(err)
+	}
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeBlocks() != 6 {
+		t.Errorf("fork must not allocate: free=%d", p.FreeBlocks())
+	}
+	if child.Tokens() != 32 {
+		t.Error("child must inherit length")
+	}
+	// Freeing the parent keeps shared blocks alive for the child.
+	if err := parent.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeBlocks() != 6 {
+		t.Error("shared blocks must survive parent free")
+	}
+	if err := child.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeBlocks() != 8 {
+		t.Error("all blocks must return after both free")
+	}
+}
+
+func TestCopyOnWrite(t *testing.T) {
+	p := newPool(t, 8)
+	parent := p.NewSequence()
+	if err := parent.Append(20); err != nil { // 2 blocks, last shared
+		t.Fatal(err)
+	}
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied, err := child.WriteLast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !copied {
+		t.Fatal("write to a shared block must copy")
+	}
+	if child.Blocks()[1] == parent.Blocks()[1] {
+		t.Error("child must own a fresh last block after CoW")
+	}
+	if child.Blocks()[0] != parent.Blocks()[0] {
+		t.Error("unwritten prefix block must stay shared")
+	}
+	// A second write needs no copy.
+	copied, err = child.WriteLast()
+	if err != nil || copied {
+		t.Errorf("second write must be in place: copied=%v err=%v", copied, err)
+	}
+	if p.Stats().CoWCopies != 1 {
+		t.Errorf("CoW count = %d, want 1", p.Stats().CoWCopies)
+	}
+}
+
+// TestPagedAdmitsMoreSequences is the package's headline result: under
+// the same budget, paged allocation admits many more concurrent
+// sequences than contiguous max-length reservations when actual lengths
+// are short (the Fig 7 pressure scenario).
+func TestPagedAdmitsMoreSequences(t *testing.T) {
+	cfg := model.Tiny(model.OPT)
+	const maxLen = 64                                  // model.Tiny MaxSeq
+	budget := cfg.KVCacheBytes(maxLen, 8, tensor.BF16) // room for 8 full seqs
+	contiguous := MaxContiguousSequences(cfg, tensor.BF16, budget, maxLen)
+	if contiguous != 8 {
+		t.Fatalf("contiguous baseline = %d, want 8", contiguous)
+	}
+	p, err := New(cfg, tensor.BF16, 16, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Actual requests use 16 of the 64 reserved tokens.
+	admitted := 0
+	for {
+		s := p.NewSequence()
+		if err := s.Append(16); err != nil {
+			break
+		}
+		admitted++
+	}
+	if admitted < 3*contiguous {
+		t.Errorf("paged admitted %d sequences, want ≥ %d (3× contiguous)",
+			admitted, 3*contiguous)
+	}
+}
+
+// TestBlockAccountingProperty: any interleaving of appends, forks, CoW
+// writes and frees conserves blocks (free + Σ unique refs == total, no
+// negative refcounts — enforced by panic on violation).
+func TestBlockAccountingProperty(t *testing.T) {
+	f := func(script []uint8) bool {
+		p, err := New(model.Tiny(model.OPT), tensor.BF16, 16,
+			(&Pool{cfg: model.Tiny(model.OPT), dt: tensor.BF16, blockSize: 16}).BytesPerBlock()*12)
+		if err != nil {
+			return false
+		}
+		var live []*Sequence
+		for _, op := range script {
+			switch op % 4 {
+			case 0: // new + append
+				s := p.NewSequence()
+				if s.Append(int(op%37)) == nil {
+					live = append(live, s)
+				}
+			case 1: // append to random live
+				if len(live) > 0 {
+					_ = live[int(op)%len(live)].Append(int(op % 19))
+				}
+			case 2: // fork
+				if len(live) > 0 {
+					if c, err := live[int(op)%len(live)].Fork(); err == nil {
+						live = append(live, c)
+					}
+				}
+			case 3: // CoW write or free
+				if len(live) == 0 {
+					continue
+				}
+				i := int(op) % len(live)
+				if op%8 < 4 {
+					_, _ = live[i].WriteLast()
+				} else {
+					if live[i].Free() != nil {
+						return false
+					}
+					live = append(live[:i], live[i+1:]...)
+				}
+			}
+		}
+		for _, s := range live {
+			if s.Free() != nil {
+				return false
+			}
+		}
+		return p.FreeBlocks() == p.TotalBlocks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeAppend(t *testing.T) {
+	p := newPool(t, 2)
+	s := p.NewSequence()
+	if err := s.Append(-1); err == nil {
+		t.Error("negative append must fail")
+	}
+	if _, err := s.WriteLast(); err == nil {
+		t.Error("write to empty sequence must fail")
+	}
+}

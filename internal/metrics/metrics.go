@@ -1,0 +1,93 @@
+// Package metrics defines the LLM-inference performance metrics the paper
+// evaluates (§II-C): time to first token (TTFT), time per output token
+// (TPOT), end-to-end latency, and tokens-per-second throughput for the
+// prefill phase, the decode phase, and the whole request.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+)
+
+// Latency aggregates the three latency metrics, in seconds.
+type Latency struct {
+	TTFT float64 // prefill time: first token
+	TPOT float64 // mean seconds per subsequent output token
+	E2E  float64 // total request time
+}
+
+// Throughput aggregates tokens-per-second rates. Prefill counts prompt
+// tokens processed per second; Decode and E2E count generated tokens.
+type Throughput struct {
+	Prefill float64
+	Decode  float64
+	E2E     float64
+}
+
+// Result is the outcome of simulating one (platform, model, batch,
+// sequence) point.
+type Result struct {
+	Platform  string
+	Model     string
+	Batch     int
+	InputLen  int
+	OutputLen int
+
+	Latency    Latency
+	Throughput Throughput
+
+	// PrefillSeconds and DecodeSeconds partition E2E by phase.
+	PrefillSeconds float64
+	DecodeSeconds  float64
+
+	// ComputeSeconds and TransferSeconds break execution down for the
+	// offloading analysis (Fig 18): TransferSeconds is time stalled on
+	// PCIe data loading, ComputeSeconds everything else.
+	ComputeSeconds  float64
+	TransferSeconds float64
+
+	// Counters carries the emulated performance counters (CPU runs).
+	Counters counters.Report
+}
+
+// New derives the full metric set from phase times. prefill and decode are
+// the phase wall-clock times in seconds; decode covers outputLen-1 steps
+// (the first output token is produced by prefill).
+func New(platform, model string, batch, inputLen, outputLen int, prefill, decode float64) Result {
+	r := Result{
+		Platform: platform, Model: model,
+		Batch: batch, InputLen: inputLen, OutputLen: outputLen,
+		PrefillSeconds: prefill, DecodeSeconds: decode,
+	}
+	r.Latency.TTFT = prefill
+	r.Latency.E2E = prefill + decode
+	steps := outputLen - 1
+	if steps > 0 {
+		r.Latency.TPOT = decode / float64(steps)
+		r.Throughput.Decode = float64(batch*steps) / decode
+	}
+	if prefill > 0 {
+		r.Throughput.Prefill = float64(batch*inputLen) / prefill
+	}
+	if r.Latency.E2E > 0 {
+		r.Throughput.E2E = float64(batch*outputLen) / r.Latency.E2E
+	}
+	return r
+}
+
+// PCIeFraction returns the share of execution spent on PCIe data loading
+// (Fig 18's breakdown); zero for non-offloaded runs.
+func (r Result) PCIeFraction() float64 {
+	total := r.ComputeSeconds + r.TransferSeconds
+	if total == 0 {
+		return 0
+	}
+	return r.TransferSeconds / total
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s b=%d in=%d out=%d: TTFT=%.1fms TPOT=%.1fms E2E=%.2fs thpt=%.1f tok/s",
+		r.Platform, r.Model, r.Batch, r.InputLen, r.OutputLen,
+		r.Latency.TTFT*1e3, r.Latency.TPOT*1e3, r.Latency.E2E, r.Throughput.E2E)
+}

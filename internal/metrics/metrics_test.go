@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewDerivations(t *testing.T) {
+	r := New("SPR", "OPT-13B", 4, 128, 32, 0.5, 3.1)
+	if r.Latency.TTFT != 0.5 {
+		t.Errorf("TTFT = %v", r.Latency.TTFT)
+	}
+	if math.Abs(r.Latency.E2E-3.6) > 1e-12 {
+		t.Errorf("E2E = %v", r.Latency.E2E)
+	}
+	if math.Abs(r.Latency.TPOT-0.1) > 1e-12 {
+		t.Errorf("TPOT = %v", r.Latency.TPOT)
+	}
+	if math.Abs(r.Throughput.Prefill-4*128/0.5) > 1e-9 {
+		t.Errorf("prefill thpt = %v", r.Throughput.Prefill)
+	}
+	if math.Abs(r.Throughput.Decode-4*31/3.1) > 1e-9 {
+		t.Errorf("decode thpt = %v", r.Throughput.Decode)
+	}
+	if math.Abs(r.Throughput.E2E-4*32/3.6) > 1e-9 {
+		t.Errorf("e2e thpt = %v", r.Throughput.E2E)
+	}
+}
+
+func TestNewSingleToken(t *testing.T) {
+	// outputLen=1 means no decode phase; TPOT undefined (0), no division
+	// by zero.
+	r := New("SPR", "m", 1, 128, 1, 0.2, 0)
+	if r.Latency.TPOT != 0 || r.Throughput.Decode != 0 {
+		t.Errorf("single-token TPOT/decode thpt should be 0: %+v", r.Latency)
+	}
+	if r.Throughput.E2E != 5 {
+		t.Errorf("E2E thpt = %v, want 5", r.Throughput.E2E)
+	}
+}
+
+func TestPCIeFraction(t *testing.T) {
+	r := Result{ComputeSeconds: 1, TransferSeconds: 3}
+	if r.PCIeFraction() != 0.75 {
+		t.Errorf("PCIe fraction = %v", r.PCIeFraction())
+	}
+	if (Result{}).PCIeFraction() != 0 {
+		t.Error("empty result must have zero PCIe fraction")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New("SPR", "OPT-13B", 1, 128, 32, 0.1, 1.0).String()
+	for _, want := range []string{"SPR", "OPT-13B", "TTFT", "TPOT"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

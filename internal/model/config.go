@@ -1,0 +1,115 @@
+// Package model describes decoder-only transformer architectures (the OPT
+// and LLaMA-2 families evaluated in the paper) and derives the analytic
+// quantities the characterization depends on: parameter counts, weight and
+// KV-cache footprints (§II-B), and FLOP/byte costs per phase that feed the
+// platform performance model.
+package model
+
+import "fmt"
+
+// Family identifies a model family, which fixes architectural choices such
+// as normalization, activation, and positional encoding.
+type Family int
+
+const (
+	// OPT models use LayerNorm, ReLU FFNs with bias, learned positional
+	// embeddings, and a 4×d feed-forward width.
+	OPT Family = iota
+	// LLaMA2 models use RMSNorm, SiLU-gated FFNs without bias, rotary
+	// positional embeddings, and (for 70B) grouped-query attention.
+	LLaMA2
+)
+
+// String returns the family name.
+func (f Family) String() string {
+	switch f {
+	case OPT:
+		return "OPT"
+	case LLaMA2:
+		return "LLaMA-2"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// Config describes one decoder-only transformer architecture.
+type Config struct {
+	Name    string // e.g. "OPT-13B"
+	Family  Family
+	Layers  int // number of decoder blocks
+	DModel  int // hidden dimension
+	Heads   int // query heads
+	KVHeads int // key/value heads (== Heads unless grouped-query attention)
+	DFF     int // feed-forward inner dimension
+	Vocab   int // vocabulary size
+	MaxSeq  int // maximum (trained) sequence length
+}
+
+// HeadDim returns the per-head dimension DModel/Heads.
+func (c Config) HeadDim() int { return c.DModel / c.Heads }
+
+// Validate reports configuration inconsistencies.
+func (c Config) Validate() error {
+	switch {
+	case c.Layers <= 0 || c.DModel <= 0 || c.Heads <= 0 || c.KVHeads <= 0 || c.DFF <= 0 || c.Vocab <= 0:
+		return fmt.Errorf("model %q: non-positive dimension", c.Name)
+	case c.DModel%c.Heads != 0:
+		return fmt.Errorf("model %q: DModel %d not divisible by Heads %d", c.Name, c.DModel, c.Heads)
+	case c.Heads%c.KVHeads != 0:
+		return fmt.Errorf("model %q: Heads %d not divisible by KVHeads %d", c.Name, c.Heads, c.KVHeads)
+	}
+	return nil
+}
+
+// Architecture presets for the models evaluated in the paper (§IV-A).
+// Dimensions follow the published OPT and LLaMA-2 configurations.
+var (
+	// Small OPT members (draft models for speculative decoding and quick
+	// sweeps; not part of the paper's evaluated set).
+	OPT125M = Config{Name: "OPT-125M", Family: OPT, Layers: 12, DModel: 768, Heads: 12, KVHeads: 12, DFF: 3072, Vocab: 50272, MaxSeq: 2048}
+	OPT350M = Config{Name: "OPT-350M", Family: OPT, Layers: 24, DModel: 1024, Heads: 16, KVHeads: 16, DFF: 4096, Vocab: 50272, MaxSeq: 2048}
+	OPT2B7  = Config{Name: "OPT-2.7B", Family: OPT, Layers: 32, DModel: 2560, Heads: 32, KVHeads: 32, DFF: 10240, Vocab: 50272, MaxSeq: 2048}
+
+	OPT1B3  = Config{Name: "OPT-1.3B", Family: OPT, Layers: 24, DModel: 2048, Heads: 32, KVHeads: 32, DFF: 8192, Vocab: 50272, MaxSeq: 2048}
+	OPT6B7  = Config{Name: "OPT-6.7B", Family: OPT, Layers: 32, DModel: 4096, Heads: 32, KVHeads: 32, DFF: 16384, Vocab: 50272, MaxSeq: 2048}
+	OPT13B  = Config{Name: "OPT-13B", Family: OPT, Layers: 40, DModel: 5120, Heads: 40, KVHeads: 40, DFF: 20480, Vocab: 50272, MaxSeq: 2048}
+	OPT30B  = Config{Name: "OPT-30B", Family: OPT, Layers: 48, DModel: 7168, Heads: 56, KVHeads: 56, DFF: 28672, Vocab: 50272, MaxSeq: 2048}
+	OPT66B  = Config{Name: "OPT-66B", Family: OPT, Layers: 64, DModel: 9216, Heads: 72, KVHeads: 72, DFF: 36864, Vocab: 50272, MaxSeq: 2048}
+	OPT175B = Config{Name: "OPT-175B", Family: OPT, Layers: 96, DModel: 12288, Heads: 96, KVHeads: 96, DFF: 49152, Vocab: 50272, MaxSeq: 2048}
+
+	Llama7B  = Config{Name: "LLaMA2-7B", Family: LLaMA2, Layers: 32, DModel: 4096, Heads: 32, KVHeads: 32, DFF: 11008, Vocab: 32000, MaxSeq: 4096}
+	Llama13B = Config{Name: "LLaMA2-13B", Family: LLaMA2, Layers: 40, DModel: 5120, Heads: 40, KVHeads: 40, DFF: 13824, Vocab: 32000, MaxSeq: 4096}
+	Llama70B = Config{Name: "LLaMA2-70B", Family: LLaMA2, Layers: 80, DModel: 8192, Heads: 64, KVHeads: 8, DFF: 28672, Vocab: 32000, MaxSeq: 4096}
+)
+
+// Evaluated returns the eight models characterized in §IV/§V in the order
+// the paper's figures present them (ascending size within mixed families).
+func Evaluated() []Config {
+	return []Config{OPT1B3, OPT6B7, Llama7B, OPT13B, Llama13B, OPT30B, OPT66B, Llama70B}
+}
+
+// ByName returns the preset with the given name.
+func ByName(name string) (Config, error) {
+	extras := []Config{OPT125M, OPT350M, OPT2B7, OPT175B}
+	for _, c := range append(Evaluated(), extras...) {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("model: unknown preset %q", name)
+}
+
+// Tiny returns a miniature configuration of the given family for the
+// functional engine's tests and examples. It preserves the family's
+// architectural choices at toy scale.
+func Tiny(f Family) Config {
+	c := Config{Name: "tiny-" + f.String(), Family: f, Layers: 2, DModel: 64,
+		Heads: 4, KVHeads: 4, Vocab: 97, MaxSeq: 64}
+	if f == OPT {
+		c.DFF = 4 * c.DModel
+	} else {
+		c.DFF = 8 * c.DModel / 3
+		c.KVHeads = 2 // exercise grouped-query attention
+	}
+	return c
+}

@@ -1,0 +1,146 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, c := range append(Evaluated(), OPT175B) {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	for _, f := range []Family{OPT, LLaMA2} {
+		if err := Tiny(f).Validate(); err != nil {
+			t.Errorf("tiny %s: %v", f, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Name: "zero"},
+		{Name: "indivisible", Layers: 1, DModel: 100, Heads: 3, KVHeads: 3, DFF: 1, Vocab: 1},
+		{Name: "gqa", Layers: 1, DModel: 64, Heads: 4, KVHeads: 3, DFF: 1, Vocab: 1},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("%s: expected validation error", c.Name)
+		}
+	}
+}
+
+// TestParamCounts checks that derived parameter counts land within 3% of
+// the nominal model sizes the paper quotes.
+func TestSmallPresets(t *testing.T) {
+	want := map[string]float64{"OPT-125M": 0.125e9, "OPT-350M": 0.331e9, "OPT-2.7B": 2.7e9}
+	for name, nominal := range want {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		got := float64(c.ParamCount())
+		if rel := (got - nominal) / nominal; rel > 0.12 || rel < -0.12 {
+			t.Errorf("%s: %.3gB params, nominal %.3gB", name, got/1e9, nominal/1e9)
+		}
+	}
+}
+
+func TestParamCounts(t *testing.T) {
+	want := map[string]float64{
+		"OPT-1.3B":   1.3e9,
+		"OPT-6.7B":   6.7e9,
+		"OPT-13B":    13e9,
+		"OPT-30B":    30e9,
+		"OPT-66B":    66e9,
+		"OPT-175B":   175e9,
+		"LLaMA2-7B":  6.74e9,
+		"LLaMA2-13B": 13.0e9,
+		"LLaMA2-70B": 69e9,
+	}
+	for _, c := range append(Evaluated(), OPT175B) {
+		got := float64(c.ParamCount())
+		nominal := want[c.Name]
+		if rel := (got - nominal) / nominal; rel > 0.03 || rel < -0.05 {
+			t.Errorf("%s: %.3gB params, nominal %.3gB (rel %.1f%%)",
+				c.Name, got/1e9, nominal/1e9, rel*100)
+		}
+	}
+}
+
+// TestKVCachePaperExample reproduces the §I sizing example: OPT-66B at
+// sequence length 4096 and batch 32 needs 288 GB (GiB) of KV cache.
+func TestKVCachePaperExample(t *testing.T) {
+	got := OPT66B.KVCacheBytes(4096, 32, tensor.BF16)
+	gib := float64(got) / (1 << 30)
+	if gib < 280 || gib > 296 {
+		t.Errorf("OPT-66B KV cache = %.1f GiB, paper says 288 GB", gib)
+	}
+}
+
+// TestWeightFootprints checks the §I/§III sizing claims: OPT-175B needs
+// ~350 GB in FP16; LLaMA2-70B exceeds a single 80 GB H100.
+func TestWeightFootprints(t *testing.T) {
+	opt175 := float64(OPT175B.WeightBytes(tensor.FP16)) / 1e9
+	if opt175 < 330 || opt175 > 370 {
+		t.Errorf("OPT-175B FP16 = %.0f GB, paper says ~350 GB", opt175)
+	}
+	llama70 := float64(Llama70B.WeightBytes(tensor.FP16)) / 1e9
+	if llama70 < 120 || llama70 > 145 {
+		t.Errorf("LLaMA2-70B FP16 = %.0f GB, expected ~138 GB", llama70)
+	}
+	if llama70 <= 80 {
+		t.Error("LLaMA2-70B must exceed one H100's 80 GB")
+	}
+}
+
+func TestKVCacheLinear(t *testing.T) {
+	// The KV cache must scale linearly in both sequence length and batch.
+	base := Llama13B.KVCacheBytes(128, 1, tensor.BF16)
+	if Llama13B.KVCacheBytes(256, 1, tensor.BF16) != 2*base {
+		t.Error("KV cache not linear in sequence length")
+	}
+	if Llama13B.KVCacheBytes(128, 8, tensor.BF16) != 8*base {
+		t.Error("KV cache not linear in batch size")
+	}
+}
+
+func TestGQAShrinksKVCache(t *testing.T) {
+	// LLaMA2-70B uses 8 KV heads out of 64: its per-token KV bytes must be
+	// 8× smaller than a same-width MHA model would need.
+	full := 2 * int64(Llama70B.DModel) * 2
+	got := Llama70B.KVBytesPerTokenPerLayer(tensor.BF16)
+	if got*8 != full {
+		t.Errorf("GQA KV bytes = %d, want %d", got, full/8)
+	}
+}
+
+func TestHeadDimAndKVDim(t *testing.T) {
+	if Llama70B.HeadDim() != 128 || Llama70B.KVDim() != 1024 {
+		t.Errorf("LLaMA2-70B head dims wrong: %d, %d", Llama70B.HeadDim(), Llama70B.KVDim())
+	}
+	if OPT13B.KVDim() != OPT13B.DModel {
+		t.Error("MHA model KVDim must equal DModel")
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("OPT-30B")
+	if err != nil || c.Layers != 48 {
+		t.Errorf("ByName(OPT-30B) = %+v, %v", c, err)
+	}
+	if _, err := ByName("GPT-5"); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if OPT.String() != "OPT" || LLaMA2.String() != "LLaMA-2" {
+		t.Error("family names wrong")
+	}
+}

@@ -1,0 +1,148 @@
+package model
+
+import "repro/internal/tensor"
+
+// Phase distinguishes the two LLM inference phases (§II-B).
+type Phase int
+
+const (
+	// Prefill processes the whole input prompt at once (compute-bound).
+	Prefill Phase = iota
+	// Decode generates one token per step (memory-bound).
+	Decode
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	if p == Prefill {
+		return "prefill"
+	}
+	return "decode"
+}
+
+// Op is one GEMM-shaped unit of work in a transformer pass, at the
+// granularity the platform performance model prices: an M×N×K matrix
+// multiply executed Instances times, reading WeightBytes of parameters
+// and IOBytes of activations/KV-cache traffic per full pass.
+type Op struct {
+	Name      string
+	M, N, K   int64
+	Instances int64 // number of independent GEMMs of this shape per pass
+	// WeightBytes is the total parameter bytes this op streams per pass
+	// (zero for attention score/context ops, which read the KV cache).
+	WeightBytes int64
+	// IOBytes is the total activation and KV-cache bytes this op streams
+	// per pass.
+	IOBytes int64
+	// Attention marks KV-cache-bound ops, which offloading systems such as
+	// FlexGen delegate to the CPU (§VI).
+	Attention bool
+}
+
+// FLOPs returns the floating-point operations of the op per pass.
+func (o Op) FLOPs() float64 {
+	return 2 * float64(o.M) * float64(o.N) * float64(o.K) * float64(o.Instances)
+}
+
+// Bytes returns all bytes streamed per pass.
+func (o Op) Bytes() int64 { return o.WeightBytes + o.IOBytes }
+
+// ArithmeticIntensity returns FLOPs per byte, the roofline x-coordinate.
+func (o Op) ArithmeticIntensity() float64 {
+	b := o.Bytes()
+	if b == 0 {
+		return 0
+	}
+	return o.FLOPs() / float64(b)
+}
+
+// Ops enumerates the GEMM-shaped work of one full forward pass.
+//
+// For Prefill, seq is the prompt length and ctx is ignored (the pass
+// attends over the prompt itself). For Decode, seq must be 1 and ctx is
+// the current KV-cache length per sequence. batch is the number of
+// sequences. dt sizes weight and KV traffic.
+//
+// Per-layer ops are returned with Instances folded across layers (and
+// across batch×heads for attention), so summing FLOPs/Bytes over the
+// returned slice prices exactly one pass.
+func (c Config) Ops(ph Phase, batch, seq, ctx int, dt tensor.DType) []Op {
+	d := int64(c.DModel)
+	kv := int64(c.KVDim())
+	dff := int64(c.DFF)
+	hd := int64(c.HeadDim())
+	L := int64(c.Layers)
+	B := int64(batch)
+	S := int64(seq)
+	es := int64(dt.Size())
+	actES := int64(tensor.BF16.Size()) // activations kept in BF16
+
+	var attLen int64 // keys attended per query
+	if ph == Prefill {
+		// Causal attention averages S/2 keys per query; price the mean.
+		attLen = (S + 1) / 2
+		if attLen == 0 {
+			attLen = 1
+		}
+	} else {
+		S = 1
+		attLen = int64(ctx)
+		if attLen == 0 {
+			attLen = 1
+		}
+	}
+
+	rows := B * S // GEMM M dimension for the linear layers
+	ops := []Op{
+		{
+			Name: "qkv_proj", M: rows, N: d + 2*kv, K: d, Instances: L,
+			WeightBytes: L * d * (d + 2*kv) * es,
+			IOBytes:     L * rows * (2*d + 2*kv) * actES,
+		},
+		{
+			Name: "attn_scores", M: S, N: attLen, K: hd,
+			Instances: L * B * int64(c.Heads),
+			// Reads K cache for every query group; writes scores.
+			IOBytes:   L * B * (attLen*kv + S*attLen*int64(c.Heads)) * actES,
+			Attention: true,
+		},
+		{
+			Name: "attn_context", M: S, N: hd, K: attLen,
+			Instances: L * B * int64(c.Heads),
+			// Reads V cache and scores; writes context.
+			IOBytes:   L * B * (attLen*kv + S*attLen*int64(c.Heads) + S*d) * actES,
+			Attention: true,
+		},
+		{
+			Name: "out_proj", M: rows, N: d, K: d, Instances: L,
+			WeightBytes: L * d * d * es,
+			IOBytes:     L * rows * 2 * d * actES,
+		},
+	}
+	if c.Family == LLaMA2 {
+		ops = append(ops,
+			Op{Name: "ffn_gate_up", M: rows, N: 2 * dff, K: d, Instances: L,
+				WeightBytes: L * 2 * d * dff * es,
+				IOBytes:     L * rows * (d + 2*dff) * actES},
+			Op{Name: "ffn_down", M: rows, N: d, K: dff, Instances: L,
+				WeightBytes: L * d * dff * es,
+				IOBytes:     L * rows * (dff + d) * actES},
+		)
+	} else {
+		ops = append(ops,
+			Op{Name: "ffn_up", M: rows, N: dff, K: d, Instances: L,
+				WeightBytes: L * d * dff * es,
+				IOBytes:     L * rows * (d + dff) * actES},
+			Op{Name: "ffn_down", M: rows, N: d, K: dff, Instances: L,
+				WeightBytes: L * d * dff * es,
+				IOBytes:     L * rows * (dff + d) * actES},
+		)
+	}
+	// LM head: only the last position of each sequence needs logits.
+	ops = append(ops, Op{
+		Name: "lm_head", M: B, N: int64(c.Vocab), K: d, Instances: 1,
+		WeightBytes: int64(c.Vocab) * d * es,
+		IOBytes:     B * (d + int64(c.Vocab)) * actES,
+	})
+	return ops
+}

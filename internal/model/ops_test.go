@@ -1,0 +1,168 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func sumFLOPs(ops []Op) float64 {
+	var s float64
+	for _, o := range ops {
+		s += o.FLOPs()
+	}
+	return s
+}
+
+func sumWeightBytes(ops []Op) int64 {
+	var s int64
+	for _, o := range ops {
+		s += o.WeightBytes
+	}
+	return s
+}
+
+// TestOpsFLOPsMatchAnalytic cross-checks the op inventory against the
+// closed-form PrefillFLOPs/DecodeStepFLOPs formulas (within the slack the
+// causal-mean approximation introduces).
+func TestOpsFLOPsMatchAnalytic(t *testing.T) {
+	for _, c := range []Config{OPT13B, Llama13B, Llama70B} {
+		for _, batch := range []int{1, 8} {
+			pre := sumFLOPs(c.Ops(Prefill, batch, 128, 0, tensor.BF16))
+			want := c.PrefillFLOPs(128, batch)
+			if r := pre / want; r < 0.9 || r > 1.1 {
+				t.Errorf("%s b=%d: prefill ops %.3g vs analytic %.3g (ratio %.2f)",
+					c.Name, batch, pre, want, r)
+			}
+			dec := sumFLOPs(c.Ops(Decode, batch, 1, 200, tensor.BF16))
+			wantD := c.DecodeStepFLOPs(200, batch)
+			if r := dec / wantD; r < 0.9 || r > 1.1 {
+				t.Errorf("%s b=%d: decode ops %.3g vs analytic %.3g (ratio %.2f)",
+					c.Name, batch, dec, wantD, r)
+			}
+		}
+	}
+}
+
+// TestOpsWeightBytesMatchFootprint: the weights streamed by one pass must
+// equal the model's linear-layer footprint (embeddings excluded, lm_head
+// included once).
+func TestOpsWeightBytesMatchFootprint(t *testing.T) {
+	for _, c := range Evaluated() {
+		got := sumWeightBytes(c.Ops(Decode, 1, 1, 100, tensor.BF16))
+		want := (c.AttnParams()+c.FFNParams())*int64(c.Layers)*2 +
+			int64(c.Vocab)*int64(c.DModel)*2
+		if got != want {
+			t.Errorf("%s: streamed %d weight bytes, want %d", c.Name, got, want)
+		}
+	}
+}
+
+// TestDecodeWeightBytesBatchInvariant: weights are read once per step no
+// matter the batch size — the amortization at the heart of batched decode.
+func TestDecodeWeightBytesBatchInvariant(t *testing.T) {
+	b1 := sumWeightBytes(OPT13B.Ops(Decode, 1, 1, 128, tensor.BF16))
+	b32 := sumWeightBytes(OPT13B.Ops(Decode, 32, 1, 128, tensor.BF16))
+	if b1 != b32 {
+		t.Errorf("weight bytes changed with batch: %d vs %d", b1, b32)
+	}
+}
+
+// TestDecodeFLOPsScaleWithBatch: decode compute must scale ~linearly in
+// batch, which is what shifts large-batch decode toward compute-bound
+// execution (Figs 11/12).
+func TestDecodeFLOPsScaleWithBatch(t *testing.T) {
+	f1 := sumFLOPs(OPT13B.Ops(Decode, 1, 1, 128, tensor.BF16))
+	f32 := sumFLOPs(OPT13B.Ops(Decode, 32, 1, 128, tensor.BF16))
+	if r := f32 / f1; r < 30 || r > 34 {
+		t.Errorf("decode FLOPs batch scaling = %.1f, want ~32", r)
+	}
+}
+
+// TestArithmeticIntensityPhases: prefill ops must have far higher
+// arithmetic intensity than decode ops (prefill compute-bound, decode
+// memory-bound — the paper's core framing).
+func TestArithmeticIntensityPhases(t *testing.T) {
+	pre := OPT13B.Ops(Prefill, 1, 128, 0, tensor.BF16)
+	dec := OPT13B.Ops(Decode, 1, 1, 128, tensor.BF16)
+	preAI := sumFLOPs(pre) / float64(sumBytes(pre))
+	decAI := sumFLOPs(dec) / float64(sumBytes(dec))
+	if preAI < 20*decAI {
+		t.Errorf("prefill AI %.1f not ≫ decode AI %.2f", preAI, decAI)
+	}
+}
+
+func sumBytes(ops []Op) int64 {
+	var s int64
+	for _, o := range ops {
+		s += o.Bytes()
+	}
+	return s
+}
+
+// TestAttentionOpsCarryNoWeights: the attention score/context ops read the
+// KV cache, not parameters; FlexGen's CPU delegation depends on this.
+func TestAttentionOpsCarryNoWeights(t *testing.T) {
+	for _, o := range Llama70B.Ops(Decode, 4, 1, 512, tensor.BF16) {
+		if o.Attention && o.WeightBytes != 0 {
+			t.Errorf("%s: attention op carries %d weight bytes", o.Name, o.WeightBytes)
+		}
+		if !o.Attention && o.Name != "lm_head" && o.WeightBytes == 0 {
+			t.Errorf("%s: linear op carries no weights", o.Name)
+		}
+	}
+}
+
+// TestOpsMonotoneInContext: decode attention traffic must grow with the
+// KV-cache length.
+func TestOpsMonotoneInContext(t *testing.T) {
+	f := func(a, b uint16) bool {
+		c1, c2 := int(a%4000)+1, int(b%4000)+1
+		if c1 > c2 {
+			c1, c2 = c2, c1
+		}
+		o1 := Llama13B.Ops(Decode, 2, 1, c1, tensor.BF16)
+		o2 := Llama13B.Ops(Decode, 2, 1, c2, tensor.BF16)
+		return sumBytes(o1) <= sumBytes(o2) &&
+			sumFLOPs(o1) <= sumFLOPs(o2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPrefillFLOPsQuadraticAttention: doubling the prompt must roughly
+// quadruple attention FLOPs while linear-layer FLOPs double.
+func TestPrefillFLOPsQuadraticAttention(t *testing.T) {
+	var attn128, attn256 float64
+	for _, o := range OPT30B.Ops(Prefill, 1, 128, 0, tensor.BF16) {
+		if o.Attention {
+			attn128 += o.FLOPs()
+		}
+	}
+	for _, o := range OPT30B.Ops(Prefill, 1, 256, 0, tensor.BF16) {
+		if o.Attention {
+			attn256 += o.FLOPs()
+		}
+	}
+	if r := attn256 / attn128; math.Abs(r-4) > 0.2 {
+		t.Errorf("attention FLOPs scaling = %.2f, want ~4", r)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if Prefill.String() != "prefill" || Decode.String() != "decode" {
+		t.Error("phase names wrong")
+	}
+}
+
+func TestOpsDecodeZeroContext(t *testing.T) {
+	// First decode step with empty cache must still price a nonzero op.
+	for _, o := range OPT1B3.Ops(Decode, 1, 1, 0, tensor.BF16) {
+		if o.FLOPs() <= 0 {
+			t.Errorf("%s: non-positive FLOPs at ctx=0", o.Name)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package numa
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// pressureItems models an OPT-66B-like working set that exceeds one
+// socket's local memory: hot attention weights, warm FFN weights, cold
+// rarely-touched expert shards.
+func pressureItems() []Item {
+	return []Item{
+		{Name: "hot-attn-weights", SizeGB: 40, Heat: 10},
+		{Name: "warm-ffn-weights", SizeGB: 90, Heat: 5},
+		{Name: "kv-cache", SizeGB: 30, Heat: 8},
+		{Name: "cold-activations", SizeGB: 120, Heat: 0.5},
+		{Name: "cold-shards", SizeGB: 100, Heat: 0.2},
+	}
+}
+
+func TestSPRTopology(t *testing.T) {
+	topo := SPRTopology(hw.SPRMax9468)
+	if len(topo.Nodes) != 3 {
+		t.Fatalf("SPR topology should have 3 nodes, got %d", len(topo.Nodes))
+	}
+	if topo.Nodes[0].Name != "local-hbm" || topo.Nodes[0].BandwidthGBs != 588 {
+		t.Errorf("HBM node wrong: %+v", topo.Nodes[0])
+	}
+	remote := topo.Nodes[2]
+	if !remote.Remote || remote.BandwidthGBs != hw.SPRMax9468.UPIGBs {
+		t.Errorf("remote node must be UPI-capped: %+v", remote)
+	}
+	if topo.TotalCapacityGB() != 64+256+256 {
+		t.Errorf("capacity = %v", topo.TotalCapacityGB())
+	}
+	// HBM-less ICL: two nodes only.
+	if n := len(SPRTopology(hw.ICL8352Y).Nodes); n != 2 {
+		t.Errorf("ICL topology should have 2 nodes, got %d", n)
+	}
+}
+
+// TestHotColdBeatsOblivious is the §VI claim: under capacity pressure,
+// heat-aware placement outperforms NUMA-oblivious interleaving.
+func TestHotColdBeatsOblivious(t *testing.T) {
+	topo := SPRTopology(hw.SPRMax9468)
+	items := pressureItems()
+	smart, err := PlaceHotCold(items, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := PlaceOblivious(items, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwSmart, err := EffectiveBandwidth(items, smart, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwNaive, err := EffectiveBandwidth(items, naive, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bwSmart <= bwNaive {
+		t.Errorf("hot/cold placement (%.0f GB/s) must beat interleaving (%.0f GB/s)",
+			bwSmart, bwNaive)
+	}
+	if bwSmart < 1.5*bwNaive {
+		t.Logf("note: placement advantage only %.2fx", bwSmart/bwNaive)
+	}
+}
+
+// TestHotDataLandsInHBM: the hottest item must be placed on the HBM node.
+func TestHotDataLandsInHBM(t *testing.T) {
+	topo := SPRTopology(hw.SPRMax9468)
+	items := pressureItems()
+	p, err := PlaceHotCold(items, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The KV cache has the highest heat density (8/30 > 10/40) and must
+	// claim HBM first.
+	if p[2] != 0 {
+		t.Errorf("kv-cache placed on node %d, want HBM (0)", p[2])
+	}
+	// The coldest item must land remote (everything local is full).
+	if p[4] != 2 {
+		t.Errorf("cold shards placed on node %d, want remote (2)", p[4])
+	}
+}
+
+// TestRemoteTraffic: heat-aware placement must push less traffic over UPI
+// than interleaving.
+func TestRemoteTraffic(t *testing.T) {
+	topo := SPRTopology(hw.SPRMax9468)
+	items := pressureItems()
+	smart, _ := PlaceHotCold(items, topo)
+	naive, _ := PlaceOblivious(items, topo)
+	fs := RemoteTrafficFraction(items, smart, topo)
+	fn := RemoteTrafficFraction(items, naive, topo)
+	if fs >= fn {
+		t.Errorf("smart remote fraction %.2f must be below naive %.2f", fs, fn)
+	}
+}
+
+func TestPlacementFitsInSmallTopology(t *testing.T) {
+	topo := Topology{Nodes: []Node{
+		{ID: 0, Name: "fast", CapacityGB: 10, BandwidthGBs: 500},
+		{ID: 1, Name: "slow", CapacityGB: 10, BandwidthGBs: 50, Remote: true},
+	}}
+	items := []Item{
+		{Name: "a", SizeGB: 8, Heat: 10},
+		{Name: "b", SizeGB: 8, Heat: 1},
+	}
+	p, err := PlaceHotCold(items, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0 || p[1] != 1 {
+		t.Errorf("placement wrong: %v", p)
+	}
+	// Oversized item: fits total but not any single node.
+	bad := []Item{{Name: "huge", SizeGB: 15, Heat: 1}}
+	if _, err := PlaceHotCold(bad, topo); err == nil {
+		t.Error("unplaceable item must error")
+	}
+}
+
+func TestCapacityErrors(t *testing.T) {
+	topo := SPRTopology(hw.SPRMax9468)
+	over := []Item{{Name: "x", SizeGB: 1000, Heat: 1}}
+	if _, err := PlaceHotCold(over, topo); err == nil {
+		t.Error("over-capacity must error")
+	}
+	if _, err := PlaceOblivious(over, topo); err == nil {
+		t.Error("over-capacity must error for oblivious too")
+	}
+	neg := []Item{{Name: "x", SizeGB: -1, Heat: 1}}
+	if _, err := PlaceHotCold(neg, topo); err == nil {
+		t.Error("negative size must error")
+	}
+}
+
+func TestEffectiveBandwidthErrors(t *testing.T) {
+	topo := SPRTopology(hw.SPRMax9468)
+	items := []Item{{Name: "a", SizeGB: 1, Heat: 1}}
+	if _, err := EffectiveBandwidth(items, Placement{}, topo); err == nil {
+		t.Error("unplaced item must error")
+	}
+	if _, err := EffectiveBandwidth(items, Placement{0: 99}, topo); err == nil {
+		t.Error("unknown node must error")
+	}
+	if bw, err := EffectiveBandwidth(nil, Placement{}, topo); err != nil || bw != 0 {
+		t.Error("empty items must price to 0")
+	}
+}
+
+func TestRemoteFractionZeroTraffic(t *testing.T) {
+	topo := SPRTopology(hw.SPRMax9468)
+	if RemoteTrafficFraction(nil, Placement{}, topo) != 0 {
+		t.Error("no items must mean zero remote fraction")
+	}
+}

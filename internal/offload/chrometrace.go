@@ -1,0 +1,47 @@
+package offload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one complete event ("ph":"X") in the Chrome trace-event
+// JSON format that chrome://tracing and Perfetto load.
+type chromeEvent struct {
+	Name        string  `json:"name"`
+	Phase       string  `json:"ph"`
+	TimestampUS float64 `json:"ts"`
+	DurationUS  float64 `json:"dur"`
+	PID         int     `json:"pid"`
+	TID         int     `json:"tid"`
+	Category    string  `json:"cat"`
+}
+
+// resourceTIDs maps timeline resources to stable pseudo-thread IDs so the
+// viewer shows one row per resource.
+var resourceTIDs = map[string]int{"pcie": 1, "gpu": 2, "cpu": 3}
+
+// WriteChromeTrace serializes the timeline as a Chrome trace-event JSON
+// array, loadable in chrome://tracing or https://ui.perfetto.dev for
+// interactive inspection of the zig-zag overlap.
+func (tl Timeline) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(tl.Events))
+	for _, e := range tl.Events {
+		tid, ok := resourceTIDs[e.Resource]
+		if !ok {
+			return fmt.Errorf("offload: unknown resource %q in timeline", e.Resource)
+		}
+		events = append(events, chromeEvent{
+			Name:        e.Label,
+			Phase:       "X",
+			TimestampUS: e.Start * 1e6,
+			DurationUS:  e.Duration() * 1e6,
+			PID:         1,
+			TID:         tid,
+			Category:    e.Resource,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

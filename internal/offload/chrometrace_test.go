@@ -1,0 +1,53 @@
+package offload
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := Run{GPU: hw.A100, Host: hw.SPRMax9468, Model: model.OPT30B,
+		Batch: 1, InputLen: 128, OutputLen: 32, Weights: tensor.BF16}
+	tl, err := r.Trace(model.Decode, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(events) != len(tl.Events) {
+		t.Fatalf("wrote %d events, timeline has %d", len(events), len(tl.Events))
+	}
+	cats := map[string]bool{}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			t.Fatalf("event phase %v, want X", e["ph"])
+		}
+		if e["dur"].(float64) < 0 {
+			t.Fatal("negative duration")
+		}
+		cats[e["cat"].(string)] = true
+	}
+	for _, want := range []string{"pcie", "gpu", "cpu"} {
+		if !cats[want] {
+			t.Errorf("missing %s events", want)
+		}
+	}
+}
+
+func TestWriteChromeTraceRejectsUnknownResource(t *testing.T) {
+	tl := Timeline{Events: []Event{{Resource: "fpga", Label: "x", Start: 0, End: 1}}}
+	if err := tl.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Error("unknown resource must error")
+	}
+}

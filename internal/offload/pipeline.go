@@ -1,0 +1,123 @@
+package offload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one scheduled interval on an execution resource in the zig-zag
+// pipeline: a weight transfer on the PCIe link, a layer's GEMMs on the
+// GPU, or delegated attention on the host CPU.
+type Event struct {
+	Resource string // "pcie", "gpu", "cpu"
+	Label    string // e.g. "xfer L12", "compute L12"
+	Start    float64
+	End      float64
+}
+
+// Duration returns the event's length in seconds.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Timeline is the event trace of one forward pass under the zig-zag
+// schedule. It is what Fig 18's breakdown aggregates.
+type Timeline struct {
+	Events []Event
+	// Makespan is the pass's total wall-clock time.
+	Makespan float64
+	// LinkBusy, GPUBusy and CPUBusy are per-resource busy times.
+	LinkBusy, GPUBusy, CPUBusy float64
+	// Stall is the time the compute side idles waiting for transfers —
+	// the paper's "data loading" time.
+	Stall float64
+}
+
+// layerWork is the per-layer cost split the pipeline schedules.
+type layerWork struct {
+	transfer float64 // PCIe seconds for this layer's streamed weights
+	gpu      float64 // GPU seconds for the layer's linear ops
+	cpu      float64 // host seconds for the layer's delegated attention
+}
+
+// runPipeline schedules one pass layer by layer: transfers are serialized
+// on the link and prefetched ahead of compute (zig-zag: layer ℓ+1 streams
+// while layer ℓ computes); each layer's compute needs its transfer done
+// and the previous layer's compute done (GPU) — delegated attention runs
+// on the host between the layer's QKV and projection, so it serializes
+// into the layer's critical path.
+func runPipeline(layers []layerWork, trace bool) Timeline {
+	var tl Timeline
+	var linkFree, computeFree float64
+	for i, w := range layers {
+		xferStart := linkFree
+		xferEnd := xferStart + w.transfer
+		linkFree = xferEnd
+		tl.LinkBusy += w.transfer
+
+		// Compute can begin once the layer's weights are present and the
+		// previous layer has finished.
+		start := computeFree
+		if xferEnd > start {
+			tl.Stall += xferEnd - start
+			start = xferEnd
+		}
+		end := start + w.gpu + w.cpu
+		computeFree = end
+		tl.GPUBusy += w.gpu
+		tl.CPUBusy += w.cpu
+		if trace {
+			if w.transfer > 0 {
+				tl.Events = append(tl.Events, Event{"pcie", fmt.Sprintf("xfer L%d", i), xferStart, xferEnd})
+			}
+			if w.gpu > 0 {
+				tl.Events = append(tl.Events, Event{"gpu", fmt.Sprintf("compute L%d", i), start, start + w.gpu})
+			}
+			if w.cpu > 0 {
+				tl.Events = append(tl.Events, Event{"cpu", fmt.Sprintf("attn L%d", i), start + w.gpu, end})
+			}
+		}
+		if end > tl.Makespan {
+			tl.Makespan = end
+		}
+		if linkFree > tl.Makespan {
+			tl.Makespan = linkFree
+		}
+	}
+	return tl
+}
+
+// Render draws the timeline as a proportional text Gantt chart, one row
+// per resource, for human inspection of the overlap structure.
+func (tl Timeline) Render(width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if tl.Makespan == 0 || len(tl.Events) == 0 {
+		return "(empty timeline)\n"
+	}
+	rows := map[string][]rune{}
+	for _, res := range []string{"pcie", "gpu", "cpu"} {
+		rows[res] = []rune(strings.Repeat(".", width))
+	}
+	mark := map[string]rune{"pcie": 'X', "gpu": 'C', "cpu": 'A'}
+	for _, e := range tl.Events {
+		row, ok := rows[e.Resource]
+		if !ok {
+			continue
+		}
+		lo := int(e.Start / tl.Makespan * float64(width))
+		hi := int(e.End / tl.Makespan * float64(width))
+		if hi >= width {
+			hi = width - 1
+		}
+		for i := lo; i <= hi; i++ {
+			row[i] = mark[e.Resource]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.3fs  (link busy %.3fs, gpu %.3fs, cpu %.3fs, stall %.3fs)\n",
+		tl.Makespan, tl.LinkBusy, tl.GPUBusy, tl.CPUBusy, tl.Stall)
+	for _, res := range []string{"pcie", "gpu", "cpu"} {
+		fmt.Fprintf(&b, "%-5s |%s|\n", res, string(rows[res]))
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package offload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+func uniform(n int, xfer, gpu, cpu float64) []layerWork {
+	ls := make([]layerWork, n)
+	for i := range ls {
+		ls[i] = layerWork{transfer: xfer, gpu: gpu, cpu: cpu}
+	}
+	return ls
+}
+
+// TestPipelineTransferBound: with compute ≪ transfer, the makespan is the
+// serialized transfer time and the compute side stalls for nearly all of
+// it (the batch-1 decode regime).
+func TestPipelineTransferBound(t *testing.T) {
+	tl := runPipeline(uniform(10, 1.0, 0.01, 0), false)
+	if math.Abs(tl.Makespan-10.01) > 0.02 {
+		t.Errorf("makespan = %v, want ≈10.01 (serialized transfers + last compute)", tl.Makespan)
+	}
+	if tl.Stall < 9.9 {
+		t.Errorf("stall = %v, want ≈10 (compute always waiting)", tl.Stall)
+	}
+}
+
+// TestPipelineComputeBound: with transfer ≪ compute, transfers hide fully
+// behind compute except the first layer's fill.
+func TestPipelineComputeBound(t *testing.T) {
+	tl := runPipeline(uniform(10, 0.01, 1.0, 0), false)
+	if math.Abs(tl.Makespan-10.01) > 0.02 {
+		t.Errorf("makespan = %v, want ≈10.01", tl.Makespan)
+	}
+	if tl.Stall > 0.02 {
+		t.Errorf("stall = %v, want ≈0.01 (only the first fill)", tl.Stall)
+	}
+}
+
+// TestPipelineBalanced: when transfer == compute per layer the pipeline
+// runs lockstep with one-layer fill latency.
+func TestPipelineBalanced(t *testing.T) {
+	tl := runPipeline(uniform(8, 0.5, 0.5, 0), false)
+	if math.Abs(tl.Makespan-4.5) > 0.01 {
+		t.Errorf("makespan = %v, want 4.5 (8×0.5 + 0.5 fill)", tl.Makespan)
+	}
+}
+
+// TestPipelineInvariants: for any work mix, the makespan is bounded below
+// by each resource's busy time and above by the fully-serialized sum.
+func TestPipelineInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		var layers []layerWork
+		for i := 0; i+2 < len(raw) && len(layers) < 32; i += 3 {
+			layers = append(layers, layerWork{
+				transfer: float64(raw[i]) / 100,
+				gpu:      float64(raw[i+1]) / 100,
+				cpu:      float64(raw[i+2]) / 100,
+			})
+		}
+		tl := runPipeline(layers, true)
+		var serial float64
+		for _, l := range layers {
+			serial += l.transfer + l.gpu + l.cpu
+		}
+		const eps = 1e-9
+		if tl.Makespan+eps < tl.LinkBusy || tl.Makespan+eps < tl.GPUBusy+tl.CPUBusy {
+			return false
+		}
+		if tl.Makespan > serial+eps {
+			return false
+		}
+		// Stall + busy compute = compute-side end time ≤ makespan.
+		if tl.Stall+tl.GPUBusy+tl.CPUBusy > tl.Makespan+eps {
+			return false
+		}
+		// Events must be well-formed and within the makespan.
+		for _, e := range tl.Events {
+			if e.End < e.Start || e.End > tl.Makespan+eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipelineEmptyAndRender(t *testing.T) {
+	tl := runPipeline(nil, true)
+	if tl.Makespan != 0 {
+		t.Error("empty pipeline must have zero makespan")
+	}
+	if !strings.Contains(tl.Render(40), "empty") {
+		t.Error("empty render marker missing")
+	}
+	tl = runPipeline(uniform(4, 0.5, 0.2, 0.1), true)
+	out := tl.Render(60)
+	for _, want := range []string{"pcie", "gpu", "cpu", "makespan", "X", "C", "A"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if out2 := tl.Render(0); !strings.Contains(out2, "makespan") {
+		t.Error("zero width must default")
+	}
+}
+
+func TestTraceDecodeVsPrefill(t *testing.T) {
+	r := Run{GPU: hw.A100, Host: hw.SPRMax9468, Model: model.OPT30B,
+		Batch: 1, InputLen: 128, OutputLen: 32, Weights: tensor.BF16}
+	dec, err := r.Trace(model.Decode, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Events) == 0 || dec.Stall == 0 {
+		t.Error("batch-1 decode trace should show transfer stalls")
+	}
+	pre, err := r.Trace(model.Prefill, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Makespan <= 0 {
+		t.Error("prefill trace empty")
+	}
+	// Stall share must be lower in prefill (compute hides transfers).
+	if pre.Stall/pre.Makespan >= dec.Stall/dec.Makespan {
+		t.Errorf("prefill stall share %.2f should be below decode %.2f",
+			pre.Stall/pre.Makespan, dec.Stall/dec.Makespan)
+	}
+	// Default ctx path.
+	if _, err := r.Trace(model.Decode, 0); err != nil {
+		t.Fatal(err)
+	}
+	bad := r
+	bad.Batch = 0
+	if _, err := bad.Trace(model.Decode, 1); err == nil {
+		t.Error("invalid run must fail to trace")
+	}
+}
+
+func TestEventDuration(t *testing.T) {
+	e := Event{Start: 1.5, End: 2.25}
+	if e.Duration() != 0.75 {
+		t.Error("duration wrong")
+	}
+}

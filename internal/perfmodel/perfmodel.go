@@ -1,0 +1,234 @@
+// Package perfmodel prices LLM inference on the modeled platforms with a
+// per-operator roofline: every GEMM-shaped op of a forward pass costs the
+// maximum of its compute time (peak × shape efficiency × core scaling) and
+// its memory time (bytes ÷ effective bandwidth from the NUMA model). The
+// prefill phase is one pass over the prompt; the decode phase is priced
+// step by step as the KV cache grows.
+//
+// The same pricing produces the emulated performance counters: FLOPs and
+// the dominant ISA give instruction counts, and the streamed bytes give
+// LLC miss counts (package counters).
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+	"repro/internal/hw"
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// activationSpillFraction is the share of linear-layer activation traffic
+// that misses the LLC. Weight and KV streams evict activation lines, but
+// blocked GEMM kernels keep most activation reuse cache-resident.
+const activationSpillFraction = 0.25
+
+// CPURun describes one CPU simulation point.
+type CPURun struct {
+	Model model.Config
+	Setup memsim.Config
+	Batch int
+	// InputLen and OutputLen are the prompt and generation lengths; the
+	// paper's default workload is 128/32.
+	InputLen, OutputLen int
+	// Weights is the parameter storage type (BF16 unless quantized).
+	Weights tensor.DType
+}
+
+// phaseCost accumulates the pricing of one or more forward passes.
+type phaseCost struct {
+	seconds        float64
+	computeSeconds float64 // time the phase would take at infinite bandwidth
+	boundedCompute float64 // Σ min(compute, op time): time cores do work
+	flops          float64
+	memBytes       float64 // streamed past the LLC
+	readBytes      float64
+	writeBytes     float64
+}
+
+func (p *phaseCost) add(q phaseCost) {
+	p.seconds += q.seconds
+	p.computeSeconds += q.computeSeconds
+	p.boundedCompute += q.boundedCompute
+	p.flops += q.flops
+	p.memBytes += q.memBytes
+	p.readBytes += q.readBytes
+	p.writeBytes += q.writeBytes
+}
+
+// FootprintGB returns the working set of the run in GB: weights plus the
+// final KV cache plus activation workspace.
+func (r CPURun) FootprintGB() float64 {
+	weights := float64(r.Model.WeightBytes(r.Weights))
+	kv := float64(r.Model.KVCacheBytes(r.InputLen+r.OutputLen, r.Batch, tensor.BF16))
+	act := float64(r.Batch*r.InputLen*r.Model.DModel) * 2 * 4 // a few live layers
+	return (weights + kv + act) / 1e9
+}
+
+// pricePass prices one forward pass on a CPU.
+func pricePass(cpu hw.CPU, scale float64, bwGBs float64, ops []model.Op) phaseCost {
+	var c phaseCost
+	for _, o := range ops {
+		path := cpu.BestPath(o.M, o.N, o.K)
+		eff := path.EffectiveFLOPS(o.M, o.N, o.K) * scale
+		compute := o.FLOPs() / eff
+		mem := float64(o.WeightBytes)
+		if o.Attention {
+			mem += float64(o.IOBytes)
+		} else {
+			mem += float64(o.IOBytes) * activationSpillFraction
+		}
+		memTime := mem / (bwGBs * 1e9)
+		opTime := compute
+		if memTime > opTime {
+			opTime = memTime
+		}
+		c.seconds += opTime
+		c.computeSeconds += compute
+		c.boundedCompute += minF(compute, opTime)
+		c.flops += o.FLOPs()
+		c.memBytes += mem
+		c.readBytes += float64(o.WeightBytes) + float64(o.IOBytes)*0.6
+		c.writeBytes += float64(o.IOBytes) * 0.4
+	}
+	c.seconds += cpu.StepOverheadMS / 1e3
+	return c
+}
+
+// Simulate prices the run and returns the full metric set including
+// emulated performance counters.
+func (r CPURun) Simulate() (metrics.Result, error) {
+	if err := r.validate(); err != nil {
+		return metrics.Result{}, err
+	}
+	bw, err := r.Setup.Bandwidth(r.FootprintGB())
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	scale := r.Setup.ComputeScale()
+
+	prefill := pricePass(r.Setup.CPU, scale, bw.EffectiveGBs,
+		r.Model.Ops(model.Prefill, r.Batch, r.InputLen, 0, r.Weights))
+
+	var decode phaseCost
+	for step := 1; step < r.OutputLen; step++ {
+		ctx := r.InputLen + step
+		decode.add(pricePass(r.Setup.CPU, scale, bw.EffectiveGBs,
+			r.Model.Ops(model.Decode, r.Batch, 1, ctx, r.Weights)))
+	}
+
+	res := metrics.New(r.Setup.CPU.Name, r.Model.Name, r.Batch, r.InputLen,
+		r.OutputLen, prefill.seconds, decode.seconds)
+	res.ComputeSeconds = prefill.seconds + decode.seconds
+	res.Counters = r.deriveCounters(prefill, decode, bw)
+	return res, nil
+}
+
+func (r CPURun) validate() error {
+	if err := r.Model.Validate(); err != nil {
+		return err
+	}
+	if err := r.Setup.Validate(); err != nil {
+		return err
+	}
+	if r.Batch <= 0 || r.InputLen <= 0 || r.OutputLen <= 0 {
+		return fmt.Errorf("perfmodel: non-positive batch/input/output in run for %s", r.Model.Name)
+	}
+	return nil
+}
+
+func (r CPURun) deriveCounters(prefill, decode phaseCost, bw memsim.Bandwidth) counters.Report {
+	fpi := float64(counters.FLOPsPerInstrAVX512)
+	if r.Setup.CPU.HasAMX() {
+		fpi = counters.FLOPsPerInstrAMX
+	}
+	total := prefill
+	total.add(decode)
+	return counters.Derive(counters.Inputs{
+		FLOPs:           total.flops,
+		FLOPsPerInstr:   fpi,
+		BytesFromMemory: total.memBytes,
+		BytesRead:       total.readBytes,
+		BytesWritten:    total.writeBytes,
+		ComputeSeconds:  total.boundedCompute,
+		TotalSeconds:    total.seconds,
+		RemoteFraction:  bw.RemoteFraction,
+		UPIFraction:     bw.UPIFraction,
+		UPIBandwidthGBs: r.Setup.CPU.UPIGBs,
+		ActiveCores:     r.Setup.Cores,
+		TotalCores:      r.Setup.CPU.CoresPerSocket * r.Setup.CPU.Sockets,
+	})
+}
+
+// GPURun describes one GPU simulation point with the model fully resident
+// in GPU memory. Models that do not fit must use package offload instead.
+type GPURun struct {
+	GPU                 hw.GPU
+	Model               model.Config
+	Batch               int
+	InputLen, OutputLen int
+	Weights             tensor.DType
+}
+
+// Fits reports whether weights and the final KV cache fit in GPU memory.
+func (r GPURun) Fits() bool {
+	need := float64(r.Model.WeightBytes(r.Weights)+
+		r.Model.KVCacheBytes(r.InputLen+r.OutputLen, r.Batch, tensor.BF16)) / 1e9
+	return need <= r.GPU.MemGB-r.GPU.WorkspaceGB
+}
+
+func (r GPURun) pricePass(ops []model.Op) float64 {
+	bwBytes := r.GPU.BandwidthGBs * r.GPU.MemEff * 1e9
+	var t float64
+	for _, o := range ops {
+		compute := o.FLOPs() / r.GPU.Compute.EffectiveFLOPS(o.M, o.N, o.K)
+		mem := float64(o.WeightBytes)
+		if o.Attention {
+			mem += float64(o.IOBytes)
+		} else {
+			mem += float64(o.IOBytes) * activationSpillFraction
+		}
+		t += maxF(compute, mem/bwBytes)
+	}
+	return t + r.GPU.StepOverheadMS/1e3
+}
+
+// Simulate prices the resident-GPU run.
+func (r GPURun) Simulate() (metrics.Result, error) {
+	if err := r.Model.Validate(); err != nil {
+		return metrics.Result{}, err
+	}
+	if r.Batch <= 0 || r.InputLen <= 0 || r.OutputLen <= 0 {
+		return metrics.Result{}, fmt.Errorf("perfmodel: non-positive batch/input/output in GPU run")
+	}
+	if !r.Fits() {
+		return metrics.Result{}, fmt.Errorf("perfmodel: %s does not fit on %s; use offload",
+			r.Model.Name, r.GPU.Name)
+	}
+	prefill := r.pricePass(r.Model.Ops(model.Prefill, r.Batch, r.InputLen, 0, r.Weights))
+	var decode float64
+	for step := 1; step < r.OutputLen; step++ {
+		decode += r.pricePass(r.Model.Ops(model.Decode, r.Batch, 1, r.InputLen+step, r.Weights))
+	}
+	res := metrics.New(r.GPU.Name, r.Model.Name, r.Batch, r.InputLen, r.OutputLen,
+		prefill, decode)
+	res.ComputeSeconds = prefill + decode
+	return res, nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package perfmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+)
+
+// Sensitivity analysis: which hardware parameter actually governs each
+// metric? Each platform parameter is perturbed by a small relative step
+// and the run re-simulated; the reported elasticity is %Δmetric / %Δparam.
+// An elasticity of −1 for TPOT against HBM bandwidth says decode is
+// purely bandwidth-bound there — the quantitative form of the paper's
+// phase characterization.
+
+// Elasticity is the sensitivity of one metric to one parameter.
+type Elasticity struct {
+	Parameter string
+	TTFT      float64
+	TPOT      float64
+	E2E       float64
+	Thpt      float64
+}
+
+// knob is one perturbable platform parameter.
+type knob struct {
+	name  string
+	apply func(c *hw.CPU, factor float64)
+}
+
+func cpuKnobs() []knob {
+	return []knob{
+		{"hbm-bandwidth", func(c *hw.CPU, f float64) { c.HBM.BandwidthGBs *= f }},
+		{"ddr-bandwidth", func(c *hw.CPU, f float64) { c.DDR.BandwidthGBs *= f }},
+		{"amx-peak", func(c *hw.CPU, f float64) { c.AMX.PeakTFLOPS *= f }},
+		{"avx512-peak", func(c *hw.CPU, f float64) { c.AVX512.PeakTFLOPS *= f }},
+		{"upi-bandwidth", func(c *hw.CPU, f float64) { c.UPIGBs *= f }},
+		{"step-overhead", func(c *hw.CPU, f float64) { c.StepOverheadMS *= f }},
+		{"mem-efficiency", func(c *hw.CPU, f float64) { c.MemEff *= f }},
+	}
+}
+
+// Sensitivities computes parameter elasticities for the run with a +step
+// relative perturbation (e.g. 0.1 = +10 %). Results are sorted by |E2E|
+// descending.
+func (r CPURun) Sensitivities(step float64) ([]Elasticity, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("perfmodel: non-positive sensitivity step %g", step)
+	}
+	base, err := r.Simulate()
+	if err != nil {
+		return nil, err
+	}
+	var out []Elasticity
+	for _, k := range cpuKnobs() {
+		perturbed := r
+		cpu := r.Setup.CPU // copy (CPU is a value type)
+		k.apply(&cpu, 1+step)
+		perturbed.Setup.CPU = cpu
+		res, err := perturbed.Simulate()
+		if err != nil {
+			return nil, err
+		}
+		el := func(b, p float64) float64 {
+			if b == 0 {
+				return 0
+			}
+			return (p - b) / b / step
+		}
+		out = append(out, Elasticity{
+			Parameter: k.name,
+			TTFT:      el(base.Latency.TTFT, res.Latency.TTFT),
+			TPOT:      el(base.Latency.TPOT, res.Latency.TPOT),
+			E2E:       el(base.Latency.E2E, res.Latency.E2E),
+			Thpt:      el(base.Throughput.E2E, res.Throughput.E2E),
+		})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return abs(out[a].E2E) > abs(out[b].E2E)
+	})
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,100 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func findEl(t *testing.T, els []Elasticity, name string) Elasticity {
+	t.Helper()
+	for _, e := range els {
+		if e.Parameter == name {
+			return e
+		}
+	}
+	t.Fatalf("parameter %s missing", name)
+	return Elasticity{}
+}
+
+// TestDecodeIsHBMBound: for an HBM-resident model at batch 1, TPOT must
+// track HBM bandwidth with elasticity ≈ −1 and be insensitive to AMX
+// peak — the paper's memory-bound decode, quantified.
+func TestDecodeIsHBMBound(t *testing.T) {
+	els, err := sprRun(model.Llama13B, 1, 128, 32).Sensitivities(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbm := findEl(t, els, "hbm-bandwidth")
+	if hbm.TPOT > -0.6 {
+		t.Errorf("TPOT elasticity to HBM bw = %.2f, want ≲ −0.6", hbm.TPOT)
+	}
+	amx := findEl(t, els, "amx-peak")
+	if math.Abs(amx.TPOT) > 0.15 {
+		t.Errorf("TPOT elasticity to AMX peak = %.2f, want ≈0 at batch 1", amx.TPOT)
+	}
+}
+
+// TestPrefillIsComputeBound: at batch 8, TTFT must be AMX-sensitive and
+// barely bandwidth-sensitive.
+func TestPrefillIsComputeBound(t *testing.T) {
+	els, err := sprRun(model.OPT13B, 8, 128, 32).Sensitivities(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amx := findEl(t, els, "amx-peak")
+	if amx.TTFT > -0.4 {
+		t.Errorf("TTFT elasticity to AMX peak = %.2f, want ≲ −0.4", amx.TTFT)
+	}
+	hbm := findEl(t, els, "hbm-bandwidth")
+	if hbm.TTFT < -0.5 {
+		t.Errorf("TTFT elasticity to HBM bw = %.2f, should be mild at batch 8", hbm.TTFT)
+	}
+}
+
+// TestSingleSocketIgnoresUPI: UPI bandwidth must not matter on one socket
+// with an HBM-resident model.
+func TestSingleSocketIgnoresUPI(t *testing.T) {
+	els, err := sprRun(model.Llama13B, 4, 128, 32).Sensitivities(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upi := findEl(t, els, "upi-bandwidth")
+	if math.Abs(upi.E2E) > 1e-9 {
+		t.Errorf("UPI elasticity = %.3f on a single socket", upi.E2E)
+	}
+}
+
+// TestThroughputMirrorsLatency: throughput elasticity ≈ −E2E elasticity.
+func TestThroughputMirrorsLatency(t *testing.T) {
+	els, err := sprRun(model.OPT13B, 4, 128, 32).Sensitivities(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range els {
+		if math.Abs(e.Thpt+e.E2E) > 0.15*(math.Abs(e.E2E)+0.01) {
+			t.Errorf("%s: thpt %.3f vs e2e %.3f not mirrored", e.Parameter, e.Thpt, e.E2E)
+		}
+	}
+}
+
+func TestSensitivityValidation(t *testing.T) {
+	if _, err := sprRun(model.OPT13B, 1, 128, 32).Sensitivities(0); err == nil {
+		t.Error("zero step must fail")
+	}
+	bad := sprRun(model.Config{Name: "bad"}, 1, 128, 32)
+	if _, err := bad.Sensitivities(0.1); err == nil {
+		t.Error("invalid run must fail")
+	}
+	// Sorted by |E2E| descending.
+	els, err := sprRun(model.OPT13B, 1, 128, 32).Sensitivities(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(els); i++ {
+		if math.Abs(els[i].E2E) > math.Abs(els[i-1].E2E)+1e-12 {
+			t.Fatal("not sorted by |E2E|")
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package quant implements group-wise weight-only quantization for CPU
+// LLM inference — the technique of the paper's related work ("Efficient
+// LLM inference on CPUs", arXiv:2311.00502): weights are stored in 4 or 8
+// bits with one FP scale per small group, and dequantized on the fly
+// inside the GEMV inner loop. Halving or quartering weight bytes directly
+// attacks the memory-bound decode phase the paper characterizes.
+package quant
+
+import "fmt"
+
+// GroupedInt4 stores n values in 4-bit precision, two per byte, with one
+// float32 scale per GroupSize values (symmetric, range [-7, 7]).
+type GroupedInt4 struct {
+	N         int
+	GroupSize int
+	Data      []byte // ceil(n/2) packed nibbles, low nibble first
+	Scales    []float32
+}
+
+// QuantizeInt4 quantizes w with the given group size (must divide into
+// complete trailing groups; the last group may be short).
+func QuantizeInt4(w []float32, groupSize int) (GroupedInt4, error) {
+	if groupSize <= 0 {
+		return GroupedInt4{}, fmt.Errorf("quant: non-positive group size %d", groupSize)
+	}
+	g := GroupedInt4{
+		N:         len(w),
+		GroupSize: groupSize,
+		Data:      make([]byte, (len(w)+1)/2),
+		Scales:    make([]float32, (len(w)+groupSize-1)/groupSize),
+	}
+	for gi := range g.Scales {
+		lo := gi * groupSize
+		hi := min(lo+groupSize, len(w))
+		var maxAbs float32
+		for _, v := range w[lo:hi] {
+			if a := abs32(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := float32(1)
+		if maxAbs > 0 {
+			scale = maxAbs / 7
+		}
+		g.Scales[gi] = scale
+		inv := 1 / scale
+		for i := lo; i < hi; i++ {
+			q := int8(round32(w[i] * inv))
+			if q > 7 {
+				q = 7
+			} else if q < -7 {
+				q = -7
+			}
+			nib := byte(q+8) & 0xF // biased representation
+			if i%2 == 0 {
+				g.Data[i/2] |= nib
+			} else {
+				g.Data[i/2] |= nib << 4
+			}
+		}
+	}
+	return g, nil
+}
+
+// At dequantizes element i.
+func (g GroupedInt4) At(i int) float32 {
+	b := g.Data[i/2]
+	var nib byte
+	if i%2 == 0 {
+		nib = b & 0xF
+	} else {
+		nib = b >> 4
+	}
+	return float32(int8(nib)-8) * g.Scales[i/g.GroupSize]
+}
+
+// Dequantize expands all values.
+func (g GroupedInt4) Dequantize() []float32 {
+	out := make([]float32, g.N)
+	for i := range out {
+		out[i] = g.At(i)
+	}
+	return out
+}
+
+// Bytes returns the stored footprint including scales.
+func (g GroupedInt4) Bytes() int64 {
+	return int64(len(g.Data)) + int64(len(g.Scales))*4
+}
+
+// GroupedInt8 stores n values in 8 bits with per-group scales (symmetric,
+// range [-127, 127]) — finer-grained than the per-tensor scheme in
+// package tensor.
+type GroupedInt8 struct {
+	N         int
+	GroupSize int
+	Data      []int8
+	Scales    []float32
+}
+
+// QuantizeInt8 quantizes w group-wise to int8.
+func QuantizeInt8(w []float32, groupSize int) (GroupedInt8, error) {
+	if groupSize <= 0 {
+		return GroupedInt8{}, fmt.Errorf("quant: non-positive group size %d", groupSize)
+	}
+	g := GroupedInt8{
+		N: len(w), GroupSize: groupSize,
+		Data:   make([]int8, len(w)),
+		Scales: make([]float32, (len(w)+groupSize-1)/groupSize),
+	}
+	for gi := range g.Scales {
+		lo := gi * groupSize
+		hi := min(lo+groupSize, len(w))
+		var maxAbs float32
+		for _, v := range w[lo:hi] {
+			if a := abs32(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := float32(1)
+		if maxAbs > 0 {
+			scale = maxAbs / 127
+		}
+		g.Scales[gi] = scale
+		inv := 1 / scale
+		for i := lo; i < hi; i++ {
+			q := round32(w[i] * inv)
+			if q > 127 {
+				q = 127
+			} else if q < -127 {
+				q = -127
+			}
+			g.Data[i] = int8(q)
+		}
+	}
+	return g, nil
+}
+
+// At dequantizes element i.
+func (g GroupedInt8) At(i int) float32 {
+	return float32(g.Data[i]) * g.Scales[i/g.GroupSize]
+}
+
+// Dequantize expands all values.
+func (g GroupedInt8) Dequantize() []float32 {
+	out := make([]float32, g.N)
+	for i := range out {
+		out[i] = g.At(i)
+	}
+	return out
+}
+
+// Bytes returns the stored footprint including scales.
+func (g GroupedInt8) Bytes() int64 {
+	return int64(len(g.Data)) + int64(len(g.Scales))*4
+}
+
+// GemvInt4 computes y = A·x where A is m×k stored row-major in a. This is
+// the weight-only-quantized decode kernel: weights dequantize on the fly
+// in the inner loop, activations stay FP32.
+func GemvInt4(m, k int, a GroupedInt4, x, y []float32) error {
+	if a.N != m*k {
+		return fmt.Errorf("quant: matrix has %d values, need %d", a.N, m*k)
+	}
+	if len(x) < k || len(y) < m {
+		return fmt.Errorf("quant: vector sizes %d/%d too small", len(x), len(y))
+	}
+	for i := 0; i < m; i++ {
+		var sum float32
+		row := i * k
+		for p := 0; p < k; p++ {
+			sum += a.At(row+p) * x[p]
+		}
+		y[i] = sum
+	}
+	return nil
+}
+
+// GemvInt8 is the int8 counterpart of GemvInt4.
+func GemvInt8(m, k int, a GroupedInt8, x, y []float32) error {
+	if a.N != m*k {
+		return fmt.Errorf("quant: matrix has %d values, need %d", a.N, m*k)
+	}
+	if len(x) < k || len(y) < m {
+		return fmt.Errorf("quant: vector sizes %d/%d too small", len(x), len(y))
+	}
+	for i := 0; i < m; i++ {
+		var sum float32
+		row := i * k
+		for p := 0; p < k; p++ {
+			sum += a.At(row+p) * x[p]
+		}
+		y[i] = sum
+	}
+	return nil
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func round32(v float32) int32 {
+	if v >= 0 {
+		return int32(v + 0.5)
+	}
+	return int32(v - 0.5)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

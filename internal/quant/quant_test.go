@@ -1,0 +1,221 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVals(r *rand.Rand, n int) []float32 {
+	w := make([]float32, n)
+	for i := range w {
+		w[i] = float32(r.NormFloat64())
+	}
+	return w
+}
+
+func TestInt4RoundTripErrorBound(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	w := randVals(r, 257) // odd length exercises the half-byte tail
+	g, err := QuantizeInt4(w, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := g.Dequantize()
+	for gi := range g.Scales {
+		lo, hi := gi*32, min((gi+1)*32, len(w))
+		for i := lo; i < hi; i++ {
+			// Error within half a quantization step of the group scale.
+			if math.Abs(float64(back[i]-w[i])) > float64(g.Scales[gi])*0.5+1e-6 {
+				t.Fatalf("idx %d: %v -> %v (scale %v)", i, w[i], back[i], g.Scales[gi])
+			}
+		}
+	}
+}
+
+func TestInt8RoundTripErrorBound(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	w := randVals(r, 130)
+	g, err := QuantizeInt8(w, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := g.Dequantize()
+	for i := range w {
+		scale := g.Scales[i/32]
+		if math.Abs(float64(back[i]-w[i])) > float64(scale)*0.5+1e-6 {
+			t.Fatalf("idx %d: %v -> %v", i, w[i], back[i])
+		}
+	}
+}
+
+func TestInt4FootprintQuartersBF16(t *testing.T) {
+	const n = 4096
+	g, _ := QuantizeInt4(make([]float32, n), 128)
+	bf16Bytes := int64(n * 2)
+	if g.Bytes() >= bf16Bytes/3 {
+		t.Errorf("int4 footprint %d should be ≲1/4 of bf16 %d", g.Bytes(), bf16Bytes)
+	}
+	g8, _ := QuantizeInt8(make([]float32, n), 128)
+	if g8.Bytes() >= bf16Bytes {
+		t.Errorf("int8 footprint %d should be below bf16 %d", g8.Bytes(), bf16Bytes)
+	}
+}
+
+func TestSmallerGroupsSmallerError(t *testing.T) {
+	// Group-wise scales adapt to local magnitude: with a mixed-magnitude
+	// weight vector, small groups must have lower RMS error.
+	r := rand.New(rand.NewSource(3))
+	w := make([]float32, 1024)
+	for i := range w {
+		scale := 0.01
+		if i%2 == 0 {
+			scale = 10 // interleave large and small magnitudes
+		}
+		w[i] = float32(r.NormFloat64() * scale)
+	}
+	rms := func(groupSize int) float64 {
+		g, err := QuantizeInt4(w, groupSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := g.Dequantize()
+		var ss float64
+		for i := range w {
+			d := float64(back[i] - w[i])
+			ss += d * d
+		}
+		return math.Sqrt(ss / float64(len(w)))
+	}
+	// Group size 1024 (one scale) vs 2 (pairs of large+small — still bad)
+	// vs alternating-aware small groups don't help here because big and
+	// small interleave; compare one-scale vs per-32 on a blocked layout
+	// instead.
+	for i := range w {
+		scale := 0.01
+		if i >= 512 {
+			scale = 10
+		}
+		w[i] = float32(r.NormFloat64() * scale)
+	}
+	if rms(32) >= rms(1024) {
+		t.Errorf("per-32 RMS %g should beat per-1024 RMS %g", rms(32), rms(1024))
+	}
+}
+
+func TestGemvInt4MatchesDequantizedReference(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	m, k := 17, 40
+	w := randVals(r, m*k)
+	x := randVals(r, k)
+	g, err := QuantizeInt4(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deq := g.Dequantize()
+	want := make([]float32, m)
+	for i := 0; i < m; i++ {
+		var s float32
+		for p := 0; p < k; p++ {
+			s += deq[i*k+p] * x[p]
+		}
+		want[i] = s
+	}
+	got := make([]float32, m)
+	if err := GemvInt4(m, k, g, x, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("row %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGemvInt8MatchesDequantizedReference(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m, k := 9, 24
+	w := randVals(r, m*k)
+	x := randVals(r, k)
+	g, err := QuantizeInt8(w, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deq := g.Dequantize()
+	got := make([]float32, m)
+	if err := GemvInt8(m, k, g, x, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		var want float32
+		for p := 0; p < k; p++ {
+			want += deq[i*k+p] * x[p]
+		}
+		if math.Abs(float64(got[i]-want)) > 1e-4 {
+			t.Fatalf("row %d: %v vs %v", i, got[i], want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := QuantizeInt4(nil, 0); err == nil {
+		t.Error("zero group size must fail")
+	}
+	if _, err := QuantizeInt8(nil, -1); err == nil {
+		t.Error("negative group size must fail")
+	}
+	g, _ := QuantizeInt4(make([]float32, 4), 2)
+	if err := GemvInt4(2, 3, g, make([]float32, 3), make([]float32, 2)); err == nil {
+		t.Error("size mismatch must fail")
+	}
+	if err := GemvInt4(2, 2, g, make([]float32, 1), make([]float32, 2)); err == nil {
+		t.Error("short x must fail")
+	}
+	g8, _ := QuantizeInt8(make([]float32, 4), 2)
+	if err := GemvInt8(3, 2, g8, make([]float32, 2), make([]float32, 3)); err == nil {
+		t.Error("int8 size mismatch must fail")
+	}
+	if err := GemvInt8(2, 2, g8, make([]float32, 2), make([]float32, 1)); err == nil {
+		t.Error("short y must fail")
+	}
+}
+
+func TestZeroGroup(t *testing.T) {
+	g, err := QuantizeInt4(make([]float32, 16), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.Dequantize() {
+		if v != 0 {
+			t.Fatal("zero weights must dequantize to zero")
+		}
+	}
+}
+
+func TestInt4Property(t *testing.T) {
+	// Property: every dequantized value is within half a step, for
+	// arbitrary inputs and group sizes.
+	f := func(vals []float32, gsRaw uint8) bool {
+		for _, v := range vals {
+			if v != v || v > 1e30 || v < -1e30 {
+				return true
+			}
+		}
+		gs := int(gsRaw%64) + 1
+		g, err := QuantizeInt4(vals, gs)
+		if err != nil {
+			return false
+		}
+		for i, v := range vals {
+			step := g.Scales[i/gs]
+			if math.Abs(float64(g.At(i)-v)) > float64(step)*0.5000001+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// Sarathi-style chunked-prefill scheduling (the paper's related work [2],
+// [3]): plain continuous batching runs an arriving request's whole prefill
+// as one iteration, stalling every in-flight decode for the full prompt
+// duration — the TTFT/TPOT interference Sarathi-Serve measures. The
+// chunked policy splits each prefill into PrefillChunk-token pieces and
+// coalesces one piece with the decode batch per iteration, bounding any
+// single iteration (and therefore every in-flight request's inter-token
+// stall) by roughly a chunk's worth of compute.
+
+// ChunkedServer runs continuous batching with chunked prefill.
+type ChunkedServer struct {
+	Cost     CostModel
+	MaxBatch int
+	// PrefillChunk is the number of prompt tokens processed per iteration
+	// for an admitting request.
+	PrefillChunk int
+
+	// MaxIterationSeconds records the longest single iteration of the
+	// last Run — the worst inter-token stall in-flight decodes observed.
+	MaxIterationSeconds float64
+}
+
+// prefilling tracks one request whose prompt is being processed in chunks.
+type prefilling struct {
+	req      workload.Request
+	done     int
+	startAbs float64
+}
+
+// Run serves the trace (sorted by arrival) and returns completions in
+// request-ID order.
+func (s *ChunkedServer) Run(trace []workload.Request) ([]Completion, error) {
+	if s.Cost == nil {
+		return nil, fmt.Errorf("serve: nil cost model")
+	}
+	if s.MaxBatch < 1 {
+		s.MaxBatch = 1
+	}
+	if s.PrefillChunk < 1 {
+		return nil, fmt.Errorf("serve: chunked policy needs a positive PrefillChunk")
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].ArrivalSeconds < trace[i-1].ArrivalSeconds {
+			return nil, fmt.Errorf("serve: trace not sorted by arrival at index %d", i)
+		}
+	}
+	s.MaxIterationSeconds = 0
+
+	var clock float64
+	var running []inflight
+	var pre *prefilling
+	next := 0
+	base := Server{Cost: s.Cost}
+	out := make([]Completion, 0, len(trace))
+
+	for len(out) < len(trace) {
+		// Admit one request into the prefill slot when free.
+		if pre == nil && len(running) < s.MaxBatch &&
+			next < len(trace) && trace[next].ArrivalSeconds <= clock {
+			pre = &prefilling{req: trace[next], startAbs: clock}
+			next++
+		}
+		if pre == nil && len(running) == 0 {
+			if next >= len(trace) {
+				break
+			}
+			if trace[next].ArrivalSeconds > clock {
+				clock = trace[next].ArrivalSeconds
+			}
+			continue
+		}
+
+		// One iteration: a decode step for the running batch coalesced
+		// with one prefill chunk.
+		var iter float64
+		if len(running) > 0 {
+			maxCtx := 0
+			for _, fl := range running {
+				if fl.ctx > maxCtx {
+					maxCtx = fl.ctx
+				}
+			}
+			d, err := s.Cost.DecodeStepCost(len(running), maxCtx)
+			if err != nil {
+				return nil, err
+			}
+			iter += d
+		}
+		if pre != nil {
+			chunk := s.PrefillChunk
+			if rem := pre.req.InputLen - pre.done; chunk > rem {
+				chunk = rem
+			}
+			c, err := s.Cost.PrefillCost(1, chunk)
+			if err != nil {
+				return nil, err
+			}
+			iter += c
+			pre.done += chunk
+		}
+		clock += iter
+		if iter > s.MaxIterationSeconds {
+			s.MaxIterationSeconds = iter
+		}
+
+		// Advance decodes.
+		kept := running[:0]
+		for _, fl := range running {
+			fl.ctx++
+			fl.remaining--
+			if fl.remaining == 0 {
+				out = append(out, base.complete(fl, clock))
+				continue
+			}
+			kept = append(kept, fl)
+		}
+		running = kept
+
+		// Promote a finished prefill: its first token exists now.
+		if pre != nil && pre.done >= pre.req.InputLen {
+			fl := inflight{req: pre.req, ctx: pre.req.InputLen,
+				remaining: pre.req.OutputLen - 1,
+				ttftAbs:   clock, startAbs: pre.startAbs}
+			if fl.remaining == 0 {
+				out = append(out, base.complete(fl, clock))
+			} else {
+				running = append(running, fl)
+			}
+			pre = nil
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Request.ID < out[b].Request.ID })
+	return out, nil
+}

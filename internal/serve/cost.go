@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/hw"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/offload"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// ctxBucket quantizes context lengths so the iteration-level simulator's
+// memoized cost table stays small; decode cost varies slowly with context.
+const ctxBucket = 32
+
+type costKey struct {
+	prefill bool
+	batch   int
+	length  int
+}
+
+// memoCost wraps a raw pricing function with a concurrency-safe memo.
+type memoCost struct {
+	mu    sync.Mutex
+	memo  map[costKey]float64
+	price func(prefill bool, batch, length int) (float64, error)
+}
+
+func (m *memoCost) get(prefill bool, batch, length int) (float64, error) {
+	if !prefill {
+		length = (length + ctxBucket - 1) / ctxBucket * ctxBucket
+	}
+	k := costKey{prefill, batch, length}
+	m.mu.Lock()
+	if v, ok := m.memo[k]; ok {
+		m.mu.Unlock()
+		return v, nil
+	}
+	m.mu.Unlock()
+	v, err := m.price(prefill, batch, length)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	m.memo[k] = v
+	m.mu.Unlock()
+	return v, nil
+}
+
+func (m *memoCost) PrefillCost(batch, inputLen int) (float64, error) {
+	return m.get(true, batch, inputLen)
+}
+
+func (m *memoCost) DecodeStepCost(batch, ctxLen int) (float64, error) {
+	return m.get(false, batch, ctxLen)
+}
+
+// NewCPUCost prices server iterations on a modeled CPU configuration.
+func NewCPUCost(setup memsim.Config, m model.Config) CostModel {
+	return &memoCost{
+		memo: map[costKey]float64{},
+		price: func(prefill bool, batch, length int) (float64, error) {
+			if prefill {
+				res, err := perfmodel.CPURun{Model: m, Setup: setup, Batch: batch,
+					InputLen: length, OutputLen: 1, Weights: tensor.BF16}.Simulate()
+				return res.PrefillSeconds, err
+			}
+			res, err := perfmodel.CPURun{Model: m, Setup: setup, Batch: batch,
+				InputLen: length, OutputLen: 2, Weights: tensor.BF16}.Simulate()
+			return res.DecodeSeconds, err
+		},
+	}
+}
+
+// NewGPUCost prices server iterations on a modeled GPU, engaging the
+// offloading executor when the model does not fit.
+func NewGPUCost(g hw.GPU, m model.Config) CostModel {
+	return &memoCost{
+		memo: map[costKey]float64{},
+		price: func(prefill bool, batch, length int) (float64, error) {
+			outLen := 2
+			if prefill {
+				outLen = 1
+			}
+			resident := perfmodel.GPURun{GPU: g, Model: m, Batch: batch,
+				InputLen: length, OutputLen: outLen, Weights: tensor.BF16}
+			if resident.Fits() {
+				res, err := resident.Simulate()
+				if prefill {
+					return res.PrefillSeconds, err
+				}
+				return res.DecodeSeconds, err
+			}
+			res, err := offload.Run{GPU: g, Host: hw.SPRMax9468, Model: m,
+				Batch: batch, InputLen: length, OutputLen: outLen,
+				Weights: tensor.BF16}.Simulate()
+			if prefill {
+				return res.PrefillSeconds, err
+			}
+			return res.DecodeSeconds, err
+		},
+	}
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kvpool"
+	"repro/internal/workload"
+)
+
+// MemoryAwareServer runs continuous batching under a finite KV-cache
+// budget managed by a paged allocator (vLLM-style): a request is admitted
+// only when blocks for its full context are available, and its blocks
+// return to the pool the moment it finishes. This couples the paper's two
+// resource stories — the decode-bandwidth cost model and the Fig 7
+// KV-cache capacity pressure — into one scheduler.
+type MemoryAwareServer struct {
+	Cost     CostModel
+	Pool     *kvpool.Pool
+	MaxBatch int
+	// Optimistic switches from conservative full-context reservation to
+	// vLLM-style optimistic admission: a request is admitted with blocks
+	// for its prompt only, decode iterations grow allocations token by
+	// token, and on exhaustion the youngest running sequence is preempted
+	// and recomputed later (vLLM's recompute policy). Preemptions waste
+	// work but pack the pool tighter.
+	Optimistic bool
+	// Preemptions counts sequences evicted by Run (informational).
+	Preemptions int
+}
+
+// memSeq is one in-flight sequence with its block allocation.
+type memSeq struct {
+	fl    inflight
+	alloc *kvpool.Sequence
+}
+
+// Run serves the trace under the KV budget. Requests whose full context
+// can never fit the pool produce an error (they would deadlock).
+func (s *MemoryAwareServer) Run(trace []workload.Request) ([]Completion, error) {
+	if s.Cost == nil || s.Pool == nil {
+		return nil, fmt.Errorf("serve: memory-aware server needs a cost model and a pool")
+	}
+	if s.MaxBatch < 1 {
+		s.MaxBatch = 1
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].ArrivalSeconds < trace[i-1].ArrivalSeconds {
+			return nil, fmt.Errorf("serve: trace not sorted by arrival at index %d", i)
+		}
+	}
+	if s.Optimistic {
+		return s.runOptimistic(trace)
+	}
+	var clock float64
+	var running []memSeq
+	next := 0
+	base := Server{Cost: s.Cost}
+	out := make([]Completion, 0, len(trace))
+
+	for len(out) < len(trace) {
+		// Admission: arrival order, bounded by slots AND by KV blocks for
+		// the request's full context (conservative reservation avoids
+		// mid-flight preemption).
+		var admitted []workload.Request
+		var allocs []*kvpool.Sequence
+		for next < len(trace) && len(running)+len(admitted) < s.MaxBatch &&
+			trace[next].ArrivalSeconds <= clock {
+			r := trace[next]
+			alloc := s.Pool.NewSequence()
+			if err := alloc.Append(r.InputLen + r.OutputLen); err != nil {
+				if err == kvpool.ErrOutOfBlocks {
+					if len(running) == 0 && len(admitted) == 0 {
+						return nil, fmt.Errorf(
+							"serve: request %d (ctx %d) can never fit the KV pool",
+							r.ID, r.InputLen+r.OutputLen)
+					}
+					break // wait for blocks to free
+				}
+				return nil, err
+			}
+			admitted = append(admitted, r)
+			allocs = append(allocs, alloc)
+			next++
+		}
+		if len(admitted) > 0 {
+			maxIn := 0
+			for _, r := range admitted {
+				if r.InputLen > maxIn {
+					maxIn = r.InputLen
+				}
+			}
+			pre, err := s.Cost.PrefillCost(len(admitted), maxIn)
+			if err != nil {
+				return nil, err
+			}
+			start := clock
+			clock += pre
+			for i, r := range admitted {
+				fl := inflight{req: r, ctx: r.InputLen, remaining: r.OutputLen - 1,
+					ttftAbs: clock, startAbs: start}
+				if fl.remaining == 0 {
+					out = append(out, base.complete(fl, clock))
+					if err := allocs[i].Free(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				running = append(running, memSeq{fl: fl, alloc: allocs[i]})
+			}
+			continue
+		}
+		if len(running) == 0 {
+			if next >= len(trace) {
+				break
+			}
+			if trace[next].ArrivalSeconds > clock {
+				clock = trace[next].ArrivalSeconds
+			}
+			continue
+		}
+		// One decode iteration.
+		maxCtx := 0
+		for _, m := range running {
+			if m.fl.ctx > maxCtx {
+				maxCtx = m.fl.ctx
+			}
+		}
+		d, err := s.Cost.DecodeStepCost(len(running), maxCtx)
+		if err != nil {
+			return nil, err
+		}
+		clock += d
+		kept := running[:0]
+		for _, m := range running {
+			m.fl.ctx++
+			m.fl.remaining--
+			if m.fl.remaining == 0 {
+				out = append(out, base.complete(m.fl, clock))
+				if err := m.alloc.Free(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			kept = append(kept, m)
+		}
+		running = kept
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Request.ID < out[b].Request.ID })
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kvpool"
+	"repro/internal/workload"
+)
+
+// optSeq is one optimistically-admitted in-flight sequence.
+type optSeq struct {
+	fl        inflight
+	alloc     *kvpool.Sequence
+	admitted  float64 // admission time; preemption evicts the youngest
+	firstTTFT float64 // TTFT from the FIRST prefill (survives preemption)
+	grew      bool    // this round's token slot already reserved
+}
+
+// runOptimistic implements vLLM-style scheduling: prompt-only reservation
+// at admission, per-token growth during decode, and preemption-by-
+// recompute of the youngest sequence on pool exhaustion.
+func (s *MemoryAwareServer) runOptimistic(trace []workload.Request) ([]Completion, error) {
+	var clock float64
+	var running []optSeq
+	var waiting []workload.Request // preempted, awaiting readmission
+	firstTTFT := map[int]float64{} // request ID → first-prefill TTFT
+	next := 0
+	out := make([]Completion, 0, len(trace))
+
+	nextArrival := func() (workload.Request, bool) {
+		if len(waiting) > 0 {
+			return waiting[0], true
+		}
+		if next < len(trace) && trace[next].ArrivalSeconds <= clock {
+			return trace[next], true
+		}
+		return workload.Request{}, false
+	}
+	popArrival := func() {
+		if len(waiting) > 0 {
+			waiting = waiting[1:]
+			return
+		}
+		next++
+	}
+
+	for len(out) < len(trace) {
+		// Admission: prompt blocks only.
+		var admitted []workload.Request
+		var allocs []*kvpool.Sequence
+		for len(running)+len(admitted) < s.MaxBatch {
+			r, ok := nextArrival()
+			if !ok {
+				break
+			}
+			alloc := s.Pool.NewSequence()
+			if err := alloc.Append(r.InputLen); err != nil {
+				if err == kvpool.ErrOutOfBlocks {
+					if len(running) == 0 && len(admitted) == 0 {
+						return nil, fmt.Errorf(
+							"serve: request %d prompt (%d tokens) can never fit the KV pool",
+							r.ID, r.InputLen)
+					}
+					break
+				}
+				return nil, err
+			}
+			admitted = append(admitted, r)
+			allocs = append(allocs, alloc)
+			popArrival()
+		}
+		if len(admitted) > 0 {
+			maxIn := 0
+			for _, r := range admitted {
+				if r.InputLen > maxIn {
+					maxIn = r.InputLen
+				}
+			}
+			pre, err := s.Cost.PrefillCost(len(admitted), maxIn)
+			if err != nil {
+				return nil, err
+			}
+			start := clock
+			clock += pre
+			for i, r := range admitted {
+				if _, seen := firstTTFT[r.ID]; !seen {
+					firstTTFT[r.ID] = clock - r.ArrivalSeconds
+				}
+				fl := inflight{req: r, ctx: r.InputLen, remaining: r.OutputLen - 1,
+					ttftAbs: clock, startAbs: start}
+				seq := optSeq{fl: fl, alloc: allocs[i], admitted: start,
+					firstTTFT: firstTTFT[r.ID]}
+				if fl.remaining == 0 {
+					out = append(out, s.completeOpt(seq, clock))
+					if err := allocs[i].Free(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				running = append(running, seq)
+			}
+			continue
+		}
+		if len(running) == 0 {
+			if next >= len(trace) && len(waiting) == 0 {
+				break
+			}
+			if next < len(trace) && trace[next].ArrivalSeconds > clock {
+				clock = trace[next].ArrivalSeconds
+				continue
+			}
+			// Only waiting (preempted) requests remain but none fit: the
+			// pool must at least fit one prompt, which admission checks.
+			return nil, fmt.Errorf("serve: scheduler stalled with %d preempted requests", len(waiting))
+		}
+		// Grow every running sequence by one token, preempting the
+		// youngest until the growth fits. Sequences that already reserved
+		// their slot this round are skipped on retries (a failed Append
+		// mutates nothing).
+		for i := range running {
+			running[i].grew = false
+		}
+		for {
+			ok := true
+			for i := range running {
+				if running[i].grew {
+					continue
+				}
+				if err := running[i].alloc.Append(1); err != nil {
+					if err != kvpool.ErrOutOfBlocks {
+						return nil, err
+					}
+					ok = false
+					break
+				}
+				running[i].grew = true
+			}
+			if ok {
+				break
+			}
+			if len(running) == 1 {
+				return nil, fmt.Errorf("serve: request %d cannot grow within the KV pool",
+					running[0].fl.req.ID)
+			}
+			sort.SliceStable(running, func(a, b int) bool {
+				return running[a].admitted < running[b].admitted
+			})
+			victim := running[len(running)-1]
+			running = running[:len(running)-1]
+			if err := victim.alloc.Free(); err != nil {
+				return nil, err
+			}
+			s.Preemptions++
+			waiting = append(waiting, victim.fl.req)
+		}
+		maxCtx := 0
+		for _, m := range running {
+			if m.fl.ctx > maxCtx {
+				maxCtx = m.fl.ctx
+			}
+		}
+		d, err := s.Cost.DecodeStepCost(len(running), maxCtx)
+		if err != nil {
+			return nil, err
+		}
+		clock += d
+		kept := running[:0]
+		for _, m := range running {
+			m.fl.ctx++
+			m.fl.remaining--
+			if m.fl.remaining == 0 {
+				out = append(out, s.completeOpt(m, clock))
+				if err := m.alloc.Free(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			kept = append(kept, m)
+		}
+		running = kept
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Request.ID < out[b].Request.ID })
+	return out, nil
+}
+
+func (s *MemoryAwareServer) completeOpt(m optSeq, finish float64) Completion {
+	return Completion{
+		Request:   m.fl.req,
+		QueueWait: m.fl.startAbs - m.fl.req.ArrivalSeconds,
+		TTFT:      m.firstTTFT,
+		E2E:       finish - m.fl.req.ArrivalSeconds,
+		Finish:    finish,
+	}
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func optServer(t *testing.T, poolSeqs int, optimistic bool) *MemoryAwareServer {
+	t.Helper()
+	return &MemoryAwareServer{
+		Cost:       fixedCost{0.001, 0.02},
+		Pool:       poolForSeqs(t, poolSeqs, 32, 16),
+		MaxBatch:   8,
+		Optimistic: optimistic,
+	}
+}
+
+func TestOptimisticServesEverything(t *testing.T) {
+	s := optServer(t, 3, true)
+	trace := memTrace(16)
+	cs, err := s.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 16 {
+		t.Fatalf("served %d of 16", len(cs))
+	}
+	seen := map[int]bool{}
+	for _, c := range cs {
+		if seen[c.Request.ID] {
+			t.Fatalf("request %d completed twice", c.Request.ID)
+		}
+		seen[c.Request.ID] = true
+		if c.E2E < 0 || c.TTFT < 0 {
+			t.Fatalf("negative metrics: %+v", c)
+		}
+	}
+	if s.Pool.FreeBlocks() != s.Pool.TotalBlocks() {
+		t.Error("blocks leaked")
+	}
+}
+
+// TestOptimisticPreemptsUnderPressure: with a pool sized for ~2 full
+// contexts and 8 slots, optimistic admission must overcommit and preempt.
+func TestOptimisticPreemptsUnderPressure(t *testing.T) {
+	s := optServer(t, 2, true)
+	if _, err := s.Run(memTrace(12)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Preemptions == 0 {
+		t.Error("expected preemptions under pool pressure")
+	}
+}
+
+// TestOptimisticPacksTighter: under pressure, optimistic admission should
+// match or beat conservative reservation on throughput (it runs more
+// sequences concurrently between preemptions).
+func TestOptimisticPacksTighter(t *testing.T) {
+	trace := memTrace(24)
+	conservative := optServer(t, 3, false)
+	csC, err := conservative.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimistic := optServer(t, 3, true)
+	csO, err := optimistic.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smC, smO := Summarize(csC), Summarize(csO)
+	if smO.TokensPerSecond < smC.TokensPerSecond*0.9 {
+		t.Errorf("optimistic %.1f tok/s fell >10%% below conservative %.1f",
+			smO.TokensPerSecond, smC.TokensPerSecond)
+	}
+}
+
+// TestOptimisticMatchesConservativeWhenAmple: with plenty of blocks the
+// two admission policies must schedule identically.
+func TestOptimisticMatchesConservativeWhenAmple(t *testing.T) {
+	trace := memTrace(12)
+	a, err := optServer(t, 32, false).Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := optServer(t, 32, true).Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Finish != b[i].Finish {
+			t.Fatalf("request %d: %.3f vs %.3f", i, a[i].Finish, b[i].Finish)
+		}
+	}
+}
+
+// TestOptimisticUnservablePrompt: a prompt that can never fit must error.
+func TestOptimisticUnservablePrompt(t *testing.T) {
+	s := optServer(t, 1, true) // pool: 48 tokens
+	trace := []workload.Request{{ID: 0, InputLen: 64, OutputLen: 4}}
+	if _, err := s.Run(trace); err == nil {
+		t.Error("oversized prompt must error")
+	}
+}
+
+// TestOptimisticSingleGrowthFailure: one sequence that cannot grow within
+// the whole pool must error rather than livelock.
+func TestOptimisticSingleGrowthFailure(t *testing.T) {
+	s := optServer(t, 1, true) // exactly one 48-token context (32+16)
+	trace := []workload.Request{{ID: 0, InputLen: 48, OutputLen: 8}}
+	if _, err := s.Run(trace); err == nil {
+		t.Error("ungrowable sequence must error")
+	}
+}

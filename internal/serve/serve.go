@@ -1,0 +1,339 @@
+// Package serve is a discrete-event simulator of an LLM inference server
+// fed by a request trace. It implements the batching disciplines the
+// paper's context discusses (§II-C, §VII): first-come-first-served
+// single-request execution, static batching as in TorchServe/Triton, and
+// Orca-style continuous (iteration-level) batching, all priced by the
+// platform performance model. It turns the paper's per-point metrics into
+// serving-level ones: queueing delay, TTFT under load, tail latency, and
+// sustained tokens/s.
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// CostModel prices the two phase primitives a server schedules.
+type CostModel interface {
+	// PrefillCost returns the seconds to prefill a batch of equal-length
+	// prompts.
+	PrefillCost(batch, inputLen int) (float64, error)
+	// DecodeStepCost returns the seconds of one decode iteration for
+	// `batch` sequences whose longest context is ctxLen.
+	DecodeStepCost(batch, ctxLen int) (float64, error)
+}
+
+// Policy selects the batching discipline.
+type Policy int
+
+const (
+	// FCFS runs one request at a time in arrival order.
+	FCFS Policy = iota
+	// Static groups up to MaxBatch requests (waiting at most BatchWait
+	// after the first arrival), pads them to the longest prompt and
+	// generation, and runs the whole batch to completion.
+	Static
+	// Continuous schedules at iteration granularity (Orca): sequences
+	// join mid-flight when slots free and leave the moment they finish.
+	Continuous
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "fcfs"
+	case Static:
+		return "static"
+	case Continuous:
+		return "continuous"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Server is one simulated inference server.
+type Server struct {
+	Cost     CostModel
+	Policy   Policy
+	MaxBatch int
+	// BatchWait is the static policy's fill timeout: a partial batch
+	// launches this long after its first request arrived.
+	BatchWait float64
+}
+
+// Completion records one served request.
+type Completion struct {
+	Request   workload.Request
+	QueueWait float64 // arrival → execution start
+	TTFT      float64 // arrival → first token
+	E2E       float64 // arrival → last token
+	Finish    float64 // absolute completion time
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	Count           int
+	Makespan        float64
+	TokensPerSecond float64
+	MeanQueueWait   float64
+	MeanTTFT        float64
+	P95TTFT         float64
+	MeanE2E         float64
+	P95E2E          float64
+}
+
+// Run serves the trace (which must be sorted by arrival time) and returns
+// per-request completions in arrival order.
+func (s *Server) Run(trace []workload.Request) ([]Completion, error) {
+	if s.Cost == nil {
+		return nil, fmt.Errorf("serve: nil cost model")
+	}
+	if s.MaxBatch < 1 {
+		s.MaxBatch = 1
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].ArrivalSeconds < trace[i-1].ArrivalSeconds {
+			return nil, fmt.Errorf("serve: trace not sorted by arrival at index %d", i)
+		}
+	}
+	switch s.Policy {
+	case FCFS:
+		return s.runFCFS(trace)
+	case Static:
+		return s.runStatic(trace)
+	case Continuous:
+		return s.runContinuous(trace)
+	default:
+		return nil, fmt.Errorf("serve: unknown policy %d", int(s.Policy))
+	}
+}
+
+func (s *Server) runFCFS(trace []workload.Request) ([]Completion, error) {
+	var clock float64
+	out := make([]Completion, 0, len(trace))
+	for _, r := range trace {
+		if r.ArrivalSeconds > clock {
+			clock = r.ArrivalSeconds
+		}
+		start := clock
+		pre, err := s.Cost.PrefillCost(1, r.InputLen)
+		if err != nil {
+			return nil, err
+		}
+		clock += pre
+		ttft := clock - r.ArrivalSeconds
+		for step := 1; step < r.OutputLen; step++ {
+			d, err := s.Cost.DecodeStepCost(1, r.InputLen+step)
+			if err != nil {
+				return nil, err
+			}
+			clock += d
+		}
+		out = append(out, Completion{
+			Request: r, QueueWait: start - r.ArrivalSeconds,
+			TTFT: ttft, E2E: clock - r.ArrivalSeconds, Finish: clock,
+		})
+	}
+	return out, nil
+}
+
+func (s *Server) runStatic(trace []workload.Request) ([]Completion, error) {
+	var clock float64
+	out := make([]Completion, 0, len(trace))
+	i := 0
+	for i < len(trace) {
+		// Form the next batch: it launches when full, or BatchWait after
+		// its first request arrived (whichever is earlier), and never
+		// before the server is free.
+		first := trace[i]
+		n := 1
+		launch := first.ArrivalSeconds + s.BatchWait
+		for i+n < len(trace) && n < s.MaxBatch && trace[i+n].ArrivalSeconds <= launch {
+			n++
+		}
+		if n == s.MaxBatch {
+			launch = trace[i+n-1].ArrivalSeconds
+		}
+		if clock > launch {
+			launch = clock
+		}
+		batch := trace[i : i+n]
+		maxIn, maxOut := 0, 0
+		for _, r := range batch {
+			if r.InputLen > maxIn {
+				maxIn = r.InputLen
+			}
+			if r.OutputLen > maxOut {
+				maxOut = r.OutputLen
+			}
+		}
+		pre, err := s.Cost.PrefillCost(n, maxIn)
+		if err != nil {
+			return nil, err
+		}
+		t := launch + pre
+		ttftAbs := t
+		for step := 1; step < maxOut; step++ {
+			d, err := s.Cost.DecodeStepCost(n, maxIn+step)
+			if err != nil {
+				return nil, err
+			}
+			t += d
+		}
+		// Static batching: every request in the batch completes when the
+		// padded batch does.
+		for _, r := range batch {
+			out = append(out, Completion{
+				Request: r, QueueWait: launch - r.ArrivalSeconds,
+				TTFT: ttftAbs - r.ArrivalSeconds, E2E: t - r.ArrivalSeconds,
+				Finish: t,
+			})
+		}
+		clock = t
+		i += n
+	}
+	return out, nil
+}
+
+// inflight is one sequence being decoded under continuous batching.
+type inflight struct {
+	req       workload.Request
+	ctx       int // tokens in the KV cache
+	remaining int // output tokens still to produce
+	ttftAbs   float64
+	startAbs  float64
+}
+
+func (s *Server) runContinuous(trace []workload.Request) ([]Completion, error) {
+	var clock float64
+	var running []inflight
+	next := 0
+	out := make([]Completion, 0, len(trace))
+
+	for len(out) < len(trace) {
+		// Admit waiting requests into free slots; each admission pays its
+		// prefill as an iteration of its own batch (chunked-prefill-free
+		// Orca: prefills run as dedicated iterations).
+		var admitted []workload.Request
+		for next < len(trace) && len(running)+len(admitted) < s.MaxBatch &&
+			trace[next].ArrivalSeconds <= clock {
+			admitted = append(admitted, trace[next])
+			next++
+		}
+		if len(admitted) > 0 {
+			maxIn := 0
+			for _, r := range admitted {
+				if r.InputLen > maxIn {
+					maxIn = r.InputLen
+				}
+			}
+			pre, err := s.Cost.PrefillCost(len(admitted), maxIn)
+			if err != nil {
+				return nil, err
+			}
+			start := clock
+			clock += pre
+			for _, r := range admitted {
+				fl := inflight{req: r, ctx: r.InputLen, remaining: r.OutputLen - 1,
+					ttftAbs: clock, startAbs: start}
+				if fl.remaining == 0 {
+					out = append(out, s.complete(fl, clock))
+					continue
+				}
+				running = append(running, fl)
+			}
+			continue
+		}
+		if len(running) == 0 {
+			// Idle: jump to the next arrival.
+			if next >= len(trace) {
+				break
+			}
+			if trace[next].ArrivalSeconds > clock {
+				clock = trace[next].ArrivalSeconds
+			}
+			continue
+		}
+		// One decode iteration for every running sequence.
+		maxCtx := 0
+		for _, fl := range running {
+			if fl.ctx > maxCtx {
+				maxCtx = fl.ctx
+			}
+		}
+		d, err := s.Cost.DecodeStepCost(len(running), maxCtx)
+		if err != nil {
+			return nil, err
+		}
+		clock += d
+		kept := running[:0]
+		for _, fl := range running {
+			fl.ctx++
+			fl.remaining--
+			if fl.remaining == 0 {
+				out = append(out, s.complete(fl, clock))
+				continue
+			}
+			kept = append(kept, fl)
+		}
+		running = kept
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Request.ID < out[b].Request.ID })
+	return out, nil
+}
+
+func (s *Server) complete(fl inflight, finish float64) Completion {
+	return Completion{
+		Request:   fl.req,
+		QueueWait: fl.startAbs - fl.req.ArrivalSeconds,
+		TTFT:      fl.ttftAbs - fl.req.ArrivalSeconds,
+		E2E:       finish - fl.req.ArrivalSeconds,
+		Finish:    finish,
+	}
+}
+
+// Summarize aggregates completions into serving metrics.
+func Summarize(cs []Completion) Summary {
+	var sm Summary
+	sm.Count = len(cs)
+	if len(cs) == 0 {
+		return sm
+	}
+	var ttfts, e2es []float64
+	var tokens int
+	var firstArrival = cs[0].Request.ArrivalSeconds
+	for _, c := range cs {
+		sm.MeanQueueWait += c.QueueWait
+		sm.MeanTTFT += c.TTFT
+		sm.MeanE2E += c.E2E
+		ttfts = append(ttfts, c.TTFT)
+		e2es = append(e2es, c.E2E)
+		tokens += c.Request.OutputLen
+		if c.Finish > sm.Makespan {
+			sm.Makespan = c.Finish
+		}
+		if c.Request.ArrivalSeconds < firstArrival {
+			firstArrival = c.Request.ArrivalSeconds
+		}
+	}
+	n := float64(len(cs))
+	sm.MeanQueueWait /= n
+	sm.MeanTTFT /= n
+	sm.MeanE2E /= n
+	sm.P95TTFT = percentile(ttfts, 0.95)
+	sm.P95E2E = percentile(e2es, 0.95)
+	if span := sm.Makespan - firstArrival; span > 0 {
+		sm.TokensPerSecond = float64(tokens) / span
+	}
+	return sm
+}
+
+func percentile(xs []float64, p float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}

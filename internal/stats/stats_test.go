@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean must be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean = %v, %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative value must error")
+	}
+	if g, err := GeoMean(nil); g != 0 || err != nil {
+		t.Error("empty geomean must be 0, nil")
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if Min(xs) != 1 || Max(xs) != 5 || Median(xs) != 3 {
+		t.Error("min/max/median wrong")
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Error("even median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median must be 0")
+	}
+	// Median must not mutate its input.
+	if xs[0] != 5 {
+		t.Error("median mutated input")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out, err := Normalize([]float64{2, 4}, 2)
+	if err != nil || out[0] != 1 || out[1] != 2 {
+		t.Errorf("normalize = %v, %v", out, err)
+	}
+	if _, err := Normalize([]float64{1}, 0); err == nil {
+		t.Error("normalize by zero must error")
+	}
+}
+
+func TestSpeedupReduction(t *testing.T) {
+	if Speedup(10, 2) != 5 {
+		t.Error("speedup wrong")
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Error("speedup by zero must be +Inf")
+	}
+	if ReductionPercent(10, 2) != 80 {
+		t.Error("reduction wrong")
+	}
+	if ReductionPercent(0, 5) != 0 {
+		t.Error("zero baseline reduction must be 0")
+	}
+}

@@ -1,0 +1,124 @@
+// Package sweeprun runs parameter sweeps over (platform, model, batch,
+// input length) grids and renders them as CSV — the engine behind
+// cmd/sweep, factored out so the grid logic is testable.
+package sweeprun
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Grid is a sweep specification.
+type Grid struct {
+	Platforms []string // spr | icl | a100 | h100
+	Models    []core.Model
+	Batches   []int
+	Inputs    []int
+	Output    int
+}
+
+// Validate reports empty or malformed grids.
+func (g Grid) Validate() error {
+	if len(g.Platforms) == 0 || len(g.Models) == 0 || len(g.Batches) == 0 ||
+		len(g.Inputs) == 0 || g.Output <= 0 {
+		return fmt.Errorf("sweeprun: empty grid dimension")
+	}
+	for _, p := range g.Platforms {
+		switch p {
+		case "spr", "icl", "a100", "h100":
+		default:
+			return fmt.Errorf("sweeprun: unknown platform %q", p)
+		}
+	}
+	return nil
+}
+
+// Row is one sweep point's outcome. Err is set when the point could not
+// be simulated (e.g. a working set beyond host memory) — the sweep
+// continues past it.
+type Row struct {
+	Platform string
+	Model    string
+	Batch    int
+	Input    int
+	Result   metrics.Result
+	Err      error
+}
+
+// Simulate prices one point on a named platform.
+func Simulate(platform string, m core.Model, batch, in, out int) (core.Result, error) {
+	switch platform {
+	case "spr":
+		return core.SimulateCPU(core.SPRQuadFlat(48), m, batch, in, out)
+	case "icl":
+		return core.SimulateCPU(core.ICLBaseline(), m, batch, in, out)
+	case "a100":
+		return core.SimulateGPU(core.A100(), m, batch, in, out)
+	case "h100":
+		return core.SimulateGPU(core.H100(), m, batch, in, out)
+	default:
+		return core.Result{}, fmt.Errorf("sweeprun: unknown platform %q", platform)
+	}
+}
+
+// Run evaluates the whole grid in row-major order (inputs fastest).
+func Run(g Grid) ([]Row, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, p := range g.Platforms {
+		for _, m := range g.Models {
+			for _, b := range g.Batches {
+				for _, in := range g.Inputs {
+					res, err := Simulate(p, m, b, in, g.Output)
+					rows = append(rows, Row{
+						Platform: p, Model: m.Name, Batch: b, Input: in,
+						Result: res, Err: err,
+					})
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Header is the CSV column list WriteCSV emits.
+var Header = []string{"platform", "model", "batch", "input", "output",
+	"ttft_ms", "tpot_ms", "e2e_s", "prefill_tok_s", "decode_tok_s",
+	"e2e_tok_s", "pcie_fraction"}
+
+// WriteCSV renders successful rows as CSV (failed rows are skipped; the
+// caller can report them via the returned count).
+func WriteCSV(w io.Writer, output int, rows []Row) (skipped int, err error) {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write(Header); err != nil {
+		return 0, err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	for _, r := range rows {
+		if r.Err != nil {
+			skipped++
+			continue
+		}
+		rec := []string{
+			r.Platform, r.Model,
+			strconv.Itoa(r.Batch), strconv.Itoa(r.Input), strconv.Itoa(output),
+			f(r.Result.Latency.TTFT * 1e3), f(r.Result.Latency.TPOT * 1e3),
+			f(r.Result.Latency.E2E),
+			f(r.Result.Throughput.Prefill), f(r.Result.Throughput.Decode),
+			f(r.Result.Throughput.E2E), f(r.Result.PCIeFraction()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return skipped, err
+		}
+	}
+	cw.Flush()
+	return skipped, cw.Error()
+}

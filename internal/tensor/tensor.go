@@ -1,0 +1,116 @@
+package tensor
+
+import "fmt"
+
+// Tensor is a dense row-major FP32 tensor. The functional engine computes
+// in FP32 (the AMX accumulate type); weights may additionally carry a BF16
+// or INT8 shadow representation produced by Compress, which kernels use to
+// emulate reduced-precision inputs.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", s, shape))
+		}
+		n *= s
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// FromSlice wraps data (not copied) in a tensor of the given shape.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, n, len(data)))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the backing row-major float32 slice.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// At returns the element at the given indices.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.data[t.offset(idx)]
+}
+
+// Set stores v at the given indices.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: %d indices for rank-%d tensor", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) in dim %d", ix, t.shape[i], i))
+		}
+		off = off*t.shape[i] + ix
+	}
+	return off
+}
+
+// Row returns row i of a rank-2 tensor as a slice sharing storage.
+func (t *Tensor) Row(i int) []float32 {
+	if len(t.shape) != 2 {
+		panic("tensor: Row requires a rank-2 tensor")
+	}
+	w := t.shape[1]
+	return t.data[i*w : (i+1)*w]
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Reshape returns a tensor sharing storage with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// Bytes returns the storage footprint of the tensor if stored as dt.
+func (t *Tensor) Bytes(dt DType) int64 {
+	return int64(len(t.data)) * int64(dt.Size())
+}

@@ -1,0 +1,90 @@
+package tensor
+
+import "testing"
+
+func TestNewAndIndexing(t *testing.T) {
+	m := New(2, 3)
+	if m.Rank() != 2 || m.Dim(0) != 2 || m.Dim(1) != 3 || m.Len() != 6 {
+		t.Fatalf("bad shape: %v", m.Shape())
+	}
+	m.Set(5, 1, 2)
+	if m.At(1, 2) != 5 {
+		t.Errorf("At(1,2) = %v, want 5", m.At(1, 2))
+	}
+	if m.Data()[5] != 5 {
+		t.Errorf("row-major layout violated: %v", m.Data())
+	}
+}
+
+func TestFromSliceSharesStorage(t *testing.T) {
+	data := []float32{1, 2, 3, 4}
+	m := FromSlice(data, 2, 2)
+	data[3] = 9
+	if m.At(1, 1) != 9 {
+		t.Error("FromSlice must not copy")
+	}
+}
+
+func TestRow(t *testing.T) {
+	m := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	r := m.Row(1)
+	if len(r) != 3 || r[0] != 4 || r[2] != 6 {
+		t.Errorf("Row(1) = %v", r)
+	}
+	r[0] = 40
+	if m.At(1, 0) != 40 {
+		t.Error("Row must share storage")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromSlice([]float32{1, 2}, 2)
+	c := m.Clone()
+	c.Set(9, 0)
+	if m.At(0) != 1 {
+		t.Error("Clone must deep-copy")
+	}
+}
+
+func TestReshapeSharesStorage(t *testing.T) {
+	m := New(2, 3)
+	r := m.Reshape(3, 2)
+	r.Set(7, 2, 1)
+	if m.At(1, 2) != 7 {
+		t.Error("Reshape must share storage")
+	}
+}
+
+func TestFill(t *testing.T) {
+	m := New(4)
+	m.Fill(2.5)
+	for i := 0; i < 4; i++ {
+		if m.At(i) != 2.5 {
+			t.Fatalf("Fill failed at %d", i)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	m := New(10, 10)
+	if m.Bytes(BF16) != 200 || m.Bytes(FP32) != 400 || m.Bytes(INT8) != 100 {
+		t.Error("Bytes wrong")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad shape", func() { New(0, 2) })
+	mustPanic("bad FromSlice", func() { FromSlice([]float32{1}, 2) })
+	mustPanic("bad index count", func() { New(2, 2).At(1) })
+	mustPanic("index out of range", func() { New(2, 2).At(2, 0) })
+	mustPanic("bad reshape", func() { New(2, 2).Reshape(3) })
+	mustPanic("row of rank-1", func() { New(4).Row(0) })
+}

@@ -1,0 +1,56 @@
+// Package texttoken is a minimal printable-ASCII tokenizer for the
+// functional engine's demos and tests: one token per printable character
+// (space through tilde, 95 symbols) plus BOS and EOS. Its vocabulary size
+// (97) matches model.Tiny's, so tiny engines can round-trip real text.
+package texttoken
+
+import (
+	"fmt"
+	"strings"
+)
+
+const (
+	// BOS and EOS are the sentinel tokens.
+	BOS = 0
+	EOS = 1
+	// offset maps byte ' ' (0x20) to token 2.
+	offset    = 2
+	firstChar = ' '
+	lastChar  = '~'
+)
+
+// VocabSize is the tokenizer's vocabulary size (95 printable ASCII + 2).
+const VocabSize = int(lastChar-firstChar) + 1 + offset
+
+// Encode converts printable-ASCII text to tokens, prepending BOS. It
+// rejects characters outside the printable range.
+func Encode(text string) ([]int, error) {
+	toks := make([]int, 0, len(text)+1)
+	toks = append(toks, BOS)
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c < firstChar || c > lastChar {
+			return nil, fmt.Errorf("texttoken: non-printable byte %#x at %d", c, i)
+		}
+		toks = append(toks, int(c-firstChar)+offset)
+	}
+	return toks, nil
+}
+
+// Decode converts tokens back to text, stopping at EOS and skipping BOS.
+func Decode(toks []int) (string, error) {
+	var b strings.Builder
+	for i, t := range toks {
+		switch {
+		case t == BOS:
+			continue
+		case t == EOS:
+			return b.String(), nil
+		case t >= offset && t < VocabSize:
+			b.WriteByte(byte(t-offset) + firstChar)
+		default:
+			return "", fmt.Errorf("texttoken: token %d at %d outside vocab %d", t, i, VocabSize)
+		}
+	}
+	return b.String(), nil
+}

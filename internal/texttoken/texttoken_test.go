@@ -1,0 +1,75 @@
+package texttoken
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestVocabMatchesTiny(t *testing.T) {
+	if VocabSize != model.Tiny(model.OPT).Vocab {
+		t.Errorf("tokenizer vocab %d != tiny model vocab %d",
+			VocabSize, model.Tiny(model.OPT).Vocab)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "hello, world!", "The 5 CPUs ~ 3x cheaper."} {
+		toks, err := Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if toks[0] != BOS {
+			t.Fatal("missing BOS")
+		}
+		got, err := Decode(toks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Errorf("round trip: %q -> %q", s, got)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Clamp to printable range.
+		bs := make([]byte, len(raw))
+		for i, b := range raw {
+			bs[i] = ' ' + b%95
+		}
+		s := string(bs)
+		toks, err := Encode(s)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(toks)
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEOSStops(t *testing.T) {
+	toks, _ := Encode("abc")
+	toks = append(toks[:2], append([]int{EOS}, toks[2:]...)...)
+	got, err := Decode(toks)
+	if err != nil || got != "a" {
+		t.Errorf("EOS handling: %q, %v", got, err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Encode("tab\tchar"); err == nil {
+		t.Error("non-printable input must fail")
+	}
+	if _, err := Decode([]int{999}); err == nil {
+		t.Error("out-of-vocab token must fail")
+	}
+	if _, err := Decode([]int{-1}); err == nil {
+		t.Error("negative token must fail")
+	}
+}

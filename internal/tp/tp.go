@@ -1,0 +1,160 @@
+// Package tp models tensor-parallel LLM inference across the two sockets
+// of a CPU server. The paper's 96-core experiments (Figs 14/16) show that
+// naively spanning sockets regresses: interleaved data sends half of all
+// accesses over UPI. Megatron-style tensor parallelism fixes the data
+// placement instead of the thread placement — each socket owns a column/
+// row shard of every weight matrix, streams only local memory, and the
+// sockets exchange one activation-sized allreduce per matmul pair. This
+// package quantifies when that turns the second socket from a liability
+// (Key Finding #3) into usable bandwidth for models that overflow one
+// socket's fast memory (§VI).
+package tp
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// allReduceLatencyUS is the per-operation software latency of a
+// two-socket allreduce (synchronization + kernel launch), independent of
+// payload.
+const allReduceLatencyUS = 15.0
+
+// Run describes one tensor-parallel simulation point across Ways sockets
+// of the same CPU.
+type Run struct {
+	CPU  hw.CPU
+	Ways int // tensor-parallel degree (sockets used); 1..CPU.Sockets
+	// Mem and Cluster configure each socket's local memory (per-socket
+	// working sets are halved, so HBM-only placement often becomes
+	// possible).
+	Mem                 memsim.MemMode
+	Cluster             memsim.ClusterMode
+	Model               model.Config
+	Batch               int
+	InputLen, OutputLen int
+	Weights             tensor.DType
+}
+
+// Validate reports impossible configurations.
+func (r Run) Validate() error {
+	if err := r.Model.Validate(); err != nil {
+		return err
+	}
+	if r.Ways < 1 || r.Ways > r.CPU.Sockets {
+		return fmt.Errorf("tp: %d ways on a %d-socket %s", r.Ways, r.CPU.Sockets, r.CPU.Name)
+	}
+	if r.Batch <= 0 || r.InputLen <= 0 || r.OutputLen <= 0 {
+		return fmt.Errorf("tp: non-positive batch/input/output")
+	}
+	return nil
+}
+
+// socketSetup returns the per-socket memory configuration (full local
+// cores, no cross-socket traffic — TP keeps each shard local).
+func (r Run) socketSetup() memsim.Config {
+	return memsim.Config{CPU: r.CPU, Cores: r.CPU.CoresPerSocket,
+		Mem: r.Mem, Cluster: r.Cluster}
+}
+
+// allReduceSeconds prices one allreduce of `bytes` payload across the
+// sockets over UPI (ring with 2 endpoints: one exchange each way).
+func (r Run) allReduceSeconds(bytes float64) float64 {
+	if r.Ways == 1 {
+		return 0
+	}
+	return bytes/(r.CPU.UPIGBs*1e9) + allReduceLatencyUS/1e6
+}
+
+// pricePass prices one forward pass: each socket executes 1/Ways of every
+// weight-carrying op over its local shard, attention shards by head, and
+// the sockets allreduce the hidden state twice per layer (after attention
+// output and after the FFN, the Megatron pattern).
+func (r Run) pricePass(ph model.Phase, seq, ctx int, bw memsim.Bandwidth, scale float64) float64 {
+	ops := r.Model.Ops(ph, r.Batch, seq, ctx, r.Weights)
+	ways := float64(r.Ways)
+	var t float64
+	for _, o := range ops {
+		flops := o.FLOPs() / ways
+		// Sharding narrows the per-socket GEMM's N dimension.
+		n := o.N / int64(r.Ways)
+		if n < 1 {
+			n = 1
+		}
+		path := r.CPU.BestPath(o.M, n, o.K)
+		compute := flops / (path.EffectiveFLOPS(o.M, n, o.K) * scale)
+		mem := float64(o.WeightBytes) / ways
+		if o.Attention {
+			mem += float64(o.IOBytes) / ways
+		} else {
+			mem += float64(o.IOBytes) / ways * 0.25
+		}
+		memTime := mem / (bw.EffectiveGBs * 1e9)
+		if memTime > compute {
+			t += memTime
+		} else {
+			t += compute
+		}
+	}
+	// Two allreduces of the hidden state per layer.
+	rows := float64(r.Batch)
+	if ph == model.Prefill {
+		rows *= float64(seq)
+	}
+	hiddenBytes := rows * float64(r.Model.DModel) * 2
+	t += 2 * float64(r.Model.Layers) * r.allReduceSeconds(hiddenBytes)
+	t += r.CPU.StepOverheadMS / 1e3
+	return t
+}
+
+// Simulate prices the tensor-parallel run.
+func (r Run) Simulate() (metrics.Result, error) {
+	if err := r.Validate(); err != nil {
+		return metrics.Result{}, err
+	}
+	// Per-socket working set: the weight and KV shards.
+	footprint := (float64(r.Model.WeightBytes(r.Weights)) +
+		float64(r.Model.KVCacheBytes(r.InputLen+r.OutputLen, r.Batch, tensor.BF16))) /
+		float64(r.Ways) / 1e9
+	if footprint < 1 {
+		footprint = 1
+	}
+	bw, err := r.socketSetup().Bandwidth(footprint)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	scale := r.socketSetup().ComputeScale()
+
+	prefill := r.pricePass(model.Prefill, r.InputLen, 0, bw, scale)
+	var decode float64
+	for step := 1; step < r.OutputLen; step++ {
+		decode += r.pricePass(model.Decode, 1, r.InputLen+step, bw, scale)
+	}
+	name := fmt.Sprintf("%s TP-%d", r.CPU.Name, r.Ways)
+	res := metrics.New(name, r.Model.Name, r.Batch, r.InputLen, r.OutputLen, prefill, decode)
+	res.ComputeSeconds = res.Latency.E2E
+	return res, nil
+}
+
+// Baselines returns the two single-system reference points the TP run
+// should be compared against: one socket (48 cores, spilling if the model
+// overflows) and both sockets NUMA-naively (the paper's 96-core case).
+func (r Run) Baselines() (oneSocket, naiveTwoSocket metrics.Result, err error) {
+	one := perfmodel.CPURun{Model: r.Model,
+		Setup: memsim.Config{CPU: r.CPU, Cores: r.CPU.CoresPerSocket, Mem: r.Mem, Cluster: r.Cluster},
+		Batch: r.Batch, InputLen: r.InputLen, OutputLen: r.OutputLen, Weights: r.Weights}
+	oneSocket, err = one.Simulate()
+	if err != nil {
+		return
+	}
+	two := one
+	two.Setup.Cores = r.CPU.CoresPerSocket * r.CPU.Sockets
+	naiveTwoSocket, err = two.Simulate()
+	return
+}

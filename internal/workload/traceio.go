@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace serialization: request traces round-trip through JSON so sweeps
+// and serving experiments can be replayed against different platforms or
+// shared between runs.
+
+// WriteTrace serializes requests as a JSON array.
+func WriteTrace(w io.Writer, reqs []Request) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reqs)
+}
+
+// ReadTrace deserializes a JSON request trace and validates it: lengths
+// must be positive and arrivals sorted.
+func ReadTrace(r io.Reader) ([]Request, error) {
+	var reqs []Request
+	if err := json.NewDecoder(r).Decode(&reqs); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	for i, req := range reqs {
+		if req.InputLen < 1 || req.OutputLen < 1 {
+			return nil, fmt.Errorf("workload: request %d has non-positive lengths", i)
+		}
+		if req.ArrivalSeconds < 0 {
+			return nil, fmt.Errorf("workload: request %d has negative arrival", i)
+		}
+		if i > 0 && req.ArrivalSeconds < reqs[i-1].ArrivalSeconds {
+			return nil, fmt.Errorf("workload: trace not sorted by arrival at %d", i)
+		}
+	}
+	return reqs, nil
+}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	want := NewGenerator(7).Trace(12)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("request %d changed: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadTraceValidation(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "{",
+		"zero length":     `[{"ID":0,"InputLen":0,"OutputLen":4}]`,
+		"negative output": `[{"ID":0,"InputLen":4,"OutputLen":-1}]`,
+		"negative time":   `[{"ID":0,"InputLen":4,"OutputLen":4,"ArrivalSeconds":-1}]`,
+		"unsorted": `[{"ID":0,"InputLen":4,"OutputLen":4,"ArrivalSeconds":5},
+		             {"ID":1,"InputLen":4,"OutputLen":4,"ArrivalSeconds":1}]`,
+	}
+	for name, body := range cases {
+		if _, err := ReadTrace(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadTraceEmpty(t *testing.T) {
+	got, err := ReadTrace(strings.NewReader("[]"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty trace: %v %v", got, err)
+	}
+}
