@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench figures scorecard examples clean
+.PHONY: all build vet test check bench figures scorecard examples clean
 
 all: build vet test
 
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full pre-merge gate: vet plus the test suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 # One benchmark per paper table/figure plus kernel/engine/ablation benches.
 bench:

@@ -1,18 +1,28 @@
 // Command llmperf simulates one LLM-inference point on a modeled platform
 // and prints the paper's metrics (TTFT, TPOT, E2E latency, tokens/s) plus
-// emulated hardware counters for CPU runs.
+// emulated hardware counters for CPU runs. With -url it instead acts as an
+// HTTP load generator against a running llmperfd gateway, reporting
+// client-side latency percentiles and per-status counts.
 //
 // Usage:
 //
 //	llmperf -platform spr -model OPT-30B -batch 4
 //	llmperf -platform h100 -model OPT-66B -in 512 -out 32
 //	llmperf -platform spr -cores 96 -cluster snc -memmode cache -model LLaMA2-13B
+//	llmperf -url http://localhost:8080 -n 128 -concurrency 16 -model OPT-13B
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
+	"net/http"
 	"os"
+	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hw"
@@ -34,7 +44,15 @@ func main() {
 	cluster := flag.String("cluster", "quad", "SPR clustering mode: quad | snc")
 	showOps := flag.Bool("ops", false, "print the per-operator roofline breakdown (CPU platforms)")
 	traceOut := flag.String("trace", "", "write a Chrome trace JSON of one offloaded decode step to this file (GPU platforms)")
+	url := flag.String("url", "", "load-generator mode: base URL of a running llmperfd (e.g. http://localhost:8080)")
+	n := flag.Int("n", 64, "load generator: total requests")
+	concurrency := flag.Int("concurrency", 8, "load generator: concurrent clients")
 	flag.Parse()
+
+	if *url != "" {
+		loadGenerate(*url, *platform, *modelName, *in, *out, *n, *concurrency)
+		return
+	}
 
 	m, err := core.ModelByName(*modelName)
 	if err != nil {
@@ -144,6 +162,89 @@ func cpuSetup(platform string, cores int, memmode, cluster string) (core.CPUSetu
 	}
 	_ = hw.SPRMax9468
 	return setup, nil
+}
+
+// loadGenerate drives n POST /v1/generate requests at the given base URL
+// with the requested client concurrency, then reports client-side wall
+// latency percentiles and a count per HTTP status.
+func loadGenerate(base, platform, modelName string, in, out, n, concurrency int) {
+	if concurrency < 1 {
+		fatal(fmt.Errorf("concurrency must be positive"))
+	}
+	body, err := json.Marshal(map[string]any{
+		"platform": platform, "model": modelName, "in": in, "out": out})
+	if err != nil {
+		fatal(err)
+	}
+	endpoint := base + "/v1/generate"
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		statuses  = map[int]int{}
+		netErrs   int
+	)
+	jobs := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				t0 := time.Now()
+				resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
+				lat := time.Since(t0).Seconds()
+				mu.Lock()
+				if err != nil {
+					netErrs++
+				} else {
+					statuses[resp.StatusCode]++
+					if resp.StatusCode == http.StatusOK {
+						latencies = append(latencies, lat)
+					}
+					resp.Body.Close()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- struct{}{}
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	fmt.Printf("load: %d requests to %s (%s/%s in=%d out=%d), %d clients, %.2fs wall\n",
+		n, endpoint, platform, modelName, in, out, concurrency, wall)
+	var codes []int
+	for c := range statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Printf("  HTTP %d    : %d\n", c, statuses[c])
+	}
+	if netErrs > 0 {
+		fmt.Printf("  transport  : %d errors\n", netErrs)
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		fmt.Printf("  latency    : p50 %.3fs   p95 %.3fs   p99 %.3fs (client wall)\n",
+			quantileSorted(latencies, 0.50), quantileSorted(latencies, 0.95), quantileSorted(latencies, 0.99))
+		fmt.Printf("  throughput : %.1f req/s completed\n", float64(len(latencies))/wall)
+	}
+}
+
+// quantileSorted returns the p-quantile of an ascending-sorted slice.
+func quantileSorted(xs []float64, p float64) float64 {
+	idx := int(math.Ceil(p*float64(len(xs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return xs[idx]
 }
 
 func fatal(err error) {

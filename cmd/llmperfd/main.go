@@ -1,35 +1,90 @@
-// Command llmperfd serves the simulator over HTTP as a JSON API.
+// Command llmperfd serves the simulator over HTTP as a JSON API. All
+// requests flow through the serving gateway: a bounded admission queue,
+// a worker pool running continuous or chunked batching, and Prometheus
+// metrics at /metrics. SIGINT/SIGTERM drains in-flight requests before
+// exiting.
 //
 // Usage:
 //
-//	llmperfd -addr :8080
+//	llmperfd -addr :8080 -queue 256 -max-batch 8 -policy continuous -workers 4
 //	curl 'localhost:8080/v1/simulate?platform=spr&model=OPT-30B&batch=4'
-//	curl 'localhost:8080/v1/experiments/fig18'
-//	curl 'localhost:8080/v1/scorecard'
+//	curl -X POST localhost:8080/v1/generate -d '{"platform":"spr","model":"OPT-13B"}'
+//	curl 'localhost:8080/metrics'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/gateway"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	queue := flag.Int("queue", 256, "admission queue bound (excess requests get 429)")
+	maxBatch := flag.Int("max-batch", 8, "maximum tokens batched per scheduler iteration")
+	policy := flag.String("policy", "continuous", "batching policy: continuous | chunked")
+	chunk := flag.Int("chunk", 64, "prefill chunk size (chunked policy)")
+	workers := flag.Int("workers", 4, "concurrent scheduler lanes")
+	timescale := flag.Float64("timescale", 0, "wall seconds slept per modeled second (0 = as fast as possible)")
+	drainWait := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 	flag.Parse()
 
+	var pol gateway.Policy
+	switch *policy {
+	case "continuous":
+		pol = gateway.Continuous
+	case "chunked":
+		pol = gateway.Chunked
+	default:
+		fmt.Fprintf(os.Stderr, "llmperfd: unknown policy %q (want continuous or chunked)\n", *policy)
+		os.Exit(2)
+	}
+
+	gw := gateway.New(gateway.Config{
+		MaxQueue:     *queue,
+		MaxBatch:     *maxBatch,
+		Policy:       pol,
+		PrefillChunk: *chunk,
+		Workers:      *workers,
+		Timescale:    *timescale,
+	}, api.LaneResolver())
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.NewHandler(),
+		Handler:           api.NewServer(gw).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("llmperfd listening on %s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("llmperfd listening on %s (queue=%d batch=%d policy=%s workers=%d)\n",
+		*addr, *queue, *maxBatch, pol, *workers)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "llmperfd:", err)
 		os.Exit(1)
+	case sig := <-sigCh:
+		fmt.Printf("llmperfd: %v, draining (up to %v)\n", sig, *drainWait)
 	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "llmperfd: gateway drain:", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "llmperfd: http shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("llmperfd: drained cleanly")
 }

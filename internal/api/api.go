@@ -1,120 +1,156 @@
-// Package api exposes the simulator over HTTP as a small JSON service —
-// the shape a capacity-planning or benchmarking dashboard would consume.
-// Endpoints:
+// Package api exposes the simulator over HTTP as a JSON service — the
+// shape a capacity-planning dashboard or load generator consumes. All
+// traffic flows through a gateway (internal/gateway) that provides a
+// bounded queue with 429 backpressure, batched execution, per-request
+// cancellation, graceful drain and metrics.
 //
-//	GET /v1/models                       model presets
-//	GET /v1/platforms                    platform names
-//	GET /v1/simulate?platform=&model=&batch=&in=&out=[&cores=&memmode=&cluster=]
-//	GET /v1/experiments                  experiment keys
-//	GET /v1/experiments/{key}            one experiment's rendered tables
-//	GET /v1/scorecard                    reproduction scorecard
+// v1 endpoints (see docs/api.md for schemas and examples):
+//
+//	GET  /v1/                        endpoint index
+//	GET  /v1/models                  model presets
+//	GET  /v1/platforms               platform registry
+//	GET|POST /v1/simulate            one simulated inference point
+//	GET|POST /v1/autotune            configuration search
+//	POST /v1/generate                one request through the batching gateway
+//	GET  /v1/experiments             experiment keys
+//	GET  /v1/experiments/{key}       one experiment's rendered tables
+//	GET  /v1/scorecard               reproduction scorecard
+//	GET  /metrics                    Prometheus metrics
+//	GET  /healthz, /readyz           liveness / readiness
 package api
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"net/http"
-	"strconv"
 	"strings"
 
 	"repro/internal/autotune"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/gateway"
 	"repro/internal/hw"
-	"repro/internal/memsim"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/tensor"
 )
 
-// NewHandler returns the service's HTTP handler.
-func NewHandler() http.Handler {
+// Server is the v1 API bound to one gateway.
+type Server struct {
+	gw   *gateway.Gateway
+	reg  *metrics.Registry
+	reqs *metrics.Counter
+	errs *metrics.Counter
+}
+
+// NewServer returns a server routing execution through gw. A nil gw gets
+// a default gateway (continuous batching, default bounds) wired to the
+// standard lane resolver.
+func NewServer(gw *gateway.Gateway) *Server {
+	if gw == nil {
+		gw = gateway.New(gateway.Config{}, LaneResolver())
+	}
+	reg := gw.Registry()
+	return &Server{
+		gw:   gw,
+		reg:  reg,
+		reqs: reg.Counter("api_http_requests_total", "HTTP requests received"),
+		errs: reg.Counter("api_http_errors_total", "HTTP responses with status >= 400"),
+	}
+}
+
+// NewHandler returns the service's HTTP handler with a default gateway
+// (the historical entry point).
+func NewHandler() http.Handler { return NewServer(nil).Handler() }
+
+// Gateway returns the server's gateway (for shutdown wiring).
+func (s *Server) Gateway() *gateway.Gateway { return s.gw }
+
+// endpointInfo describes one route in the /v1/ index.
+type endpointInfo struct {
+	Method      string `json:"method"`
+	Path        string `json:"path"`
+	Description string `json:"description"`
+}
+
+var endpoints = []endpointInfo{
+	{"GET", "/v1/", "this index"},
+	{"GET", "/v1/models", "model presets the paper evaluates"},
+	{"GET", "/v1/platforms", "platform registry (CPUs and GPUs of Tables I-II)"},
+	{"GET, POST", "/v1/simulate", "price one inference point (platform, model, batch, in, out)"},
+	{"GET, POST", "/v1/autotune", "search CPU configurations for an objective"},
+	{"POST", "/v1/generate", "serve one generation request through the batching gateway"},
+	{"GET", "/v1/experiments", "paper experiment keys"},
+	{"GET", "/v1/experiments/{key}", "run one experiment, rendered tables"},
+	{"GET", "/v1/scorecard", "reproduction scorecard"},
+	{"GET", "/metrics", "Prometheus metrics (gateway queue, TTFT/TPOT/E2E histograms)"},
+	{"GET", "/healthz", "liveness"},
+	{"GET", "/readyz", "readiness (503 while draining)"},
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/models", handleModels)
-	mux.HandleFunc("/v1/platforms", handlePlatforms)
-	mux.HandleFunc("/v1/simulate", handleSimulate)
-	mux.HandleFunc("/v1/experiments", handleExperimentList)
-	mux.HandleFunc("/v1/experiments/", handleExperiment)
-	mux.HandleFunc("/v1/scorecard", handleScorecard)
-	mux.HandleFunc("/v1/autotune", handleAutotune)
+	route := func(pattern string, h http.HandlerFunc, methods ...string) {
+		mux.HandleFunc(pattern, s.instrument(h, methods))
+	}
+	route("/v1/{$}", s.handleIndex, http.MethodGet)
+	route("/v1/models", s.handleModels, http.MethodGet)
+	route("/v1/platforms", s.handlePlatforms, http.MethodGet)
+	route("/v1/simulate", s.handleSimulate, http.MethodGet, http.MethodPost)
+	route("/v1/autotune", s.handleAutotune, http.MethodGet, http.MethodPost)
+	route("/v1/generate", s.handleGenerate, http.MethodPost)
+	route("/v1/experiments", s.handleExperimentList, http.MethodGet)
+	route("/v1/experiments/{key}", s.handleExperiment, http.MethodGet)
+	route("/v1/scorecard", s.handleScorecard, http.MethodGet)
+	route("/metrics", s.handleMetrics, http.MethodGet)
+	route("/healthz", s.handleHealthz, http.MethodGet)
+	route("/readyz", s.handleReadyz, http.MethodGet)
+	// Uniform JSON 404 for everything unmatched.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.reqs.Inc()
+		s.errs.Inc()
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("no such endpoint %s (see /v1/ for the index)", r.URL.Path))
+	})
 	return mux
 }
 
-// tuneResponse is one autotune candidate in JSON form.
-type tuneResponse struct {
-	Config          string  `json:"config"`
-	Cores           int     `json:"cores"`
-	Batch           int     `json:"batch"`
-	TTFTMillis      float64 `json:"ttft_ms"`
-	TPOTMillis      float64 `json:"tpot_ms"`
-	E2ESeconds      float64 `json:"e2e_s"`
-	TokensPerSecond float64 `json:"tokens_per_second"`
-}
-
-func handleAutotune(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	m, err := core.ModelByName(q.Get("model"))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	var obj autotune.Objective
-	switch q.Get("objective") {
-	case "", "e2e":
-		obj = autotune.MinE2ELatency
-	case "throughput":
-		obj = autotune.MaxThroughput
-	case "ttft":
-		obj = autotune.MinTTFT
-	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown objective %q", q.Get("objective")))
-		return
-	}
-	in, err := intParam(r, "in", 128)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	out, err := intParam(r, "out", 32)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	top, err := intParam(r, "top", 5)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	cands, err := autotune.Tune(autotune.DefaultSpace(), autotune.Request{
-		Model: m, InputLen: in, OutputLen: out, Objective: obj,
-	})
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	if top < len(cands) {
-		cands = cands[:top]
-	}
-	resp := make([]tuneResponse, len(cands))
-	for i, c := range cands {
-		resp[i] = tuneResponse{
-			Config: c.Setup.Name(), Cores: c.Setup.Cores, Batch: c.Batch,
-			TTFTMillis:      c.Result.Latency.TTFT * 1e3,
-			TPOTMillis:      c.Result.Latency.TPOT * 1e3,
-			E2ESeconds:      c.Result.Latency.E2E,
-			TokensPerSecond: c.Result.Throughput.E2E,
+// instrument counts requests and enforces the allowed method set with a
+// uniform 405 envelope and Allow header.
+func (s *Server) instrument(h http.HandlerFunc, methods []string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reqs.Inc()
+		for _, m := range methods {
+			if r.Method == m {
+				h(&statusWriter{ResponseWriter: w, errs: s.errs}, r)
+				return
+			}
 		}
+		s.errs.Inc()
+		w.Header().Set("Allow", strings.Join(methods, ", "))
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			fmt.Errorf("method %s not allowed on %s", r.Method, r.URL.Path))
 	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+// statusWriter counts error responses.
+type statusWriter struct {
+	http.ResponseWriter
+	errs    *metrics.Counter
+	counted bool
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (sw *statusWriter) WriteHeader(status int) {
+	if status >= 400 && !sw.counted {
+		sw.counted = true
+		sw.errs.Inc()
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"endpoints": endpoints})
 }
 
 type modelInfo struct {
@@ -127,7 +163,7 @@ type modelInfo struct {
 	MaxSeqLen int     `json:"max_seq_len"`
 }
 
-func handleModels(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	var out []modelInfo
 	for _, m := range model.Evaluated() {
 		out = append(out, modelInfo{
@@ -141,8 +177,22 @@ func handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func handlePlatforms(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, []string{"spr", "icl", "a100", "h100", "gh200"})
+// platformInfo is one registry entry in JSON form.
+type platformInfo struct {
+	Key         string `json:"key"`
+	Kind        string `json:"kind"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	entries := hw.Platforms()
+	out := make([]platformInfo, len(entries))
+	for i, e := range entries {
+		out[i] = platformInfo{Key: e.Key, Kind: e.Kind.String(),
+			Name: e.Name(), Description: e.Description}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // simResponse is the JSON form of a simulation result.
@@ -161,90 +211,48 @@ type simResponse struct {
 	CoreUtilization float64 `json:"core_utilization,omitempty"`
 }
 
-func intParam(r *http.Request, name string, def int) (int, error) {
-	s := r.URL.Query().Get(name)
-	if s == "" {
-		return def, nil
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	var err error
+	if r.Method == http.MethodPost {
+		err = decodeBody(r, &req)
+	} else {
+		req, err = simulateFromQuery(r)
 	}
-	v, err := strconv.Atoi(s)
 	if err != nil {
-		return 0, fmt.Errorf("parameter %s: %w", name, err)
-	}
-	return v, nil
-}
-
-func handleSimulate(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	m, err := core.ModelByName(q.Get("model"))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	batch, err := intParam(r, "batch", 1)
-	if err == nil && batch < 1 {
-		err = fmt.Errorf("batch must be positive")
-	}
+	m, entry, err := req.normalize()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	in, err := intParam(r, "in", 128)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	out, err := intParam(r, "out", 32)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 
+	var setup core.CPUSetup
+	if entry.Kind == hw.CPUPlatform {
+		setup, err = cpuSetup(entry, req.Cores, req.MemMode, req.Cluster)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+			return
+		}
+	}
 	var res core.Result
-	switch q.Get("platform") {
-	case "spr", "icl":
-		setup := core.SPRQuadFlat(0)
-		if q.Get("platform") == "icl" {
-			setup = core.ICLBaseline()
-		}
-		if cores, err := intParam(r, "cores", setup.Cores); err == nil {
-			setup.Cores = cores
+	var simErr error
+	gwErr := s.gw.Do(r.Context(), func(context.Context) error {
+		if entry.Kind == hw.CPUPlatform {
+			res, simErr = core.SimulateCPU(setup, m, req.Batch, req.InputLen, req.OutputLen)
 		} else {
-			writeErr(w, http.StatusBadRequest, err)
-			return
+			res, simErr = core.SimulateGPU(*entry.GPU, m, req.Batch, req.InputLen, req.OutputLen)
 		}
-		switch q.Get("memmode") {
-		case "", "flat":
-		case "cache":
-			setup.Mem = memsim.Cache
-		case "hbm-only":
-			setup.Mem = memsim.HBMOnly
-		case "ddr":
-			setup.Mem = memsim.DDROnly
-		default:
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown memmode %q", q.Get("memmode")))
-			return
-		}
-		switch q.Get("cluster") {
-		case "", "quad":
-		case "snc":
-			setup.Cluster = memsim.SNC4
-		default:
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown cluster %q", q.Get("cluster")))
-			return
-		}
-		res, err = core.SimulateCPU(setup, m, batch, in, out)
-	case "a100":
-		res, err = core.SimulateGPU(core.A100(), m, batch, in, out)
-	case "h100":
-		res, err = core.SimulateGPU(core.H100(), m, batch, in, out)
-	case "gh200":
-		res, err = core.SimulateGPU(hw.GH200, m, batch, in, out)
-	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown platform %q", q.Get("platform")))
+		return nil
+	})
+	if gwErr != nil {
+		writeGatewayError(w, gwErr)
 		return
 	}
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+	if simErr != nil {
+		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, simErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, simResponse{
@@ -258,7 +266,114 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func handleExperimentList(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
+	var req AutotuneRequest
+	var err error
+	if r.Method == http.MethodPost {
+		err = decodeBody(r, &req)
+	} else {
+		req, err = autotuneFromQuery(r)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	if req.InputLen == 0 {
+		req.InputLen = 128
+	}
+	if req.OutputLen == 0 {
+		req.OutputLen = 32
+	}
+	if req.Top == 0 {
+		req.Top = 5
+	}
+	if req.InputLen < 0 || req.OutputLen < 0 || req.Top < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("in, out and top must be positive"))
+		return
+	}
+	m, err := core.ModelByName(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	var obj autotune.Objective
+	switch req.Objective {
+	case "", "e2e":
+		obj = autotune.MinE2ELatency
+	case "throughput":
+		obj = autotune.MaxThroughput
+	case "ttft":
+		obj = autotune.MinTTFT
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("unknown objective %q (want e2e, throughput or ttft)", req.Objective))
+		return
+	}
+	var cands []autotune.Candidate
+	var tuneErr error
+	gwErr := s.gw.Do(r.Context(), func(context.Context) error {
+		cands, tuneErr = autotune.Tune(autotune.DefaultSpace(), autotune.Request{
+			Model: m, InputLen: req.InputLen, OutputLen: req.OutputLen, Objective: obj,
+		})
+		return nil
+	})
+	if gwErr != nil {
+		writeGatewayError(w, gwErr)
+		return
+	}
+	if tuneErr != nil {
+		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, tuneErr)
+		return
+	}
+	if req.Top < len(cands) {
+		cands = cands[:req.Top]
+	}
+	resp := make([]tuneResponse, len(cands))
+	for i, c := range cands {
+		resp[i] = tuneResponse{
+			Config: c.Setup.Name(), Cores: c.Setup.Cores, Batch: c.Batch,
+			TTFTMillis:      c.Result.Latency.TTFT * 1e3,
+			TPOTMillis:      c.Result.Latency.TPOT * 1e3,
+			E2ESeconds:      c.Result.Latency.E2E,
+			TokensPerSecond: c.Result.Throughput.E2E,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// tuneResponse is one autotune candidate in JSON form.
+type tuneResponse struct {
+	Config          string  `json:"config"`
+	Cores           int     `json:"cores"`
+	Batch           int     `json:"batch"`
+	TTFTMillis      float64 `json:"ttft_ms"`
+	TPOTMillis      float64 `json:"tpot_ms"`
+	E2ESeconds      float64 `json:"e2e_s"`
+	TokensPerSecond float64 `json:"tokens_per_second"`
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	res, err := s.gw.Generate(r.Context(), gateway.Request{
+		Lane: req.laneKey(), InputLen: req.InputLen, OutputLen: req.OutputLen,
+	})
+	if err != nil {
+		writeGatewayError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
 	type exp struct{ Key, Title string }
 	var out []exp
 	for _, e := range experiments.All() {
@@ -275,16 +390,25 @@ type tableJSON struct {
 	Rows    [][]string `json:"rows"`
 }
 
-func handleExperiment(w http.ResponseWriter, r *http.Request) {
-	key := strings.TrimPrefix(r.URL.Path, "/v1/experiments/")
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
 	e, err := experiments.ByKey(key)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
-	tabs, err := e.Run()
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+	var tabs []experiments.Table
+	var runErr error
+	gwErr := s.gw.Do(r.Context(), func(context.Context) error {
+		tabs, runErr = e.Run()
+		return nil
+	})
+	if gwErr != nil {
+		writeGatewayError(w, gwErr)
+		return
+	}
+	if runErr != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, runErr)
 		return
 	}
 	out := make([]tableJSON, len(tabs))
@@ -294,12 +418,30 @@ func handleExperiment(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func handleScorecard(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleScorecard(w http.ResponseWriter, r *http.Request) {
 	tab, err := experiments.RunScorecard()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, tableJSON{ID: tab.ID, Title: tab.Title,
 		Columns: tab.Columns, Rows: tab.Rows})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.gw.Draining() {
+		writeError(w, http.StatusServiceUnavailable, CodeDraining,
+			fmt.Errorf("gateway draining"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

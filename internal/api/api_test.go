@@ -2,27 +2,78 @@ package api
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
-func get(t *testing.T, path string) (*http.Response, []byte) {
+// do issues one request against a fresh server.
+func do(t *testing.T, method, path string, body string) (*http.Response, []byte) {
 	t.Helper()
 	srv := httptest.NewServer(NewHandler())
 	defer srv.Close()
-	resp, err := http.Get(srv.URL + path)
+	return doOn(t, srv, method, path, body)
+}
+
+func doOn(t *testing.T, srv *httptest.Server, method, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var buf []byte
-	buf = make([]byte, 1<<20)
-	n, _ := resp.Body.Read(buf)
-	for n > 0 && buf[n-1] == '\n' {
-		n--
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
 	}
-	return resp, buf[:n]
+	return resp, buf
+}
+
+// get is the GET shorthand.
+func get(t *testing.T, path string) (*http.Response, []byte) {
+	t.Helper()
+	return do(t, http.MethodGet, path, "")
+}
+
+// errEnvelope decodes the uniform error body and fails on malformed ones.
+func errEnvelope(t *testing.T, body []byte) (code, message string) {
+	t.Helper()
+	var e struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
+		t.Fatalf("malformed error envelope: %v %s", err, body)
+	}
+	return e.Error.Code, e.Error.Message
+}
+
+func TestIndexEndpoint(t *testing.T) {
+	resp, body := get(t, "/v1/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var idx struct {
+		Endpoints []map[string]string `json:"endpoints"`
+	}
+	if err := json.Unmarshal(body, &idx); err != nil || len(idx.Endpoints) < 10 {
+		t.Fatalf("index: %v (%d entries)\n%s", err, len(idx.Endpoints), body)
+	}
 }
 
 func TestModelsEndpoint(t *testing.T) {
@@ -42,18 +93,30 @@ func TestModelsEndpoint(t *testing.T) {
 	}
 }
 
-func TestPlatformsEndpoint(t *testing.T) {
+func TestPlatformsFromRegistry(t *testing.T) {
 	resp, body := get(t, "/v1/platforms")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatal(resp.StatusCode)
 	}
-	var ps []string
+	var ps []struct {
+		Key, Kind, Name, Description string
+	}
 	if err := json.Unmarshal(body, &ps); err != nil || len(ps) != 5 {
 		t.Fatalf("platforms: %v %s", err, body)
 	}
+	kinds := map[string]int{}
+	for _, p := range ps {
+		if p.Key == "" || p.Name == "" || p.Description == "" {
+			t.Errorf("incomplete entry %+v", p)
+		}
+		kinds[p.Kind]++
+	}
+	if kinds["cpu"] != 2 || kinds["gpu"] != 3 {
+		t.Errorf("kind split %v, want 2 cpu + 3 gpu", kinds)
+	}
 }
 
-func TestSimulateEndpoint(t *testing.T) {
+func TestSimulateGET(t *testing.T) {
 	resp, body := get(t, "/v1/simulate?platform=spr&model=OPT-30B&batch=4")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
@@ -68,7 +131,6 @@ func TestSimulateEndpoint(t *testing.T) {
 	if res["llc_mpki"].(float64) <= 0 {
 		t.Error("CPU run must include counters")
 	}
-	// Offloaded GPU run reports a PCIe fraction.
 	resp, body = get(t, "/v1/simulate?platform=a100&model=OPT-30B")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
@@ -81,42 +143,94 @@ func TestSimulateEndpoint(t *testing.T) {
 	}
 }
 
-func TestSimulateWithConfig(t *testing.T) {
-	resp, _ := get(t, "/v1/simulate?platform=spr&model=LLaMA2-13B&cores=12&memmode=cache&cluster=snc")
+func TestSimulatePOSTMatchesGET(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	_, getBody := doOn(t, srv, http.MethodGet,
+		"/v1/simulate?platform=spr&model=LLaMA2-13B&batch=4&in=256&out=64&cores=32&memmode=cache&cluster=snc", "")
+	resp, postBody := doOn(t, srv, http.MethodPost, "/v1/simulate",
+		`{"platform":"spr","model":"LLaMA2-13B","batch":4,"in":256,"out":64,"cores":32,"memmode":"cache","cluster":"snc"}`)
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
+		t.Fatalf("POST status %d: %s", resp.StatusCode, postBody)
+	}
+	if string(getBody) != string(postBody) {
+		t.Errorf("GET/POST mismatch:\n%s\n%s", getBody, postBody)
 	}
 }
 
-func TestSimulateErrors(t *testing.T) {
+func TestSimulateValidation(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
 	cases := []struct {
-		path string
-		want int
+		method, path, body string
+		want               int
+		code               string
 	}{
-		{"/v1/simulate?platform=tpu&model=OPT-13B", http.StatusBadRequest},
-		{"/v1/simulate?platform=spr&model=GPT-5", http.StatusBadRequest},
-		{"/v1/simulate?platform=spr&model=OPT-13B&batch=zero", http.StatusBadRequest},
-		{"/v1/simulate?platform=spr&model=OPT-13B&batch=-1", http.StatusBadRequest},
-		{"/v1/simulate?platform=spr&model=OPT-13B&memmode=weird", http.StatusBadRequest},
-		{"/v1/simulate?platform=spr&model=OPT-13B&cluster=weird", http.StatusBadRequest},
-		{"/v1/simulate?platform=spr&model=OPT-13B&in=bad", http.StatusBadRequest},
-		{"/v1/simulate?platform=spr&model=OPT-13B&out=bad", http.StatusBadRequest},
-		{"/v1/simulate?platform=spr&model=OPT-13B&cores=bad", http.StatusBadRequest},
+		{"GET", "/v1/simulate?platform=tpu&model=OPT-13B", "", 400, "bad_request"},
+		{"GET", "/v1/simulate?platform=spr&model=GPT-5", "", 400, "bad_request"},
+		{"GET", "/v1/simulate?platform=spr&model=OPT-13B&batch=zero", "", 400, "bad_request"},
+		{"GET", "/v1/simulate?platform=spr&model=OPT-13B&batch=-1", "", 400, "bad_request"},
+		{"GET", "/v1/simulate?platform=spr&model=OPT-13B&in=-5", "", 400, "bad_request"},
+		{"GET", "/v1/simulate?platform=spr&model=OPT-13B&out=-1", "", 400, "bad_request"},
+		{"GET", "/v1/simulate?platform=spr&model=OPT-13B&cores=-4", "", 400, "bad_request"},
+		{"GET", "/v1/simulate?platform=spr&model=OPT-13B&cores=0", "", 400, "bad_request"},
+		{"GET", "/v1/simulate?platform=spr&model=OPT-13B&memmode=weird", "", 400, "bad_request"},
+		{"GET", "/v1/simulate?platform=spr&model=OPT-13B&cluster=weird", "", 400, "bad_request"},
+		{"GET", "/v1/simulate?platform=a100&model=OPT-13B&cores=8", "", 400, "bad_request"},
+		{"POST", "/v1/simulate", `{"platform":"spr","model":"OPT-13B","batch":-2}`, 400, "bad_request"},
+		{"POST", "/v1/simulate", `{"platform":"spr","model":"OPT-13B","bogus":1}`, 400, "bad_request"},
+		{"POST", "/v1/simulate", `not json`, 400, "bad_request"},
 	}
 	for _, c := range cases {
-		resp, body := get(t, c.path)
+		resp, body := doOn(t, srv, c.method, c.path, c.body)
 		if resp.StatusCode != c.want {
-			t.Errorf("%s: status %d want %d (%s)", c.path, resp.StatusCode, c.want, body)
+			t.Errorf("%s %s: status %d want %d (%s)", c.method, c.path, resp.StatusCode, c.want, body)
+			continue
 		}
-		var e map[string]string
-		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
-			t.Errorf("%s: error body malformed: %s", c.path, body)
+		if code, _ := errEnvelope(t, body); code != c.code {
+			t.Errorf("%s %s: code %q want %q", c.method, c.path, code, c.code)
 		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	cases := []struct{ method, path string }{
+		{"POST", "/v1/models"},
+		{"DELETE", "/v1/simulate"},
+		{"GET", "/v1/generate"},
+		{"PUT", "/v1/scorecard"},
+	}
+	for _, c := range cases {
+		resp, body := doOn(t, srv, c.method, c.path, "")
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d want 405", c.method, c.path, resp.StatusCode)
+			continue
+		}
+		if code, _ := errEnvelope(t, body); code != CodeMethodNotAllowed {
+			t.Errorf("%s %s: code %q", c.method, c.path, code)
+		}
+		if resp.Header.Get("Allow") == "" {
+			t.Errorf("%s %s: missing Allow header", c.method, c.path)
+		}
+	}
+}
+
+func TestUnknownPath404(t *testing.T) {
+	resp, body := get(t, "/v2/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if code, _ := errEnvelope(t, body); code != CodeNotFound {
+		t.Errorf("code %q", code)
 	}
 }
 
 func TestExperimentEndpoints(t *testing.T) {
-	resp, body := get(t, "/v1/experiments")
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	resp, body := doOn(t, srv, "GET", "/v1/experiments", "")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatal(resp.StatusCode)
 	}
@@ -124,7 +238,7 @@ func TestExperimentEndpoints(t *testing.T) {
 	if err := json.Unmarshal(body, &list); err != nil || len(list) < 20 {
 		t.Fatalf("experiment list: %v (%d)", err, len(list))
 	}
-	resp, body = get(t, "/v1/experiments/fig18")
+	resp, body = doOn(t, srv, "GET", "/v1/experiments/fig18", "")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("fig18 status %d", resp.StatusCode)
 	}
@@ -132,14 +246,19 @@ func TestExperimentEndpoints(t *testing.T) {
 	if err := json.Unmarshal(body, &tabs); err != nil || len(tabs) != 1 {
 		t.Fatalf("fig18 body: %v %s", err, body)
 	}
-	resp, _ = get(t, "/v1/experiments/fig99")
+	resp, body = doOn(t, srv, "GET", "/v1/experiments/fig99", "")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown experiment status %d", resp.StatusCode)
 	}
+	if code, _ := errEnvelope(t, body); code != CodeNotFound {
+		t.Errorf("code %q", code)
+	}
 }
 
-func TestAutotuneEndpoint(t *testing.T) {
-	resp, body := get(t, "/v1/autotune?model=LLaMA2-13B&objective=throughput&top=3")
+func TestAutotuneGETAndPOST(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	resp, body := doOn(t, srv, "GET", "/v1/autotune?model=LLaMA2-13B&objective=throughput&top=3", "")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
@@ -153,13 +272,26 @@ func TestAutotuneEndpoint(t *testing.T) {
 	if cands[0]["batch"].(float64) != 32 {
 		t.Errorf("throughput objective should pick batch 32, got %v", cands[0]["batch"])
 	}
-	resp, _ = get(t, "/v1/autotune?model=nope")
+	resp, postBody := doOn(t, srv, "POST", "/v1/autotune",
+		`{"model":"LLaMA2-13B","objective":"throughput","top":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST status %d: %s", resp.StatusCode, postBody)
+	}
+	if string(postBody) != string(body) {
+		t.Error("autotune GET/POST mismatch")
+	}
+	resp, body = doOn(t, srv, "GET", "/v1/autotune?model=nope", "")
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad model status %d", resp.StatusCode)
 	}
-	resp, _ = get(t, "/v1/autotune?model=OPT-13B&objective=weird")
+	errEnvelope(t, body)
+	resp, _ = doOn(t, srv, "GET", "/v1/autotune?model=OPT-13B&objective=weird", "")
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad objective status %d", resp.StatusCode)
+	}
+	resp, _ = doOn(t, srv, "GET", "/v1/autotune?model=OPT-13B&top=-1", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative top status %d", resp.StatusCode)
 	}
 }
 
@@ -181,5 +313,98 @@ func TestScorecardEndpoint(t *testing.T) {
 		if cells[len(cells)-1] != "PASS" {
 			t.Errorf("claim %v did not pass", cells[0])
 		}
+	}
+}
+
+func TestGenerateEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	resp, body := doOn(t, srv, "POST", "/v1/generate",
+		`{"platform":"spr","model":"OPT-13B","in":128,"out":8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res["ttft_s"].(float64) <= 0 || res["e2e_s"].(float64) <= 0 {
+		t.Errorf("degenerate generate result: %s", body)
+	}
+	// Validation errors.
+	for _, bad := range []string{
+		`{"platform":"tpu","model":"OPT-13B"}`,
+		`{"platform":"spr","model":"GPT-5"}`,
+		`{"platform":"spr","model":"OPT-13B","in":-1}`,
+		`{"platform":"a100","model":"OPT-13B","cores":4}`,
+		`{"platform":"tiny-weird"}`,
+	} {
+		resp, body := doOn(t, srv, "POST", "/v1/generate", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d want 400 (%s)", bad, resp.StatusCode, body)
+			continue
+		}
+		errEnvelope(t, body)
+	}
+}
+
+func TestGenerateOnRealEngine(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	resp, body := doOn(t, srv, "POST", "/v1/generate",
+		`{"platform":"tiny-opt","in":16,"out":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res["ttft_s"].(float64) <= 0 {
+		t.Errorf("engine-backed TTFT %v", res["ttft_s"])
+	}
+}
+
+func TestHealthReadyMetrics(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	resp, _ := doOn(t, srv, "GET", "/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz %d", resp.StatusCode)
+	}
+	resp, _ = doOn(t, srv, "GET", "/readyz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz %d", resp.StatusCode)
+	}
+	// Drive one request so histograms are non-empty, then scrape.
+	if resp, body := doOn(t, srv, "POST", "/v1/generate",
+		`{"platform":"spr","model":"OPT-13B","in":64,"out":4}`); resp.StatusCode != 200 {
+		t.Fatalf("generate: %d %s", resp.StatusCode, body)
+	}
+	resp, body := doOn(t, srv, "GET", "/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics %d", resp.StatusCode)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"gateway_completed_total 1",
+		"gateway_ttft_seconds_count 1",
+		"gateway_queue_depth",
+		"api_http_requests_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestContentTypeAndEnvelopeShape(t *testing.T) {
+	resp, body := get(t, "/v1/simulate?platform=spr&model=GPT-5")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("error content-type %q", ct)
+	}
+	code, msg := errEnvelope(t, body)
+	if code != CodeBadRequest || msg == "" {
+		t.Errorf("envelope %q %q", code, msg)
 	}
 }

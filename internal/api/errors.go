@@ -1,0 +1,67 @@
+package api
+
+// errors.go defines the service's uniform error envelope: every failure,
+// from any handler, renders as
+//
+//	{"error":{"code":"bad_request","message":"..."}}
+//
+// so clients switch on a stable machine-readable code and log the human
+// message.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/gateway"
+)
+
+// Error codes used across the v1 API.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeQueueFull        = "queue_full"
+	CodeDraining         = "draining"
+	CodeCanceled         = "canceled"
+	CodeUnprocessable    = "unprocessable"
+	CodeInternal         = "internal"
+)
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: err.Error()}})
+}
+
+// writeGatewayError maps scheduler and context errors onto HTTP statuses;
+// everything else is an internal error.
+func writeGatewayError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, gateway.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull, err)
+	case errors.Is(err, gateway.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// 499-style: the client went away or ran out its deadline.
+		writeError(w, http.StatusRequestTimeout, CodeCanceled, err)
+	default:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
+	}
+}

@@ -1,0 +1,283 @@
+package api
+
+// request.go holds the v1 request schemas with their two decoders — JSON
+// body (POST) and query parameters (GET back-compat adapter) — and the
+// shared field validation, so both forms of every endpoint run through
+// identical checks.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gateway"
+	"repro/internal/hw"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// maxBodyBytes bounds POST request bodies.
+const maxBodyBytes = 1 << 20
+
+// SimulateRequest is the body of POST /v1/simulate. Zero-valued numeric
+// fields take the documented defaults.
+type SimulateRequest struct {
+	Platform  string `json:"platform"`
+	Model     string `json:"model"`
+	Batch     int    `json:"batch"`   // default 1
+	InputLen  int    `json:"in"`      // default 128
+	OutputLen int    `json:"out"`     // default 32
+	Cores     int    `json:"cores"`   // CPU platforms; default per platform
+	MemMode   string `json:"memmode"` // flat | cache | hbm-only | ddr
+	Cluster   string `json:"cluster"` // quad | snc
+}
+
+// AutotuneRequest is the body of POST /v1/autotune.
+type AutotuneRequest struct {
+	Model     string `json:"model"`
+	Objective string `json:"objective"` // e2e | throughput | ttft
+	InputLen  int    `json:"in"`        // default 128
+	OutputLen int    `json:"out"`       // default 32
+	Top       int    `json:"top"`       // default 5
+}
+
+// GenerateRequest is the body of POST /v1/generate: one generation
+// request served through the gateway's batching scheduler. Platform is a
+// registry key, or "tiny-opt"/"tiny-llama" to execute on the real
+// measured engine.
+type GenerateRequest struct {
+	Platform  string `json:"platform"`
+	Model     string `json:"model"`
+	InputLen  int    `json:"in"`  // default 128
+	OutputLen int    `json:"out"` // default 32
+	Cores     int    `json:"cores"`
+	MemMode   string `json:"memmode"`
+	Cluster   string `json:"cluster"`
+}
+
+// decodeBody strictly parses a JSON body into dst.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("request body: trailing data after JSON object")
+	}
+	return nil
+}
+
+// positiveParam parses an optional positive integer query parameter.
+func positiveParam(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %w", name, err)
+	}
+	if v < 1 {
+		return 0, fmt.Errorf("parameter %s must be positive, got %d", name, v)
+	}
+	return v, nil
+}
+
+// simulateFromQuery adapts the legacy GET query form.
+func simulateFromQuery(r *http.Request) (SimulateRequest, error) {
+	var req SimulateRequest
+	q := r.URL.Query()
+	req.Platform = q.Get("platform")
+	req.Model = q.Get("model")
+	req.MemMode = q.Get("memmode")
+	req.Cluster = q.Get("cluster")
+	var err error
+	if req.Batch, err = positiveParam(r, "batch", 0); err != nil {
+		return req, err
+	}
+	if req.InputLen, err = positiveParam(r, "in", 0); err != nil {
+		return req, err
+	}
+	if req.OutputLen, err = positiveParam(r, "out", 0); err != nil {
+		return req, err
+	}
+	if req.Cores, err = positiveParam(r, "cores", 0); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// autotuneFromQuery adapts the legacy GET query form.
+func autotuneFromQuery(r *http.Request) (AutotuneRequest, error) {
+	var req AutotuneRequest
+	q := r.URL.Query()
+	req.Model = q.Get("model")
+	req.Objective = q.Get("objective")
+	var err error
+	if req.InputLen, err = positiveParam(r, "in", 0); err != nil {
+		return req, err
+	}
+	if req.OutputLen, err = positiveParam(r, "out", 0); err != nil {
+		return req, err
+	}
+	if req.Top, err = positiveParam(r, "top", 0); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// normalize validates the request and fills defaults; it returns the
+// resolved model and platform entry.
+func (req *SimulateRequest) normalize() (model.Config, hw.PlatformEntry, error) {
+	if req.Batch == 0 {
+		req.Batch = 1
+	}
+	if req.InputLen == 0 {
+		req.InputLen = 128
+	}
+	if req.OutputLen == 0 {
+		req.OutputLen = 32
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"batch", req.Batch}, {"in", req.InputLen}, {"out", req.OutputLen}, {"cores", req.Cores}} {
+		if f.v < 0 {
+			return model.Config{}, hw.PlatformEntry{}, fmt.Errorf("field %s must be positive, got %d", f.name, f.v)
+		}
+	}
+	m, err := core.ModelByName(req.Model)
+	if err != nil {
+		return model.Config{}, hw.PlatformEntry{}, err
+	}
+	entry, err := hw.PlatformByKey(req.Platform)
+	if err != nil {
+		return model.Config{}, hw.PlatformEntry{}, err
+	}
+	if entry.Kind == hw.GPUPlatform && (req.Cores != 0 || req.MemMode != "" || req.Cluster != "") {
+		return model.Config{}, hw.PlatformEntry{}, fmt.Errorf("cores/memmode/cluster apply only to CPU platforms, not %q", req.Platform)
+	}
+	return m, entry, nil
+}
+
+// cpuSetup builds the memsim configuration for a CPU platform entry.
+func cpuSetup(entry hw.PlatformEntry, cores int, memMode, cluster string) (memsim.Config, error) {
+	setup := core.SPRQuadFlat(0)
+	if entry.Key == "icl" {
+		setup = core.ICLBaseline()
+	}
+	if cores > 0 {
+		setup.Cores = cores
+	}
+	switch memMode {
+	case "", "flat":
+	case "cache":
+		setup.Mem = memsim.Cache
+	case "hbm-only":
+		setup.Mem = memsim.HBMOnly
+	case "ddr":
+		setup.Mem = memsim.DDROnly
+	default:
+		return setup, fmt.Errorf("unknown memmode %q (want flat, cache, hbm-only or ddr)", memMode)
+	}
+	switch cluster {
+	case "", "quad":
+	case "snc":
+		setup.Cluster = memsim.SNC4
+	default:
+		return setup, fmt.Errorf("unknown cluster %q (want quad or snc)", cluster)
+	}
+	return setup, nil
+}
+
+// laneKey canonicalizes the fields that determine batching compatibility:
+// requests with equal keys may share a gateway lane.
+func (req GenerateRequest) laneKey() string {
+	return strings.Join([]string{req.Platform, req.Model,
+		strconv.Itoa(req.Cores), req.MemMode, req.Cluster}, "|")
+}
+
+// normalize validates a generate request and fills defaults.
+func (req *GenerateRequest) normalize() error {
+	if req.InputLen == 0 {
+		req.InputLen = 128
+	}
+	if req.OutputLen == 0 {
+		req.OutputLen = 32
+	}
+	if req.InputLen < 0 || req.OutputLen < 0 || req.Cores < 0 {
+		return fmt.Errorf("in, out and cores must be positive")
+	}
+	if strings.HasPrefix(req.Platform, "tiny-") {
+		fam := strings.TrimPrefix(req.Platform, "tiny-")
+		if fam != "opt" && fam != "llama" {
+			return fmt.Errorf("unknown engine platform %q (want tiny-opt or tiny-llama)", req.Platform)
+		}
+		return nil
+	}
+	entry, err := hw.PlatformByKey(req.Platform)
+	if err != nil {
+		return err
+	}
+	if _, err := core.ModelByName(req.Model); err != nil {
+		return err
+	}
+	if entry.Kind == hw.CPUPlatform {
+		if _, err := cpuSetup(entry, req.Cores, req.MemMode, req.Cluster); err != nil {
+			return err
+		}
+	} else if req.Cores != 0 || req.MemMode != "" || req.Cluster != "" {
+		return fmt.Errorf("cores/memmode/cluster apply only to CPU platforms, not %q", req.Platform)
+	}
+	return nil
+}
+
+// LaneResolver builds serve cost models from canonical lane keys. It is
+// the gateway's bridge back into the simulation substrates: analytic
+// platform models for the paper's evaluation hardware, and the real
+// functional engine for tiny-* lanes.
+func LaneResolver() gateway.Resolver {
+	return func(lane string) (serve.CostModel, error) {
+		parts := strings.Split(lane, "|")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("api: malformed lane key %q", lane)
+		}
+		platform, modelName, coresStr, memMode, cluster := parts[0], parts[1], parts[2], parts[3], parts[4]
+		cores, err := strconv.Atoi(coresStr)
+		if err != nil {
+			return nil, fmt.Errorf("api: malformed lane cores in %q", lane)
+		}
+		if strings.HasPrefix(platform, "tiny-") {
+			eng, err := core.TinyEngine(strings.TrimPrefix(platform, "tiny-"),
+				engine.KernelTileBF16Parallel)
+			if err != nil {
+				return nil, err
+			}
+			return serve.NewEngineCost(eng), nil
+		}
+		m, err := core.ModelByName(modelName)
+		if err != nil {
+			return nil, err
+		}
+		entry, err := hw.PlatformByKey(platform)
+		if err != nil {
+			return nil, err
+		}
+		if entry.Kind == hw.CPUPlatform {
+			setup, err := cpuSetup(entry, cores, memMode, cluster)
+			if err != nil {
+				return nil, err
+			}
+			return serve.NewCPUCost(setup, m), nil
+		}
+		return serve.NewGPUCost(*entry.GPU, m), nil
+	}
+}

@@ -1,0 +1,348 @@
+// Package gateway is the serving layer between the HTTP API and the
+// engine/simulator substrates: a production-shaped request scheduler with
+// admission control in front of the priced (or measured) inference
+// iterations.
+//
+// Requests enter through Generate (token-generation jobs batched per
+// lane) or Do (unary calculator jobs such as one-shot simulations). Both
+// paths share a bounded queue: when it is full, submissions are rejected
+// immediately with ErrQueueFull, which the API layer maps to HTTP 429 —
+// backpressure instead of unbounded buffering (the paper's serving
+// context, §II-C/§VII).
+//
+// Generation jobs are grouped into lanes keyed by (platform, model,
+// configuration). Each lane owns a serve.CostModel and runs Orca-style
+// continuous batching — optionally Sarathi-style chunked prefill — at
+// iteration granularity: waiting requests join when slots free, leave the
+// moment their last token is produced, and every iteration advances the
+// lane's virtual clock by the modeled (or engine-measured) cost. A worker
+// pool bounds how many lanes execute concurrently.
+//
+// Every request carries a context.Context: cancellation or deadline
+// expiry removes it from the queue, or evicts it from its batch at the
+// next iteration boundary. Shutdown stops admission and drains in-flight
+// work. All activity is observable through a metrics.Registry: queue
+// depth, admission rejects, TTFT/TPOT/E2E histograms, batch-size
+// distribution, and live in-flight gauges.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// Sentinel errors the API layer maps to HTTP statuses.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("gateway: queue full")
+	// ErrDraining rejects submissions arriving after Shutdown began
+	// (HTTP 503).
+	ErrDraining = errors.New("gateway: draining")
+)
+
+// Policy selects the lane batching discipline.
+type Policy int
+
+const (
+	// Continuous is Orca-style iteration-level batching: an arriving
+	// request's whole prefill runs as one iteration.
+	Continuous Policy = iota
+	// Chunked is Sarathi-style chunked prefill: prompt pieces coalesce
+	// with the decode batch, bounding inter-token stalls.
+	Chunked
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == Chunked {
+		return "chunked"
+	}
+	return "continuous"
+}
+
+// Config tunes the gateway.
+type Config struct {
+	// MaxQueue bounds requests waiting for execution across all lanes
+	// and the unary pool; submissions beyond it get ErrQueueFull.
+	// Default 256.
+	MaxQueue int
+	// MaxBatch is the per-lane in-flight sequence limit. Default 8.
+	MaxBatch int
+	// Policy selects continuous or chunked-prefill batching.
+	Policy Policy
+	// PrefillChunk is the chunk size (tokens) under the Chunked policy.
+	// Default 64.
+	PrefillChunk int
+	// Workers bounds concurrently executing lanes plus unary jobs.
+	// Default 4.
+	Workers int
+	// Timescale, when positive, makes lanes sleep iterationCost ×
+	// Timescale after each iteration so wall-clock behavior tracks the
+	// modeled time (useful for live demos and load tests). 0 runs
+	// iterations back-to-back.
+	Timescale float64
+	// Registry receives the gateway's instruments; a private registry is
+	// created when nil.
+	Registry *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.PrefillChunk <= 0 {
+		c.PrefillChunk = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return c
+}
+
+// Request is one generation job.
+type Request struct {
+	// Lane groups requests that may batch together (same platform,
+	// model and configuration). The gateway resolves its cost model
+	// through the resolver given to New.
+	Lane string
+	// InputLen and OutputLen are the prompt and generation lengths.
+	InputLen, OutputLen int
+}
+
+// Result reports one served request. Queue and wall times are measured
+// in real time; TTFT/TPOT/E2E are the lane's virtual (modeled or
+// engine-measured) service times, excluding queueing.
+type Result struct {
+	Lane             string  `json:"lane"`
+	InputLen         int     `json:"input_len"`
+	OutputLen        int     `json:"output_len"`
+	QueueSeconds     float64 `json:"queue_s"`
+	TTFTSeconds      float64 `json:"ttft_s"`
+	TPOTSeconds      float64 `json:"tpot_s"`
+	E2ESeconds       float64 `json:"e2e_s"`
+	WallSeconds      float64 `json:"wall_s"`
+	BatchAtAdmission int     `json:"batch_at_admission"`
+	TokensPerSecond  float64 `json:"tokens_per_second"`
+}
+
+// Resolver builds the cost model for a lane key on first use.
+type Resolver func(lane string) (serve.CostModel, error)
+
+// instruments is the gateway's metric set.
+type instruments struct {
+	admitted, rejected, canceled *metrics.Counter
+	completed, failed, iters     *metrics.Counter
+	queueDepth, inflight, lanes  *metrics.Gauge
+	queueWait, ttft, tpot, e2e   *metrics.Histogram
+	wall, batchSize              *metrics.Histogram
+}
+
+func newInstruments(r *metrics.Registry) instruments {
+	lat := metrics.LatencyBuckets()
+	return instruments{
+		admitted:   r.Counter("gateway_admitted_total", "requests admitted to the queue"),
+		rejected:   r.Counter("gateway_rejected_total", "requests rejected by admission control (429)"),
+		canceled:   r.Counter("gateway_canceled_total", "requests canceled or expired before completion"),
+		completed:  r.Counter("gateway_completed_total", "requests completed successfully"),
+		failed:     r.Counter("gateway_failed_total", "requests failed in execution"),
+		iters:      r.Counter("gateway_iterations_total", "scheduler iterations executed"),
+		queueDepth: r.Gauge("gateway_queue_depth", "requests waiting for execution"),
+		inflight:   r.Gauge("gateway_inflight", "sequences being decoded plus running unary jobs"),
+		lanes:      r.Gauge("gateway_active_lanes", "lanes currently executing"),
+		queueWait:  r.Histogram("gateway_queue_wait_seconds", "real time from submission to execution start", lat),
+		ttft:       r.Histogram("gateway_ttft_seconds", "modeled time to first token", lat),
+		tpot:       r.Histogram("gateway_tpot_seconds", "modeled time per output token", lat),
+		e2e:        r.Histogram("gateway_e2e_seconds", "modeled request service time", lat),
+		wall:       r.Histogram("gateway_wall_seconds", "real time from submission to completion", lat),
+		batchSize:  r.Histogram("gateway_batch_size", "sequences per decode iteration", metrics.LinearBuckets(1, 1, 32)),
+	}
+}
+
+// Gateway schedules requests onto batching lanes with admission control.
+type Gateway struct {
+	cfg     Config
+	resolve Resolver
+	m       instruments
+
+	slots chan struct{} // worker-pool tokens
+
+	mu       sync.Mutex
+	lanes    map[string]*lane
+	waiting  int // jobs admitted but not yet executing (queue depth)
+	draining bool
+	wg       sync.WaitGroup // lane goroutines and unary jobs
+}
+
+// New returns a gateway using resolve to build lane cost models.
+func New(cfg Config, resolve Resolver) *Gateway {
+	cfg = cfg.withDefaults()
+	return &Gateway{
+		cfg:     cfg,
+		resolve: resolve,
+		m:       newInstruments(cfg.Registry),
+		slots:   make(chan struct{}, cfg.Workers),
+		lanes:   map[string]*lane{},
+	}
+}
+
+// Registry exposes the gateway's metric registry (for /metrics).
+func (g *Gateway) Registry() *metrics.Registry { return g.cfg.Registry }
+
+// Draining reports whether Shutdown has begun (for /readyz).
+func (g *Gateway) Draining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// QueueDepth returns the number of requests waiting for execution.
+func (g *Gateway) QueueDepth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiting
+}
+
+// Generate submits one generation request and blocks until it completes,
+// is rejected, or ctx is done. Rejections return ErrQueueFull or
+// ErrDraining without blocking.
+func (g *Gateway) Generate(ctx context.Context, req Request) (Result, error) {
+	if req.InputLen < 1 || req.OutputLen < 1 {
+		return Result{}, errors.New("gateway: input and output lengths must be positive")
+	}
+	j := &job{req: req, ctx: ctx, submitted: time.Now(), done: make(chan jobOutcome, 1)}
+
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		g.m.rejected.Inc()
+		return Result{}, ErrDraining
+	}
+	if g.waiting >= g.cfg.MaxQueue {
+		g.mu.Unlock()
+		g.m.rejected.Inc()
+		return Result{}, ErrQueueFull
+	}
+	l := g.lanes[req.Lane]
+	if l == nil {
+		cost, err := g.resolve(req.Lane)
+		if err != nil {
+			g.mu.Unlock()
+			g.m.rejected.Inc()
+			return Result{}, err
+		}
+		l = &lane{key: req.Lane, cost: cost}
+		g.lanes[req.Lane] = l
+	}
+	l.queue = append(l.queue, j)
+	g.waiting++
+	g.m.queueDepth.Inc()
+	g.m.admitted.Inc()
+	g.ensureRunningLocked(l)
+	g.mu.Unlock()
+
+	select {
+	case out := <-j.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		// The lane observes the dead context and discards the job at the
+		// next admission or iteration boundary.
+		return Result{}, ctx.Err()
+	}
+}
+
+// Do runs a unary job (e.g. a one-shot simulation) under the gateway's
+// admission control and worker pool. The queue wait and execution time
+// feed the same histograms as generation traffic.
+func (g *Gateway) Do(ctx context.Context, fn func(context.Context) error) error {
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		g.m.rejected.Inc()
+		return ErrDraining
+	}
+	if g.waiting >= g.cfg.MaxQueue {
+		g.mu.Unlock()
+		g.m.rejected.Inc()
+		return ErrQueueFull
+	}
+	g.waiting++
+	g.wg.Add(1)
+	g.mu.Unlock()
+	g.m.queueDepth.Inc()
+	g.m.admitted.Inc()
+	defer g.wg.Done()
+
+	start := time.Now()
+	release := func() {
+		g.mu.Lock()
+		g.waiting--
+		g.mu.Unlock()
+		g.m.queueDepth.Dec()
+	}
+	select {
+	case g.slots <- struct{}{}:
+	case <-ctx.Done():
+		release()
+		g.m.canceled.Inc()
+		return ctx.Err()
+	}
+	release()
+	defer func() { <-g.slots }()
+
+	g.m.queueWait.Observe(time.Since(start).Seconds())
+	g.m.inflight.Inc()
+	defer g.m.inflight.Dec()
+	err := fn(ctx)
+	g.m.wall.Observe(time.Since(start).Seconds())
+	switch {
+	case err == nil:
+		g.m.completed.Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		g.m.canceled.Inc()
+	default:
+		g.m.failed.Inc()
+	}
+	return err
+}
+
+// ensureRunningLocked spawns the lane scheduler if idle. Callers hold g.mu.
+func (g *Gateway) ensureRunningLocked(l *lane) {
+	if l.active {
+		return
+	}
+	l.active = true
+	g.wg.Add(1)
+	go g.runLane(l)
+}
+
+// Shutdown stops admission and waits for queued and in-flight requests
+// to drain, or for ctx to expire. New submissions fail with ErrDraining;
+// nothing already admitted is dropped.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.mu.Lock()
+	g.draining = true
+	g.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		g.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

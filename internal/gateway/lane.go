@@ -1,0 +1,371 @@
+package gateway
+
+// lane.go is the per-lane scheduler: one goroutine per active lane runs
+// iteration-level batching over the lane's cost model, mirroring the
+// discrete-event policies in internal/serve but driven by live requests
+// arriving over real channels. The lane owns a virtual clock advanced by
+// each iteration's modeled cost; queue waits and wall times are measured
+// against the real clock.
+
+import (
+	"context"
+	"time"
+)
+
+// jobOutcome is what Generate receives back.
+type jobOutcome struct {
+	res Result
+	err error
+}
+
+// job is one queued generation request.
+type job struct {
+	req       Request
+	ctx       context.Context
+	submitted time.Time
+	done      chan jobOutcome
+
+	// Set at admission by the lane goroutine.
+	admitWall time.Time
+	admitV    float64
+	batchAt   int
+}
+
+// seq is one in-flight sequence being decoded.
+type seq struct {
+	j         *job
+	ctxLen    int
+	remaining int
+	ttftV     float64
+	// prefillDone tracks chunked-prefill progress in tokens.
+	prefillDone int
+}
+
+// lane is a batching stream for one (platform, model, config) key.
+type lane struct {
+	key  string
+	cost costModel
+
+	// queue and active are guarded by the gateway mutex; the scheduler
+	// goroutine owns everything else.
+	queue  []*job
+	active bool
+
+	vclock float64
+}
+
+// costModel is serve.CostModel, restated locally to keep the lane file
+// self-describing.
+type costModel interface {
+	PrefillCost(batch, inputLen int) (float64, error)
+	DecodeStepCost(batch, ctxLen int) (float64, error)
+}
+
+// runLane drains the lane until both its queue and batch are empty, then
+// parks. It holds a worker-pool slot while executing.
+func (g *Gateway) runLane(l *lane) {
+	defer g.wg.Done()
+	g.slots <- struct{}{}
+	g.m.lanes.Inc()
+	defer func() {
+		g.m.lanes.Dec()
+		<-g.slots
+	}()
+
+	var running []*seq
+	var pre *seq // chunked-prefill slot
+
+	for {
+		// Admission: take waiting jobs into free slots, discarding any
+		// whose context died while queued.
+		g.mu.Lock()
+		l.queue = g.dropCanceledLocked(l.queue)
+		var admitted []*job
+		if g.cfg.Policy == Chunked {
+			if pre == nil && len(running) < g.cfg.MaxBatch && len(l.queue) > 0 {
+				admitted = append(admitted, l.queue[0])
+				l.queue = l.queue[1:]
+			}
+		} else {
+			free := g.cfg.MaxBatch - len(running)
+			for len(l.queue) > 0 && len(admitted) < free {
+				admitted = append(admitted, l.queue[0])
+				l.queue = l.queue[1:]
+			}
+		}
+		if len(admitted) == 0 && len(running) == 0 && pre == nil && len(l.queue) == 0 {
+			l.active = false
+			g.mu.Unlock()
+			return
+		}
+		g.waiting -= len(admitted)
+		g.mu.Unlock()
+
+		now := time.Now()
+		for _, j := range admitted {
+			g.m.queueDepth.Dec()
+			j.admitWall = now
+			j.admitV = l.vclock
+			g.m.queueWait.Observe(now.Sub(j.submitted).Seconds())
+			g.m.inflight.Inc()
+		}
+
+		var iterCost float64
+		var err error
+		if g.cfg.Policy == Chunked {
+			pre, running, iterCost, err = g.chunkedIteration(l, pre, admitted, running)
+		} else {
+			running, iterCost, err = g.continuousIteration(l, admitted, running)
+		}
+		if err != nil {
+			// A broken cost model fails everything currently in the lane.
+			for _, s := range running {
+				g.failSeq(s, err)
+			}
+			running = running[:0]
+			if pre != nil {
+				g.failSeq(pre, err)
+				pre = nil
+			}
+			continue
+		}
+		if iterCost > 0 {
+			g.m.iters.Inc()
+			if g.cfg.Timescale > 0 {
+				time.Sleep(time.Duration(iterCost * g.cfg.Timescale * float64(time.Second)))
+			}
+		}
+	}
+}
+
+// dropCanceledLocked filters dead jobs out of a queue slice, maintaining
+// the waiting count. Callers hold g.mu.
+func (g *Gateway) dropCanceledLocked(queue []*job) []*job {
+	kept := queue[:0]
+	for _, j := range queue {
+		if j.ctx.Err() != nil {
+			g.waiting--
+			g.m.queueDepth.Dec()
+			g.m.canceled.Inc()
+			continue
+		}
+		kept = append(kept, j)
+	}
+	return kept
+}
+
+// continuousIteration runs one Orca-style iteration: a dedicated batched
+// prefill when requests were admitted, otherwise one decode step for the
+// whole running batch.
+func (g *Gateway) continuousIteration(l *lane, admitted []*job, running []*seq) ([]*seq, float64, error) {
+	if len(admitted) > 0 {
+		maxIn := 0
+		for _, j := range admitted {
+			if j.req.InputLen > maxIn {
+				maxIn = j.req.InputLen
+			}
+		}
+		cost, err := g.lanePrefill(l, len(admitted), maxIn)
+		if err != nil {
+			for _, j := range admitted {
+				g.failJob(j, err)
+			}
+			return running, 0, err
+		}
+		batch := len(running) + len(admitted)
+		for _, j := range admitted {
+			j.batchAt = batch
+			s := &seq{j: j, ctxLen: j.req.InputLen,
+				remaining: j.req.OutputLen - 1, ttftV: l.vclock}
+			if s.remaining == 0 {
+				g.completeSeq(l, s)
+				continue
+			}
+			running = append(running, s)
+		}
+		return running, cost, nil
+	}
+
+	running = g.evictCanceled(running)
+	if len(running) == 0 {
+		return running, 0, nil
+	}
+	maxCtx := 0
+	for _, s := range running {
+		if s.ctxLen > maxCtx {
+			maxCtx = s.ctxLen
+		}
+	}
+	cost, err := g.laneDecode(l, len(running), maxCtx)
+	if err != nil {
+		return running, 0, err
+	}
+	g.m.batchSize.Observe(float64(len(running)))
+	kept := running[:0]
+	for _, s := range running {
+		s.ctxLen++
+		s.remaining--
+		if s.remaining == 0 {
+			g.completeSeq(l, s)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept, cost, nil
+}
+
+// chunkedIteration runs one Sarathi-style iteration: a decode step for
+// the running batch coalesced with one prefill chunk of the admitting
+// request.
+func (g *Gateway) chunkedIteration(l *lane, pre *seq, admitted []*job, running []*seq) (*seq, []*seq, float64, error) {
+	if len(admitted) > 0 { // at most one under Chunked
+		j := admitted[0]
+		j.batchAt = len(running) + 1
+		pre = &seq{j: j, remaining: j.req.OutputLen - 1}
+	}
+	running = g.evictCanceled(running)
+	if pre != nil && pre.j.ctx.Err() != nil {
+		g.m.canceled.Inc()
+		g.m.inflight.Dec()
+		pre = nil
+	}
+	if pre == nil && len(running) == 0 {
+		return nil, running, 0, nil
+	}
+
+	var iter float64
+	if len(running) > 0 {
+		maxCtx := 0
+		for _, s := range running {
+			if s.ctxLen > maxCtx {
+				maxCtx = s.ctxLen
+			}
+		}
+		d, err := g.laneDecode(l, len(running), maxCtx)
+		if err != nil {
+			return pre, running, 0, err
+		}
+		iter += d
+		g.m.batchSize.Observe(float64(len(running)))
+	}
+	if pre != nil {
+		chunk := g.cfg.PrefillChunk
+		if rem := pre.j.req.InputLen - pre.prefillDone; chunk > rem {
+			chunk = rem
+		}
+		c, err := l.cost.PrefillCost(1, chunk)
+		if err != nil {
+			return pre, running, 0, err
+		}
+		iter += c
+		pre.prefillDone += chunk
+	}
+	l.vclock += iter
+
+	kept := running[:0]
+	for _, s := range running {
+		s.ctxLen++
+		s.remaining--
+		if s.remaining == 0 {
+			g.completeSeq(l, s)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	running = kept
+
+	if pre != nil && pre.prefillDone >= pre.j.req.InputLen {
+		pre.ctxLen = pre.j.req.InputLen
+		pre.ttftV = l.vclock
+		if pre.remaining == 0 {
+			g.completeSeq(l, pre)
+		} else {
+			running = append(running, pre)
+		}
+		pre = nil
+	}
+	return pre, running, iter, nil
+}
+
+// lanePrefill prices a batched prefill and advances the virtual clock.
+func (g *Gateway) lanePrefill(l *lane, batch, maxIn int) (float64, error) {
+	c, err := l.cost.PrefillCost(batch, maxIn)
+	if err != nil {
+		return 0, err
+	}
+	l.vclock += c
+	return c, nil
+}
+
+// laneDecode prices one decode step; continuous iterations advance the
+// clock here, chunked ones accumulate into the iteration total first.
+func (g *Gateway) laneDecode(l *lane, batch, maxCtx int) (float64, error) {
+	c, err := l.cost.DecodeStepCost(batch, maxCtx)
+	if err != nil {
+		return 0, err
+	}
+	if g.cfg.Policy != Chunked {
+		l.vclock += c
+	}
+	return c, nil
+}
+
+// evictCanceled removes sequences whose request context died mid-flight.
+func (g *Gateway) evictCanceled(running []*seq) []*seq {
+	kept := running[:0]
+	for _, s := range running {
+		if s.j.ctx.Err() != nil {
+			g.m.canceled.Inc()
+			g.m.inflight.Dec()
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept
+}
+
+// completeSeq delivers a finished sequence's result and records metrics.
+func (g *Gateway) completeSeq(l *lane, s *seq) {
+	j := s.j
+	e2e := l.vclock - j.admitV
+	ttft := s.ttftV - j.admitV
+	var tpot float64
+	if steps := j.req.OutputLen - 1; steps > 0 {
+		tpot = (l.vclock - s.ttftV) / float64(steps)
+	}
+	res := Result{
+		Lane:             j.req.Lane,
+		InputLen:         j.req.InputLen,
+		OutputLen:        j.req.OutputLen,
+		QueueSeconds:     j.admitWall.Sub(j.submitted).Seconds(),
+		TTFTSeconds:      ttft,
+		TPOTSeconds:      tpot,
+		E2ESeconds:       e2e,
+		WallSeconds:      time.Since(j.submitted).Seconds(),
+		BatchAtAdmission: j.batchAt,
+	}
+	if e2e > 0 {
+		res.TokensPerSecond = float64(j.req.OutputLen) / e2e
+	}
+	g.m.ttft.Observe(ttft)
+	if tpot > 0 {
+		g.m.tpot.Observe(tpot)
+	}
+	g.m.e2e.Observe(e2e)
+	g.m.wall.Observe(res.WallSeconds)
+	g.m.completed.Inc()
+	g.m.inflight.Dec()
+	j.done <- jobOutcome{res: res}
+}
+
+// failSeq reports an execution error for an in-flight sequence.
+func (g *Gateway) failSeq(s *seq, err error) {
+	g.failJob(s.j, err)
+}
+
+// failJob reports an execution error for a job that was already admitted.
+func (g *Gateway) failJob(j *job, err error) {
+	g.m.failed.Inc()
+	g.m.inflight.Dec()
+	j.done <- jobOutcome{err: err}
+}

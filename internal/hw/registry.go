@@ -1,0 +1,90 @@
+package hw
+
+// registry.go enumerates the evaluation platforms as a single registry so
+// the API and CLI layers derive platform lists and lookups from one place
+// instead of hardcoding name slices.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PlatformKind distinguishes the two simulation substrates.
+type PlatformKind int
+
+const (
+	// CPUPlatform runs through the CPU performance model (memsim).
+	CPUPlatform PlatformKind = iota
+	// GPUPlatform runs through the GPU model, offloading when the model
+	// does not fit in device memory.
+	GPUPlatform
+)
+
+// String returns "cpu" or "gpu".
+func (k PlatformKind) String() string {
+	if k == CPUPlatform {
+		return "cpu"
+	}
+	return "gpu"
+}
+
+// PlatformEntry is one registered evaluation platform.
+type PlatformEntry struct {
+	// Key is the stable lookup name used in CLIs and API requests.
+	Key  string
+	Kind PlatformKind
+	// CPU is set for CPUPlatform entries, GPU for GPUPlatform ones.
+	CPU *CPU
+	GPU *GPU
+	// Description is a one-line human summary for listings.
+	Description string
+}
+
+// Name returns the underlying hardware's marketing name.
+func (e PlatformEntry) Name() string {
+	if e.Kind == CPUPlatform {
+		return e.CPU.Name
+	}
+	return e.GPU.Name
+}
+
+var platformRegistry = map[string]PlatformEntry{
+	"spr": {Key: "spr", Kind: CPUPlatform, CPU: &SPRMax9468,
+		Description: "Xeon Max 9468 (Sapphire Rapids), AMX + HBM, Table I CPU 2"},
+	"icl": {Key: "icl", Kind: CPUPlatform, CPU: &ICL8352Y,
+		Description: "Xeon 8352Y (IceLake), AVX-512 + DDR4, Table I CPU 1"},
+	"a100": {Key: "a100", Kind: GPUPlatform, GPU: &A100,
+		Description: "NVIDIA A100-40GB over PCIe 4.0, Table II GPU 1"},
+	"h100": {Key: "h100", Kind: GPUPlatform, GPU: &H100,
+		Description: "NVIDIA H100-80GB over PCIe 5.0, Table II GPU 2"},
+	"gh200": {Key: "gh200", Kind: GPUPlatform, GPU: &GH200,
+		Description: "GH200 Superchip, NVLink-C2C offload path (§V-B)"},
+}
+
+// Platforms returns every registered platform sorted by key.
+func Platforms() []PlatformEntry {
+	out := make([]PlatformEntry, 0, len(platformRegistry))
+	for _, e := range platformRegistry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// PlatformKeys returns the registered platform keys sorted.
+func PlatformKeys() []string {
+	ps := Platforms()
+	out := make([]string, len(ps))
+	for i, e := range ps {
+		out[i] = e.Key
+	}
+	return out
+}
+
+// PlatformByKey resolves one platform; the error lists valid keys.
+func PlatformByKey(key string) (PlatformEntry, error) {
+	if e, ok := platformRegistry[key]; ok {
+		return e, nil
+	}
+	return PlatformEntry{}, fmt.Errorf("hw: unknown platform %q (want one of %v)", key, PlatformKeys())
+}

@@ -1,0 +1,44 @@
+package hw
+
+import "testing"
+
+func TestPlatformRegistry(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 5 {
+		t.Fatalf("got %d platforms, want 5", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Key >= ps[i].Key {
+			t.Errorf("platforms not sorted: %q before %q", ps[i-1].Key, ps[i].Key)
+		}
+	}
+	for _, p := range ps {
+		switch p.Kind {
+		case CPUPlatform:
+			if p.CPU == nil {
+				t.Errorf("%s: CPU entry without CPU", p.Key)
+			}
+		case GPUPlatform:
+			if p.GPU == nil {
+				t.Errorf("%s: GPU entry without GPU", p.Key)
+			}
+		}
+		if p.Name() == "" || p.Description == "" {
+			t.Errorf("%s: missing name/description", p.Key)
+		}
+	}
+}
+
+func TestPlatformByKey(t *testing.T) {
+	e, err := PlatformByKey("spr")
+	if err != nil || e.CPU != &SPRMax9468 {
+		t.Fatalf("spr lookup: %+v %v", e, err)
+	}
+	if _, err := PlatformByKey("tpu"); err == nil {
+		t.Fatal("unknown platform should error")
+	}
+	keys := PlatformKeys()
+	if len(keys) != 5 || keys[0] != "a100" {
+		t.Fatalf("keys %v", keys)
+	}
+}

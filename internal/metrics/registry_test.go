@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "total requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("queue_depth", "queued requests")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	// Idempotent lookup returns the same instrument.
+	if r.Counter("reqs_total", "") != c {
+		t.Error("counter lookup not idempotent")
+	}
+	if r.Gauge("queue_depth", "") != g {
+		t.Error("gauge lookup not idempotent")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", LinearBuckets(0.1, 0.1, 10))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100) // 0.01 .. 1.00 uniform
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 0.1 {
+		t.Errorf("p50 = %g, want ~0.5", got)
+	}
+	if got := h.Quantile(0.95); math.Abs(got-0.95) > 0.1 {
+		t.Errorf("p95 = %g, want ~0.95", got)
+	}
+	if got := h.Mean(); math.Abs(got-0.505) > 1e-9 {
+		t.Errorf("mean = %g, want 0.505", got)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", "", []float64{1, 2})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	h.Observe(100) // lands in +Inf bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %g, want clamp to 2", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a help").Add(3)
+	r.Gauge("b", "").Set(-2)
+	h := r.Histogram("c_seconds", "c help", []float64{0.5, 1})
+	h.Observe(0.2)
+	h.Observe(0.7)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP a_total a help",
+		"# TYPE a_total counter",
+		"a_total 3",
+		"# TYPE b gauge",
+		"b -2",
+		"# TYPE c_seconds histogram",
+		`c_seconds_bucket{le="0.5"} 1`,
+		`c_seconds_bucket{le="1"} 2`,
+		`c_seconds_bucket{le="+Inf"} 3`,
+		"c_seconds_sum 9.9",
+		"c_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n_total", "").Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h", "", LatencyBuckets()).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("n_total", "").Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", r.Counter("n_total", "").Value())
+	}
+	if r.Histogram("h", "", nil).Count() != 8000 {
+		t.Errorf("histogram count = %d", r.Histogram("h", "", nil).Count())
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	e := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if e[i] != want[i] {
+			t.Fatalf("exp buckets %v", e)
+		}
+	}
+	l := LinearBuckets(0, 0.5, 3)
+	if l[2] != 1 {
+		t.Fatalf("lin buckets %v", l)
+	}
+	if n := len(LatencyBuckets()); n != 21 {
+		t.Fatalf("latency buckets %d", n)
+	}
+}

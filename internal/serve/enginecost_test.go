@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+func tinyEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	w, err := engine.NewWeights(model.Tiny(model.OPT), 42, tensor.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(w, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineCostPricesPositive(t *testing.T) {
+	cost := NewEngineCost(tinyEngine(t))
+	pre, err := cost.PrefillCost(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre <= 0 {
+		t.Errorf("prefill cost %g, want > 0", pre)
+	}
+	dec, err := cost.DecodeStepCost(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec <= 0 {
+		t.Errorf("decode cost %g, want > 0", dec)
+	}
+	// Memoized: same shape must return the identical cached price.
+	pre2, err := cost.PrefillCost(2, 16)
+	if err != nil || pre2 != pre {
+		t.Errorf("memoization broken: %g vs %g (%v)", pre2, pre, err)
+	}
+}
+
+func TestEngineCostClampsLongContexts(t *testing.T) {
+	cost := NewEngineCost(tinyEngine(t))
+	// Far beyond tiny MaxSeq (64): must clamp, not error.
+	if _, err := cost.PrefillCost(1, 4096); err != nil {
+		t.Fatalf("long prefill: %v", err)
+	}
+	if _, err := cost.DecodeStepCost(1, 4096); err != nil {
+		t.Fatalf("long decode: %v", err)
+	}
+}
+
+func TestServerRunsOnEngineCost(t *testing.T) {
+	cost := NewEngineCost(tinyEngine(t))
+	gen := workload.NewGenerator(7)
+	gen.MeanInputLen, gen.MeanOutputLen = 12, 4
+	gen.ArrivalRate = 100
+	trace := gen.Trace(6)
+
+	srv := Server{Cost: cost, Policy: Continuous, MaxBatch: 4}
+	cs, err := srv.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != len(trace) {
+		t.Fatalf("completions %d, want %d", len(cs), len(trace))
+	}
+	for _, c := range cs {
+		if c.TTFT <= 0 || c.E2E < c.TTFT {
+			t.Errorf("request %d: TTFT %g E2E %g", c.Request.ID, c.TTFT, c.E2E)
+		}
+	}
+}
