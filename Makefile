@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench figures scorecard examples clean
+.PHONY: all build vet test check chaos bench figures scorecard examples clean
 
 all: build vet test
 
@@ -19,6 +19,11 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Chaos drills: fault injection, lane supervision and degraded-mode
+# serving under concurrent load, always with the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/gateway/ ./internal/faults/
 
 # One benchmark per paper table/figure plus kernel/engine/ablation benches.
 bench:

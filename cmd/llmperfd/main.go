@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/faults"
 	"repro/internal/gateway"
 )
 
@@ -35,6 +36,9 @@ func main() {
 	workers := flag.Int("workers", 4, "concurrent scheduler lanes")
 	timescale := flag.Float64("timescale", 0, "wall seconds slept per modeled second (0 = as fast as possible)")
 	drainWait := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "hard shutdown ceiling: force-exit nonzero if drain exceeds this")
+	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the fault injector")
+	faultSpec := flag.String("fault-spec", "", "arm fault rules at boot, e.g. 'panic@lane:every=50;latency@cost.decode:p=0.05,delay=20ms' (see docs/resilience.md)")
 	flag.Parse()
 
 	var pol gateway.Policy
@@ -48,6 +52,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	inj := faults.New(*faultSeed)
+	if *faultSpec != "" {
+		rules, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llmperfd: -fault-spec: %v\n", err)
+			os.Exit(2)
+		}
+		if err := inj.Arm(rules...); err != nil {
+			fmt.Fprintf(os.Stderr, "llmperfd: -fault-spec: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	gw := gateway.New(gateway.Config{
 		MaxQueue:     *queue,
 		MaxBatch:     *maxBatch,
@@ -55,6 +72,8 @@ func main() {
 		PrefillChunk: *chunk,
 		Workers:      *workers,
 		Timescale:    *timescale,
+		Injector:     inj,
+		Fallback:     api.FallbackResolver(),
 	}, api.LaneResolver())
 	srv := &http.Server{
 		Addr:              *addr,
@@ -76,6 +95,14 @@ func main() {
 	case sig := <-sigCh:
 		fmt.Printf("llmperfd: %v, draining (up to %v)\n", sig, *drainWait)
 	}
+
+	// Hard ceiling: if graceful drain wedges (a stalled lane, a hung
+	// connection), force the process down rather than hanging forever.
+	forceExit := time.AfterFunc(*drainTimeout, func() {
+		fmt.Fprintf(os.Stderr, "llmperfd: drain exceeded -drain-timeout %v, forcing exit\n", *drainTimeout)
+		os.Exit(1)
+	})
+	defer forceExit.Stop()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()

@@ -1,0 +1,55 @@
+package api
+
+// admin.go exposes the runtime fault-injection control surface. It is an
+// operator endpoint, not part of the serving data plane: chaos drills arm
+// a rule set against the live gateway, watch the lanes degrade and
+// recover, then disarm — without restarting the process.
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/faults"
+)
+
+// armFaultsRequest is the body of POST /v1/admin/faults.
+type armFaultsRequest struct {
+	Rules []faults.Rule `json:"rules"`
+}
+
+// handleAdminFaults serves /v1/admin/faults:
+//
+//	GET     current injector status (armed rules, fire counts)
+//	POST    arm a rule set (replaces any previous set)
+//	DELETE  disarm all rules
+func (s *Server) handleAdminFaults(w http.ResponseWriter, r *http.Request) {
+	inj := s.gw.Injector()
+	if inj == nil {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			fmt.Errorf("fault injection not enabled on this gateway"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, inj.Snapshot())
+	case http.MethodPost:
+		var req armFaultsRequest
+		if err := decodeBody(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+			return
+		}
+		if len(req.Rules) == 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("rules must contain at least one fault rule"))
+			return
+		}
+		if err := inj.Arm(req.Rules...); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, inj.Snapshot())
+	case http.MethodDelete:
+		inj.Disarm()
+		writeJSON(w, http.StatusOK, inj.Snapshot())
+	}
+}

@@ -15,6 +15,7 @@
 //	GET  /v1/experiments             experiment keys
 //	GET  /v1/experiments/{key}       one experiment's rendered tables
 //	GET  /v1/scorecard               reproduction scorecard
+//	GET|POST|DELETE /v1/admin/faults runtime fault injection control
 //	GET  /metrics                    Prometheus metrics
 //	GET  /healthz, /readyz           liveness / readiness
 package api
@@ -83,6 +84,7 @@ var endpoints = []endpointInfo{
 	{"GET", "/v1/experiments", "paper experiment keys"},
 	{"GET", "/v1/experiments/{key}", "run one experiment, rendered tables"},
 	{"GET", "/v1/scorecard", "reproduction scorecard"},
+	{"GET, POST, DELETE", "/v1/admin/faults", "inspect, arm or disarm runtime fault injection"},
 	{"GET", "/metrics", "Prometheus metrics (gateway queue, TTFT/TPOT/E2E histograms)"},
 	{"GET", "/healthz", "liveness"},
 	{"GET", "/readyz", "readiness (503 while draining)"},
@@ -103,6 +105,7 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/experiments", s.handleExperimentList, http.MethodGet)
 	route("/v1/experiments/{key}", s.handleExperiment, http.MethodGet)
 	route("/v1/scorecard", s.handleScorecard, http.MethodGet)
+	route("/v1/admin/faults", s.handleAdminFaults, http.MethodGet, http.MethodPost, http.MethodDelete)
 	route("/metrics", s.handleMetrics, http.MethodGet)
 	route("/healthz", s.handleHealthz, http.MethodGet)
 	route("/readyz", s.handleReadyz, http.MethodGet)
@@ -248,7 +251,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if gwErr != nil {
-		writeGatewayError(w, gwErr)
+		s.writeGatewayError(w, gwErr)
 		return
 	}
 	if simErr != nil {
@@ -319,7 +322,7 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if gwErr != nil {
-		writeGatewayError(w, gwErr)
+		s.writeGatewayError(w, gwErr)
 		return
 	}
 	if tuneErr != nil {
@@ -367,7 +370,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		Lane: req.laneKey(), InputLen: req.InputLen, OutputLen: req.OutputLen,
 	})
 	if err != nil {
-		writeGatewayError(w, err)
+		s.writeGatewayError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -404,7 +407,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if gwErr != nil {
-		writeGatewayError(w, gwErr)
+		s.writeGatewayError(w, gwErr)
 		return
 	}
 	if runErr != nil {

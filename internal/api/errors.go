@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"repro/internal/gateway"
 )
@@ -27,6 +28,13 @@ const (
 	CodeCanceled         = "canceled"
 	CodeUnprocessable    = "unprocessable"
 	CodeInternal         = "internal"
+	// CodeUnavailable is a transient server-side failure — a quarantined
+	// lane, an open breaker with no fallback, or a watchdog-cancelled
+	// batch that exhausted its requeues. Retry later.
+	CodeUnavailable = "unavailable"
+	// CodeLanePanic marks a request failed by a recovered lane-worker
+	// panic; the lane restarts, so a retry is expected to succeed.
+	CodeLanePanic = "lane_panic"
 )
 
 // errorBody is the uniform error envelope.
@@ -51,13 +59,27 @@ func writeError(w http.ResponseWriter, status int, code string, err error) {
 
 // writeGatewayError maps scheduler and context errors onto HTTP statuses;
 // everything else is an internal error.
-func writeGatewayError(w http.ResponseWriter, err error) {
+func (s *Server) writeGatewayError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, gateway.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Tell the client when retrying is actually worthwhile: the time
+		// the current backlog needs to drain at the observed completion
+		// rate, not a hardcoded constant.
+		w.Header().Set("Retry-After", strconv.Itoa(s.gw.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, CodeQueueFull, err)
 	case errors.Is(err, gateway.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, CodeDraining, err)
+	case errors.Is(err, gateway.ErrLaneQuarantined),
+		errors.Is(err, gateway.ErrLaneBroken),
+		errors.Is(err, gateway.ErrWatchdogTimeout):
+		// Transient lane-level failures: quarantine cool-off, an open
+		// breaker without a fallback, or a watchdog-cancelled batch that
+		// exhausted its requeues. The condition clears on its own.
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
+	case errors.Is(err, gateway.ErrLanePanic):
+		// The supervisor recovered the panic and is restarting the lane;
+		// only this request's batch was lost.
+		writeError(w, http.StatusInternalServerError, CodeLanePanic, err)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// 499-style: the client went away or ran out its deadline.
 		writeError(w, http.StatusRequestTimeout, CodeCanceled, err)

@@ -1,0 +1,81 @@
+package api
+
+// fuzz_test.go fuzzes the v1 POST body validation path: whatever bytes
+// arrive at /v1/generate, the handler must never panic and must answer
+// either 200 with a result or an error status with the uniform envelope.
+// Run with `go test -fuzz FuzzGenerateBody ./internal/api/`; the checked
+// in corpus under testdata/fuzz seeds the interesting shapes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/gateway"
+)
+
+func FuzzGenerateBody(f *testing.F) {
+	seeds := []string{
+		`{"platform":"spr","model":"OPT-13B"}`,
+		`{"platform":"spr","model":"OPT-13B","in":32,"out":4,"cores":16,"memmode":"cache","cluster":"snc"}`,
+		`{"platform":"tiny-opt"}`,
+		`{"platform":"spr","model":"OPT-13B","in":-1}`,
+		`{"platform":"spr","model":"OPT-13B","out":999999999}`,
+		`{"platform":"nope","model":"?"}`,
+		`{"unknown_field":true}`,
+		`{"platform":"spr","model":"OPT-13B"} trailing`,
+		`{"platform":"spr","model":"OPT-13B",}`,
+		`[]`,
+		`"just a string"`,
+		`{"in":"not a number"}`,
+		``,
+		`{`,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		// A fresh tiny gateway per input keeps iterations independent and
+		// the lane map from growing without bound under long fuzz runs.
+		// WatchdogBudget < 0 prices directly, without per-call goroutines.
+		gw := gateway.New(gateway.Config{MaxQueue: 4, MaxBatch: 2, Workers: 1,
+			WatchdogBudget: -1}, stubResolver(stubCost{}))
+		h := NewServer(gw).Handler()
+
+		req := httptest.NewRequest(http.MethodPost, "/v1/generate", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic, whatever the bytes
+
+		res := rec.Result()
+		switch res.StatusCode {
+		case http.StatusOK:
+			var out struct {
+				Lane string `json:"lane"`
+			}
+			if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+				t.Fatalf("200 with undecodable body: %v", err)
+			}
+		case http.StatusBadRequest, http.StatusRequestTimeout,
+			http.StatusTooManyRequests, http.StatusUnprocessableEntity,
+			http.StatusInternalServerError, http.StatusServiceUnavailable:
+			var env struct {
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
+			}
+			if err := json.NewDecoder(res.Body).Decode(&env); err != nil ||
+				env.Error.Code == "" || env.Error.Message == "" {
+				t.Fatalf("status %d without uniform error envelope (err %v): %s",
+					res.StatusCode, err, rec.Body.Bytes())
+			}
+		default:
+			t.Fatalf("unexpected status %d: %s", res.StatusCode, rec.Body.Bytes())
+		}
+	})
+}

@@ -26,6 +26,11 @@ import (
 // maxBodyBytes bounds POST request bodies.
 const maxBodyBytes = 1 << 20
 
+// maxGenTokens bounds per-request sequence lengths on /v1/generate: the
+// scheduler does work per token, so an unbounded length is an unbounded
+// amount of lane time bought with one request.
+const maxGenTokens = 1 << 17
+
 // SimulateRequest is the body of POST /v1/simulate. Zero-valued numeric
 // fields take the documented defaults.
 type SimulateRequest struct {
@@ -216,6 +221,9 @@ func (req *GenerateRequest) normalize() error {
 	if req.InputLen < 0 || req.OutputLen < 0 || req.Cores < 0 {
 		return fmt.Errorf("in, out and cores must be positive")
 	}
+	if req.InputLen > maxGenTokens || req.OutputLen > maxGenTokens {
+		return fmt.Errorf("in and out must be at most %d tokens", maxGenTokens)
+	}
 	if strings.HasPrefix(req.Platform, "tiny-") {
 		fam := strings.TrimPrefix(req.Platform, "tiny-")
 		if fam != "opt" && fam != "llama" {
@@ -279,5 +287,25 @@ func LaneResolver() gateway.Resolver {
 			return serve.NewCPUCost(setup, m), nil
 		}
 		return serve.NewGPUCost(*entry.GPU, m), nil
+	}
+}
+
+// FallbackResolver builds degraded-mode cost models for lanes whose
+// primary pricing path fails. Engine-timed lanes (tiny-*) fall back to a
+// pure analytic FLOPs model over the same tiny shape — cheap, cannot
+// panic or stall, and keeps the lane serving with degraded accuracy while
+// the breaker is open. Analytic lanes get no fallback: their primary is
+// already the model of last resort.
+func FallbackResolver() gateway.Resolver {
+	return func(lane string) (serve.CostModel, error) {
+		parts := strings.Split(lane, "|")
+		if len(parts) != 5 || !strings.HasPrefix(parts[0], "tiny-") {
+			return nil, nil
+		}
+		fam := model.OPT
+		if strings.TrimPrefix(parts[0], "tiny-") == "llama" {
+			fam = model.LLaMA2
+		}
+		return serve.NewAnalyticFallback(model.Tiny(fam), 0), nil
 	}
 }

@@ -1,0 +1,343 @@
+// Package faults is a deterministic, rule-based fault injector for the
+// serving stack. Chaos scenarios — latency spikes, wedged (stalled)
+// calls, worker panics, and cost-model errors — are described as rules,
+// armed at runtime, and evaluated at named sites the gateway threads
+// through its hot path. Every decision is driven by per-rule evaluation
+// counters and a seeded RNG, so a given (seed, rule set, schedule) is
+// reproducible: the same faults fire at the same evaluations in tests
+// and in live chaos drills.
+//
+// The gateway consults three sites:
+//
+//	lane          top of each lane-scheduler iteration (panic injection)
+//	cost.prefill  inside the primary cost model's prefill pricing
+//	cost.decode   inside the primary cost model's decode pricing
+//
+// An Injector is safe for concurrent use and nil-safe: a nil *Injector
+// applies nothing, so callers never branch on whether chaos is enabled.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Class is a fault category.
+type Class int
+
+const (
+	// Latency sleeps Delay at the site: a slow memory tier or a GC
+	// pause, visible as a tail-latency spike but not an error.
+	Latency Class = iota
+	// Stall sleeps Delay at the site, where Delay is expected to exceed
+	// the gateway's watchdog budget: a wedged engine call.
+	Stall
+	// Panic panics at the site with an *Injected value; the lane
+	// supervisor must recover it.
+	Panic
+	// CostError returns an *Injected error from the site, modelling a
+	// failing cost model or engine.
+	CostError
+)
+
+// String names the class; ParseClass is its inverse.
+func (c Class) String() string {
+	switch c {
+	case Latency:
+		return "latency"
+	case Stall:
+		return "stall"
+	case Panic:
+		return "panic"
+	case CostError:
+		return "cost-error"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ParseClass resolves a class name.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "latency":
+		return Latency, nil
+	case "stall":
+		return Stall, nil
+	case "panic":
+		return Panic, nil
+	case "cost-error", "costerror", "cost_error":
+		return CostError, nil
+	default:
+		return 0, fmt.Errorf("faults: unknown class %q (want latency, stall, panic or cost-error)", s)
+	}
+}
+
+// MarshalJSON renders the class name.
+func (c Class) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", c.String())), nil
+}
+
+// UnmarshalJSON parses a class name.
+func (c *Class) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("faults: class must be a JSON string, got %s", b)
+	}
+	v, err := ParseClass(string(b[1 : len(b)-1]))
+	if err != nil {
+		return err
+	}
+	*c = v
+	return nil
+}
+
+// Rule describes one injectable fault. A rule fires at a matching site
+// evaluation either every Every-th evaluation (deterministic) or with
+// probability P per evaluation (seeded), at most Count times (0 =
+// unlimited).
+type Rule struct {
+	Class Class `json:"class"`
+	// Site filters by injection site: "" matches every site, a name
+	// ending in '*' matches by prefix, anything else matches exactly.
+	Site string `json:"site,omitempty"`
+	// Lane filters by lane key; "" matches every lane.
+	Lane string `json:"lane,omitempty"`
+	// Every fires the rule on each Every-th matching evaluation.
+	Every int `json:"every,omitempty"`
+	// P fires the rule with this probability when Every is zero.
+	P float64 `json:"p,omitempty"`
+	// Count caps total fires; 0 is unlimited.
+	Count int `json:"count,omitempty"`
+	// DelayMillis is the sleep for Latency and Stall faults.
+	DelayMillis float64 `json:"delay_ms,omitempty"`
+}
+
+// Validate rejects rules that could never fire or have no trigger.
+func (r Rule) Validate() error {
+	if r.Every < 0 || r.Count < 0 || r.P < 0 || r.P > 1 || r.DelayMillis < 0 {
+		return fmt.Errorf("faults: rule %s has negative or out-of-range trigger fields", r.Class)
+	}
+	if r.Every == 0 && r.P == 0 {
+		return fmt.Errorf("faults: rule %s needs every > 0 or p > 0", r.Class)
+	}
+	if (r.Class == Latency || r.Class == Stall) && r.DelayMillis == 0 {
+		return fmt.Errorf("faults: %s rule needs delay_ms > 0", r.Class)
+	}
+	return nil
+}
+
+func (r Rule) delay() time.Duration {
+	return time.Duration(r.DelayMillis * float64(time.Millisecond))
+}
+
+func (r Rule) matches(site, lane string) bool {
+	switch {
+	case r.Site == "":
+	case len(r.Site) > 0 && r.Site[len(r.Site)-1] == '*':
+		prefix := r.Site[:len(r.Site)-1]
+		if len(site) < len(prefix) || site[:len(prefix)] != prefix {
+			return false
+		}
+	case r.Site != site:
+		return false
+	}
+	return r.Lane == "" || r.Lane == lane
+}
+
+// Injected is both the error returned by CostError rules and the panic
+// value raised by Panic rules, so supervisors and tests can recognize
+// injected faults unambiguously.
+type Injected struct {
+	Rule Rule // the rule that fired
+	N    int  // how many times the rule has fired, 1-based
+	Site string
+	Lane string
+}
+
+// Error describes the injected fault.
+func (e *Injected) Error() string {
+	return fmt.Sprintf("faults: injected %s at %s (lane %q, fire %d)",
+		e.Rule.Class, e.Site, e.Lane, e.N)
+}
+
+// ruleState pairs a rule with its evaluation bookkeeping.
+type ruleState struct {
+	Rule
+	evals int
+	fired int
+}
+
+// RuleStatus is one rule with its counters, for snapshots.
+type RuleStatus struct {
+	Rule
+	Evals int `json:"evals"`
+	Fired int `json:"fired"`
+}
+
+// Status is the injector's observable state.
+type Status struct {
+	Seed     int64        `json:"seed"`
+	Armed    bool         `json:"armed"`
+	Injected uint64       `json:"injected_total"`
+	Rules    []RuleStatus `json:"rules"`
+}
+
+// Injector evaluates armed rules at injection sites.
+type Injector struct {
+	mu    sync.Mutex
+	seed  int64
+	rng   *rand.Rand
+	rules []ruleState
+
+	total    *metrics.Counter
+	byClass  map[Class]*metrics.Counter
+	armed    *metrics.Gauge
+	injected uint64
+}
+
+// New returns a disarmed injector whose probabilistic decisions derive
+// from seed.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Instrument exports the injector's activity through reg:
+// faults_injected_total, per-class faults_injected_<class>_total, and the
+// faults_armed gauge.
+func (i *Injector) Instrument(reg *metrics.Registry) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.total = reg.Counter("faults_injected_total", "faults injected across all classes")
+	i.armed = reg.Gauge("faults_armed_rules", "fault rules currently armed")
+	i.byClass = map[Class]*metrics.Counter{
+		Latency:   reg.Counter("faults_injected_latency_total", "latency-spike faults injected"),
+		Stall:     reg.Counter("faults_injected_stall_total", "stall faults injected"),
+		Panic:     reg.Counter("faults_injected_panic_total", "panic faults injected"),
+		CostError: reg.Counter("faults_injected_cost_error_total", "cost-model-error faults injected"),
+	}
+	return i
+}
+
+// Arm replaces the rule set (and resets its counters and the RNG to the
+// seed, so an identical arm replays identically). Invalid rules are
+// rejected wholesale.
+func (i *Injector) Arm(rules ...Rule) error {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rng = rand.New(rand.NewSource(i.seed))
+	i.rules = make([]ruleState, len(rules))
+	for idx, r := range rules {
+		i.rules[idx] = ruleState{Rule: r}
+	}
+	if i.armed != nil {
+		i.armed.Set(int64(len(rules)))
+	}
+	return nil
+}
+
+// Disarm clears every rule; subsequent Apply calls are no-ops.
+func (i *Injector) Disarm() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = nil
+	if i.armed != nil {
+		i.armed.Set(0)
+	}
+}
+
+// Armed reports whether any rules are active.
+func (i *Injector) Armed() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return len(i.rules) > 0
+}
+
+// Snapshot returns the current rules and counters.
+func (i *Injector) Snapshot() Status {
+	if i == nil {
+		return Status{}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	st := Status{Seed: i.seed, Armed: len(i.rules) > 0, Injected: i.injected,
+		Rules: make([]RuleStatus, len(i.rules))}
+	for idx, r := range i.rules {
+		st.Rules[idx] = RuleStatus{Rule: r.Rule, Evals: r.evals, Fired: r.fired}
+	}
+	return st
+}
+
+// Apply evaluates every armed rule against (site, lane). Latency and
+// Stall fires sleep here; a Panic fire panics with an *Injected value; a
+// CostError fire returns an *Injected error. Sleeps and the panic happen
+// outside the injector's lock, so a recovered panic never wedges it.
+func (i *Injector) Apply(site, lane string) error {
+	if i == nil {
+		return nil
+	}
+	var sleep time.Duration
+	var panicV, errV *Injected
+
+	i.mu.Lock()
+	for idx := range i.rules {
+		r := &i.rules[idx]
+		if !r.matches(site, lane) {
+			continue
+		}
+		r.evals++
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		var fire bool
+		if r.Every > 0 {
+			fire = r.evals%r.Every == 0
+		} else {
+			fire = i.rng.Float64() < r.P
+		}
+		if !fire {
+			continue
+		}
+		r.fired++
+		i.injected++
+		if i.total != nil {
+			i.total.Inc()
+			i.byClass[r.Class].Inc()
+		}
+		inj := &Injected{Rule: r.Rule, N: r.fired, Site: site, Lane: lane}
+		switch r.Class {
+		case Latency, Stall:
+			sleep += r.delay()
+		case Panic:
+			if panicV == nil {
+				panicV = inj
+			}
+		case CostError:
+			if errV == nil {
+				errV = inj
+			}
+		}
+	}
+	i.mu.Unlock()
+
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if panicV != nil {
+		panic(panicV)
+	}
+	if errV != nil {
+		return errV
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package faults
+
+// spec.go parses the compact command-line fault specification used by
+// `llmperfd -fault-spec`, so chaos drills can be configured at process
+// start without touching the admin endpoint:
+//
+//	class[@site][:key=value,...][;more rules]
+//
+// e.g. "panic@lane:every=50,count=3;latency@cost.decode:p=0.05,delay=20ms"
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses a rule list in the compact flag syntax.
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faults: empty spec %q", spec)
+	}
+	return rules, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	head, opts, _ := strings.Cut(s, ":")
+	name, site, _ := strings.Cut(head, "@")
+	class, err := ParseClass(strings.TrimSpace(name))
+	if err != nil {
+		return Rule{}, err
+	}
+	r := Rule{Class: class, Site: strings.TrimSpace(site)}
+	if opts != "" {
+		for _, kv := range strings.Split(opts, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return Rule{}, fmt.Errorf("faults: malformed option %q in %q (want key=value)", kv, s)
+			}
+			k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+			switch k {
+			case "every":
+				if r.Every, err = strconv.Atoi(v); err != nil {
+					return Rule{}, fmt.Errorf("faults: every: %w", err)
+				}
+			case "count":
+				if r.Count, err = strconv.Atoi(v); err != nil {
+					return Rule{}, fmt.Errorf("faults: count: %w", err)
+				}
+			case "p":
+				if r.P, err = strconv.ParseFloat(v, 64); err != nil {
+					return Rule{}, fmt.Errorf("faults: p: %w", err)
+				}
+			case "delay":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return Rule{}, fmt.Errorf("faults: delay: %w", err)
+				}
+				r.DelayMillis = float64(d) / float64(time.Millisecond)
+			case "lane":
+				r.Lane = v
+			default:
+				return Rule{}, fmt.Errorf("faults: unknown option %q in %q", k, s)
+			}
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}

@@ -29,9 +29,12 @@ package gateway
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math"
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 )
@@ -90,6 +93,43 @@ type Config struct {
 	// Registry receives the gateway's instruments; a private registry is
 	// created when nil.
 	Registry *metrics.Registry
+
+	// Fallback resolves a degraded-mode cost model for a lane, used when
+	// the lane's circuit breaker is open (e.g. the analytic model behind
+	// an engine-measured lane). Returning (nil, nil) means no fallback
+	// for that lane. Nil disables degraded mode entirely.
+	Fallback Resolver
+	// Injector, when non-nil, is consulted at the gateway's injection
+	// sites ("lane", "cost.prefill", "cost.decode") so chaos scenarios
+	// can be driven deterministically. Nil disables fault injection.
+	Injector *faults.Injector
+
+	// CrashLimit quarantines a lane after this many recovered panics
+	// inside CrashWindow. Default 3.
+	CrashLimit int
+	// CrashWindow is the sliding window for counting lane crashes.
+	// Default 30s.
+	CrashWindow time.Duration
+	// QuarantinePeriod is how long a quarantined lane rejects
+	// submissions before it may serve again. Default 10s.
+	QuarantinePeriod time.Duration
+	// RestartBackoff and RestartBackoffMax bound the exponential backoff
+	// between lane restarts after a recovered panic. Defaults 10ms / 1s.
+	RestartBackoff    time.Duration
+	RestartBackoffMax time.Duration
+	// WatchdogBudget is the wall-clock deadline for one priced call
+	// (prefill or decode); an overrunning batch is cancelled and
+	// requeued. Default 10s; negative disables the watchdog.
+	WatchdogBudget time.Duration
+	// MaxRequeues bounds how often one job may be requeued by the
+	// watchdog before it fails. Default 2; negative disables requeueing.
+	MaxRequeues int
+	// BreakerThreshold is the consecutive primary-cost-model failures
+	// that open a lane's circuit breaker. Default 3.
+	BreakerThreshold int
+	// BreakerOpenPeriod is the cool-off before an open breaker lets a
+	// half-open probe through. Default 5s.
+	BreakerOpenPeriod time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +147,33 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
+	}
+	if c.CrashLimit <= 0 {
+		c.CrashLimit = 3
+	}
+	if c.CrashWindow <= 0 {
+		c.CrashWindow = 30 * time.Second
+	}
+	if c.QuarantinePeriod <= 0 {
+		c.QuarantinePeriod = 10 * time.Second
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 10 * time.Millisecond
+	}
+	if c.RestartBackoffMax <= 0 {
+		c.RestartBackoffMax = time.Second
+	}
+	if c.WatchdogBudget == 0 {
+		c.WatchdogBudget = 10 * time.Second
+	}
+	if c.MaxRequeues == 0 {
+		c.MaxRequeues = 2
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerOpenPeriod <= 0 {
+		c.BreakerOpenPeriod = 5 * time.Second
 	}
 	return c
 }
@@ -135,6 +202,10 @@ type Result struct {
 	WallSeconds      float64 `json:"wall_s"`
 	BatchAtAdmission int     `json:"batch_at_admission"`
 	TokensPerSecond  float64 `json:"tokens_per_second"`
+	// Degraded marks a request served (wholly or partly) by the lane's
+	// fallback cost model because the primary was failing or its
+	// breaker was open.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Resolver builds the cost model for a lane key on first use.
@@ -147,6 +218,13 @@ type instruments struct {
 	queueDepth, inflight, lanes  *metrics.Gauge
 	queueWait, ttft, tpot, e2e   *metrics.Histogram
 	wall, batchSize              *metrics.Histogram
+
+	// Resilience instruments (supervisor.go).
+	panics, restarts, quarantines      *metrics.Counter
+	watchdogTimeouts, requeued         *metrics.Counter
+	degraded, degradedIters            *metrics.Counter
+	breakerOpened, breakerClosed       *metrics.Counter
+	quarantinedLanes, breakerOpenLanes *metrics.Gauge
 }
 
 func newInstruments(r *metrics.Registry) instruments {
@@ -167,6 +245,18 @@ func newInstruments(r *metrics.Registry) instruments {
 		e2e:        r.Histogram("gateway_e2e_seconds", "modeled request service time", lat),
 		wall:       r.Histogram("gateway_wall_seconds", "real time from submission to completion", lat),
 		batchSize:  r.Histogram("gateway_batch_size", "sequences per decode iteration", metrics.LinearBuckets(1, 1, 32)),
+
+		panics:           r.Counter("gateway_lane_panics_total", "lane worker panics recovered by the supervisor"),
+		restarts:         r.Counter("gateway_lane_restarts_total", "lane restarts after recovered panics"),
+		quarantines:      r.Counter("gateway_lane_quarantines_total", "lanes quarantined after repeated crashes"),
+		watchdogTimeouts: r.Counter("gateway_watchdog_timeouts_total", "priced calls cancelled by the iteration watchdog"),
+		requeued:         r.Counter("gateway_requeued_total", "requests requeued after a watchdog cancellation"),
+		degraded:         r.Counter("gateway_degraded_total", "requests completed in degraded mode (fallback cost model)"),
+		degradedIters:    r.Counter("gateway_degraded_iterations_total", "iterations priced by a fallback cost model"),
+		breakerOpened:    r.Counter("gateway_breaker_opened_total", "lane circuit breakers tripped closed to open"),
+		breakerClosed:    r.Counter("gateway_breaker_closed_total", "lane circuit breakers recovered to closed"),
+		quarantinedLanes: r.Gauge("gateway_quarantined_lanes", "lanes currently quarantined"),
+		breakerOpenLanes: r.Gauge("gateway_breaker_open_lanes", "lanes whose circuit breaker is open or half-open"),
 	}
 }
 
@@ -174,6 +264,7 @@ func newInstruments(r *metrics.Registry) instruments {
 type Gateway struct {
 	cfg     Config
 	resolve Resolver
+	inj     *faults.Injector
 	m       instruments
 
 	slots chan struct{} // worker-pool tokens
@@ -183,14 +274,23 @@ type Gateway struct {
 	waiting  int // jobs admitted but not yet executing (queue depth)
 	draining bool
 	wg       sync.WaitGroup // lane goroutines and unary jobs
+
+	// Drain-rate estimator feeding Retry-After hints (guarded by mu).
+	retryAt        time.Time
+	retryCompleted uint64
+	retryRate      float64 // completions per second, smoothed
 }
 
 // New returns a gateway using resolve to build lane cost models.
 func New(cfg Config, resolve Resolver) *Gateway {
 	cfg = cfg.withDefaults()
+	if cfg.Injector != nil {
+		cfg.Injector.Instrument(cfg.Registry)
+	}
 	return &Gateway{
 		cfg:     cfg,
 		resolve: resolve,
+		inj:     cfg.Injector,
 		m:       newInstruments(cfg.Registry),
 		slots:   make(chan struct{}, cfg.Workers),
 		lanes:   map[string]*lane{},
@@ -199,6 +299,10 @@ func New(cfg Config, resolve Resolver) *Gateway {
 
 // Registry exposes the gateway's metric registry (for /metrics).
 func (g *Gateway) Registry() *metrics.Registry { return g.cfg.Registry }
+
+// Injector exposes the gateway's fault injector (nil when chaos is
+// disabled); the API layer serves it at /v1/admin/faults.
+func (g *Gateway) Injector() *faults.Injector { return g.inj }
 
 // Draining reports whether Shutdown has begun (for /readyz).
 func (g *Gateway) Draining() bool {
@@ -235,6 +339,16 @@ func (g *Gateway) Generate(ctx context.Context, req Request) (Result, error) {
 		return Result{}, ErrQueueFull
 	}
 	l := g.lanes[req.Lane]
+	if l != nil && !l.quarantinedUntil.IsZero() {
+		if time.Now().Before(l.quarantinedUntil) {
+			g.mu.Unlock()
+			g.m.rejected.Inc()
+			return Result{}, fmt.Errorf("%w: lane %s", ErrLaneQuarantined, req.Lane)
+		}
+		// Quarantine elapsed: let the lane try again with a clean slate.
+		l.quarantinedUntil = time.Time{}
+		g.m.quarantinedLanes.Dec()
+	}
 	if l == nil {
 		cost, err := g.resolve(req.Lane)
 		if err != nil {
@@ -243,6 +357,11 @@ func (g *Gateway) Generate(ctx context.Context, req Request) (Result, error) {
 			return Result{}, err
 		}
 		l = &lane{key: req.Lane, cost: cost}
+		if g.cfg.Fallback != nil {
+			if fb, err := g.cfg.Fallback(req.Lane); err == nil && fb != nil {
+				l.fallback = fb
+			}
+		}
 		g.lanes[req.Lane] = l
 	}
 	l.queue = append(l.queue, j)
@@ -345,4 +464,55 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// RetryAfterSeconds suggests how long a backpressured client should wait
+// before retrying: the current queue depth divided by the recently
+// observed drain rate, bounded to [1, 30] seconds. The rate is estimated
+// from completion-counter deltas between calls and smoothed, so bursts
+// of 429s during a spike all carry a hint that tracks the backlog.
+func (g *Gateway) RetryAfterSeconds() int {
+	now := time.Now()
+	completed := g.m.completed.Value()
+	g.mu.Lock()
+	depth := g.waiting
+	if g.retryAt.IsZero() {
+		g.retryAt, g.retryCompleted = now, completed
+	} else if dt := now.Sub(g.retryAt).Seconds(); dt >= 0.05 {
+		inst := float64(completed-g.retryCompleted) / dt
+		if g.retryRate == 0 {
+			g.retryRate = inst
+		} else {
+			g.retryRate = 0.5*g.retryRate + 0.5*inst
+		}
+		g.retryAt, g.retryCompleted = now, completed
+	}
+	rate := g.retryRate
+	g.mu.Unlock()
+	return RetryAfterHint(depth, rate)
+}
+
+// RetryAfterHint converts a queue depth and a drain rate (completions
+// per second) into a bounded Retry-After value in whole seconds.
+func RetryAfterHint(depth int, drainPerSec float64) int {
+	const maxRetryAfter = 30
+	if depth <= 0 {
+		return 1
+	}
+	if drainPerSec <= 0 {
+		// No drain observed yet (cold start): scale modestly with the
+		// backlog instead of guessing a rate.
+		if est := 1 + depth/32; est < maxRetryAfter {
+			return est
+		}
+		return maxRetryAfter
+	}
+	est := int(math.Ceil(float64(depth) / drainPerSec))
+	if est < 1 {
+		return 1
+	}
+	if est > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return est
 }

@@ -6,9 +6,17 @@ package gateway
 // arriving over real channels. The lane owns a virtual clock advanced by
 // each iteration's modeled cost; queue waits and wall times are measured
 // against the real clock.
+//
+// The scheduler runs under a supervisor (runLane): a panic anywhere in
+// the iteration loop fails only the in-flight requests with a typed
+// PanicError, then the lane restarts with exponential backoff; a lane
+// that keeps crashing is quarantined. Priced calls run under a watchdog
+// and a circuit breaker (supervisor.go), so a wedged or failing cost
+// model degrades onto the fallback model instead of stalling the lane.
 
 import (
 	"context"
+	"errors"
 	"time"
 )
 
@@ -29,6 +37,9 @@ type job struct {
 	admitWall time.Time
 	admitV    float64
 	batchAt   int
+	// requeues counts watchdog cancellations that sent the job back to
+	// the queue.
+	requeues int
 }
 
 // seq is one in-flight sequence being decoded.
@@ -39,17 +50,29 @@ type seq struct {
 	ttftV     float64
 	// prefillDone tracks chunked-prefill progress in tokens.
 	prefillDone int
+	// degraded records that at least one of the sequence's iterations
+	// was priced by the fallback cost model.
+	degraded bool
 }
 
 // lane is a batching stream for one (platform, model, config) key.
 type lane struct {
-	key  string
-	cost costModel
+	key      string
+	cost     costModel
+	fallback costModel // degraded-mode stand-in; nil when none exists
 
-	// queue and active are guarded by the gateway mutex; the scheduler
-	// goroutine owns everything else.
-	queue  []*job
-	active bool
+	// queue, active and quarantinedUntil are guarded by the gateway
+	// mutex; the scheduler goroutine owns everything else.
+	queue            []*job
+	active           bool
+	quarantinedUntil time.Time
+
+	// Supervisor state, owned by the single runLane goroutine.
+	running  []*seq
+	pre      *seq // chunked-prefill slot
+	br       breaker
+	crashes  []time.Time
+	restarts int
 
 	vclock float64
 }
@@ -61,8 +84,10 @@ type costModel interface {
 	DecodeStepCost(batch, ctxLen int) (float64, error)
 }
 
-// runLane drains the lane until both its queue and batch are empty, then
-// parks. It holds a worker-pool slot while executing.
+// runLane supervises the lane scheduler: it reruns laneSession until the
+// lane parks cleanly, restarting after recovered panics with exponential
+// backoff and quarantining the lane once crashes exceed the limit inside
+// the crash window. It holds a worker-pool slot while executing.
 func (g *Gateway) runLane(l *lane) {
 	defer g.wg.Done()
 	g.slots <- struct{}{}
@@ -72,31 +97,77 @@ func (g *Gateway) runLane(l *lane) {
 		<-g.slots
 	}()
 
-	var running []*seq
-	var pre *seq // chunked-prefill slot
+	for {
+		if g.laneSession(l) {
+			return // parked cleanly: queue and batch empty
+		}
+		// The session panicked and was recovered. Restart or quarantine.
+		now := time.Now()
+		l.crashes = append(l.crashes, now)
+		cutoff := now.Add(-g.cfg.CrashWindow)
+		kept := l.crashes[:0]
+		for _, c := range l.crashes {
+			if c.After(cutoff) {
+				kept = append(kept, c)
+			}
+		}
+		l.crashes = kept
+		if len(l.crashes) >= g.cfg.CrashLimit {
+			g.quarantineLane(l, now)
+			return
+		}
+		g.m.restarts.Inc()
+		backoff := g.cfg.RestartBackoff << l.restarts
+		if backoff <= 0 || backoff > g.cfg.RestartBackoffMax {
+			backoff = g.cfg.RestartBackoffMax
+		}
+		l.restarts++
+		time.Sleep(backoff)
+	}
+}
+
+// laneSession drains the lane until both its queue and batch are empty,
+// then parks (returns true). A panic is recovered: the in-flight batch
+// fails with a typed PanicError and the session reports a crash (returns
+// false) so the supervisor can restart it. Queued jobs survive a crash.
+func (g *Gateway) laneSession(l *lane) (parked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.m.panics.Inc()
+			g.failInflight(l, &PanicError{Lane: l.key, Value: r})
+		}
+	}()
 
 	for {
+		// Fault-injection site for worker crashes: a panic raised here is
+		// indistinguishable from a scheduler bug to the supervisor.
+		if err := g.inj.Apply(siteLane, l.key); err != nil {
+			g.failInflight(l, err)
+			continue
+		}
+
 		// Admission: take waiting jobs into free slots, discarding any
 		// whose context died while queued.
 		g.mu.Lock()
 		l.queue = g.dropCanceledLocked(l.queue)
 		var admitted []*job
 		if g.cfg.Policy == Chunked {
-			if pre == nil && len(running) < g.cfg.MaxBatch && len(l.queue) > 0 {
+			if l.pre == nil && len(l.running) < g.cfg.MaxBatch && len(l.queue) > 0 {
 				admitted = append(admitted, l.queue[0])
 				l.queue = l.queue[1:]
 			}
 		} else {
-			free := g.cfg.MaxBatch - len(running)
+			free := g.cfg.MaxBatch - len(l.running)
 			for len(l.queue) > 0 && len(admitted) < free {
 				admitted = append(admitted, l.queue[0])
 				l.queue = l.queue[1:]
 			}
 		}
-		if len(admitted) == 0 && len(running) == 0 && pre == nil && len(l.queue) == 0 {
+		if len(admitted) == 0 && len(l.running) == 0 && l.pre == nil && len(l.queue) == 0 {
 			l.active = false
+			l.restarts = 0
 			g.mu.Unlock()
-			return
+			return true
 		}
 		g.waiting -= len(admitted)
 		g.mu.Unlock()
@@ -113,20 +184,19 @@ func (g *Gateway) runLane(l *lane) {
 		var iterCost float64
 		var err error
 		if g.cfg.Policy == Chunked {
-			pre, running, iterCost, err = g.chunkedIteration(l, pre, admitted, running)
+			iterCost, err = g.chunkedIteration(l, admitted)
 		} else {
-			running, iterCost, err = g.continuousIteration(l, admitted, running)
+			iterCost, err = g.continuousIteration(l, admitted)
 		}
 		if err != nil {
+			if errors.Is(err, ErrWatchdogTimeout) {
+				// The batch overran its deadline: cancel and requeue it
+				// rather than losing or failing every request outright.
+				g.requeueInflight(l, err)
+				continue
+			}
 			// A broken cost model fails everything currently in the lane.
-			for _, s := range running {
-				g.failSeq(s, err)
-			}
-			running = running[:0]
-			if pre != nil {
-				g.failSeq(pre, err)
-				pre = nil
-			}
+			g.failInflight(l, err)
 			continue
 		}
 		if iterCost > 0 {
@@ -156,158 +226,146 @@ func (g *Gateway) dropCanceledLocked(queue []*job) []*job {
 
 // continuousIteration runs one Orca-style iteration: a dedicated batched
 // prefill when requests were admitted, otherwise one decode step for the
-// whole running batch.
-func (g *Gateway) continuousIteration(l *lane, admitted []*job, running []*seq) ([]*seq, float64, error) {
+// whole running batch. Admitted jobs join l.running before pricing, so an
+// error or panic mid-iteration fails (or requeues) them uniformly.
+func (g *Gateway) continuousIteration(l *lane, admitted []*job) (float64, error) {
 	if len(admitted) > 0 {
 		maxIn := 0
+		batch := len(l.running) + len(admitted)
+		start := len(l.running)
 		for _, j := range admitted {
 			if j.req.InputLen > maxIn {
 				maxIn = j.req.InputLen
 			}
-		}
-		cost, err := g.lanePrefill(l, len(admitted), maxIn)
-		if err != nil {
-			for _, j := range admitted {
-				g.failJob(j, err)
-			}
-			return running, 0, err
-		}
-		batch := len(running) + len(admitted)
-		for _, j := range admitted {
 			j.batchAt = batch
-			s := &seq{j: j, ctxLen: j.req.InputLen,
-				remaining: j.req.OutputLen - 1, ttftV: l.vclock}
+			l.running = append(l.running, &seq{j: j, ctxLen: j.req.InputLen,
+				remaining: j.req.OutputLen - 1})
+		}
+		cost, degraded, err := g.priceIteration(l, true, len(admitted), maxIn)
+		if err != nil {
+			return 0, err
+		}
+		l.vclock += cost
+		kept := l.running[:start]
+		for _, s := range l.running[start:] {
+			s.ttftV = l.vclock
+			s.degraded = s.degraded || degraded
 			if s.remaining == 0 {
 				g.completeSeq(l, s)
 				continue
 			}
-			running = append(running, s)
+			kept = append(kept, s)
 		}
-		return running, cost, nil
+		l.running = kept
+		return cost, nil
 	}
 
-	running = g.evictCanceled(running)
-	if len(running) == 0 {
-		return running, 0, nil
+	l.running = g.evictCanceled(l.running)
+	if len(l.running) == 0 {
+		return 0, nil
 	}
 	maxCtx := 0
-	for _, s := range running {
+	for _, s := range l.running {
 		if s.ctxLen > maxCtx {
 			maxCtx = s.ctxLen
 		}
 	}
-	cost, err := g.laneDecode(l, len(running), maxCtx)
+	cost, degraded, err := g.priceIteration(l, false, len(l.running), maxCtx)
 	if err != nil {
-		return running, 0, err
+		return 0, err
 	}
-	g.m.batchSize.Observe(float64(len(running)))
-	kept := running[:0]
-	for _, s := range running {
+	l.vclock += cost
+	g.m.batchSize.Observe(float64(len(l.running)))
+	kept := l.running[:0]
+	for _, s := range l.running {
 		s.ctxLen++
 		s.remaining--
+		s.degraded = s.degraded || degraded
 		if s.remaining == 0 {
 			g.completeSeq(l, s)
 			continue
 		}
 		kept = append(kept, s)
 	}
-	return kept, cost, nil
+	l.running = kept
+	return cost, nil
 }
 
 // chunkedIteration runs one Sarathi-style iteration: a decode step for
 // the running batch coalesced with one prefill chunk of the admitting
 // request.
-func (g *Gateway) chunkedIteration(l *lane, pre *seq, admitted []*job, running []*seq) (*seq, []*seq, float64, error) {
+func (g *Gateway) chunkedIteration(l *lane, admitted []*job) (float64, error) {
 	if len(admitted) > 0 { // at most one under Chunked
 		j := admitted[0]
-		j.batchAt = len(running) + 1
-		pre = &seq{j: j, remaining: j.req.OutputLen - 1}
+		j.batchAt = len(l.running) + 1
+		l.pre = &seq{j: j, remaining: j.req.OutputLen - 1}
 	}
-	running = g.evictCanceled(running)
-	if pre != nil && pre.j.ctx.Err() != nil {
+	l.running = g.evictCanceled(l.running)
+	if l.pre != nil && l.pre.j.ctx.Err() != nil {
 		g.m.canceled.Inc()
 		g.m.inflight.Dec()
-		pre = nil
+		l.pre = nil
 	}
-	if pre == nil && len(running) == 0 {
-		return nil, running, 0, nil
+	if l.pre == nil && len(l.running) == 0 {
+		return 0, nil
 	}
 
 	var iter float64
-	if len(running) > 0 {
+	var decodeDegraded bool
+	if len(l.running) > 0 {
 		maxCtx := 0
-		for _, s := range running {
+		for _, s := range l.running {
 			if s.ctxLen > maxCtx {
 				maxCtx = s.ctxLen
 			}
 		}
-		d, err := g.laneDecode(l, len(running), maxCtx)
+		d, degraded, err := g.priceIteration(l, false, len(l.running), maxCtx)
 		if err != nil {
-			return pre, running, 0, err
+			return 0, err
 		}
 		iter += d
-		g.m.batchSize.Observe(float64(len(running)))
+		decodeDegraded = degraded
+		g.m.batchSize.Observe(float64(len(l.running)))
 	}
-	if pre != nil {
+	if l.pre != nil {
 		chunk := g.cfg.PrefillChunk
-		if rem := pre.j.req.InputLen - pre.prefillDone; chunk > rem {
+		if rem := l.pre.j.req.InputLen - l.pre.prefillDone; chunk > rem {
 			chunk = rem
 		}
-		c, err := l.cost.PrefillCost(1, chunk)
+		c, degraded, err := g.priceIteration(l, true, 1, chunk)
 		if err != nil {
-			return pre, running, 0, err
+			return 0, err
 		}
 		iter += c
-		pre.prefillDone += chunk
+		l.pre.prefillDone += chunk
+		l.pre.degraded = l.pre.degraded || degraded
 	}
 	l.vclock += iter
 
-	kept := running[:0]
-	for _, s := range running {
+	kept := l.running[:0]
+	for _, s := range l.running {
 		s.ctxLen++
 		s.remaining--
+		s.degraded = s.degraded || decodeDegraded
 		if s.remaining == 0 {
 			g.completeSeq(l, s)
 			continue
 		}
 		kept = append(kept, s)
 	}
-	running = kept
+	l.running = kept
 
-	if pre != nil && pre.prefillDone >= pre.j.req.InputLen {
-		pre.ctxLen = pre.j.req.InputLen
-		pre.ttftV = l.vclock
-		if pre.remaining == 0 {
-			g.completeSeq(l, pre)
+	if l.pre != nil && l.pre.prefillDone >= l.pre.j.req.InputLen {
+		l.pre.ctxLen = l.pre.j.req.InputLen
+		l.pre.ttftV = l.vclock
+		if l.pre.remaining == 0 {
+			g.completeSeq(l, l.pre)
 		} else {
-			running = append(running, pre)
+			l.running = append(l.running, l.pre)
 		}
-		pre = nil
+		l.pre = nil
 	}
-	return pre, running, iter, nil
-}
-
-// lanePrefill prices a batched prefill and advances the virtual clock.
-func (g *Gateway) lanePrefill(l *lane, batch, maxIn int) (float64, error) {
-	c, err := l.cost.PrefillCost(batch, maxIn)
-	if err != nil {
-		return 0, err
-	}
-	l.vclock += c
-	return c, nil
-}
-
-// laneDecode prices one decode step; continuous iterations advance the
-// clock here, chunked ones accumulate into the iteration total first.
-func (g *Gateway) laneDecode(l *lane, batch, maxCtx int) (float64, error) {
-	c, err := l.cost.DecodeStepCost(batch, maxCtx)
-	if err != nil {
-		return 0, err
-	}
-	if g.cfg.Policy != Chunked {
-		l.vclock += c
-	}
-	return c, nil
+	return iter, nil
 }
 
 // evictCanceled removes sequences whose request context died mid-flight.
@@ -343,6 +401,7 @@ func (g *Gateway) completeSeq(l *lane, s *seq) {
 		E2ESeconds:       e2e,
 		WallSeconds:      time.Since(j.submitted).Seconds(),
 		BatchAtAdmission: j.batchAt,
+		Degraded:         s.degraded,
 	}
 	if e2e > 0 {
 		res.TokensPerSecond = float64(j.req.OutputLen) / e2e
@@ -354,6 +413,9 @@ func (g *Gateway) completeSeq(l *lane, s *seq) {
 	g.m.e2e.Observe(e2e)
 	g.m.wall.Observe(res.WallSeconds)
 	g.m.completed.Inc()
+	if s.degraded {
+		g.m.degraded.Inc()
+	}
 	g.m.inflight.Dec()
 	j.done <- jobOutcome{res: res}
 }

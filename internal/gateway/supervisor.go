@@ -1,0 +1,275 @@
+package gateway
+
+// supervisor.go is the gateway's resilience layer: panic isolation and
+// restart of lane workers, a per-call watchdog over the priced iteration,
+// a per-lane circuit breaker that reroutes pricing to a degraded-mode
+// fallback cost model, and quarantine of lanes that crash repeatedly.
+// The aim is the serving posture the paper's context demands: partial
+// failure (a wedged engine, a panicking worker, a failing cost model)
+// degrades one lane's service, never the process.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed failure sentinels. The API layer maps these onto HTTP statuses;
+// tests and clients match them with errors.Is.
+var (
+	// ErrLanePanic marks requests failed because their lane worker
+	// panicked; the supervisor recovered it and restarted the lane.
+	ErrLanePanic = errors.New("gateway: lane worker panicked")
+	// ErrLaneQuarantined rejects submissions to a lane that crashed
+	// repeatedly and is cooling off.
+	ErrLaneQuarantined = errors.New("gateway: lane quarantined")
+	// ErrWatchdogTimeout marks an iteration whose priced call exceeded
+	// the watchdog budget; its batch is cancelled and requeued.
+	ErrWatchdogTimeout = errors.New("gateway: iteration exceeded watchdog deadline")
+	// ErrLaneBroken fails requests on a lane whose breaker is open and
+	// which has no fallback cost model to degrade onto.
+	ErrLaneBroken = errors.New("gateway: lane circuit breaker open")
+)
+
+// PanicError carries a recovered lane panic to the requests it failed.
+type PanicError struct {
+	Lane  string
+	Value any
+}
+
+// Error describes the recovered panic.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("gateway: lane %s panicked: %v", e.Lane, e.Value)
+}
+
+// Unwrap lets errors.Is(err, ErrLanePanic) match.
+func (e *PanicError) Unwrap() error { return ErrLanePanic }
+
+// Injection sites the gateway threads through its hot path (see
+// internal/faults).
+const (
+	siteLane    = "lane"
+	sitePrefill = "cost.prefill"
+	siteDecode  = "cost.decode"
+)
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker guards a lane's primary cost model. It is owned by the lane's
+// scheduler goroutine — no locking. Consecutive primary failures open it;
+// while open, pricing reroutes to the lane's fallback (degraded mode).
+// After BreakerOpenPeriod one probe call is let through (half-open):
+// success closes the breaker, failure re-opens it.
+type breaker struct {
+	state    breakerState
+	fails    int
+	reopenAt time.Time
+}
+
+// allowPrimary reports whether the primary cost model may be called now,
+// transitioning open → half-open once the cool-off has elapsed.
+func (b *breaker) allowPrimary(now time.Time) bool {
+	if b.state != breakerOpen {
+		return true
+	}
+	if now.Before(b.reopenAt) {
+		return false
+	}
+	b.state = breakerHalfOpen
+	return true
+}
+
+// onSuccess closes the breaker; it reports whether this was a transition
+// out of open/half-open (for metrics).
+func (b *breaker) onSuccess() bool {
+	was := b.state
+	b.state = breakerClosed
+	b.fails = 0
+	return was != breakerClosed
+}
+
+// onFailure records a primary failure; it reports whether this failure
+// tripped the breaker closed → open (a half-open probe failure merely
+// extends the open period).
+func (b *breaker) onFailure(now time.Time, threshold int, openFor time.Duration) bool {
+	b.fails++
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.reopenAt = now.Add(openFor)
+	case breakerClosed:
+		if b.fails >= threshold {
+			b.state = breakerOpen
+			b.reopenAt = now.Add(openFor)
+			return true
+		}
+	}
+	return false
+}
+
+// priceIteration prices one prefill or decode call for the lane, weaving
+// in fault injection, the watchdog, the breaker and the degraded-mode
+// fallback. It reports whether the returned cost came from the fallback.
+func (g *Gateway) priceIteration(l *lane, prefill bool, batch, length int) (cost float64, degraded bool, err error) {
+	if l.br.allowPrimary(time.Now()) {
+		cost, err = g.watchdogCall(l, func() (float64, error) {
+			site := siteDecode
+			if prefill {
+				site = sitePrefill
+			}
+			if ierr := g.inj.Apply(site, l.key); ierr != nil {
+				return 0, ierr
+			}
+			if prefill {
+				return l.cost.PrefillCost(batch, length)
+			}
+			return l.cost.DecodeStepCost(batch, length)
+		})
+		if err == nil {
+			if l.br.onSuccess() {
+				g.m.breakerClosed.Inc()
+				g.m.breakerOpenLanes.Dec()
+			}
+			return cost, false, nil
+		}
+		if errors.Is(err, ErrWatchdogTimeout) {
+			g.m.watchdogTimeouts.Inc()
+		}
+		if l.br.onFailure(time.Now(), g.cfg.BreakerThreshold, g.cfg.BreakerOpenPeriod) {
+			g.m.breakerOpened.Inc()
+			g.m.breakerOpenLanes.Inc()
+		}
+		if l.fallback == nil {
+			return 0, false, err
+		}
+		// Primary failed but a fallback exists: serve this very call
+		// degraded rather than failing the batch.
+	} else if l.fallback == nil {
+		return 0, false, fmt.Errorf("%w: lane %s", ErrLaneBroken, l.key)
+	}
+	if prefill {
+		cost, err = l.fallback.PrefillCost(batch, length)
+	} else {
+		cost, err = l.fallback.DecodeStepCost(batch, length)
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	g.m.degradedIters.Inc()
+	return cost, true, nil
+}
+
+// watchdogCall runs one priced call under the watchdog deadline. A call
+// that overruns the budget is abandoned (its goroutine finishes in the
+// background) and reported as ErrWatchdogTimeout so the scheduler can
+// cancel and requeue the batch. A panic inside the call is converted to
+// a PanicError instead of crashing the lane: cost-model panics are
+// failures, not process events.
+func (g *Gateway) watchdogCall(l *lane, f func() (float64, error)) (float64, error) {
+	budget := g.cfg.WatchdogBudget
+	if budget <= 0 {
+		return f()
+	}
+	type priced struct {
+		c   float64
+		err error
+	}
+	ch := make(chan priced, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- priced{0, &PanicError{Lane: l.key, Value: r}}
+			}
+		}()
+		c, err := f()
+		ch <- priced{c, err}
+	}()
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case p := <-ch:
+		return p.c, p.err
+	case <-timer.C:
+		return 0, fmt.Errorf("%w: lane %s exceeded %v", ErrWatchdogTimeout, l.key, budget)
+	}
+}
+
+// failInflight fails every in-flight sequence of the lane with err.
+func (g *Gateway) failInflight(l *lane, err error) {
+	for _, s := range l.running {
+		g.failSeq(s, err)
+	}
+	l.running = nil
+	if l.pre != nil {
+		g.failSeq(l.pre, err)
+		l.pre = nil
+	}
+}
+
+// requeueInflight pushes the lane's in-flight sequences back to the front
+// of its queue after a watchdog cancellation, failing any job that has
+// exhausted its requeue budget. Requeued jobs restart from prefill.
+func (g *Gateway) requeueInflight(l *lane, cause error) {
+	seqs := l.running
+	if l.pre != nil {
+		seqs = append(seqs, l.pre)
+	}
+	l.running = nil
+	l.pre = nil
+	var requeue []*job
+	for _, s := range seqs {
+		j := s.j
+		if j.requeues >= g.cfg.MaxRequeues {
+			g.failSeq(s, cause)
+			continue
+		}
+		j.requeues++
+		g.m.inflight.Dec()
+		g.m.requeued.Inc()
+		requeue = append(requeue, j)
+	}
+	if len(requeue) == 0 {
+		return
+	}
+	g.mu.Lock()
+	l.queue = append(requeue, l.queue...)
+	g.waiting += len(requeue)
+	g.mu.Unlock()
+	g.m.queueDepth.Add(int64(len(requeue)))
+}
+
+// quarantineLane takes a repeatedly crashing lane out of service: queued
+// jobs fail fast with ErrLaneQuarantined, and new submissions are
+// rejected until the quarantine period elapses.
+func (g *Gateway) quarantineLane(l *lane, now time.Time) {
+	g.m.quarantines.Inc()
+	g.m.quarantinedLanes.Inc()
+	qerr := fmt.Errorf("%w: lane %s", ErrLaneQuarantined, l.key)
+	g.mu.Lock()
+	l.quarantinedUntil = now.Add(g.cfg.QuarantinePeriod)
+	l.crashes = nil
+	l.restarts = 0
+	queued := l.queue
+	l.queue = nil
+	g.waiting -= len(queued)
+	l.active = false
+	g.mu.Unlock()
+	for _, j := range queued {
+		g.m.queueDepth.Dec()
+		g.failQueuedJob(j, qerr)
+	}
+}
+
+// failQueuedJob reports an error for a job that never reached admission
+// (unlike failJob, it must not touch the in-flight gauge).
+func (g *Gateway) failQueuedJob(j *job, err error) {
+	g.m.failed.Inc()
+	j.done <- jobOutcome{err: err}
+}

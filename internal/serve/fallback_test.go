@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestAnalyticFallbackPricesMonotonically(t *testing.T) {
+	fb := NewAnalyticFallback(model.Tiny(model.OPT), 0)
+	p1, err := fb.PrefillCost(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := fb.PrefillCost(1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 <= 0 || p2 <= p1 {
+		t.Errorf("prefill costs %g, %g not positive and increasing", p1, p2)
+	}
+	d1, err := fb.DecodeStepCost(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4, err := fb.DecodeStepCost(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 <= 0 || d4 <= d1 {
+		t.Errorf("decode costs %g, %g not positive and batch-increasing", d1, d4)
+	}
+	if d1 >= p1 {
+		t.Errorf("one decode step (%g) should be cheaper than a 64-token prefill (%g)", d1, p1)
+	}
+}
+
+func TestAnalyticFallbackRejectsDegenerateShapes(t *testing.T) {
+	fb := NewAnalyticFallback(model.Tiny(model.LLaMA2), 25)
+	if _, err := fb.PrefillCost(0, 64); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := fb.DecodeStepCost(1, 0); err == nil {
+		t.Error("ctx 0 accepted")
+	}
+}
+
+func TestAnalyticFallbackRateScales(t *testing.T) {
+	slow := NewAnalyticFallback(model.Tiny(model.OPT), 10)
+	fast := NewAnalyticFallback(model.Tiny(model.OPT), 100)
+	cs, _ := slow.PrefillCost(1, 64)
+	cf, _ := fast.PrefillCost(1, 64)
+	if cs <= cf*9.9 || cs >= cf*10.1 {
+		t.Errorf("10x rate should mean ~10x cheaper: %g vs %g", cs, cf)
+	}
+}
