@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build vet test check chaos bench figures scorecard examples clean
+.PHONY: all build vet test check chaos bench figures scorecard examples \
+        trace-demo clean
 
 all: build vet test
 
@@ -24,6 +25,21 @@ check:
 # serving under concurrent load, always with the race detector.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/gateway/ ./internal/faults/
+
+# End-to-end tracing demo: boot llmperfd, drive it with the llmperf load
+# generator, print the server-side phase-breakdown table (parsed from
+# Server-Timing headers) and a retained trace, then shut down.
+TRACE_DEMO_ADDR ?= 127.0.0.1:18080
+trace-demo:
+	$(GO) build -o /tmp/llmperfd-demo ./cmd/llmperfd
+	$(GO) build -o /tmp/llmperf-demo ./cmd/llmperf
+	/tmp/llmperfd-demo -addr $(TRACE_DEMO_ADDR) -timescale 0.02 & \
+	pid=$$!; sleep 1; \
+	/tmp/llmperf-demo -url http://$(TRACE_DEMO_ADDR) -n 32 -concurrency 8 \
+	    -model OPT-13B -in 128 -out 8; st=$$?; \
+	echo; echo "=== one retained trace ==="; \
+	curl -s "http://$(TRACE_DEMO_ADDR)/v1/traces?limit=1"; echo; \
+	kill $$pid; wait $$pid 2>/dev/null; exit $$st
 
 # One benchmark per paper table/figure plus kernel/engine/ablation benches.
 bench:

@@ -31,6 +31,7 @@ import (
 	"repro/internal/offload"
 	"repro/internal/perfmodel"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -184,6 +185,9 @@ func loadGenerate(base, platform, modelName string, in, out, n, concurrency int)
 		latencies []float64
 		statuses  = map[int]int{}
 		netErrs   int
+		// phases accumulates per-phase server-side seconds parsed from each
+		// 200 response's Server-Timing header, keyed by phase name.
+		phases = map[string][]float64{}
 	)
 	jobs := make(chan struct{})
 	var wg sync.WaitGroup
@@ -203,6 +207,11 @@ func loadGenerate(base, platform, modelName string, in, out, n, concurrency int)
 					statuses[resp.StatusCode]++
 					if resp.StatusCode == http.StatusOK {
 						latencies = append(latencies, lat)
+						// ParseServerTiming yields milliseconds (the header's
+						// dur unit); the breakdown table reports seconds.
+						for name, ms := range trace.ParseServerTiming(resp.Header.Get("Server-Timing")) {
+							phases[name] = append(phases[name], ms/1e3)
+						}
 					}
 					resp.Body.Close()
 				}
@@ -235,6 +244,41 @@ func loadGenerate(base, platform, modelName string, in, out, n, concurrency int)
 		fmt.Printf("  latency    : p50 %.3fs   p95 %.3fs   p99 %.3fs (client wall)\n",
 			quantileSorted(latencies, 0.50), quantileSorted(latencies, 0.95), quantileSorted(latencies, 0.99))
 		fmt.Printf("  throughput : %.1f req/s completed\n", float64(len(latencies))/wall)
+	}
+	printPhaseBreakdown(phases)
+}
+
+// printPhaseBreakdown renders the server-side phase percentiles collected
+// from Server-Timing headers: where each request's residence time went
+// (queueing, batch formation, prefill, decode, ...), as the gateway saw it.
+func printPhaseBreakdown(phases map[string][]float64) {
+	if len(phases) == 0 {
+		return
+	}
+	var names []string
+	seen := map[string]bool{}
+	for _, name := range trace.PhaseOrder {
+		if _, ok := phases[name]; ok {
+			names = append(names, name)
+			seen[name] = true
+		}
+	}
+	var rest []string
+	for name := range phases {
+		if !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	names = append(names, rest...)
+
+	fmt.Println("  server-side phase breakdown (Server-Timing):")
+	fmt.Printf("    %-12s %8s %10s %10s %10s\n", "phase", "n", "p50", "p95", "p99")
+	for _, name := range names {
+		xs := phases[name]
+		sort.Float64s(xs)
+		fmt.Printf("    %-12s %8d %9.3fs %9.3fs %9.3fs\n", name, len(xs),
+			quantileSorted(xs, 0.50), quantileSorted(xs, 0.95), quantileSorted(xs, 0.99))
 	}
 }
 

@@ -1,22 +1,31 @@
 // Command llmperfd serves the simulator over HTTP as a JSON API. All
 // requests flow through the serving gateway: a bounded admission queue,
-// a worker pool running continuous or chunked batching, and Prometheus
-// metrics at /metrics. SIGINT/SIGTERM drains in-flight requests before
-// exiting.
+// a worker pool running continuous or chunked batching, per-request
+// phase tracing at /v1/traces, and Prometheus metrics at /metrics.
+// SIGINT/SIGTERM drains in-flight requests before exiting.
 //
 // Usage:
 //
 //	llmperfd -addr :8080 -queue 256 -max-batch 8 -policy continuous -workers 4
 //	curl 'localhost:8080/v1/simulate?platform=spr&model=OPT-30B&batch=4'
-//	curl -X POST localhost:8080/v1/generate -d '{"platform":"spr","model":"OPT-13B"}'
+//	curl -X POST localhost:8080/v1/generate -H 'Content-Type: application/json' \
+//	    -d '{"platform":"spr","model":"OPT-13B"}'
+//	curl 'localhost:8080/v1/traces?id=<trace_id>'
 //	curl 'localhost:8080/metrics'
+//
+// Observability knobs (see docs/observability.md): -trace-sample sets the
+// retention fraction for ok traces, -trace-out appends one JSON line per
+// retained trace, -log-level picks the slog threshold on stderr, and
+// -debug-addr exposes net/http/pprof on a private listener.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux, served only by -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +34,8 @@ import (
 	"repro/internal/api"
 	"repro/internal/faults"
 	"repro/internal/gateway"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -39,7 +50,18 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "hard shutdown ceiling: force-exit nonzero if drain exceeds this")
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the fault injector")
 	faultSpec := flag.String("fault-spec", "", "arm fault rules at boot, e.g. 'panic@lane:every=50;latency@cost.decode:p=0.05,delay=20ms' (see docs/resilience.md)")
+	traceSample := flag.Float64("trace-sample", 1, "fraction of ok traces retained for /v1/traces (errored and degraded requests are always kept)")
+	traceOut := flag.String("trace-out", "", "append one JSON line per retained trace to this file")
+	logLevel := flag.String("log-level", "info", "stderr log threshold: debug | info | warn | error")
+	debugAddr := flag.String("debug-addr", "", "private listen address for net/http/pprof (empty = disabled)")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "llmperfd: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	var pol gateway.Policy
 	switch *policy {
@@ -65,6 +87,18 @@ func main() {
 		}
 	}
 
+	reg := metrics.NewRegistry()
+	traceCfg := trace.Config{SampleRate: *traceSample, Registry: reg}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llmperfd: -trace-out: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		traceCfg.Output = f
+	}
+
 	gw := gateway.New(gateway.Config{
 		MaxQueue:     *queue,
 		MaxBatch:     *maxBatch,
@@ -74,6 +108,9 @@ func main() {
 		Timescale:    *timescale,
 		Injector:     inj,
 		Fallback:     api.FallbackResolver(),
+		Registry:     reg,
+		Tracer:       trace.New(traceCfg),
+		Logger:       logger,
 	}, api.LaneResolver())
 	srv := &http.Server{
 		Addr:              *addr,
@@ -81,10 +118,23 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
+	if *debugAddr != "" {
+		// net/http/pprof registered itself on DefaultServeMux at import;
+		// serve that mux on a separate private listener so profiling never
+		// rides the public API address.
+		go func() {
+			dbg := &http.Server{Addr: *debugAddr, ReadHeaderTimeout: 5 * time.Second}
+			logger.Info("llmperfd: pprof listening", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil {
+				logger.Error("llmperfd: pprof listener failed", "err", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("llmperfd listening on %s (queue=%d batch=%d policy=%s workers=%d)\n",
-		*addr, *queue, *maxBatch, pol, *workers)
+	fmt.Printf("llmperfd listening on %s (queue=%d batch=%d policy=%s workers=%d trace-sample=%g)\n",
+		*addr, *queue, *maxBatch, pol, *workers, *traceSample)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

@@ -35,7 +35,7 @@ func (s *Server) handleAdminFaults(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		var req armFaultsRequest
 		if err := decodeBody(r, &req); err != nil {
-			writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+			writeBodyError(w, err)
 			return
 		}
 		if len(req.Rules) == 0 {

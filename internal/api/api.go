@@ -22,9 +22,12 @@ package api
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/autotune"
 	"repro/internal/core"
@@ -34,6 +37,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // Server is the v1 API bound to one gateway.
@@ -84,6 +88,7 @@ var endpoints = []endpointInfo{
 	{"GET", "/v1/experiments", "paper experiment keys"},
 	{"GET", "/v1/experiments/{key}", "run one experiment, rendered tables"},
 	{"GET", "/v1/scorecard", "reproduction scorecard"},
+	{"GET", "/v1/traces", "recent request traces (?id= for one, ?limit= to page)"},
 	{"GET, POST, DELETE", "/v1/admin/faults", "inspect, arm or disarm runtime fault injection"},
 	{"GET", "/metrics", "Prometheus metrics (gateway queue, TTFT/TPOT/E2E histograms)"},
 	{"GET", "/healthz", "liveness"},
@@ -105,46 +110,81 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/experiments", s.handleExperimentList, http.MethodGet)
 	route("/v1/experiments/{key}", s.handleExperiment, http.MethodGet)
 	route("/v1/scorecard", s.handleScorecard, http.MethodGet)
+	route("/v1/traces", s.handleTraces, http.MethodGet)
 	route("/v1/admin/faults", s.handleAdminFaults, http.MethodGet, http.MethodPost, http.MethodDelete)
 	route("/metrics", s.handleMetrics, http.MethodGet)
 	route("/healthz", s.handleHealthz, http.MethodGet)
 	route("/readyz", s.handleReadyz, http.MethodGet)
-	// Uniform JSON 404 for everything unmatched.
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		s.reqs.Inc()
-		s.errs.Inc()
+	// Uniform JSON 404 for everything unmatched, with the same header and
+	// envelope contract (X-Request-ID, X-Trace-ID, trace_id) as real routes.
+	mux.HandleFunc("/", s.instrument(func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound,
 			fmt.Errorf("no such endpoint %s (see /v1/ for the index)", r.URL.Path))
-	})
+	}, nil))
 	return mux
 }
 
-// instrument counts requests and enforces the allowed method set with a
-// uniform 405 envelope and Allow header.
+// instrument is the per-route middleware: it counts requests, enforces the
+// allowed method set (uniform 405 envelope with an Allow header; nil
+// methods allow everything), establishes the request's identity — the
+// X-Request-ID header is echoed or generated, a trace is started against
+// the gateway's tracer and stamped as X-Trace-ID — and records the
+// handler-phase span when the handler returns. An empty method list (the
+// 404 fallback) skips method enforcement.
 func (s *Server) instrument(h http.HandlerFunc, methods []string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.reqs.Inc()
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = trace.NewID()
+		}
+		tr := s.gw.Tracer().Start(reqID)
+		w.Header().Set("X-Request-ID", reqID)
+		if id := tr.ID(); id != "" {
+			w.Header().Set("X-Trace-ID", id)
+		}
+		r = r.WithContext(trace.NewContext(r.Context(), tr))
+		sw := &statusWriter{ResponseWriter: w, errs: s.errs}
+		start := time.Now()
+		defer func() {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			tr.Add(trace.SpanData{Name: trace.PhaseHandler, Start: start, End: time.Now(),
+				Attrs: map[string]string{"method": r.Method, "path": r.URL.Path,
+					"status": strconv.Itoa(status)}})
+			tr.Finish()
+		}()
+		if len(methods) == 0 {
+			h(sw, r)
+			return
+		}
 		for _, m := range methods {
 			if r.Method == m {
-				h(&statusWriter{ResponseWriter: w, errs: s.errs}, r)
+				h(sw, r)
 				return
 			}
 		}
-		s.errs.Inc()
-		w.Header().Set("Allow", strings.Join(methods, ", "))
-		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+		sw.Header().Set("Allow", strings.Join(methods, ", "))
+		writeError(sw, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
 			fmt.Errorf("method %s not allowed on %s", r.Method, r.URL.Path))
 	}
 }
 
-// statusWriter counts error responses.
+// statusWriter counts error responses and remembers the status for the
+// handler-phase span.
 type statusWriter struct {
 	http.ResponseWriter
 	errs    *metrics.Counter
 	counted bool
+	status  int
 }
 
 func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
 	if status >= 400 && !sw.counted {
 		sw.counted = true
 		sw.errs.Inc()
@@ -161,6 +201,10 @@ type modelInfo struct {
 	Family    string  `json:"family"`
 	Layers    int     `json:"layers"`
 	DModel    int     `json:"d_model"`
+	Heads     int     `json:"heads"`
+	KVHeads   int     `json:"kv_heads"`
+	DFF       int     `json:"d_ff"`
+	Vocab     int     `json:"vocab"`
 	ParamsB   float64 `json:"params_billion"`
 	BF16GB    float64 `json:"bf16_gb"`
 	MaxSeqLen int     `json:"max_seq_len"`
@@ -172,6 +216,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		out = append(out, modelInfo{
 			Name: m.Name, Family: m.Family.String(),
 			Layers: m.Layers, DModel: m.DModel,
+			Heads: m.Heads, KVHeads: m.KVHeads, DFF: m.DFF, Vocab: m.Vocab,
 			ParamsB:   float64(m.ParamCount()) / 1e9,
 			BF16GB:    float64(m.WeightBytes(tensor.BF16)) / 1e9,
 			MaxSeqLen: m.MaxSeq,
@@ -180,20 +225,87 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// platformInfo is one registry entry in JSON form.
+// platformInfo is one registry entry in JSON form, with the capability
+// block for its kind so clients can build request forms (core counts,
+// memory modes, AMX/HBM availability) without hardcoding the registry.
 type platformInfo struct {
-	Key         string `json:"key"`
-	Kind        string `json:"kind"`
-	Name        string `json:"name"`
-	Description string `json:"description"`
+	Key         string           `json:"key"`
+	Kind        string           `json:"kind"`
+	Name        string           `json:"name"`
+	Description string           `json:"description"`
+	CPU         *cpuCapabilities `json:"cpu,omitempty"`
+	GPU         *gpuCapabilities `json:"gpu,omitempty"`
+}
+
+// cpuCapabilities summarizes a CPU platform's tunables for /v1/platforms.
+type cpuCapabilities struct {
+	Sockets        int      `json:"sockets"`
+	CoresPerSocket int      `json:"cores_per_socket"`
+	FreqGHz        float64  `json:"freq_ghz"`
+	AMX            bool     `json:"amx"`
+	AVX512TFLOPS   float64  `json:"avx512_peak_tflops"`
+	AMXTFLOPS      float64  `json:"amx_peak_tflops,omitempty"`
+	DDRGB          float64  `json:"ddr_gb"`
+	DDRGBs         float64  `json:"ddr_gbs"`
+	HBMGB          float64  `json:"hbm_gb,omitempty"`
+	HBMGBs         float64  `json:"hbm_gbs,omitempty"`
+	UPIGBs         float64  `json:"upi_gbs"`
+	MemModes       []string `json:"mem_modes"`
+	Clusters       []string `json:"clusters"`
+}
+
+// gpuCapabilities summarizes a GPU platform for /v1/platforms.
+type gpuCapabilities struct {
+	SMs          int     `json:"sms"`
+	PeakTFLOPS   float64 `json:"peak_tflops"`
+	MemGB        float64 `json:"mem_gb"`
+	BandwidthGBs float64 `json:"bandwidth_gbs"`
+	Link         string  `json:"link"`
+	LinkGBs      float64 `json:"link_gbs"`
+}
+
+func platformCapabilities(e hw.PlatformEntry) (*cpuCapabilities, *gpuCapabilities) {
+	if e.Kind == hw.CPUPlatform {
+		c := e.CPU
+		caps := &cpuCapabilities{
+			Sockets:        c.Sockets,
+			CoresPerSocket: c.CoresPerSocket,
+			FreqGHz:        c.FreqGHz,
+			AMX:            c.HasAMX(),
+			AVX512TFLOPS:   c.AVX512.PeakTFLOPS,
+			AMXTFLOPS:      c.AMX.PeakTFLOPS,
+			DDRGB:          c.DDR.CapacityGB,
+			DDRGBs:         c.DDR.BandwidthGBs,
+			HBMGB:          c.HBM.CapacityGB,
+			HBMGBs:         c.HBM.BandwidthGBs,
+			UPIGBs:         c.UPIGBs,
+			MemModes:       []string{"flat", "ddr"},
+			Clusters:       []string{"quad"},
+		}
+		if c.HBM.CapacityGB > 0 {
+			caps.MemModes = []string{"flat", "cache", "hbm-only", "ddr"}
+			caps.Clusters = []string{"quad", "snc"}
+		}
+		return caps, nil
+	}
+	g := e.GPU
+	return nil, &gpuCapabilities{
+		SMs:          g.SMs,
+		PeakTFLOPS:   g.PeakTFLOPS,
+		MemGB:        g.MemGB,
+		BandwidthGBs: g.BandwidthGBs,
+		Link:         g.PCIe.Name,
+		LinkGBs:      g.PCIe.TheoreticalGBs,
+	}
 }
 
 func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
 	entries := hw.Platforms()
 	out := make([]platformInfo, len(entries))
 	for i, e := range entries {
+		cpu, gpu := platformCapabilities(e)
 		out[i] = platformInfo{Key: e.Key, Kind: e.Kind.String(),
-			Name: e.Name(), Description: e.Description}
+			Name: e.Name(), Description: e.Description, CPU: cpu, GPU: gpu}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -223,7 +335,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		req, err = simulateFromQuery(r)
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		writeBodyError(w, err)
 		return
 	}
 	m, entry, err := req.normalize()
@@ -278,7 +390,7 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		req, err = autotuneFromQuery(r)
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		writeBodyError(w, err)
 		return
 	}
 	if req.InputLen == 0 {
@@ -357,23 +469,72 @@ type tuneResponse struct {
 }
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	admit := time.Now()
+	tr := trace.FromContext(r.Context())
 	var req GenerateRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		writeBodyError(w, err)
 		return
 	}
 	if err := req.normalize(); err != nil {
+		// Unknown platform or model names are missing resources (404),
+		// distinct from malformed parameters (400).
+		if errors.Is(err, hw.ErrUnknownPlatform) || errors.Is(err, model.ErrUnknownModel) {
+			writeError(w, http.StatusNotFound, CodeNotFound, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
+	tr.Add(trace.SpanData{Name: trace.PhaseAdmission, Start: admit, End: time.Now(),
+		Attrs: map[string]string{"lane": req.laneKey()}})
 	res, err := s.gw.Generate(r.Context(), gateway.Request{
 		Lane: req.laneKey(), InputLen: req.InputLen, OutputLen: req.OutputLen,
+		Trace: tr,
 	})
 	if err != nil {
 		s.writeGatewayError(w, err)
 		return
 	}
+	// Server-Timing carries the phase breakdown to clients (llmperf
+	// renders p50/p99 per phase from it) without a second round-trip.
+	if st := trace.FormatServerTiming(tr.PhaseSeconds()); st != "" {
+		w.Header().Set("Server-Timing", st)
+	}
+	if res.TraceID == "" {
+		res.TraceID = tr.ID()
+	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleTraces serves retained request traces: ?id= returns one record,
+// otherwise the most recent records (?limit=, default 20) newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	t := s.gw.Tracer()
+	if id := r.URL.Query().Get("id"); id != "" {
+		rec, ok := t.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, CodeNotFound,
+				fmt.Errorf("no retained trace %q (sampled out, expired from the ring, or never existed)", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+		return
+	}
+	limit, err := positiveParam(r, "limit", 20)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	recs := t.Recent(limit)
+	if recs == nil {
+		recs = []trace.Record{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sample_rate": t.SampleRate(),
+		"count":       len(recs),
+		"traces":      recs,
+	})
 }
 
 func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {

@@ -331,17 +331,21 @@ func TestGenerateEndpoint(t *testing.T) {
 	if res["ttft_s"].(float64) <= 0 || res["e2e_s"].(float64) <= 0 {
 		t.Errorf("degenerate generate result: %s", body)
 	}
-	// Validation errors.
-	for _, bad := range []string{
-		`{"platform":"tpu","model":"OPT-13B"}`,
-		`{"platform":"spr","model":"GPT-5"}`,
-		`{"platform":"spr","model":"OPT-13B","in":-1}`,
-		`{"platform":"a100","model":"OPT-13B","cores":4}`,
-		`{"platform":"tiny-weird"}`,
+	// Validation errors. Unknown platform and model names are "no such
+	// resource" (404); malformed field values are 400.
+	for _, bad := range []struct {
+		body string
+		want int
+	}{
+		{`{"platform":"tpu","model":"OPT-13B"}`, http.StatusNotFound},
+		{`{"platform":"spr","model":"GPT-5"}`, http.StatusNotFound},
+		{`{"platform":"tiny-weird"}`, http.StatusNotFound},
+		{`{"platform":"spr","model":"OPT-13B","in":-1}`, http.StatusBadRequest},
+		{`{"platform":"a100","model":"OPT-13B","cores":4}`, http.StatusBadRequest},
 	} {
-		resp, body := doOn(t, srv, "POST", "/v1/generate", bad)
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s: status %d want 400 (%s)", bad, resp.StatusCode, body)
+		resp, body := doOn(t, srv, "POST", "/v1/generate", bad.body)
+		if resp.StatusCode != bad.want {
+			t.Errorf("%s: status %d want %d (%s)", bad.body, resp.StatusCode, bad.want, body)
 			continue
 		}
 		errEnvelope(t, body)

@@ -35,11 +35,16 @@ const (
 	// CodeLanePanic marks a request failed by a recovered lane-worker
 	// panic; the lane restarts, so a retry is expected to succeed.
 	CodeLanePanic = "lane_panic"
+	// CodeUnsupportedMedia rejects POST bodies whose Content-Type is not
+	// application/json (HTTP 415).
+	CodeUnsupportedMedia = "unsupported_media_type"
 )
 
-// errorBody is the uniform error envelope.
+// errorBody is the uniform error envelope. TraceID correlates the failure
+// with its retained trace (GET /v1/traces?id=) and the X-Trace-ID header.
 type errorBody struct {
-	Error errorDetail `json:"error"`
+	Error   errorDetail `json:"error"`
+	TraceID string      `json:"trace_id,omitempty"`
 }
 
 type errorDetail struct {
@@ -54,7 +59,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, code string, err error) {
-	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: err.Error()}})
+	// The tracing middleware stamps X-Trace-ID on the response headers
+	// before the handler runs; echoing it into the envelope gives clients
+	// one field to quote when filing the failure.
+	writeJSON(w, status, errorBody{
+		Error:   errorDetail{Code: code, Message: err.Error()},
+		TraceID: w.Header().Get("X-Trace-ID"),
+	})
+}
+
+// writeBodyError maps request-body decoding failures onto statuses: a
+// missing or non-JSON Content-Type is 415, malformed JSON is 400.
+func writeBodyError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errUnsupportedMediaType) {
+		writeError(w, http.StatusUnsupportedMediaType, CodeUnsupportedMedia, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 }
 
 // writeGatewayError maps scheduler and context errors onto HTTP statuses;

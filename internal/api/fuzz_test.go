@@ -60,9 +60,10 @@ func FuzzGenerateBody(f *testing.F) {
 			if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
 				t.Fatalf("200 with undecodable body: %v", err)
 			}
-		case http.StatusBadRequest, http.StatusRequestTimeout,
-			http.StatusTooManyRequests, http.StatusUnprocessableEntity,
-			http.StatusInternalServerError, http.StatusServiceUnavailable:
+		case http.StatusBadRequest, http.StatusNotFound,
+			http.StatusRequestTimeout, http.StatusTooManyRequests,
+			http.StatusUnprocessableEntity, http.StatusInternalServerError,
+			http.StatusServiceUnavailable:
 			var env struct {
 				Error struct {
 					Code    string `json:"code"`

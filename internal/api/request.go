@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"strconv"
 	"strings"
@@ -67,8 +68,18 @@ type GenerateRequest struct {
 	Cluster   string `json:"cluster"`
 }
 
-// decodeBody strictly parses a JSON body into dst.
+// errUnsupportedMediaType marks POST bodies sent without a JSON
+// Content-Type; writeBodyError maps it to HTTP 415.
+var errUnsupportedMediaType = errors.New("unsupported media type")
+
+// decodeBody strictly parses a JSON body into dst. The Content-Type must
+// be application/json (charset parameters are accepted).
 func decodeBody(r *http.Request, dst any) error {
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
+		return fmt.Errorf("%w: Content-Type %q (want application/json)",
+			errUnsupportedMediaType, ct)
+	}
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
@@ -227,7 +238,8 @@ func (req *GenerateRequest) normalize() error {
 	if strings.HasPrefix(req.Platform, "tiny-") {
 		fam := strings.TrimPrefix(req.Platform, "tiny-")
 		if fam != "opt" && fam != "llama" {
-			return fmt.Errorf("unknown engine platform %q (want tiny-opt or tiny-llama)", req.Platform)
+			return fmt.Errorf("%w: engine platform %q (want tiny-opt or tiny-llama)",
+				hw.ErrUnknownPlatform, req.Platform)
 		}
 		return nil
 	}

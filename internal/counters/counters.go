@@ -54,6 +54,11 @@ type Report struct {
 	RemoteLLCAccess  float64 // LLC misses served remotely
 	UPIUtilization   float64 // 0..1 of UPI bandwidth
 	PhysicalCoreUtil float64 // CoreUtilization × ActiveCores/TotalCores
+	// MemoryBoundFraction is the fraction of the phase's wall time the
+	// cores spent stalled on memory rather than computing — the
+	// complement of CoreUtilization, reported separately because it is
+	// the quantity the paper's bottleneck analysis reasons about.
+	MemoryBoundFraction float64
 }
 
 // Derive computes the counter report from the model inputs.
@@ -75,6 +80,7 @@ func Derive(in Inputs) Report {
 	}
 	if in.TotalSeconds > 0 {
 		r.CoreUtilization = clamp01(in.ComputeSeconds / in.TotalSeconds)
+		r.MemoryBoundFraction = 1 - r.CoreUtilization
 		if in.UPIBandwidthGBs > 0 {
 			upiBytes := in.BytesFromMemory * in.UPIFraction
 			r.UPIUtilization = clamp01(upiBytes / 1e9 / in.UPIBandwidthGBs / in.TotalSeconds)

@@ -71,6 +71,24 @@ type Options struct {
 	// FlashAttention switches attention to the single-pass online-softmax
 	// formulation (numerically equivalent; one KV stream per query).
 	FlashAttention bool
+	// Hooks receive phase-completion callbacks from forward passes, so
+	// callers (tracing, profiling) can attribute measured engine time
+	// without wrapping every call site. Nil hooks are skipped.
+	Hooks Hooks
+}
+
+// Hooks are optional observers of the engine's execution phases. They run
+// synchronously on the calling goroutine after the phase completes, so
+// implementations must be fast and must not call back into the engine.
+type Hooks struct {
+	// OnPrefill fires after a successful prompt prefill (monolithic or
+	// chunked) with the batch size, prompt length in tokens, and the
+	// measured wall time of the phase.
+	OnPrefill func(batch, promptLen int, elapsed time.Duration)
+	// OnDecodeStep fires after each successful decode step with the batch
+	// size, the context position the step consumed (tokens already
+	// committed), and the measured wall time of the step.
+	OnDecodeStep func(batch, pos int, elapsed time.Duration)
 }
 
 // Engine executes forward passes for one set of weights.
@@ -337,6 +355,7 @@ func (e *Engine) prefillSample(s *Session, prompts [][]int, sampler *Sampler) ([
 			return nil, err
 		}
 	}
+	start := time.Now()
 	logits := make([][]float32, len(prompts))
 	err := e.forEachSeq(len(prompts), func(b int) error {
 		x := make([]float32, rows*d)
@@ -356,6 +375,9 @@ func (e *Engine) prefillSample(s *Session, prompts [][]int, sampler *Sampler) ([
 		next[b] = sampler.Sample(logits[b])
 	}
 	s.pos = rows
+	if h := e.opts.Hooks.OnPrefill; h != nil {
+		h(len(prompts), rows, time.Since(start))
+	}
 	return next, nil
 }
 
@@ -378,6 +400,7 @@ func (e *Engine) PrefillChunked(s *Session, prompts [][]int, chunk int, sampler 
 		return nil, fmt.Errorf("engine: empty prompt")
 	}
 	d := e.cfg.DModel
+	start := time.Now()
 	next := make([]int, len(prompts))
 	for b, prompt := range prompts {
 		if len(prompt) != rows {
@@ -404,6 +427,9 @@ func (e *Engine) PrefillChunked(s *Session, prompts [][]int, chunk int, sampler 
 		next[b] = sampler.Sample(e.logits(lastHidden))
 	}
 	s.pos = rows
+	if h := e.opts.Hooks.OnPrefill; h != nil {
+		h(len(prompts), rows, time.Since(start))
+	}
 	return next, nil
 }
 
@@ -423,6 +449,7 @@ func (e *Engine) decodeSample(s *Session, tokens []int, sampler *Sampler) ([]int
 	if err := e.checkTokens(tokens); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	d := e.cfg.DModel
 	logits := make([][]float32, len(tokens))
 	err := e.forEachSeq(len(tokens), func(b int) error {
@@ -439,6 +466,9 @@ func (e *Engine) decodeSample(s *Session, tokens []int, sampler *Sampler) ([]int
 	next := make([]int, len(tokens))
 	for b := range next {
 		next[b] = sampler.Sample(logits[b])
+	}
+	if h := e.opts.Hooks.OnDecodeStep; h != nil {
+		h(len(tokens), s.pos, time.Since(start))
 	}
 	s.pos++
 	return next, nil

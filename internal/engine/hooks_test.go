@@ -1,0 +1,139 @@
+package engine
+
+// hooks_test.go covers the Options.Hooks phase callbacks: every prefill
+// flavor and every decode step must fire exactly once with the right
+// shape arguments, and nil hooks must be skipped without any effect on
+// the generated tokens.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// hookedEngine builds a tiny engine whose hooks append into the returned
+// event log.
+type hookEvent struct {
+	phase   string // "prefill" | "decode"
+	batch   int
+	lenPos  int
+	elapsed time.Duration
+}
+
+func hookedEngine(t *testing.T, events *[]hookEvent) *Engine {
+	t.Helper()
+	w, err := NewWeights(model.Tiny(model.OPT), 42, tensor.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(w, Options{Kernel: KernelBlocked, Hooks: Hooks{
+		OnPrefill: func(batch, promptLen int, elapsed time.Duration) {
+			*events = append(*events, hookEvent{"prefill", batch, promptLen, elapsed})
+		},
+		OnDecodeStep: func(batch, pos int, elapsed time.Duration) {
+			*events = append(*events, hookEvent{"decode", batch, pos, elapsed})
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestHooksFirePerPhase(t *testing.T) {
+	var events []hookEvent
+	e := hookedEngine(t, &events)
+	prompts := [][]int{prompt(e, 6, 1), prompt(e, 6, 2)}
+
+	s := e.NewSession(len(prompts), 32)
+	next, err := e.Prefill(s, prompts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if next, err = e.DecodeStep(s, next); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if len(events) != 4 {
+		t.Fatalf("got %d hook events, want 4: %+v", len(events), events)
+	}
+	pre := events[0]
+	if pre.phase != "prefill" || pre.batch != 2 || pre.lenPos != 6 {
+		t.Errorf("prefill event %+v, want batch=2 promptLen=6", pre)
+	}
+	for i, ev := range events[1:] {
+		if ev.phase != "decode" || ev.batch != 2 {
+			t.Errorf("decode event %d: %+v, want phase=decode batch=2", i, ev)
+		}
+		// The step at index i consumes context position promptLen+i.
+		if want := 6 + i; ev.lenPos != want {
+			t.Errorf("decode event %d: pos %d, want %d", i, ev.lenPos, want)
+		}
+	}
+	for i, ev := range events {
+		if ev.elapsed <= 0 {
+			t.Errorf("event %d: non-positive elapsed %v", i, ev.elapsed)
+		}
+	}
+}
+
+func TestHooksFireOnChunkedPrefill(t *testing.T) {
+	var events []hookEvent
+	e := hookedEngine(t, &events)
+	prompts := [][]int{prompt(e, 9, 3)}
+
+	s := e.NewSession(1, 32)
+	if _, err := e.PrefillChunked(s, prompts, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Chunked prefill is one logical phase: one event for the whole
+	// prompt, not one per chunk.
+	if len(events) != 1 || events[0].phase != "prefill" || events[0].lenPos != 9 {
+		t.Fatalf("chunked prefill events %+v, want one prefill with promptLen=9", events)
+	}
+}
+
+func TestHooksSkipOnError(t *testing.T) {
+	var events []hookEvent
+	e := hookedEngine(t, &events)
+	s := e.NewSession(1, 32)
+	if _, err := e.DecodeStep(s, []int{0}); err == nil {
+		t.Fatal("decode before prefill should fail")
+	}
+	if len(events) != 0 {
+		t.Fatalf("failed phase fired hooks: %+v", events)
+	}
+}
+
+func TestNilHooksMatchHookedOutput(t *testing.T) {
+	var events []hookEvent
+	hooked := hookedEngine(t, &events)
+	plain := tinyEngine(t, model.OPT, KernelBlocked)
+	prompts := [][]int{prompt(plain, 5, 7)}
+
+	sh := hooked.NewSession(1, 32)
+	sp := plain.NewSession(1, 32)
+	nh, err := hooked.Prefill(sh, prompts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := plain.Prefill(sp, prompts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if nh[0] != np[0] {
+			t.Fatalf("step %d: hooked token %d != plain token %d", i, nh[0], np[0])
+		}
+		if nh, err = hooked.DecodeStep(sh, nh); err != nil {
+			t.Fatal(err)
+		}
+		if np, err = plain.DecodeStep(sp, np); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -20,6 +20,7 @@ package faults
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -161,6 +162,17 @@ type Injected struct {
 func (e *Injected) Error() string {
 	return fmt.Sprintf("faults: injected %s at %s (lane %q, fire %d)",
 		e.Rule.Class, e.Site, e.Lane, e.N)
+}
+
+// Attrs renders the fault as span attributes, so chaos events show up
+// tagged in the request traces they failed.
+func (e *Injected) Attrs() map[string]string {
+	return map[string]string{
+		"fault.class": e.Rule.Class.String(),
+		"fault.site":  e.Site,
+		"fault.lane":  e.Lane,
+		"fault.fire":  strconv.Itoa(e.N),
+	}
 }
 
 // ruleState pairs a rule with its evaluation bookkeeping.

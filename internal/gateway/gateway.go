@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 // Sentinel errors the API layer maps to HTTP statuses.
@@ -104,6 +106,15 @@ type Config struct {
 	// can be driven deterministically. Nil disables fault injection.
 	Injector *faults.Injector
 
+	// Tracer records per-request phase spans. When nil a default tracer
+	// is created over Registry (sample rate 1), so traces are always
+	// available; requests without a Trace still skip span recording.
+	Tracer *trace.Tracer
+	// Logger receives structured gateway events (panics, quarantines,
+	// breaker transitions, requeues), correlated by lane and trace ID.
+	// Nil discards them.
+	Logger *slog.Logger
+
 	// CrashLimit quarantines a lane after this many recovered panics
 	// inside CrashWindow. Default 3.
 	CrashLimit int
@@ -148,6 +159,12 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
 	}
+	if c.Tracer == nil {
+		c.Tracer = trace.New(trace.Config{SampleRate: 1, Registry: c.Registry})
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	if c.CrashLimit <= 0 {
 		c.CrashLimit = 3
 	}
@@ -186,6 +203,10 @@ type Request struct {
 	Lane string
 	// InputLen and OutputLen are the prompt and generation lengths.
 	InputLen, OutputLen int
+	// Trace, when non-nil, receives the request's phase spans (queue
+	// wait, batching, prefill, per-token decode, pricing) as the
+	// scheduler moves it through the lane. The caller owns Finish.
+	Trace *trace.Trace
 }
 
 // Result reports one served request. Queue and wall times are measured
@@ -206,6 +227,9 @@ type Result struct {
 	// fallback cost model because the primary was failing or its
 	// breaker was open.
 	Degraded bool `json:"degraded,omitempty"`
+	// TraceID identifies the request's trace when one was recorded; its
+	// full phase timeline is served by GET /v1/traces?id=.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Resolver builds the cost model for a lane key on first use.
@@ -265,6 +289,8 @@ type Gateway struct {
 	cfg     Config
 	resolve Resolver
 	inj     *faults.Injector
+	tracer  *trace.Tracer
+	log     *slog.Logger
 	m       instruments
 
 	slots chan struct{} // worker-pool tokens
@@ -291,6 +317,8 @@ func New(cfg Config, resolve Resolver) *Gateway {
 		cfg:     cfg,
 		resolve: resolve,
 		inj:     cfg.Injector,
+		tracer:  cfg.Tracer,
+		log:     cfg.Logger,
 		m:       newInstruments(cfg.Registry),
 		slots:   make(chan struct{}, cfg.Workers),
 		lanes:   map[string]*lane{},
@@ -299,6 +327,14 @@ func New(cfg Config, resolve Resolver) *Gateway {
 
 // Registry exposes the gateway's metric registry (for /metrics).
 func (g *Gateway) Registry() *metrics.Registry { return g.cfg.Registry }
+
+// Tracer exposes the gateway's tracer; the API layer serves its retained
+// records at /v1/traces and starts a trace per HTTP request against it.
+func (g *Gateway) Tracer() *trace.Tracer { return g.tracer }
+
+// Logger exposes the gateway's structured logger so the layers above log
+// into the same stream.
+func (g *Gateway) Logger() *slog.Logger { return g.log }
 
 // Injector exposes the gateway's fault injector (nil when chaos is
 // disabled); the API layer serves it at /v1/admin/faults.
@@ -323,38 +359,47 @@ func (g *Gateway) QueueDepth() int {
 // ErrDraining without blocking.
 func (g *Gateway) Generate(ctx context.Context, req Request) (Result, error) {
 	if req.InputLen < 1 || req.OutputLen < 1 {
-		return Result{}, errors.New("gateway: input and output lengths must be positive")
+		err := errors.New("gateway: input and output lengths must be positive")
+		req.Trace.SetError(err)
+		return Result{}, err
 	}
-	j := &job{req: req, ctx: ctx, submitted: time.Now(), done: make(chan jobOutcome, 1)}
+	now := time.Now()
+	j := &job{req: req, ctx: ctx, submitted: now, lastMark: now, done: make(chan jobOutcome, 1)}
+	req.Trace.SetLane(req.Lane)
+
+	reject := func(err error) (Result, error) {
+		g.m.rejected.Inc()
+		req.Trace.Event("rejected", time.Now(), map[string]string{"reason": err.Error()})
+		req.Trace.SetError(err)
+		g.log.Debug("gateway: rejected", "lane", req.Lane, "trace_id", req.Trace.ID(), "err", err)
+		return Result{}, err
+	}
 
 	g.mu.Lock()
 	if g.draining {
 		g.mu.Unlock()
-		g.m.rejected.Inc()
-		return Result{}, ErrDraining
+		return reject(ErrDraining)
 	}
 	if g.waiting >= g.cfg.MaxQueue {
 		g.mu.Unlock()
-		g.m.rejected.Inc()
-		return Result{}, ErrQueueFull
+		return reject(ErrQueueFull)
 	}
 	l := g.lanes[req.Lane]
 	if l != nil && !l.quarantinedUntil.IsZero() {
 		if time.Now().Before(l.quarantinedUntil) {
 			g.mu.Unlock()
-			g.m.rejected.Inc()
-			return Result{}, fmt.Errorf("%w: lane %s", ErrLaneQuarantined, req.Lane)
+			return reject(fmt.Errorf("%w: lane %s", ErrLaneQuarantined, req.Lane))
 		}
 		// Quarantine elapsed: let the lane try again with a clean slate.
 		l.quarantinedUntil = time.Time{}
 		g.m.quarantinedLanes.Dec()
+		g.log.Info("gateway: quarantine lifted", "lane", req.Lane)
 	}
 	if l == nil {
 		cost, err := g.resolve(req.Lane)
 		if err != nil {
 			g.mu.Unlock()
-			g.m.rejected.Inc()
-			return Result{}, err
+			return reject(err)
 		}
 		l = &lane{key: req.Lane, cost: cost}
 		if g.cfg.Fallback != nil {
@@ -373,10 +418,16 @@ func (g *Gateway) Generate(ctx context.Context, req Request) (Result, error) {
 
 	select {
 	case out := <-j.done:
+		if out.err != nil {
+			req.Trace.SetError(out.err)
+		} else if out.res.Degraded {
+			req.Trace.SetDegraded()
+		}
 		return out.res, out.err
 	case <-ctx.Done():
 		// The lane observes the dead context and discards the job at the
 		// next admission or iteration boundary.
+		req.Trace.SetError(ctx.Err())
 		return Result{}, ctx.Err()
 	}
 }
@@ -385,15 +436,18 @@ func (g *Gateway) Generate(ctx context.Context, req Request) (Result, error) {
 // admission control and worker pool. The queue wait and execution time
 // feed the same histograms as generation traffic.
 func (g *Gateway) Do(ctx context.Context, fn func(context.Context) error) error {
+	tr := trace.FromContext(ctx)
 	g.mu.Lock()
 	if g.draining {
 		g.mu.Unlock()
 		g.m.rejected.Inc()
+		tr.SetError(ErrDraining)
 		return ErrDraining
 	}
 	if g.waiting >= g.cfg.MaxQueue {
 		g.mu.Unlock()
 		g.m.rejected.Inc()
+		tr.SetError(ErrQueueFull)
 		return ErrQueueFull
 	}
 	g.waiting++
@@ -415,23 +469,29 @@ func (g *Gateway) Do(ctx context.Context, fn func(context.Context) error) error 
 	case <-ctx.Done():
 		release()
 		g.m.canceled.Inc()
+		tr.SetError(ctx.Err())
 		return ctx.Err()
 	}
 	release()
 	defer func() { <-g.slots }()
 
-	g.m.queueWait.Observe(time.Since(start).Seconds())
+	admit := time.Now()
+	tr.Add(trace.SpanData{Name: trace.PhaseQueue, Start: start, End: admit})
+	g.m.queueWait.Observe(admit.Sub(start).Seconds())
 	g.m.inflight.Inc()
 	defer g.m.inflight.Dec()
 	err := fn(ctx)
+	tr.Add(trace.SpanData{Name: trace.PhaseHandler, Start: admit, End: time.Now()})
 	g.m.wall.Observe(time.Since(start).Seconds())
 	switch {
 	case err == nil:
 		g.m.completed.Inc()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		g.m.canceled.Inc()
+		tr.SetError(err)
 	default:
 		g.m.failed.Inc()
+		tr.SetError(err)
 	}
 	return err
 }

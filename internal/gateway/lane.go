@@ -17,7 +17,10 @@ package gateway
 import (
 	"context"
 	"errors"
+	"strconv"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // jobOutcome is what Generate receives back.
@@ -40,6 +43,11 @@ type job struct {
 	// requeues counts watchdog cancellations that sent the job back to
 	// the queue.
 	requeues int
+	// lastMark is the trace-tiling cursor: the end of the job's previous
+	// tiling span (queue/stalled). It starts at submission and is advanced
+	// at admission and on requeue, so consecutive tiling spans share
+	// boundaries and their durations sum to the job's gateway residence.
+	lastMark time.Time
 }
 
 // seq is one in-flight sequence being decoded.
@@ -53,6 +61,9 @@ type seq struct {
 	// degraded records that at least one of the sequence's iterations
 	// was priced by the fallback cost model.
 	degraded bool
+	// mark continues the job's trace-tiling cursor through execution:
+	// every prefill/decode span covers [mark, now) and advances it.
+	mark time.Time
 }
 
 // lane is a batching stream for one (platform, model, config) key.
@@ -122,6 +133,8 @@ func (g *Gateway) runLane(l *lane) {
 			backoff = g.cfg.RestartBackoffMax
 		}
 		l.restarts++
+		g.log.Warn("gateway: lane restarting after panic",
+			"lane", l.key, "backoff", backoff, "recent_crashes", len(l.crashes))
 		time.Sleep(backoff)
 	}
 }
@@ -177,6 +190,15 @@ func (g *Gateway) laneSession(l *lane) (parked bool) {
 			g.m.queueDepth.Dec()
 			j.admitWall = now
 			j.admitV = l.vclock
+			if tr := j.req.Trace; tr != nil {
+				attrs := map[string]string{"lane": l.key}
+				if j.requeues > 0 {
+					attrs["requeues"] = strconv.Itoa(j.requeues)
+				}
+				tr.Add(trace.SpanData{Name: trace.PhaseQueue,
+					Start: j.lastMark, End: now, Attrs: attrs})
+			}
+			j.lastMark = now
 			g.m.queueWait.Observe(now.Sub(j.submitted).Seconds())
 			g.m.inflight.Inc()
 		}
@@ -230,6 +252,7 @@ func (g *Gateway) dropCanceledLocked(queue []*job) []*job {
 // error or panic mid-iteration fails (or requeues) them uniformly.
 func (g *Gateway) continuousIteration(l *lane, admitted []*job) (float64, error) {
 	if len(admitted) > 0 {
+		iterStart := time.Now()
 		maxIn := 0
 		batch := len(l.running) + len(admitted)
 		start := len(l.running)
@@ -238,18 +261,32 @@ func (g *Gateway) continuousIteration(l *lane, admitted []*job) (float64, error)
 				maxIn = j.req.InputLen
 			}
 			j.batchAt = batch
-			l.running = append(l.running, &seq{j: j, ctxLen: j.req.InputLen,
-				remaining: j.req.OutputLen - 1})
+			s := &seq{j: j, ctxLen: j.req.InputLen,
+				remaining: j.req.OutputLen - 1, mark: j.lastMark}
+			if tr := j.req.Trace; tr != nil {
+				tr.Add(trace.SpanData{Name: trace.PhaseBatch,
+					Start: s.mark, End: iterStart,
+					Attrs: map[string]string{"batch": strconv.Itoa(batch)}})
+				s.mark = iterStart
+			}
+			l.running = append(l.running, s)
 		}
-		cost, degraded, err := g.priceIteration(l, true, len(admitted), maxIn)
+		cost, info, err := g.priceIteration(l, true, len(admitted), maxIn)
 		if err != nil {
 			return 0, err
 		}
 		l.vclock += cost
+		now := time.Now()
+		cnt := iterCounters(l.running[start:], info, true, len(admitted), maxIn)
 		kept := l.running[:start]
 		for _, s := range l.running[start:] {
 			s.ttftV = l.vclock
-			s.degraded = s.degraded || degraded
+			s.degraded = s.degraded || info.degraded
+			g.iterSpans(s, trace.PhasePrefill, now, cost, info, cnt,
+				map[string]string{
+					"batch":     strconv.Itoa(len(admitted)),
+					"input_len": strconv.Itoa(maxIn),
+				})
 			if s.remaining == 0 {
 				g.completeSeq(l, s)
 				continue
@@ -270,17 +307,26 @@ func (g *Gateway) continuousIteration(l *lane, admitted []*job) (float64, error)
 			maxCtx = s.ctxLen
 		}
 	}
-	cost, degraded, err := g.priceIteration(l, false, len(l.running), maxCtx)
+	batch := len(l.running)
+	cost, info, err := g.priceIteration(l, false, batch, maxCtx)
 	if err != nil {
 		return 0, err
 	}
 	l.vclock += cost
-	g.m.batchSize.Observe(float64(len(l.running)))
+	now := time.Now()
+	cnt := iterCounters(l.running, info, false, batch, maxCtx)
+	g.m.batchSize.Observe(float64(batch))
 	kept := l.running[:0]
 	for _, s := range l.running {
 		s.ctxLen++
 		s.remaining--
-		s.degraded = s.degraded || degraded
+		s.degraded = s.degraded || info.degraded
+		g.iterSpans(s, trace.PhaseDecode, now, cost, info, cnt,
+			map[string]string{
+				"token": strconv.Itoa(s.j.req.OutputLen - s.remaining),
+				"batch": strconv.Itoa(batch),
+				"ctx":   strconv.Itoa(s.ctxLen),
+			})
 		if s.remaining == 0 {
 			g.completeSeq(l, s)
 			continue
@@ -298,7 +344,14 @@ func (g *Gateway) chunkedIteration(l *lane, admitted []*job) (float64, error) {
 	if len(admitted) > 0 { // at most one under Chunked
 		j := admitted[0]
 		j.batchAt = len(l.running) + 1
-		l.pre = &seq{j: j, remaining: j.req.OutputLen - 1}
+		l.pre = &seq{j: j, remaining: j.req.OutputLen - 1, mark: j.lastMark}
+		if tr := j.req.Trace; tr != nil {
+			now := time.Now()
+			tr.Add(trace.SpanData{Name: trace.PhaseBatch,
+				Start: l.pre.mark, End: now,
+				Attrs: map[string]string{"batch": strconv.Itoa(j.batchAt)}})
+			l.pre.mark = now
+		}
 	}
 	l.running = g.evictCanceled(l.running)
 	if l.pre != nil && l.pre.j.ctx.Err() != nil {
@@ -310,43 +363,62 @@ func (g *Gateway) chunkedIteration(l *lane, admitted []*job) (float64, error) {
 		return 0, nil
 	}
 
-	var iter float64
-	var decodeDegraded bool
-	if len(l.running) > 0 {
+	var iter, decodeCost float64
+	var decodeInfo priceInfo
+	var decodeCnt *trace.Counters
+	batch := len(l.running)
+	if batch > 0 {
 		maxCtx := 0
 		for _, s := range l.running {
 			if s.ctxLen > maxCtx {
 				maxCtx = s.ctxLen
 			}
 		}
-		d, degraded, err := g.priceIteration(l, false, len(l.running), maxCtx)
+		d, info, err := g.priceIteration(l, false, batch, maxCtx)
 		if err != nil {
 			return 0, err
 		}
 		iter += d
-		decodeDegraded = degraded
-		g.m.batchSize.Observe(float64(len(l.running)))
+		decodeCost, decodeInfo = d, info
+		decodeCnt = iterCounters(l.running, info, false, batch, maxCtx)
+		g.m.batchSize.Observe(float64(batch))
 	}
 	if l.pre != nil {
 		chunk := g.cfg.PrefillChunk
 		if rem := l.pre.j.req.InputLen - l.pre.prefillDone; chunk > rem {
 			chunk = rem
 		}
-		c, degraded, err := g.priceIteration(l, true, 1, chunk)
+		c, info, err := g.priceIteration(l, true, 1, chunk)
 		if err != nil {
 			return 0, err
 		}
 		iter += c
 		l.pre.prefillDone += chunk
-		l.pre.degraded = l.pre.degraded || degraded
+		l.pre.degraded = l.pre.degraded || info.degraded
+		var cnt *trace.Counters
+		if l.pre.j.req.Trace != nil {
+			cnt = counterAnalogs(info.model, true, 1, chunk)
+		}
+		g.iterSpans(l.pre, trace.PhasePrefill, time.Now(), c, info, cnt,
+			map[string]string{
+				"chunk": strconv.Itoa(chunk),
+				"done":  strconv.Itoa(l.pre.prefillDone),
+			})
 	}
 	l.vclock += iter
 
+	now := time.Now()
 	kept := l.running[:0]
 	for _, s := range l.running {
 		s.ctxLen++
 		s.remaining--
-		s.degraded = s.degraded || decodeDegraded
+		s.degraded = s.degraded || decodeInfo.degraded
+		g.iterSpans(s, trace.PhaseDecode, now, decodeCost, decodeInfo, decodeCnt,
+			map[string]string{
+				"token": strconv.Itoa(s.j.req.OutputLen - s.remaining),
+				"batch": strconv.Itoa(batch),
+				"ctx":   strconv.Itoa(s.ctxLen),
+			})
 		if s.remaining == 0 {
 			g.completeSeq(l, s)
 			continue
@@ -402,6 +474,7 @@ func (g *Gateway) completeSeq(l *lane, s *seq) {
 		WallSeconds:      time.Since(j.submitted).Seconds(),
 		BatchAtAdmission: j.batchAt,
 		Degraded:         s.degraded,
+		TraceID:          j.req.Trace.ID(),
 	}
 	if e2e > 0 {
 		res.TokensPerSecond = float64(j.req.OutputLen) / e2e
@@ -430,4 +503,40 @@ func (g *Gateway) failJob(j *job, err error) {
 	g.m.failed.Inc()
 	g.m.inflight.Dec()
 	j.done <- jobOutcome{err: err}
+}
+
+// iterSpans records one sequence's participation in a priced iteration:
+// an overlapping pricing span (the wall time spent inside the cost model
+// or engine) and the tiling prefill/decode span covering the sequence's
+// wall time since its previous tiling span. The sequence's tiling mark
+// advances to end, so consecutive spans stay contiguous and their
+// durations sum to the request's gateway residence.
+func (g *Gateway) iterSpans(s *seq, phase string, end time.Time, cost float64,
+	info priceInfo, cnt *trace.Counters, attrs map[string]string) {
+	tr := s.j.req.Trace
+	if tr == nil {
+		return
+	}
+	pattrs := map[string]string{"site": info.site}
+	if info.degraded {
+		pattrs["degraded"] = "true"
+		attrs["degraded"] = "true"
+	}
+	tr.Add(trace.SpanData{Name: trace.PhasePricing,
+		Start: info.start, End: info.end, ModelSeconds: cost, Attrs: pattrs})
+	tr.Add(trace.SpanData{Name: phase,
+		Start: s.mark, End: end, ModelSeconds: cost, Attrs: attrs, Counters: cnt})
+	s.mark = end
+}
+
+// iterCounters derives the counter analogs for one priced iteration, once,
+// when at least one participating sequence is being traced. The lookup
+// shares the cost model's pricing memo, so it never re-simulates.
+func iterCounters(parts []*seq, info priceInfo, prefill bool, batch, length int) *trace.Counters {
+	for _, s := range parts {
+		if s.j.req.Trace != nil {
+			return counterAnalogs(info.model, prefill, batch, length)
+		}
+	}
+	return nil
 }

@@ -12,6 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/faults"
+	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 // Typed failure sentinels. The API layer maps these onto HTTP statuses;
@@ -114,17 +118,32 @@ func (b *breaker) onFailure(now time.Time, threshold int, openFor time.Duration)
 	return false
 }
 
+// priceInfo describes how one priced call was served, so the scheduler can
+// attach pricing spans and counter analogs to the traces of the sequences
+// that rode the iteration: whether the fallback served it, the wall-clock
+// window of the call, the injection site, and the model that produced the
+// price (primary or fallback).
+type priceInfo struct {
+	degraded   bool
+	start, end time.Time
+	site       string
+	model      costModel
+}
+
 // priceIteration prices one prefill or decode call for the lane, weaving
 // in fault injection, the watchdog, the breaker and the degraded-mode
-// fallback. It reports whether the returned cost came from the fallback.
-func (g *Gateway) priceIteration(l *lane, prefill bool, batch, length int) (cost float64, degraded bool, err error) {
-	if l.br.allowPrimary(time.Now()) {
+// fallback. The returned priceInfo reports whether the cost came from the
+// fallback and which model priced it.
+func (g *Gateway) priceIteration(l *lane, prefill bool, batch, length int) (float64, priceInfo, error) {
+	info := priceInfo{start: time.Now(), site: siteDecode, model: l.cost}
+	if prefill {
+		info.site = sitePrefill
+	}
+	var cost float64
+	var err error
+	if l.br.allowPrimary(info.start) {
 		cost, err = g.watchdogCall(l, func() (float64, error) {
-			site := siteDecode
-			if prefill {
-				site = sitePrefill
-			}
-			if ierr := g.inj.Apply(site, l.key); ierr != nil {
+			if ierr := g.inj.Apply(info.site, l.key); ierr != nil {
 				return 0, ierr
 			}
 			if prefill {
@@ -132,38 +151,88 @@ func (g *Gateway) priceIteration(l *lane, prefill bool, batch, length int) (cost
 			}
 			return l.cost.DecodeStepCost(batch, length)
 		})
+		info.end = time.Now()
 		if err == nil {
 			if l.br.onSuccess() {
 				g.m.breakerClosed.Inc()
 				g.m.breakerOpenLanes.Dec()
+				g.log.Info("gateway: breaker closed", "lane", l.key)
 			}
-			return cost, false, nil
+			return cost, info, nil
 		}
 		if errors.Is(err, ErrWatchdogTimeout) {
 			g.m.watchdogTimeouts.Inc()
+			g.log.Warn("gateway: watchdog timeout",
+				"lane", l.key, "site", info.site, "err", err)
 		}
-		if l.br.onFailure(time.Now(), g.cfg.BreakerThreshold, g.cfg.BreakerOpenPeriod) {
+		if l.br.onFailure(info.end, g.cfg.BreakerThreshold, g.cfg.BreakerOpenPeriod) {
 			g.m.breakerOpened.Inc()
 			g.m.breakerOpenLanes.Inc()
+			g.log.Warn("gateway: breaker opened", "lane", l.key, "err", err)
 		}
 		if l.fallback == nil {
-			return 0, false, err
+			return 0, info, err
 		}
 		// Primary failed but a fallback exists: serve this very call
 		// degraded rather than failing the batch.
 	} else if l.fallback == nil {
-		return 0, false, fmt.Errorf("%w: lane %s", ErrLaneBroken, l.key)
+		info.end = info.start
+		return 0, info, fmt.Errorf("%w: lane %s", ErrLaneBroken, l.key)
 	}
+	info.model = l.fallback
 	if prefill {
 		cost, err = l.fallback.PrefillCost(batch, length)
 	} else {
 		cost, err = l.fallback.DecodeStepCost(batch, length)
 	}
+	info.end = time.Now()
 	if err != nil {
-		return 0, false, err
+		return 0, info, err
 	}
 	g.m.degradedIters.Inc()
-	return cost, true, nil
+	info.degraded = true
+	return cost, info, nil
+}
+
+// counterAnalogs asks the model that priced an iteration for the phase's
+// emulated hardware counters (LLC MPKI, core utilization, memory-bound
+// fraction, UPI utilization). Models that cannot emulate counters —
+// measured engines, GPU models — yield nil, and the span simply carries
+// timing only.
+func counterAnalogs(m costModel, prefill bool, batch, length int) *trace.Counters {
+	cm, ok := m.(serve.CounterModel)
+	if !ok {
+		return nil
+	}
+	rep, ok := cm.PhaseCounters(prefill, batch, length)
+	if !ok {
+		return nil
+	}
+	return &trace.Counters{
+		LLCMPKI:             rep.LLCMPKI,
+		CoreUtilization:     rep.CoreUtilization,
+		MemoryBoundFraction: rep.MemoryBoundFraction,
+		UPIUtilization:      rep.UPIUtilization,
+	}
+}
+
+// faultAttrs extracts injected-fault span attributes from an execution
+// error, unwrapping recovered panics whose panic value was an injected
+// fault. Non-injected failures yield nil.
+func faultAttrs(err error) map[string]string {
+	var inj *faults.Injected
+	if errors.As(err, &inj) {
+		return inj.Attrs()
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		if v, ok := pe.Value.(*faults.Injected); ok {
+			attrs := v.Attrs()
+			attrs["fault.panic"] = "true"
+			return attrs
+		}
+	}
+	return nil
 }
 
 // watchdogCall runs one priced call under the watchdog deadline. A call
@@ -201,16 +270,37 @@ func (g *Gateway) watchdogCall(l *lane, f func() (float64, error)) (float64, err
 	}
 }
 
-// failInflight fails every in-flight sequence of the lane with err.
+// failInflight fails every in-flight sequence of the lane with err,
+// tagging each sequence's trace with the fault that killed it.
 func (g *Gateway) failInflight(l *lane, err error) {
-	for _, s := range l.running {
+	n := len(l.running)
+	if l.pre != nil {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	attrs := faultAttrs(err)
+	now := time.Now()
+	fail := func(s *seq) {
+		if tr := s.j.req.Trace; tr != nil {
+			if attrs != nil {
+				tr.Event("fault", now, attrs)
+			}
+			tr.Event("failed", now, map[string]string{"err": err.Error()})
+		}
 		g.failSeq(s, err)
+	}
+	for _, s := range l.running {
+		fail(s)
 	}
 	l.running = nil
 	if l.pre != nil {
-		g.failSeq(l.pre, err)
+		fail(l.pre)
 		l.pre = nil
 	}
+	g.log.Error("gateway: in-flight batch failed",
+		"lane", l.key, "requests", n, "err", err)
 }
 
 // requeueInflight pushes the lane's in-flight sequences back to the front
@@ -223,14 +313,26 @@ func (g *Gateway) requeueInflight(l *lane, cause error) {
 	}
 	l.running = nil
 	l.pre = nil
+	now := time.Now()
 	var requeue []*job
 	for _, s := range seqs {
 		j := s.j
+		if tr := j.req.Trace; tr != nil {
+			// The cancelled iteration's wall time tiles into a stalled
+			// span, so the requeue round-trip stays visible and the
+			// trace's tiling spans still sum to the request's residence.
+			tr.Add(trace.SpanData{Name: trace.PhaseStalled,
+				Start: s.mark, End: now,
+				Attrs: map[string]string{"cause": cause.Error()}})
+		}
 		if j.requeues >= g.cfg.MaxRequeues {
 			g.failSeq(s, cause)
 			continue
 		}
 		j.requeues++
+		j.lastMark = now
+		j.req.Trace.Event("requeued", now,
+			map[string]string{"requeues": fmt.Sprint(j.requeues)})
 		g.m.inflight.Dec()
 		g.m.requeued.Inc()
 		requeue = append(requeue, j)
@@ -238,6 +340,8 @@ func (g *Gateway) requeueInflight(l *lane, cause error) {
 	if len(requeue) == 0 {
 		return
 	}
+	g.log.Warn("gateway: watchdog requeue",
+		"lane", l.key, "requests", len(requeue), "cause", cause)
 	g.mu.Lock()
 	l.queue = append(requeue, l.queue...)
 	g.waiting += len(requeue)
@@ -261,8 +365,11 @@ func (g *Gateway) quarantineLane(l *lane, now time.Time) {
 	g.waiting -= len(queued)
 	l.active = false
 	g.mu.Unlock()
+	g.log.Error("gateway: lane quarantined",
+		"lane", l.key, "until", l.quarantinedUntil, "queued_failed", len(queued))
 	for _, j := range queued {
 		g.m.queueDepth.Dec()
+		j.req.Trace.Event("quarantined", now, map[string]string{"lane": l.key})
 		g.failQueuedJob(j, qerr)
 	}
 }

@@ -5,9 +5,15 @@ package hw
 // instead of hardcoding name slices.
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrUnknownPlatform marks lookups of platform keys not in the registry,
+// so API layers can distinguish "no such resource" (404) from malformed
+// input (400) with errors.Is.
+var ErrUnknownPlatform = errors.New("hw: unknown platform")
 
 // PlatformKind distinguishes the two simulation substrates.
 type PlatformKind int
@@ -86,5 +92,5 @@ func PlatformByKey(key string) (PlatformEntry, error) {
 	if e, ok := platformRegistry[key]; ok {
 		return e, nil
 	}
-	return PlatformEntry{}, fmt.Errorf("hw: unknown platform %q (want one of %v)", key, PlatformKeys())
+	return PlatformEntry{}, fmt.Errorf("%w %q (want one of %v)", ErrUnknownPlatform, key, PlatformKeys())
 }

@@ -5,7 +5,15 @@
 // platform performance model.
 package model
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownModel marks lookups of model names with no preset, so API
+// layers can distinguish "no such resource" (404) from malformed input
+// (400) with errors.Is.
+var ErrUnknownModel = errors.New("model: unknown preset")
 
 // Family identifies a model family, which fixes architectural choices such
 // as normalization, activation, and positional encoding.
@@ -96,7 +104,7 @@ func ByName(name string) (Config, error) {
 			return c, nil
 		}
 	}
-	return Config{}, fmt.Errorf("model: unknown preset %q", name)
+	return Config{}, fmt.Errorf("%w %q", ErrUnknownModel, name)
 }
 
 // Tiny returns a miniature configuration of the given family for the

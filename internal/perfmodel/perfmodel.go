@@ -127,6 +127,35 @@ func (r CPURun) Simulate() (metrics.Result, error) {
 	return res, nil
 }
 
+// PhaseCounters prices a single phase of the run and derives its emulated
+// counter report in isolation: the prefill pass when prefill is true,
+// otherwise the decode steps. This is the per-phase attribution the
+// serving trace attaches to prefill/decode spans — Simulate's counters
+// blend both phases, which would wash out exactly the prefill-vs-decode
+// contrast the paper measures.
+func (r CPURun) PhaseCounters(prefill bool) (counters.Report, error) {
+	if err := r.validate(); err != nil {
+		return counters.Report{}, err
+	}
+	bw, err := r.Setup.Bandwidth(r.FootprintGB())
+	if err != nil {
+		return counters.Report{}, err
+	}
+	scale := r.Setup.ComputeScale()
+	var pre, dec phaseCost
+	if prefill {
+		pre = pricePass(r.Setup.CPU, scale, bw.EffectiveGBs,
+			r.Model.Ops(model.Prefill, r.Batch, r.InputLen, 0, r.Weights))
+	} else {
+		for step := 1; step < r.OutputLen; step++ {
+			ctx := r.InputLen + step
+			dec.add(pricePass(r.Setup.CPU, scale, bw.EffectiveGBs,
+				r.Model.Ops(model.Decode, r.Batch, 1, ctx, r.Weights)))
+		}
+	}
+	return r.deriveCounters(pre, dec, bw), nil
+}
+
 func (r CPURun) validate() error {
 	if err := r.Model.Validate(); err != nil {
 		return err

@@ -1,0 +1,49 @@
+package perfmodel
+
+// phasecounters_test.go covers per-phase counter attribution: the reports
+// PhaseCounters derives in isolation must preserve the prefill-vs-decode
+// contrast (Figs 4-6) that Simulate's whole-request counters blend away.
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestPhaseCountersIsolatePhases(t *testing.T) {
+	run := sprRun(model.OPT13B, 4, 512, 32)
+
+	pre, err := run.PhaseCounters(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := run.PhaseCounters(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Prefill is the compute-heavy phase, decode the memory-bound one:
+	// isolated attribution must keep them on opposite sides of the
+	// blended whole-request report.
+	blended := mustSim(t, run).Counters
+	if !(pre.CoreUtilization > blended.CoreUtilization &&
+		blended.CoreUtilization > dec.CoreUtilization) {
+		t.Errorf("core utilization not ordered prefill %.3f > blended %.3f > decode %.3f",
+			pre.CoreUtilization, blended.CoreUtilization, dec.CoreUtilization)
+	}
+	if dec.LLCMPKI <= pre.LLCMPKI {
+		t.Errorf("decode LLC MPKI %.1f <= prefill %.1f; decode should miss more per instruction",
+			dec.LLCMPKI, pre.LLCMPKI)
+	}
+	if dec.MemoryBoundFraction <= pre.MemoryBoundFraction {
+		t.Errorf("decode memory-bound %.3f <= prefill %.3f",
+			dec.MemoryBoundFraction, pre.MemoryBoundFraction)
+	}
+}
+
+func TestPhaseCountersValidates(t *testing.T) {
+	run := sprRun(model.OPT13B, 0, 128, 8) // zero batch is invalid
+	if _, err := run.PhaseCounters(true); err == nil {
+		t.Error("invalid run accepted")
+	}
+}

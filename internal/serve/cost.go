@@ -3,6 +3,7 @@ package serve
 import (
 	"sync"
 
+	"repro/internal/counters"
 	"repro/internal/hw"
 	"repro/internal/memsim"
 	"repro/internal/model"
@@ -21,14 +22,22 @@ type costKey struct {
 	length  int
 }
 
+// priced is one memoized pricing result: the phase seconds plus, when the
+// underlying model emulates hardware counters, the phase's counter report.
+type priced struct {
+	seconds     float64
+	counters    counters.Report
+	hasCounters bool
+}
+
 // memoCost wraps a raw pricing function with a concurrency-safe memo.
 type memoCost struct {
 	mu    sync.Mutex
-	memo  map[costKey]float64
-	price func(prefill bool, batch, length int) (float64, error)
+	memo  map[costKey]priced
+	price func(prefill bool, batch, length int) (priced, error)
 }
 
-func (m *memoCost) get(prefill bool, batch, length int) (float64, error) {
+func (m *memoCost) get(prefill bool, batch, length int) (priced, error) {
 	if !prefill {
 		length = (length + ctxBucket - 1) / ctxBucket * ctxBucket
 	}
@@ -41,7 +50,7 @@ func (m *memoCost) get(prefill bool, batch, length int) (float64, error) {
 	m.mu.Unlock()
 	v, err := m.price(prefill, batch, length)
 	if err != nil {
-		return 0, err
+		return priced{}, err
 	}
 	m.mu.Lock()
 	m.memo[k] = v
@@ -50,36 +59,61 @@ func (m *memoCost) get(prefill bool, batch, length int) (float64, error) {
 }
 
 func (m *memoCost) PrefillCost(batch, inputLen int) (float64, error) {
-	return m.get(true, batch, inputLen)
+	v, err := m.get(true, batch, inputLen)
+	return v.seconds, err
 }
 
 func (m *memoCost) DecodeStepCost(batch, ctxLen int) (float64, error) {
-	return m.get(false, batch, ctxLen)
+	v, err := m.get(false, batch, ctxLen)
+	return v.seconds, err
 }
 
-// NewCPUCost prices server iterations on a modeled CPU configuration.
+// PhaseCounters implements CounterModel. The lookup shares the pricing
+// memo, so attaching counters to an already-priced span costs a map hit.
+func (m *memoCost) PhaseCounters(prefill bool, batch, length int) (counters.Report, bool) {
+	v, err := m.get(prefill, batch, length)
+	if err != nil || !v.hasCounters {
+		return counters.Report{}, false
+	}
+	return v.counters, true
+}
+
+// NewCPUCost prices server iterations on a modeled CPU configuration. The
+// returned model also implements CounterModel: every priced phase carries
+// the emulated counter report of the platform that priced it.
 func NewCPUCost(setup memsim.Config, m model.Config) CostModel {
 	return &memoCost{
-		memo: map[costKey]float64{},
-		price: func(prefill bool, batch, length int) (float64, error) {
+		memo: map[costKey]priced{},
+		price: func(prefill bool, batch, length int) (priced, error) {
+			run := perfmodel.CPURun{Model: m, Setup: setup, Batch: batch,
+				InputLen: length, OutputLen: 2, Weights: tensor.BF16}
 			if prefill {
-				res, err := perfmodel.CPURun{Model: m, Setup: setup, Batch: batch,
-					InputLen: length, OutputLen: 1, Weights: tensor.BF16}.Simulate()
-				return res.PrefillSeconds, err
+				run.OutputLen = 1
 			}
-			res, err := perfmodel.CPURun{Model: m, Setup: setup, Batch: batch,
-				InputLen: length, OutputLen: 2, Weights: tensor.BF16}.Simulate()
-			return res.DecodeSeconds, err
+			res, err := run.Simulate()
+			if err != nil {
+				return priced{}, err
+			}
+			seconds := res.PrefillSeconds
+			if !prefill {
+				seconds = res.DecodeSeconds
+			}
+			rep, err := run.PhaseCounters(prefill)
+			if err != nil {
+				return priced{}, err
+			}
+			return priced{seconds: seconds, counters: rep, hasCounters: true}, nil
 		},
 	}
 }
 
 // NewGPUCost prices server iterations on a modeled GPU, engaging the
-// offloading executor when the model does not fit.
+// offloading executor when the model does not fit. GPU lanes report no
+// CPU counter analogs.
 func NewGPUCost(g hw.GPU, m model.Config) CostModel {
 	return &memoCost{
-		memo: map[costKey]float64{},
-		price: func(prefill bool, batch, length int) (float64, error) {
+		memo: map[costKey]priced{},
+		price: func(prefill bool, batch, length int) (priced, error) {
 			outLen := 2
 			if prefill {
 				outLen = 1
@@ -89,17 +123,17 @@ func NewGPUCost(g hw.GPU, m model.Config) CostModel {
 			if resident.Fits() {
 				res, err := resident.Simulate()
 				if prefill {
-					return res.PrefillSeconds, err
+					return priced{seconds: res.PrefillSeconds}, err
 				}
-				return res.DecodeSeconds, err
+				return priced{seconds: res.DecodeSeconds}, err
 			}
 			res, err := offload.Run{GPU: g, Host: hw.SPRMax9468, Model: m,
 				Batch: batch, InputLen: length, OutputLen: outLen,
 				Weights: tensor.BF16}.Simulate()
 			if prefill {
-				return res.PrefillSeconds, err
+				return priced{seconds: res.PrefillSeconds}, err
 			}
-			return res.DecodeSeconds, err
+			return priced{seconds: res.DecodeSeconds}, err
 		},
 	}
 }

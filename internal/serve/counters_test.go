@@ -1,0 +1,86 @@
+package serve
+
+// counters_test.go covers the CounterModel side of the cost adapters: CPU
+// lanes attach per-phase emulated counter reports (sharing the pricing
+// memo), GPU and fallback lanes report none.
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/memsim"
+	"repro/internal/model"
+)
+
+func TestCPUCostPhaseCounters(t *testing.T) {
+	cpu := NewCPUCost(memsim.Config{CPU: hw.SPRMax9468, Cores: 48,
+		Mem: memsim.Flat, Cluster: memsim.Quad}, model.Llama13B)
+	cm, ok := cpu.(CounterModel)
+	if !ok {
+		t.Fatal("CPU cost model does not implement CounterModel")
+	}
+
+	pre, ok := cm.PhaseCounters(true, 4, 128)
+	if !ok {
+		t.Fatal("no prefill counters")
+	}
+	dec, ok := cm.PhaseCounters(false, 4, 128)
+	if !ok {
+		t.Fatal("no decode counters")
+	}
+	for _, c := range []struct {
+		name string
+		rep  float64
+	}{
+		{"prefill LLC MPKI", pre.LLCMPKI},
+		{"decode LLC MPKI", dec.LLCMPKI},
+		{"prefill core util", pre.CoreUtilization},
+		{"decode core util", dec.CoreUtilization},
+	} {
+		if c.rep <= 0 {
+			t.Errorf("%s = %g, want > 0", c.name, c.rep)
+		}
+	}
+	// The paper's central contrast: decode is the memory-bound phase, so
+	// its per-phase report must be more memory-bound than prefill's.
+	if dec.MemoryBoundFraction <= pre.MemoryBoundFraction {
+		t.Errorf("decode memory-bound %.3f <= prefill %.3f; phase attribution washed out",
+			dec.MemoryBoundFraction, pre.MemoryBoundFraction)
+	}
+	for _, rep := range []struct {
+		name string
+		mbf  float64
+		cu   float64
+	}{{"prefill", pre.MemoryBoundFraction, pre.CoreUtilization},
+		{"decode", dec.MemoryBoundFraction, dec.CoreUtilization}} {
+		if rep.mbf < 0 || rep.mbf > 1 {
+			t.Errorf("%s memory-bound fraction %g outside [0,1]", rep.name, rep.mbf)
+		}
+		if diff := rep.mbf + rep.cu - 1; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: memory-bound %.6f + core-util %.6f != 1", rep.name, rep.mbf, rep.cu)
+		}
+	}
+
+	// Counter lookup shares the pricing memo: same shape, same report.
+	again, _ := cm.PhaseCounters(false, 4, 128)
+	if again != dec {
+		t.Error("memoized counter report differs between calls")
+	}
+}
+
+func TestGPUAndFallbackCostsReportNoCounters(t *testing.T) {
+	for name, cost := range map[string]CostModel{
+		"gpu":      NewGPUCost(hw.H100, model.OPT13B),
+		"fallback": NewAnalyticFallback(model.Tiny(model.OPT), 0),
+	} {
+		cm, ok := cost.(CounterModel)
+		if !ok {
+			// Not implementing the interface at all is also a valid way
+			// to report no counters.
+			continue
+		}
+		if _, has := cm.PhaseCounters(true, 1, 64); has {
+			t.Errorf("%s cost model claims CPU counter analogs", name)
+		}
+	}
+}

@@ -31,7 +31,10 @@ type engineCost struct {
 // requests still price monotonically.
 func NewEngineCost(e *engine.Engine) CostModel {
 	c := &engineCost{e: e, rng: rand.New(rand.NewSource(1))}
-	c.memo = memoCost{memo: map[costKey]float64{}, price: c.price}
+	c.memo = memoCost{memo: map[costKey]priced{}, price: func(prefill bool, batch, length int) (priced, error) {
+		s, err := c.price(prefill, batch, length)
+		return priced{seconds: s}, err
+	}}
 	return c
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/counters"
 	"repro/internal/workload"
 )
 
@@ -23,6 +24,18 @@ type CostModel interface {
 	// DecodeStepCost returns the seconds of one decode iteration for
 	// `batch` sequences whose longest context is ctxLen.
 	DecodeStepCost(batch, ctxLen int) (float64, error)
+}
+
+// CounterModel is optionally implemented by cost models that can report
+// the emulated hardware counters (internal/counters) behind a priced
+// phase. The gateway attaches these reports to trace spans, so a slow
+// request can be attributed to LLC misses or memory-boundedness the way
+// the paper attributes whole runs. Models without counter emulation
+// (measured engines, GPUs) simply don't implement it.
+type CounterModel interface {
+	// PhaseCounters returns the counter report for the same phase shape
+	// PrefillCost/DecodeStepCost price, and whether one is available.
+	PhaseCounters(prefill bool, batch, length int) (counters.Report, bool)
 }
 
 // Policy selects the batching discipline.
