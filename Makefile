@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet test check chaos bench figures scorecard examples \
-        trace-demo clean
+        trace-demo memdemo clean
 
 all: build vet test
 
@@ -21,8 +21,9 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Chaos drills: fault injection, lane supervision and degraded-mode
-# serving under concurrent load, always with the race detector.
+# Chaos drills: fault injection, lane supervision, degraded-mode serving
+# and KV memory-pressure governance (TestChaosMemPressure) under
+# concurrent load, always with the race detector.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/gateway/ ./internal/faults/
 
@@ -39,6 +40,24 @@ trace-demo:
 	    -model OPT-13B -in 128 -out 8; st=$$?; \
 	echo; echo "=== one retained trace ==="; \
 	curl -s "http://$(TRACE_DEMO_ADDR)/v1/traces?limit=1"; echo; \
+	kill $$pid; wait $$pid 2>/dev/null; exit $$st
+
+# KV-governance demo: boot llmperfd with a deliberately tiny KV budget
+# (the 1 MiB request floors to 64 blocks = 1024 tokens), then overload it
+# so the phase table shows preemption-by-recompute ("preempted" rows),
+# the status counts show watermark shedding (HTTP 503), and the final
+# /v1/kv + /readyz probes show the pool fully free and serving recovered.
+MEMDEMO_ADDR ?= 127.0.0.1:18081
+memdemo:
+	$(GO) build -o /tmp/llmperfd-memdemo ./cmd/llmperfd
+	$(GO) build -o /tmp/llmperf-memdemo ./cmd/llmperf
+	/tmp/llmperfd-memdemo -addr $(MEMDEMO_ADDR) -timescale 0.02 -kv-budget-mb 1 & \
+	pid=$$!; sleep 1; \
+	/tmp/llmperf-memdemo -url http://$(MEMDEMO_ADDR) -n 96 -concurrency 24 \
+	    -model OPT-13B -in 128 -out 16; st=$$?; \
+	echo; echo "=== KV governance after the wave ==="; \
+	curl -s "http://$(MEMDEMO_ADDR)/v1/kv"; echo; \
+	curl -s -o /dev/null -w "readyz: HTTP %{http_code}\n" "http://$(MEMDEMO_ADDR)/readyz"; \
 	kill $$pid; wait $$pid 2>/dev/null; exit $$st
 
 # One benchmark per paper table/figure plus kernel/engine/ablation benches.

@@ -34,6 +34,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/faults"
 	"repro/internal/gateway"
+	"repro/internal/govern"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -50,6 +51,13 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "hard shutdown ceiling: force-exit nonzero if drain exceeds this")
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the fault injector")
 	faultSpec := flag.String("fault-spec", "", "arm fault rules at boot, e.g. 'panic@lane:every=50;latency@cost.decode:p=0.05,delay=20ms' (see docs/resilience.md)")
+	kvGovern := flag.Bool("kv-govern", true, "govern per-lane KV memory: budgeted admission, preemption, watermark shedding")
+	kvMode := flag.String("kv-mode", "optimistic", "KV admission mode: optimistic (prompt-only, preempt on exhaustion) | conservative (reserve in+out)")
+	kvBlock := flag.Int("kv-block", govern.DefaultBlockSize, "KV pool block size in tokens")
+	kvBudgetMB := flag.Int("kv-budget-mb", 0, "override every lane's KV budget in MiB (0 = derive from the platform's memory minus weights)")
+	kvQuota := flag.Int("kv-quota-tokens", 0, "per-client in-flight KV token quota, keyed by X-Client-ID (0 = unlimited)")
+	kvHigh := flag.Float64("kv-high", 0.95, "KV utilization high watermark: shed new work (503) at or above it")
+	kvLow := flag.Float64("kv-low", 0.75, "KV utilization low watermark: stop shedding at or below it")
 	traceSample := flag.Float64("trace-sample", 1, "fraction of ok traces retained for /v1/traces (errored and degraded requests are always kept)")
 	traceOut := flag.String("trace-out", "", "append one JSON line per retained trace to this file")
 	logLevel := flag.String("log-level", "info", "stderr log threshold: debug | info | warn | error")
@@ -99,6 +107,24 @@ func main() {
 		traceCfg.Output = f
 	}
 
+	var gov *govern.Governor
+	if *kvGovern {
+		switch *kvMode {
+		case "optimistic", "conservative":
+		default:
+			fmt.Fprintf(os.Stderr, "llmperfd: unknown -kv-mode %q (want optimistic or conservative)\n", *kvMode)
+			os.Exit(2)
+		}
+		gov = govern.New(govern.Config{
+			Specs:         api.PoolSpecResolver(*kvBlock, int64(*kvBudgetMB)<<20),
+			Conservative:  *kvMode == "conservative",
+			HighWatermark: *kvHigh,
+			LowWatermark:  *kvLow,
+			QuotaTokens:   *kvQuota,
+			Registry:      reg,
+		})
+	}
+
 	gw := gateway.New(gateway.Config{
 		MaxQueue:     *queue,
 		MaxBatch:     *maxBatch,
@@ -107,6 +133,7 @@ func main() {
 		Workers:      *workers,
 		Timescale:    *timescale,
 		Injector:     inj,
+		Governor:     gov,
 		Fallback:     api.FallbackResolver(),
 		Registry:     reg,
 		Tracer:       trace.New(traceCfg),
@@ -133,8 +160,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("llmperfd listening on %s (queue=%d batch=%d policy=%s workers=%d trace-sample=%g)\n",
-		*addr, *queue, *maxBatch, pol, *workers, *traceSample)
+	kvDesc := "off"
+	if gov != nil {
+		kvDesc = gov.Mode()
+	}
+	fmt.Printf("llmperfd listening on %s (queue=%d batch=%d policy=%s workers=%d trace-sample=%g kv=%s)\n",
+		*addr, *queue, *maxBatch, pol, *workers, *traceSample, kvDesc)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

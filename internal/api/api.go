@@ -15,6 +15,7 @@
 //	GET  /v1/experiments             experiment keys
 //	GET  /v1/experiments/{key}       one experiment's rendered tables
 //	GET  /v1/scorecard               reproduction scorecard
+//	GET  /v1/kv                      per-lane KV pool governance status
 //	GET|POST|DELETE /v1/admin/faults runtime fault injection control
 //	GET  /metrics                    Prometheus metrics
 //	GET  /healthz, /readyz           liveness / readiness
@@ -24,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -89,6 +91,7 @@ var endpoints = []endpointInfo{
 	{"GET", "/v1/experiments/{key}", "run one experiment, rendered tables"},
 	{"GET", "/v1/scorecard", "reproduction scorecard"},
 	{"GET", "/v1/traces", "recent request traces (?id= for one, ?limit= to page)"},
+	{"GET", "/v1/kv", "per-lane KV pool governance: blocks, watermarks, quotas, preemptions"},
 	{"GET, POST, DELETE", "/v1/admin/faults", "inspect, arm or disarm runtime fault injection"},
 	{"GET", "/metrics", "Prometheus metrics (gateway queue, TTFT/TPOT/E2E histograms)"},
 	{"GET", "/healthz", "liveness"},
@@ -111,6 +114,7 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/experiments/{key}", s.handleExperiment, http.MethodGet)
 	route("/v1/scorecard", s.handleScorecard, http.MethodGet)
 	route("/v1/traces", s.handleTraces, http.MethodGet)
+	route("/v1/kv", s.handleKV, http.MethodGet)
 	route("/v1/admin/faults", s.handleAdminFaults, http.MethodGet, http.MethodPost, http.MethodDelete)
 	route("/metrics", s.handleMetrics, http.MethodGet)
 	route("/healthz", s.handleHealthz, http.MethodGet)
@@ -490,7 +494,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		Attrs: map[string]string{"lane": req.laneKey()}})
 	res, err := s.gw.Generate(r.Context(), gateway.Request{
 		Lane: req.laneKey(), InputLen: req.InputLen, OutputLen: req.OutputLen,
-		Trace: tr,
+		Client: clientID(r), Trace: tr,
 	})
 	if err != nil {
 		s.writeGatewayError(w, err)
@@ -505,6 +509,32 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		res.TraceID = tr.ID()
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// clientID identifies the submitting tenant for per-client KV quotas: the
+// X-Client-ID header when set, otherwise the remote host (so one machine
+// is one tenant regardless of ephemeral ports).
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil && host != "" {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// handleKV serves the memory governor's per-lane pool snapshot. Without a
+// governor the endpoint reports the feature disabled (404) rather than an
+// empty status, so dashboards can tell "no governance" from "no lanes".
+func (s *Server) handleKV(w http.ResponseWriter, r *http.Request) {
+	gov := s.gw.Governor()
+	if gov == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("KV governance disabled (llmperfd -kv-govern=false, or no governor configured)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, gov.Snapshot())
 }
 
 // handleTraces serves retained request traces: ?id= returns one record,
@@ -605,6 +635,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.gw.Draining() {
 		writeError(w, http.StatusServiceUnavailable, CodeDraining,
 			fmt.Errorf("gateway draining"))
+		return
+	}
+	if s.gw.MemoryPressure() {
+		// Shedding above the KV high watermark: tell load balancers to
+		// route elsewhere until the lane recovers below the low watermark.
+		writeError(w, http.StatusServiceUnavailable, CodeMemoryPressure,
+			fmt.Errorf("KV memory pressure: at least one lane above its high watermark"))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

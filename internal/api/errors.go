@@ -16,6 +16,7 @@ import (
 	"strconv"
 
 	"repro/internal/gateway"
+	"repro/internal/govern"
 )
 
 // Error codes used across the v1 API.
@@ -38,6 +39,14 @@ const (
 	// CodeUnsupportedMedia rejects POST bodies whose Content-Type is not
 	// application/json (HTTP 415).
 	CodeUnsupportedMedia = "unsupported_media_type"
+	// CodeMemoryPressure sheds a request because its lane's KV pool is
+	// above the high watermark, or because the pool stayed exhausted
+	// through the request's whole requeue budget (HTTP 503 +
+	// Retry-After); /readyz reports not-ready while shedding.
+	CodeMemoryPressure = "memory_pressure"
+	// CodeQuotaExceeded rejects a request that would push its client over
+	// the per-client in-flight KV token quota (HTTP 429 + Retry-After).
+	CodeQuotaExceeded = "quota_exceeded"
 )
 
 // errorBody is the uniform error envelope. TraceID correlates the failure
@@ -79,16 +88,33 @@ func writeBodyError(w http.ResponseWriter, err error) {
 }
 
 // writeGatewayError maps scheduler and context errors onto HTTP statuses;
-// everything else is an internal error.
+// everything else is an internal error. Every backpressure status — 429
+// and every 503 — carries a derived Retry-After header so clients back
+// off for as long as the backlog actually needs, not a guessed constant.
 func (s *Server) writeGatewayError(w http.ResponseWriter, err error) {
+	retryAfter := func() {
+		// The hint is the time the current backlog needs to drain at the
+		// observed completion rate, bounded to [1, 30] seconds.
+		w.Header().Set("Retry-After", strconv.Itoa(s.gw.RetryAfterSeconds()))
+	}
 	switch {
 	case errors.Is(err, gateway.ErrQueueFull):
-		// Tell the client when retrying is actually worthwhile: the time
-		// the current backlog needs to drain at the observed completion
-		// rate, not a hardcoded constant.
-		w.Header().Set("Retry-After", strconv.Itoa(s.gw.RetryAfterSeconds()))
+		retryAfter()
 		writeError(w, http.StatusTooManyRequests, CodeQueueFull, err)
+	case errors.Is(err, govern.ErrQuotaExceeded):
+		retryAfter()
+		writeError(w, http.StatusTooManyRequests, CodeQuotaExceeded, err)
+	case errors.Is(err, govern.ErrShedding), errors.Is(err, govern.ErrKVExhausted):
+		// KV memory pressure: the lane is above its high watermark, or the
+		// pool stayed exhausted through the request's requeue budget.
+		retryAfter()
+		writeError(w, http.StatusServiceUnavailable, CodeMemoryPressure, err)
+	case errors.Is(err, govern.ErrNeverFits):
+		// Structural: this context can never fit the lane's pool, so
+		// retrying the same request is pointless.
+		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
 	case errors.Is(err, gateway.ErrDraining):
+		retryAfter()
 		writeError(w, http.StatusServiceUnavailable, CodeDraining, err)
 	case errors.Is(err, gateway.ErrLaneQuarantined),
 		errors.Is(err, gateway.ErrLaneBroken),
@@ -96,6 +122,7 @@ func (s *Server) writeGatewayError(w http.ResponseWriter, err error) {
 		// Transient lane-level failures: quarantine cool-off, an open
 		// breaker without a fallback, or a watchdog-cancelled batch that
 		// exhausted its requeues. The condition clears on its own.
+		retryAfter()
 		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
 	case errors.Is(err, gateway.ErrLanePanic):
 		// The supervisor recovered the panic and is restarting the lane;

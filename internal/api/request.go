@@ -18,10 +18,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gateway"
+	"repro/internal/govern"
 	"repro/internal/hw"
 	"repro/internal/memsim"
 	"repro/internal/model"
 	"repro/internal/serve"
+	"repro/internal/tensor"
 )
 
 // maxBodyBytes bounds POST request bodies.
@@ -299,6 +301,76 @@ func LaneResolver() gateway.Resolver {
 			return serve.NewCPUCost(setup, m), nil
 		}
 		return serve.NewGPUCost(*entry.GPU, m), nil
+	}
+}
+
+// PoolSpecResolver sizes per-lane KV pools for the memory governor from
+// the lane's platform entry, the way the paper budgets KV capacity
+// (§III, Fig 7): the platform's memory capacity minus the resident
+// weights, with 10% headroom for activations and runtime overhead. CPU
+// platforms prefer the HBM tier when the weights fit inside it (weights
+// and cache co-resident in HBM, the paper's flat-mode sweet spot) and
+// fall back to HBM+DDR otherwise; GPUs budget device memory minus the
+// kernel workspace. Tiny engine lanes get a small synthetic budget —
+// their interest is functional, not capacity. overrideBytes, when
+// positive, replaces the derived budget for every lane (llmperfd
+// -kv-budget-mb, the memdemo knob).
+func PoolSpecResolver(blockSize int, overrideBytes int64) govern.SpecResolver {
+	if blockSize <= 0 {
+		blockSize = govern.DefaultBlockSize
+	}
+	return func(lane string) (govern.PoolSpec, error) {
+		parts := strings.Split(lane, "|")
+		if len(parts) != 5 {
+			return govern.PoolSpec{}, fmt.Errorf("api: malformed lane key %q", lane)
+		}
+		platform, modelName := parts[0], parts[1]
+		spec := govern.PoolSpec{DType: tensor.BF16, BlockSize: blockSize}
+		if strings.HasPrefix(platform, "tiny-") {
+			fam := model.OPT
+			if strings.TrimPrefix(platform, "tiny-") == "llama" {
+				fam = model.LLaMA2
+			}
+			spec.Model = model.Tiny(fam)
+			spec.BudgetBytes = 64 << 20
+		} else {
+			m, err := core.ModelByName(modelName)
+			if err != nil {
+				return govern.PoolSpec{}, err
+			}
+			entry, err := hw.PlatformByKey(platform)
+			if err != nil {
+				return govern.PoolSpec{}, err
+			}
+			spec.Model = m
+			weights := m.WeightBytes(spec.DType)
+			var capacity int64
+			if entry.Kind == hw.CPUPlatform {
+				c := entry.CPU
+				hbm := int64(c.HBM.CapacityGB * float64(c.Sockets) * 1e9)
+				ddr := int64(c.DDR.CapacityGB * float64(c.Sockets) * 1e9)
+				if hbm > weights {
+					capacity = hbm // weights + KV co-resident in the HBM tier
+				} else {
+					capacity = hbm + ddr
+				}
+			} else {
+				g := entry.GPU
+				capacity = int64((g.MemGB - g.WorkspaceGB) * 1e9)
+			}
+			spec.BudgetBytes = int64(0.9 * float64(capacity-weights))
+		}
+		if overrideBytes > 0 {
+			spec.BudgetBytes = overrideBytes
+		}
+		// Never size a pool below a workable floor: a lane that cannot hold
+		// a handful of sequences thrashes instead of serving.
+		blockBytes := spec.Model.KVBytesPerTokenPerLayer(spec.DType) *
+			int64(spec.Model.Layers) * int64(blockSize)
+		if minBudget := 64 * blockBytes; spec.BudgetBytes < minBudget {
+			spec.BudgetBytes = minBudget
+		}
+		return spec, nil
 	}
 }
 

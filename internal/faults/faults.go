@@ -7,11 +7,12 @@
 // reproducible: the same faults fire at the same evaluations in tests
 // and in live chaos drills.
 //
-// The gateway consults three sites:
+// The gateway consults four sites:
 //
 //	lane          top of each lane-scheduler iteration (panic injection)
 //	cost.prefill  inside the primary cost model's prefill pricing
 //	cost.decode   inside the primary cost model's decode pricing
+//	govern.kv     standing mem-pressure queries by the memory governor
 //
 // An Injector is safe for concurrent use and nil-safe: a nil *Injector
 // applies nothing, so callers never branch on whether chaos is enabled.
@@ -43,6 +44,12 @@ const (
 	// CostError returns an *Injected error from the site, modelling a
 	// failing cost model or engine.
 	CostError
+	// MemPressure is a standing condition, not a firing fault: while a
+	// rule of this class is armed, Fraction of the matching lane's
+	// KV-block capacity is withheld (a co-tenant eating the platform's
+	// memory). The memory governor queries it with Pressure; Apply
+	// ignores it.
+	MemPressure
 )
 
 // String names the class; ParseClass is its inverse.
@@ -56,6 +63,8 @@ func (c Class) String() string {
 		return "panic"
 	case CostError:
 		return "cost-error"
+	case MemPressure:
+		return "mem-pressure"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -72,8 +81,10 @@ func ParseClass(s string) (Class, error) {
 		return Panic, nil
 	case "cost-error", "costerror", "cost_error":
 		return CostError, nil
+	case "mem-pressure", "mempressure", "mem_pressure":
+		return MemPressure, nil
 	default:
-		return 0, fmt.Errorf("faults: unknown class %q (want latency, stall, panic or cost-error)", s)
+		return 0, fmt.Errorf("faults: unknown class %q (want latency, stall, panic, cost-error or mem-pressure)", s)
 	}
 }
 
@@ -114,12 +125,28 @@ type Rule struct {
 	Count int `json:"count,omitempty"`
 	// DelayMillis is the sleep for Latency and Stall faults.
 	DelayMillis float64 `json:"delay_ms,omitempty"`
+	// Fraction is the share of KV-block capacity a MemPressure rule
+	// withholds while armed, in (0, 1].
+	Fraction float64 `json:"fraction,omitempty"`
 }
 
 // Validate rejects rules that could never fire or have no trigger.
 func (r Rule) Validate() error {
 	if r.Every < 0 || r.Count < 0 || r.P < 0 || r.P > 1 || r.DelayMillis < 0 {
 		return fmt.Errorf("faults: rule %s has negative or out-of-range trigger fields", r.Class)
+	}
+	if r.Class == MemPressure {
+		// A standing condition: armed is active, so it has no trigger.
+		if r.Fraction <= 0 || r.Fraction > 1 {
+			return fmt.Errorf("faults: mem-pressure rule needs fraction in (0, 1], got %g", r.Fraction)
+		}
+		if r.Every != 0 || r.P != 0 || r.Count != 0 || r.DelayMillis != 0 {
+			return fmt.Errorf("faults: mem-pressure rules take only site, lane and fraction")
+		}
+		return nil
+	}
+	if r.Fraction != 0 {
+		return fmt.Errorf("faults: fraction applies only to mem-pressure rules")
 	}
 	if r.Every == 0 && r.P == 0 {
 		return fmt.Errorf("faults: rule %s needs every > 0 or p > 0", r.Class)
@@ -225,10 +252,11 @@ func (i *Injector) Instrument(reg *metrics.Registry) *Injector {
 	i.total = reg.Counter("faults_injected_total", "faults injected across all classes")
 	i.armed = reg.Gauge("faults_armed_rules", "fault rules currently armed")
 	i.byClass = map[Class]*metrics.Counter{
-		Latency:   reg.Counter("faults_injected_latency_total", "latency-spike faults injected"),
-		Stall:     reg.Counter("faults_injected_stall_total", "stall faults injected"),
-		Panic:     reg.Counter("faults_injected_panic_total", "panic faults injected"),
-		CostError: reg.Counter("faults_injected_cost_error_total", "cost-model-error faults injected"),
+		Latency:     reg.Counter("faults_injected_latency_total", "latency-spike faults injected"),
+		Stall:       reg.Counter("faults_injected_stall_total", "stall faults injected"),
+		Panic:       reg.Counter("faults_injected_panic_total", "panic faults injected"),
+		CostError:   reg.Counter("faults_injected_cost_error_total", "cost-model-error faults injected"),
+		MemPressure: reg.Counter("faults_injected_mem_pressure_total", "mem-pressure conditions applied"),
 	}
 	return i
 }
@@ -304,6 +332,9 @@ func (i *Injector) Apply(site, lane string) error {
 	i.mu.Lock()
 	for idx := range i.rules {
 		r := &i.rules[idx]
+		if r.Class == MemPressure {
+			continue // standing condition, queried via Pressure
+		}
 		if !r.matches(site, lane) {
 			continue
 		}
@@ -352,4 +383,40 @@ func (i *Injector) Apply(site, lane string) error {
 		return errV
 	}
 	return nil
+}
+
+// Pressure returns the capacity fraction withheld at (site, lane) by
+// armed mem-pressure rules: the sum of matching rules' fractions, capped
+// at 1. Unlike firing classes, a mem-pressure rule exerts its effect for
+// as long as it stays armed; disarming it releases the pressure. The
+// method is nil-safe and counts each query as an evaluation, and the
+// first query that observes a rule's pressure as its fire, so snapshots
+// show standing rules taking effect.
+func (i *Injector) Pressure(site, lane string) float64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var frac float64
+	for idx := range i.rules {
+		r := &i.rules[idx]
+		if r.Class != MemPressure || !r.matches(site, lane) {
+			continue
+		}
+		r.evals++
+		if r.fired == 0 {
+			r.fired = 1
+			i.injected++
+			if i.total != nil {
+				i.total.Inc()
+				i.byClass[MemPressure].Inc()
+			}
+		}
+		frac += r.Fraction
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
 }

@@ -69,6 +69,10 @@ func parseRule(s string) (Rule, error) {
 					return Rule{}, fmt.Errorf("faults: delay: %w", err)
 				}
 				r.DelayMillis = float64(d) / float64(time.Millisecond)
+			case "fraction":
+				if r.Fraction, err = strconv.ParseFloat(v, 64); err != nil {
+					return Rule{}, fmt.Errorf("faults: fraction: %w", err)
+				}
 			case "lane":
 				r.Lane = v
 			default:

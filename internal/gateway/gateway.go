@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/govern"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -102,9 +103,15 @@ type Config struct {
 	// for that lane. Nil disables degraded mode entirely.
 	Fallback Resolver
 	// Injector, when non-nil, is consulted at the gateway's injection
-	// sites ("lane", "cost.prefill", "cost.decode") so chaos scenarios
-	// can be driven deterministically. Nil disables fault injection.
+	// sites ("lane", "cost.prefill", "cost.decode", "govern.kv") so chaos
+	// scenarios can be driven deterministically. Nil disables fault
+	// injection.
 	Injector *faults.Injector
+	// Governor, when non-nil, places every lane under a finite KV-memory
+	// budget: block reservations at admission, per-token growth and
+	// preemption-by-recompute under optimistic mode, watermark load
+	// shedding, and per-client token quotas. Nil serves ungoverned.
+	Governor *govern.Governor
 
 	// Tracer records per-request phase spans. When nil a default tracer
 	// is created over Registry (sample rate 1), so traces are always
@@ -203,6 +210,10 @@ type Request struct {
 	Lane string
 	// InputLen and OutputLen are the prompt and generation lengths.
 	InputLen, OutputLen int
+	// Client identifies the submitting tenant for per-client KV token
+	// quotas (the API layer fills it from X-Client-ID, falling back to
+	// the remote address). Empty means anonymous.
+	Client string
 	// Trace, when non-nil, receives the request's phase spans (queue
 	// wait, batching, prefill, per-token decode, pricing) as the
 	// scheduler moves it through the lane. The caller owns Finish.
@@ -243,9 +254,10 @@ type instruments struct {
 	queueWait, ttft, tpot, e2e   *metrics.Histogram
 	wall, batchSize              *metrics.Histogram
 
-	// Resilience instruments (supervisor.go).
+	// Resilience instruments (supervisor.go, memory.go).
 	panics, restarts, quarantines      *metrics.Counter
 	watchdogTimeouts, requeued         *metrics.Counter
+	preempted                          *metrics.Counter
 	degraded, degradedIters            *metrics.Counter
 	breakerOpened, breakerClosed       *metrics.Counter
 	quarantinedLanes, breakerOpenLanes *metrics.Gauge
@@ -275,6 +287,7 @@ func newInstruments(r *metrics.Registry) instruments {
 		quarantines:      r.Counter("gateway_lane_quarantines_total", "lanes quarantined after repeated crashes"),
 		watchdogTimeouts: r.Counter("gateway_watchdog_timeouts_total", "priced calls cancelled by the iteration watchdog"),
 		requeued:         r.Counter("gateway_requeued_total", "requests requeued after a watchdog cancellation"),
+		preempted:        r.Counter("gateway_preempted_total", "sequences preempted on KV exhaustion and requeued for recompute"),
 		degraded:         r.Counter("gateway_degraded_total", "requests completed in degraded mode (fallback cost model)"),
 		degradedIters:    r.Counter("gateway_degraded_iterations_total", "iterations priced by a fallback cost model"),
 		breakerOpened:    r.Counter("gateway_breaker_opened_total", "lane circuit breakers tripped closed to open"),
@@ -289,6 +302,7 @@ type Gateway struct {
 	cfg     Config
 	resolve Resolver
 	inj     *faults.Injector
+	gov     *govern.Governor
 	tracer  *trace.Tracer
 	log     *slog.Logger
 	m       instruments
@@ -317,6 +331,7 @@ func New(cfg Config, resolve Resolver) *Gateway {
 		cfg:     cfg,
 		resolve: resolve,
 		inj:     cfg.Injector,
+		gov:     cfg.Governor,
 		tracer:  cfg.Tracer,
 		log:     cfg.Logger,
 		m:       newInstruments(cfg.Registry),
@@ -339,6 +354,14 @@ func (g *Gateway) Logger() *slog.Logger { return g.log }
 // Injector exposes the gateway's fault injector (nil when chaos is
 // disabled); the API layer serves it at /v1/admin/faults.
 func (g *Gateway) Injector() *faults.Injector { return g.inj }
+
+// Governor exposes the gateway's KV-memory governor (nil when memory
+// governance is disabled); the API layer serves its snapshot at /v1/kv.
+func (g *Gateway) Governor() *govern.Governor { return g.gov }
+
+// MemoryPressure reports whether any lane is shedding above its KV high
+// watermark (for /readyz). False without a governor.
+func (g *Gateway) MemoryPressure() bool { return g.gov.Shedding() }
 
 // Draining reports whether Shutdown has begun (for /readyz).
 func (g *Gateway) Draining() bool {
@@ -409,6 +432,15 @@ func (g *Gateway) Generate(ctx context.Context, req Request) (Result, error) {
 		}
 		g.lanes[req.Lane] = l
 	}
+	// Memory governance: structural fit, client quota and watermark shed
+	// checks, charging the client's quota on success. The lease follows
+	// the job through every terminal path.
+	lease, err := g.gov.Admit(req.Lane, req.Client, req.InputLen, req.OutputLen)
+	if err != nil {
+		g.mu.Unlock()
+		return reject(err)
+	}
+	j.lease = lease
 	l.queue = append(l.queue, j)
 	g.waiting++
 	g.m.queueDepth.Inc()

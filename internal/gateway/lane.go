@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/govern"
 	"repro/internal/trace"
 )
 
@@ -40,9 +41,14 @@ type job struct {
 	admitWall time.Time
 	admitV    float64
 	batchAt   int
-	// requeues counts watchdog cancellations that sent the job back to
-	// the queue.
+	// requeues counts watchdog cancellations and KV preemptions that sent
+	// the job back to the queue.
 	requeues int
+	// lease is the job's KV-memory claim (nil when the gateway runs
+	// without a governor). Reserved at lane admission, grown per decode
+	// step under optimistic mode, and released exactly once at any
+	// terminal outcome (lease methods are nil-safe and idempotent).
+	lease *govern.Lease
 	// lastMark is the trace-tiling cursor: the end of the job's previous
 	// tiling span (queue/stalled). It starts at submission and is advanced
 	// at admission and on requeue, so consecutive tiling spans share
@@ -158,20 +164,36 @@ func (g *Gateway) laneSession(l *lane) (parked bool) {
 			g.failInflight(l, err)
 			continue
 		}
+		// Propagate standing mem-pressure rules into the lane's effective
+		// pool before admitting; deleting the rule recovers here too.
+		if g.gov != nil {
+			g.gov.SetPressure(l.key, g.inj.Pressure(siteGovern, l.key))
+		}
 
 		// Admission: take waiting jobs into free slots, discarding any
-		// whose context died while queued.
+		// whose context died while queued. Each admitted job reserves its
+		// KV blocks first; a job the pool cannot hold right now stays
+		// queued (memBlocked) until blocks free up or pressure lifts.
 		g.mu.Lock()
 		l.queue = g.dropCanceledLocked(l.queue)
 		var admitted []*job
+		memBlocked := false
 		if g.cfg.Policy == Chunked {
 			if l.pre == nil && len(l.running) < g.cfg.MaxBatch && len(l.queue) > 0 {
-				admitted = append(admitted, l.queue[0])
-				l.queue = l.queue[1:]
+				if g.reserveAdmit(l.queue[0]) {
+					admitted = append(admitted, l.queue[0])
+					l.queue = l.queue[1:]
+				} else {
+					memBlocked = true
+				}
 			}
 		} else {
 			free := g.cfg.MaxBatch - len(l.running)
 			for len(l.queue) > 0 && len(admitted) < free {
+				if !g.reserveAdmit(l.queue[0]) {
+					memBlocked = true
+					break
+				}
 				admitted = append(admitted, l.queue[0])
 				l.queue = l.queue[1:]
 			}
@@ -184,6 +206,15 @@ func (g *Gateway) laneSession(l *lane) (parked bool) {
 		}
 		g.waiting -= len(admitted)
 		g.mu.Unlock()
+
+		if len(admitted) == 0 && len(l.running) == 0 && l.pre == nil && memBlocked {
+			// Everything is queued behind an exhausted (or pressure-shrunk)
+			// pool with nothing running to free blocks. Back off briefly
+			// instead of spinning; recovery comes from the pressure query
+			// at the top of the loop or from client cancellations.
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
 
 		now := time.Now()
 		for _, j := range admitted {
@@ -236,6 +267,7 @@ func (g *Gateway) dropCanceledLocked(queue []*job) []*job {
 	kept := queue[:0]
 	for _, j := range queue {
 		if j.ctx.Err() != nil {
+			j.lease.Release()
 			g.waiting--
 			g.m.queueDepth.Dec()
 			g.m.canceled.Inc()
@@ -298,6 +330,7 @@ func (g *Gateway) continuousIteration(l *lane, admitted []*job) (float64, error)
 	}
 
 	l.running = g.evictCanceled(l.running)
+	g.growRunning(l)
 	if len(l.running) == 0 {
 		return 0, nil
 	}
@@ -355,10 +388,12 @@ func (g *Gateway) chunkedIteration(l *lane, admitted []*job) (float64, error) {
 	}
 	l.running = g.evictCanceled(l.running)
 	if l.pre != nil && l.pre.j.ctx.Err() != nil {
+		l.pre.j.lease.Release()
 		g.m.canceled.Inc()
 		g.m.inflight.Dec()
 		l.pre = nil
 	}
+	g.growRunning(l)
 	if l.pre == nil && len(l.running) == 0 {
 		return 0, nil
 	}
@@ -445,6 +480,7 @@ func (g *Gateway) evictCanceled(running []*seq) []*seq {
 	kept := running[:0]
 	for _, s := range running {
 		if s.j.ctx.Err() != nil {
+			s.j.lease.Release()
 			g.m.canceled.Inc()
 			g.m.inflight.Dec()
 			continue
@@ -490,6 +526,7 @@ func (g *Gateway) completeSeq(l *lane, s *seq) {
 		g.m.degraded.Inc()
 	}
 	g.m.inflight.Dec()
+	j.lease.Release()
 	j.done <- jobOutcome{res: res}
 }
 
@@ -502,6 +539,7 @@ func (g *Gateway) failSeq(s *seq, err error) {
 func (g *Gateway) failJob(j *job, err error) {
 	g.m.failed.Inc()
 	g.m.inflight.Dec()
+	j.lease.Release()
 	j.done <- jobOutcome{err: err}
 }
 

@@ -1,0 +1,93 @@
+package gateway
+
+// memory.go is the lane scheduler's side of KV-memory governance
+// (internal/govern): block reservation at admission, per-token growth
+// under optimistic admission, and preemption-by-recompute when the
+// lane's pool runs out — the live counterpart of serve/preempt.go's
+// runOptimistic. Everything here is a no-op when the gateway runs
+// without a governor (every lease is nil).
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/govern"
+	"repro/internal/trace"
+)
+
+// reserveAdmit reserves the KV blocks a job needs to enter execution:
+// its full context under conservative admission, its prompt under
+// optimistic admission. False means the pool cannot hold the job right
+// now and it must stay queued. Callers hold g.mu (the lease locks the
+// governor and pool below it; see the lock order in govern).
+func (g *Gateway) reserveAdmit(j *job) bool {
+	if j.lease == nil {
+		return true
+	}
+	return j.lease.Reserve(g.gov.AdmitTokens(j.req.InputLen, j.req.OutputLen)) == nil
+}
+
+// growRunning extends every running sequence's reservation by the one
+// token the upcoming decode step appends (optimistic admission only —
+// conservative reservations already cover the full context). When the
+// pool cannot supply a block, the youngest sequence — the last admitted,
+// which has the least progress to lose — is preempted back to the queue
+// and the remaining batch retries, exactly vLLM's recompute policy as
+// modeled by serve/preempt.go.
+func (g *Gateway) growRunning(l *lane) {
+	if g.gov == nil || g.gov.Conservative() || len(l.running) == 0 {
+		return
+	}
+	grew := make([]bool, len(l.running))
+	for len(l.running) > 0 {
+		ok := true
+		for i, s := range l.running {
+			if grew[i] {
+				continue
+			}
+			if err := s.j.lease.Grow(1); err != nil {
+				ok = false
+				break
+			}
+			grew[i] = true
+		}
+		if ok {
+			return
+		}
+		victim := l.running[len(l.running)-1]
+		l.running = l.running[:len(l.running)-1]
+		grew = grew[:len(l.running)]
+		g.preemptSeq(l, victim)
+	}
+}
+
+// preemptSeq evicts one sequence on KV exhaustion: its blocks return to
+// the pool, its execution so far tiles into a preempted span, and the job
+// goes back to the front of the queue to recompute from prefill — unless
+// its requeue budget is spent, in which case it fails with
+// govern.ErrKVExhausted (HTTP 503 + Retry-After).
+func (g *Gateway) preemptSeq(l *lane, s *seq) {
+	j := s.j
+	now := time.Now()
+	if tr := j.req.Trace; tr != nil {
+		tr.Add(trace.SpanData{Name: trace.PhasePreempted,
+			Start: s.mark, End: now,
+			Attrs: map[string]string{"cause": "kv pool exhausted"}})
+	}
+	j.lease.Preempt()
+	if j.requeues >= g.cfg.MaxRequeues {
+		g.failSeq(s, fmt.Errorf("%w: lane %s", govern.ErrKVExhausted, l.key))
+		return
+	}
+	j.requeues++
+	j.lastMark = now
+	g.m.inflight.Dec()
+	g.m.preempted.Inc()
+	g.log.Warn("gateway: KV preemption",
+		"lane", l.key, "trace_id", j.req.Trace.ID(), "requeues", j.requeues)
+	g.mu.Lock()
+	l.queue = append([]*job{j}, l.queue...)
+	g.waiting++
+	g.mu.Unlock()
+	g.m.queueDepth.Inc()
+}

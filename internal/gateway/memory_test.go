@@ -1,0 +1,301 @@
+package gateway
+
+// memory_test.go covers KV-memory governance on the live serving path:
+// preemption-by-recompute with trace tiling, watermark shedding and
+// recovery under an injected mem-pressure fault, per-client quotas, and
+// conservative admission never preempting.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/govern"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// memGovernor builds a governor whose every lane holds exactly blocks
+// 16-token blocks of the tiny OPT shape.
+func memGovernor(t *testing.T, reg *metrics.Registry, blocks int, mut func(*govern.Config)) *govern.Governor {
+	t.Helper()
+	m := model.Tiny(model.OPT)
+	per := m.KVBytesPerTokenPerLayer(tensor.BF16) * int64(m.Layers) * 16
+	cfg := govern.Config{
+		Registry: reg,
+		Specs: func(lane string) (govern.PoolSpec, error) {
+			return govern.PoolSpec{Model: m, DType: tensor.BF16, BlockSize: 16,
+				BudgetBytes: per * int64(blocks)}, nil
+		},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return govern.New(cfg)
+}
+
+// TestKVPreemptionTraceTiling forces preemption with a pool too small for
+// the concurrent batch and asserts the contract the tracing layer
+// promises: preempted requests still complete, their traces carry a
+// preempted span, and the tiling spans (queue, batch, prefill, decode,
+// preempted) still sum to the measured latency within 5%.
+func TestKVPreemptionTraceTiling(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := trace.New(trace.Config{SampleRate: 1, Registry: reg})
+	// 64-token prompts prefill into exactly 4 blocks, so the first decode
+	// token of each sequence needs a 5th; 13 blocks admit three prefills
+	// but leave only one spare, forcing the youngest sequence out and
+	// back through the queue.
+	gov := memGovernor(t, reg, 13, nil)
+	g := New(Config{MaxQueue: 64, MaxBatch: 4, Workers: 1, Timescale: 1,
+		MaxRequeues: 100, Registry: reg, Tracer: tr, Governor: gov},
+		fixedResolver(fakeCost{pre: 0.040, dec: 0.006}))
+	defer g.Shutdown(context.Background())
+
+	const n = 3
+	var wg sync.WaitGroup
+	ids := make([]string, n)
+	walls := make([]float64, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tc := tr.Start("req")
+			ids[i] = tc.ID()
+			start := time.Now()
+			_, errs[i] = g.Generate(context.Background(),
+				Request{Lane: "t", InputLen: 64, OutputLen: 12, Trace: tc})
+			walls[i] = time.Since(start).Seconds()
+			tc.Finish()
+		}(i)
+	}
+	wg.Wait()
+
+	var preempted int
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		rec, ok := tr.Get(ids[i])
+		if !ok {
+			t.Fatalf("request %d: trace %s not retained", i, ids[i])
+		}
+		for _, s := range rec.Spans {
+			if s.Name == trace.PhasePreempted {
+				preempted++
+				if s.Attrs["cause"] == "" {
+					t.Errorf("request %d: preempted span has no cause attr", i)
+				}
+				break
+			}
+		}
+		sum := tilingSum(rec)
+		if walls[i] < 0.05 {
+			t.Fatalf("request %d: wall %.4fs too small for a meaningful ±5%% check", i, walls[i])
+		}
+		if rel := math.Abs(sum-walls[i]) / walls[i]; rel > 0.05 {
+			t.Errorf("request %d: tiling span sum %.4fs vs wall %.4fs (%.1f%% off)",
+				i, sum, walls[i], rel*100)
+		}
+	}
+	if preempted == 0 {
+		t.Error("no trace carries a preempted span despite an undersized pool")
+	}
+	if got := reg.Counter("gateway_preempted_total", "").Value(); got < 1 {
+		t.Errorf("gateway_preempted_total = %d, want >= 1", got)
+	}
+	if st := gov.Snapshot(); st.Lanes[0].FreeBlocks != st.Lanes[0].TotalBlocks {
+		t.Errorf("pool not fully free after completion: %+v", st.Lanes[0])
+	}
+}
+
+// TestChaosMemPressure is the acceptance drill: a standing mem-pressure
+// rule halves the pool under a 64-client wave. Every request must end in
+// exactly one of {completed (possibly after preemption), shed with a
+// memory-pressure 503, quota-rejected}; nothing may be lost. Deleting the
+// rule must return the gateway to steady state: pool fully free, no
+// shedding, empty queue, and a clean follow-up wave.
+func TestChaosMemPressure(t *testing.T) {
+	inj := faults.New(1)
+	if err := inj.Arm(faults.Rule{Class: faults.MemPressure, Site: "govern.kv", Fraction: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig(inj)
+	cfg.MaxRequeues = 100
+	gov := memGovernor(t, cfg.Registry, 48, func(c *govern.Config) {
+		c.HighWatermark = 0.9
+		c.LowWatermark = 0.5
+	})
+	cfg.Governor = gov
+	g := New(cfg, fixedResolver(fakeCost{pre: 0.002, dec: 0.0002}))
+	defer g.Shutdown(context.Background())
+
+	_, errs := runWave(t, g, chaosClients)
+	var completed, shed int
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			completed++
+		case errors.Is(err, govern.ErrShedding), errors.Is(err, govern.ErrKVExhausted):
+			shed++
+		case errors.Is(err, govern.ErrQuotaExceeded):
+			// An allowed outcome class in general, but this config sets no
+			// quota, so seeing one here is a bug.
+			t.Errorf("request %d: quota rejection without a quota: %v", i, err)
+		default:
+			t.Errorf("request %d: outcome outside the contract: %v", i, err)
+		}
+	}
+	if completed == 0 {
+		t.Error("no request completed under 50% mem pressure")
+	}
+	m := func(name string) uint64 { return cfg.Registry.Counter(name, "").Value() }
+	if got := m("gateway_completed_total") + m("gateway_failed_total") + m("gateway_rejected_total"); got != chaosClients {
+		t.Errorf("outcome counters sum to %d, want exactly %d (lost or double-counted requests)", got, chaosClients)
+	}
+	if got := m("faults_injected_mem_pressure_total"); got != 1 {
+		t.Errorf("faults_injected_mem_pressure_total = %d, want 1 standing condition", got)
+	}
+	t.Logf("pressure wave: %d completed, %d shed, %d preempted",
+		completed, shed, m("gateway_preempted_total"))
+
+	// Delete the fault rule: the next scheduler pass restores the
+	// effective pool, and a full follow-up wave must run clean.
+	inj.Disarm()
+	results, errs := runWave(t, g, chaosClients)
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("recovery wave request %d failed: %v", i, err)
+		} else if results[i].OutputLen != 4 {
+			t.Errorf("recovery wave request %d: truncated result %+v", i, results[i])
+		}
+	}
+	waitFor(t, func() bool {
+		st := gov.Snapshot()
+		return !st.Shedding && len(st.Lanes) == 1 &&
+			st.Lanes[0].FreeBlocks == st.Lanes[0].TotalBlocks &&
+			st.Lanes[0].EffectiveBlocks == st.Lanes[0].TotalBlocks
+	})
+	if g.QueueDepth() != 0 {
+		t.Errorf("queue depth %d after drain, want 0", g.QueueDepth())
+	}
+}
+
+// TestKVQuotaRejectsBurst pins execution with a latched cost model, then
+// bursts one client past its token quota: the overflow must be rejected
+// with ErrQuotaExceeded while another client still gets in, and the quota
+// must free again once the held requests finish.
+func TestKVQuotaRejectsBurst(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cost := &latchCost{fakeCost: fakeCost{pre: 0.001, dec: 0.0001}, ready: make(chan struct{})}
+	// Quota 300 tokens: four 68-token requests (in 64 + out 4) charge 272
+	// and fit; the fifth and sixth from the same client do not.
+	gov := memGovernor(t, reg, 64, func(c *govern.Config) { c.QuotaTokens = 300 })
+	g := New(Config{MaxQueue: 64, MaxBatch: 2, Workers: 1, Registry: reg, Governor: gov},
+		fixedResolver(cost))
+	defer g.Shutdown(context.Background())
+
+	const n = 6
+	errs := make([]error, n)
+	var quotaRejected atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := g.Generate(context.Background(),
+				Request{Lane: "q", Client: "alice", InputLen: 64, OutputLen: 4})
+			errs[i] = err
+			if errors.Is(err, govern.ErrQuotaExceeded) {
+				quotaRejected.Add(1)
+			}
+		}(i)
+	}
+	// Quota is charged at submission and nothing completes while the latch
+	// holds, so the burst settles into exactly 4 admitted + 2 rejected.
+	waitFor(t, func() bool { return quotaRejected.Load() == n-4 })
+	// Another tenant is not affected by alice's exhausted quota.
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Generate(context.Background(),
+			Request{Lane: "q", Client: "bob", InputLen: 64, OutputLen: 4})
+		done <- err
+	}()
+	close(cost.ready)
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("other client rejected during alice's burst: %v", err)
+	}
+	var completed, quota int
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			completed++
+		case errors.Is(err, govern.ErrQuotaExceeded):
+			quota++
+		default:
+			t.Errorf("request %d: unexpected outcome %v", i, err)
+		}
+	}
+	if completed != 4 || quota != n-4 {
+		t.Errorf("outcomes: %d completed, %d quota-rejected; want 4 and %d", completed, quota, n-4)
+	}
+	// The charge is refunded at completion: the client admits again.
+	if _, err := g.Generate(context.Background(),
+		Request{Lane: "q", Client: "alice", InputLen: 64, OutputLen: 4}); err != nil {
+		t.Fatalf("admit after quota refund: %v", err)
+	}
+}
+
+// TestKVConservativeNeverPreempts reserves the full context at admission,
+// so decode can never exhaust the pool: a full wave completes with zero
+// preemptions even though the pool only fits three requests at a time.
+func TestKVConservativeNeverPreempts(t *testing.T) {
+	reg := metrics.NewRegistry()
+	gov := memGovernor(t, reg, 16, func(c *govern.Config) { c.Conservative = true })
+	g := New(Config{MaxQueue: 64, MaxBatch: 8, Workers: 1, Registry: reg, Governor: gov},
+		fixedResolver(fakeCost{pre: 0.002, dec: 0.0002}))
+	defer g.Shutdown(context.Background())
+
+	_, errs := runWave(t, g, 32)
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+		}
+	}
+	if got := reg.Counter("gateway_preempted_total", "").Value(); got != 0 {
+		t.Errorf("conservative admission preempted %d sequences, want 0", got)
+	}
+	if st := gov.Snapshot(); st.Lanes[0].FreeBlocks != st.Lanes[0].TotalBlocks {
+		t.Errorf("pool not fully free after wave: %+v", st.Lanes[0])
+	}
+}
+
+// TestKVNeverFitsRejectedAtSubmission: a context larger than the whole
+// pool is rejected up front with ErrNeverFits instead of deadlocking the
+// lane, and serving continues for normal-sized requests.
+func TestKVNeverFitsRejectedAtSubmission(t *testing.T) {
+	reg := metrics.NewRegistry()
+	gov := memGovernor(t, reg, 8, nil) // 128-token capacity
+	g := New(Config{MaxQueue: 8, MaxBatch: 2, Workers: 1, Registry: reg, Governor: gov},
+		fixedResolver(fakeCost{pre: 0.001, dec: 0.0001}))
+	defer g.Shutdown(context.Background())
+
+	_, err := g.Generate(context.Background(),
+		Request{Lane: "t", InputLen: 256, OutputLen: 8})
+	if !errors.Is(err, govern.ErrNeverFits) {
+		t.Fatalf("oversized context error = %v, want ErrNeverFits", err)
+	}
+	if _, err := g.Generate(context.Background(),
+		Request{Lane: "t", InputLen: 64, OutputLen: 4}); err != nil {
+		t.Fatalf("normal request after never-fits rejection: %v", err)
+	}
+}

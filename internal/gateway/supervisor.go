@@ -55,6 +55,7 @@ const (
 	siteLane    = "lane"
 	sitePrefill = "cost.prefill"
 	siteDecode  = "cost.decode"
+	siteGovern  = "govern.kv"
 )
 
 // breakerState is the classic three-state circuit breaker.
@@ -317,6 +318,10 @@ func (g *Gateway) requeueInflight(l *lane, cause error) {
 	var requeue []*job
 	for _, s := range seqs {
 		j := s.j
+		// A requeued job restarts from prefill, so its KV reservation goes
+		// back to the pool now; the lease (and its quota charge) survives
+		// for readmission.
+		j.lease.ReleaseBlocks()
 		if tr := j.req.Trace; tr != nil {
 			// The cancelled iteration's wall time tiles into a stalled
 			// span, so the requeue round-trip stays visible and the
@@ -378,5 +383,6 @@ func (g *Gateway) quarantineLane(l *lane, now time.Time) {
 // (unlike failJob, it must not touch the in-flight gauge).
 func (g *Gateway) failQueuedJob(j *job, err error) {
 	g.m.failed.Inc()
+	j.lease.Release()
 	j.done <- jobOutcome{err: err}
 }

@@ -1,10 +1,10 @@
 package gateway
 
 // trace_test.go covers the tracing contract of the serving path: the
-// tiling phase spans (queue, batch, prefill, decode, stalled) partition a
-// request's gateway residence so their sum matches measured latency,
-// injected faults surface as tagged spans, and errored traces are
-// retained regardless of the sample rate.
+// tiling phase spans (queue, batch, prefill, decode, stalled, preempted)
+// partition a request's gateway residence so their sum matches measured
+// latency, injected faults surface as tagged spans, and errored traces
+// are retained regardless of the sample rate.
 
 import (
 	"context"
@@ -21,11 +21,12 @@ import (
 // tilingPhases are the span names that partition gateway residence;
 // pricing and admission spans overlap them and are excluded from the sum.
 var tilingPhases = map[string]bool{
-	trace.PhaseQueue:   true,
-	trace.PhaseBatch:   true,
-	trace.PhasePrefill: true,
-	trace.PhaseDecode:  true,
-	trace.PhaseStalled: true,
+	trace.PhaseQueue:     true,
+	trace.PhaseBatch:     true,
+	trace.PhasePrefill:   true,
+	trace.PhaseDecode:    true,
+	trace.PhaseStalled:   true,
+	trace.PhasePreempted: true,
 }
 
 func tilingSum(rec trace.Record) float64 {

@@ -1,0 +1,556 @@
+// Package govern is the live gateway's KV-memory governor. The paper's
+// Fig 7 story (§III) is that KV-cache demand — batch × sequence length —
+// caps serving throughput before compute does; internal/serve models that
+// offline over internal/kvpool. This package brings the same finite-budget
+// discipline to the live serving path: every gateway lane owns a paged
+// kvpool.Pool sized from its platform's memory tiers, requests reserve
+// blocks at admission (conservative full-context or vLLM-style optimistic
+// prompt-only reservation, mirroring serve/preempt.go), and memory
+// exhaustion becomes a first-class, recoverable serving condition instead
+// of silent oversubscription:
+//
+//   - watermark load shedding: above HighWatermark of the effective pool
+//     the lane sheds new admissions with ErrShedding (HTTP 503 +
+//     Retry-After) and recovers below LowWatermark (hysteresis);
+//   - per-client token quotas: one tenant cannot hold more than
+//     QuotaTokens of KV context in flight (ErrQuotaExceeded, HTTP 429);
+//   - preemption accounting for the gateway's evict-youngest-and-recompute
+//     path, exported per lane through the metrics registry;
+//   - a standing mem-pressure hook (SetPressure) the fault injector drives
+//     to shrink a lane's effective pool at runtime.
+package govern
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/kvpool"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// Sentinel errors the API layer maps to HTTP statuses.
+var (
+	// ErrShedding rejects a submission while its lane is above the high
+	// watermark (HTTP 503 + Retry-After; /readyz reports not-ready).
+	ErrShedding = errors.New("govern: KV memory pressure, shedding new work")
+	// ErrQuotaExceeded rejects a submission that would push its client
+	// over the per-client in-flight token quota (HTTP 429 + Retry-After).
+	ErrQuotaExceeded = errors.New("govern: per-client KV token quota exceeded")
+	// ErrNeverFits rejects a request whose full context exceeds the
+	// lane's entire pool — it could never complete, only deadlock or
+	// thrash (HTTP 422).
+	ErrNeverFits = errors.New("govern: request context can never fit the lane's KV pool")
+	// ErrKVExhausted fails a request that was preempted more times than
+	// its requeue budget allows while the pool stayed exhausted
+	// (HTTP 503 + Retry-After).
+	ErrKVExhausted = errors.New("govern: KV pool exhausted, requeue budget spent")
+)
+
+// PoolSpec sizes one lane's KV pool.
+type PoolSpec struct {
+	// Model provides the KV-bytes-per-token geometry.
+	Model model.Config
+	// DType is the cache element type (typically tensor.BF16).
+	DType tensor.DType
+	// BlockSize is the paged-allocation granularity in tokens; 0 takes
+	// DefaultBlockSize.
+	BlockSize int
+	// BudgetBytes is the lane's KV budget, typically the platform's
+	// HBM/DDR capacity minus resident weights.
+	BudgetBytes int64
+}
+
+// DefaultBlockSize is the paged-attention block granularity in tokens.
+const DefaultBlockSize = 16
+
+// SpecResolver maps a lane key to its pool sizing on first use.
+type SpecResolver func(lane string) (PoolSpec, error)
+
+// Config tunes the governor.
+type Config struct {
+	// Specs resolves per-lane pool sizing. Required.
+	Specs SpecResolver
+	// Conservative reserves a request's full context (in + out) at
+	// admission, so decode can never exhaust the pool mid-flight. The
+	// default (false) is vLLM-style optimistic admission: prompt-only
+	// reservation, per-token growth, preemption-by-recompute of the
+	// youngest sequence on exhaustion.
+	Conservative bool
+	// HighWatermark is the effective-pool utilization at or above which a
+	// lane sheds new admissions. Default 0.95.
+	HighWatermark float64
+	// LowWatermark is the utilization at or below which a shedding lane
+	// recovers. Default 0.75.
+	LowWatermark float64
+	// QuotaTokens bounds one client's in-flight KV context (in + out
+	// tokens summed over its unfinished requests) across all lanes.
+	// 0 disables quotas.
+	QuotaTokens int
+	// Registry receives the governor's instruments; a private registry is
+	// created when nil.
+	Registry *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.HighWatermark <= 0 || c.HighWatermark > 1 {
+		c.HighWatermark = 0.95
+	}
+	if c.LowWatermark <= 0 || c.LowWatermark >= c.HighWatermark {
+		c.LowWatermark = 0.75 * c.HighWatermark / 0.95
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return c
+}
+
+// laneState is one lane's pool with its governance bookkeeping.
+type laneState struct {
+	key         string
+	pool        *kvpool.Pool
+	pressure    float64
+	shedding    bool
+	preemptions int
+
+	// Per-lane instruments with delta cursors for the pool's monotonic
+	// counters (the registry has no labels, so names embed the lane key).
+	total, free, effective, shedGauge *metrics.Gauge
+	allocsC, cowC, preemptsC          *metrics.Counter
+	lastAllocs, lastCoW               int
+}
+
+// Governor places every lane of a gateway under a finite KV budget.
+type Governor struct {
+	cfg Config
+
+	mu        sync.Mutex
+	lanes     map[string]*laneState
+	clients   map[string]int // client → in-flight KV tokens
+	shedCount int            // lanes currently shedding
+
+	shedTotal, quotaRejects, preemptTotal *metrics.Counter
+	sheddingLanes, governedLanes          *metrics.Gauge
+}
+
+// New returns a governor. It panics if cfg.Specs is nil — a governor
+// without pool sizing cannot admit anything.
+func New(cfg Config) *Governor {
+	if cfg.Specs == nil {
+		panic("govern: Config.Specs is required")
+	}
+	cfg = cfg.withDefaults()
+	r := cfg.Registry
+	return &Governor{
+		cfg:     cfg,
+		lanes:   map[string]*laneState{},
+		clients: map[string]int{},
+
+		shedTotal:     r.Counter("govern_shed_total", "admissions shed above the KV high watermark (503)"),
+		quotaRejects:  r.Counter("govern_quota_rejected_total", "admissions rejected by per-client token quotas (429)"),
+		preemptTotal:  r.Counter("govern_preemptions_total", "sequences preempted back to the queue on KV exhaustion"),
+		sheddingLanes: r.Gauge("govern_shedding_lanes", "lanes currently above the KV high watermark"),
+		governedLanes: r.Gauge("govern_lanes", "lanes under KV governance"),
+	}
+}
+
+// Conservative reports the admission mode (see Config.Conservative).
+func (g *Governor) Conservative() bool { return g != nil && g.cfg.Conservative }
+
+// Mode names the admission mode for status output.
+func (g *Governor) Mode() string {
+	if g.Conservative() {
+		return "conservative"
+	}
+	return "optimistic"
+}
+
+// AdmitTokens returns how many tokens a lane must reserve at admission
+// for a request: the full context under conservative mode, the prompt
+// only under optimistic mode.
+func (g *Governor) AdmitTokens(in, out int) int {
+	if g.Conservative() {
+		return in + out
+	}
+	return in
+}
+
+// sanitizeMetric maps a lane key onto a Prometheus-legal metric suffix:
+// the flat registry has no label support, so per-lane series embed the
+// lane in the metric name.
+func sanitizeMetric(lane string) string {
+	b := []byte(lane)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// laneLocked resolves (or creates) a lane's governed pool. Callers hold g.mu.
+func (g *Governor) laneLocked(lane string) (*laneState, error) {
+	if ls := g.lanes[lane]; ls != nil {
+		return ls, nil
+	}
+	spec, err := g.cfg.Specs(lane)
+	if err != nil {
+		return nil, err
+	}
+	if spec.BlockSize <= 0 {
+		spec.BlockSize = DefaultBlockSize
+	}
+	pool, err := kvpool.New(spec.Model, spec.DType, spec.BlockSize, spec.BudgetBytes)
+	if err != nil {
+		return nil, fmt.Errorf("govern: sizing lane %s: %w", lane, err)
+	}
+	r := g.cfg.Registry
+	sfx := sanitizeMetric(lane)
+	ls := &laneState{
+		key:       lane,
+		pool:      pool,
+		total:     r.Gauge("govern_kv_blocks_total_"+sfx, "KV pool capacity in blocks, lane "+lane),
+		free:      r.Gauge("govern_kv_blocks_free_"+sfx, "free KV blocks, lane "+lane),
+		effective: r.Gauge("govern_kv_blocks_effective_"+sfx, "usable KV blocks under mem-pressure, lane "+lane),
+		shedGauge: r.Gauge("govern_kv_shedding_"+sfx, "1 while the lane sheds above the high watermark, lane "+lane),
+		allocsC:   r.Counter("govern_kv_allocs_total_"+sfx, "KV block allocations, lane "+lane),
+		cowC:      r.Counter("govern_kv_cow_copies_total_"+sfx, "copy-on-write block copies, lane "+lane),
+		preemptsC: r.Counter("govern_kv_preemptions_total_"+sfx, "sequences preempted on KV exhaustion, lane "+lane),
+	}
+	g.lanes[lane] = ls
+	g.governedLanes.Inc()
+	g.evalLocked(ls)
+	return ls, nil
+}
+
+// evalLocked refreshes a lane's exported pool statistics and applies the
+// watermark hysteresis: utilization of the *effective* (pressure-shrunk)
+// capacity at or above HighWatermark starts shedding; at or below
+// LowWatermark it stops. Callers hold g.mu.
+func (g *Governor) evalLocked(ls *laneState) {
+	st := ls.pool.Stats()
+	ls.total.Set(int64(st.TotalBlocks))
+	ls.free.Set(int64(st.FreeBlocks))
+	ls.effective.Set(int64(st.EffectiveBlocks))
+	if d := st.Allocations - ls.lastAllocs; d > 0 {
+		ls.allocsC.Add(uint64(d))
+		ls.lastAllocs = st.Allocations
+	}
+	if d := st.CoWCopies - ls.lastCoW; d > 0 {
+		ls.cowC.Add(uint64(d))
+		ls.lastCoW = st.CoWCopies
+	}
+
+	used := st.TotalBlocks - st.FreeBlocks
+	util := 1.0 // a zero effective pool is saturated by definition
+	if st.EffectiveBlocks > 0 {
+		util = float64(used) / float64(st.EffectiveBlocks)
+	} else if used == 0 && st.TotalBlocks > 0 {
+		// Nothing held and nothing usable: stay shedding until pressure
+		// lifts, except a lane that never admitted anything.
+		util = 1.0
+	}
+	switch {
+	case !ls.shedding && util >= g.cfg.HighWatermark:
+		ls.shedding = true
+		ls.shedGauge.Set(1)
+		g.shedCount++
+		g.sheddingLanes.Inc()
+	case ls.shedding && util <= g.cfg.LowWatermark:
+		ls.shedding = false
+		ls.shedGauge.Set(0)
+		g.shedCount--
+		g.sheddingLanes.Dec()
+	}
+}
+
+// Admit runs the admission checks for one request and, when they pass,
+// charges the client's quota and returns the request's Lease. The checks,
+// in order: the context must structurally fit the lane's pool
+// (ErrNeverFits), the client must have quota headroom (ErrQuotaExceeded),
+// and the lane must be below its shedding watermark (ErrShedding). A nil
+// governor admits everything with a nil lease.
+func (g *Governor) Admit(lane, client string, in, out int) (*Lease, error) {
+	if g == nil {
+		return nil, nil
+	}
+	if client == "" {
+		client = "anonymous"
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ls, err := g.laneLocked(lane)
+	if err != nil {
+		return nil, err
+	}
+	need := in + out
+	bs := ls.pool.BlockSize()
+	if (need+bs-1)/bs > ls.pool.TotalBlocks() {
+		return nil, fmt.Errorf("%w: lane %s context %d tokens, pool capacity %d",
+			ErrNeverFits, lane, need, ls.pool.TotalBlocks()*bs)
+	}
+	if q := g.cfg.QuotaTokens; q > 0 && g.clients[client]+need > q {
+		g.quotaRejects.Inc()
+		return nil, fmt.Errorf("%w: client %q holds %d tokens in flight, quota %d",
+			ErrQuotaExceeded, client, g.clients[client], q)
+	}
+	g.evalLocked(ls)
+	if ls.shedding {
+		g.shedTotal.Inc()
+		return nil, fmt.Errorf("%w: lane %s", ErrShedding, lane)
+	}
+	g.clients[client] += need
+	return &Lease{g: g, ls: ls, client: client, tokens: need}, nil
+}
+
+// SetPressure applies the fault injector's standing mem-pressure to a
+// lane: frac of the pool's capacity is withheld from allocation. The
+// lane's shedding state re-evaluates immediately in both directions, so
+// deleting the fault rule starts recovery at the next scheduler pass.
+func (g *Governor) SetPressure(lane string, frac float64) {
+	if g == nil {
+		return
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ls := g.lanes[lane]
+	if ls == nil || ls.pressure == frac {
+		return
+	}
+	ls.pressure = frac
+	total := ls.pool.TotalBlocks()
+	ls.pool.SetEffectiveCapacity(total - int(frac*float64(total)))
+	g.evalLocked(ls)
+}
+
+// Shedding reports whether any lane is above its high watermark (for
+// /readyz). Nil-safe.
+func (g *Governor) Shedding() bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.shedCount > 0
+}
+
+// LaneStatus is one lane's governance snapshot.
+type LaneStatus struct {
+	Lane            string  `json:"lane"`
+	BlockSize       int     `json:"block_size"`
+	TotalBlocks     int     `json:"total_blocks"`
+	FreeBlocks      int     `json:"free_blocks"`
+	EffectiveBlocks int     `json:"effective_blocks"`
+	Utilization     float64 `json:"utilization"`
+	Pressure        float64 `json:"pressure,omitempty"`
+	Shedding        bool    `json:"shedding,omitempty"`
+	Allocations     int     `json:"allocations"`
+	CoWCopies       int     `json:"cow_copies"`
+	Preemptions     int     `json:"preemptions"`
+}
+
+// Status is the governor's observable state (GET /v1/kv).
+type Status struct {
+	Mode          string         `json:"mode"`
+	HighWatermark float64        `json:"high_watermark"`
+	LowWatermark  float64        `json:"low_watermark"`
+	Shedding      bool           `json:"shedding"`
+	QuotaTokens   int            `json:"quota_tokens_per_client,omitempty"`
+	Clients       map[string]int `json:"clients_in_flight,omitempty"`
+	Lanes         []LaneStatus   `json:"lanes"`
+}
+
+// Snapshot returns the current per-lane pool state, lanes sorted by key.
+func (g *Governor) Snapshot() Status {
+	if g == nil {
+		return Status{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := Status{
+		Mode:          g.Mode(),
+		HighWatermark: g.cfg.HighWatermark,
+		LowWatermark:  g.cfg.LowWatermark,
+		Shedding:      g.shedCount > 0,
+		QuotaTokens:   g.cfg.QuotaTokens,
+		Lanes:         make([]LaneStatus, 0, len(g.lanes)),
+	}
+	if len(g.clients) > 0 {
+		st.Clients = make(map[string]int, len(g.clients))
+		for c, t := range g.clients {
+			st.Clients[c] = t
+		}
+	}
+	for _, ls := range g.lanes {
+		ps := ls.pool.Stats()
+		used := ps.TotalBlocks - ps.FreeBlocks
+		var util float64
+		if ps.EffectiveBlocks > 0 {
+			util = float64(used) / float64(ps.EffectiveBlocks)
+		} else if used > 0 {
+			util = 1
+		}
+		st.Lanes = append(st.Lanes, LaneStatus{
+			Lane: ls.key, BlockSize: ls.pool.BlockSize(),
+			TotalBlocks: ps.TotalBlocks, FreeBlocks: ps.FreeBlocks,
+			EffectiveBlocks: ps.EffectiveBlocks, Utilization: util,
+			Pressure: ls.pressure, Shedding: ls.shedding,
+			Allocations: ps.Allocations, CoWCopies: ps.CoWCopies,
+			Preemptions: ls.preemptions,
+		})
+	}
+	sort.Slice(st.Lanes, func(a, b int) bool { return st.Lanes[a].Lane < st.Lanes[b].Lane })
+	return st
+}
+
+// Lease is one admitted request's claim on its lane's pool and its
+// client's quota. The gateway's lane scheduler drives it: Reserve at lane
+// admission, Grow per decoded token (optimistic mode), Preempt or
+// ReleaseBlocks when the sequence is evicted back to the queue, Release
+// exactly once when the request reaches any terminal outcome. All methods
+// are nil-safe and Release is idempotent, so every gateway exit path may
+// call it unconditionally.
+type Lease struct {
+	g      *Governor
+	ls     *laneState
+	client string
+	tokens int
+
+	mu       sync.Mutex
+	alloc    *kvpool.Sequence
+	released bool
+}
+
+// note re-evaluates the lane's watermarks and stats after a pool change.
+func (l *Lease) note() {
+	l.g.mu.Lock()
+	l.g.evalLocked(l.ls)
+	l.g.mu.Unlock()
+}
+
+// Reserve allocates blocks for tokens of context (the prompt, or the full
+// context under conservative admission). On exhaustion it returns
+// kvpool.ErrOutOfBlocks with nothing held.
+func (l *Lease) Reserve(tokens int) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	if l.released {
+		l.mu.Unlock()
+		return fmt.Errorf("govern: reserve on a released lease")
+	}
+	if l.alloc != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("govern: lease already holds a reservation")
+	}
+	s := l.ls.pool.NewSequence()
+	err := s.Append(tokens)
+	if err == nil {
+		l.alloc = s
+	}
+	l.mu.Unlock()
+	l.note()
+	return err
+}
+
+// Grow extends the reservation by n tokens (one per decode step under
+// optimistic admission). A failed grow holds what it held before.
+func (l *Lease) Grow(n int) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	if l.alloc == nil {
+		l.mu.Unlock()
+		return fmt.Errorf("govern: grow without a reservation")
+	}
+	err := l.alloc.Append(n)
+	l.mu.Unlock()
+	l.note()
+	return err
+}
+
+// Held reports whether the lease currently holds blocks.
+func (l *Lease) Held() bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.alloc != nil
+}
+
+// releaseBlocks frees the reservation, keeping the lease (and its quota
+// charge) alive for readmission.
+func (l *Lease) releaseBlocks() {
+	l.mu.Lock()
+	if l.alloc != nil {
+		_ = l.alloc.Free()
+		l.alloc = nil
+	}
+	l.mu.Unlock()
+	l.note()
+}
+
+// ReleaseBlocks frees the reservation without a terminal outcome — the
+// watchdog-requeue path, where the request restarts from prefill later.
+func (l *Lease) ReleaseBlocks() {
+	if l == nil {
+		return
+	}
+	l.releaseBlocks()
+}
+
+// Preempt frees the reservation and counts a preemption — the
+// KV-exhaustion eviction path (recompute on readmission).
+func (l *Lease) Preempt() {
+	if l == nil {
+		return
+	}
+	l.releaseBlocks()
+	l.g.mu.Lock()
+	l.ls.preemptions++
+	l.ls.preemptsC.Inc()
+	l.g.preemptTotal.Inc()
+	l.g.mu.Unlock()
+}
+
+// Release frees the reservation and refunds the client's quota. It is
+// idempotent; every terminal path of the gateway calls it.
+func (l *Lease) Release() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.released {
+		l.mu.Unlock()
+		return
+	}
+	l.released = true
+	if l.alloc != nil {
+		_ = l.alloc.Free()
+		l.alloc = nil
+	}
+	l.mu.Unlock()
+
+	l.g.mu.Lock()
+	if rem := l.g.clients[l.client] - l.tokens; rem > 0 {
+		l.g.clients[l.client] = rem
+	} else {
+		delete(l.g.clients, l.client)
+	}
+	l.g.evalLocked(l.ls)
+	l.g.mu.Unlock()
+}

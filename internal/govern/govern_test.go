@@ -1,0 +1,187 @@
+package govern
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kvpool"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// specFor returns a resolver sizing every lane to exactly blocks blocks of
+// blockSize tokens over the tiny OPT shape.
+func specFor(blocks, blockSize int) SpecResolver {
+	m := model.Tiny(model.OPT)
+	per := m.KVBytesPerTokenPerLayer(tensor.BF16) * int64(m.Layers) * int64(blockSize)
+	return func(lane string) (PoolSpec, error) {
+		return PoolSpec{Model: m, DType: tensor.BF16, BlockSize: blockSize,
+			BudgetBytes: per * int64(blocks)}, nil
+	}
+}
+
+func TestAdmitNeverFits(t *testing.T) {
+	g := New(Config{Specs: specFor(4, 16), Registry: metrics.NewRegistry()})
+	// 4 blocks × 16 tokens = 64-token capacity; a 100-token context can
+	// never complete.
+	if _, err := g.Admit("l", "c", 90, 10); !errors.Is(err, ErrNeverFits) {
+		t.Fatalf("Admit(100 tokens into 64-token pool) = %v, want ErrNeverFits", err)
+	}
+	// Exactly at capacity is admissible.
+	lease, err := g.Admit("l", "c", 54, 10)
+	if err != nil {
+		t.Fatalf("Admit(64 tokens) failed: %v", err)
+	}
+	lease.Release()
+}
+
+func TestAdmitQuota(t *testing.T) {
+	g := New(Config{Specs: specFor(64, 16), QuotaTokens: 100,
+		Registry: metrics.NewRegistry()})
+	first, err := g.Admit("l", "alice", 60, 20) // 80 in flight
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if _, err := g.Admit("l", "alice", 30, 10); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota admit = %v, want ErrQuotaExceeded", err)
+	}
+	// Quotas are per client: another tenant is unaffected.
+	other, err := g.Admit("l", "bob", 30, 10)
+	if err != nil {
+		t.Fatalf("other client admit: %v", err)
+	}
+	other.Release()
+	// Releasing refunds the charge, reopening headroom.
+	first.Release()
+	lease, err := g.Admit("l", "alice", 30, 10)
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	lease.Release()
+	first.Release() // idempotent: must not double-refund
+	if _, err := g.Admit("l", "alice", 60, 40); err != nil {
+		t.Fatalf("quota accounting drifted after double release: %v", err)
+	}
+}
+
+func TestWatermarkHysteresis(t *testing.T) {
+	g := New(Config{Specs: specFor(10, 16), HighWatermark: 0.8, LowWatermark: 0.4,
+		Registry: metrics.NewRegistry()})
+	hold, err := g.Admit("l", "c", 100, 28) // fits: 128 tokens = 8 blocks
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if err := hold.Reserve(128); err != nil { // 8 of 10 blocks: util 0.8
+		t.Fatalf("reserve: %v", err)
+	}
+	if !g.Shedding() {
+		t.Fatal("not shedding at util 0.8 with high watermark 0.8")
+	}
+	if _, err := g.Admit("l", "c2", 16, 16); !errors.Is(err, ErrShedding) {
+		t.Fatalf("admit while shedding = %v, want ErrShedding", err)
+	}
+	// Hysteresis: recovery needs util <= low, and releasing everything
+	// gets there.
+	hold.Release()
+	if g.Shedding() {
+		t.Fatal("still shedding after pool drained below low watermark")
+	}
+	lease, err := g.Admit("l", "c2", 16, 16)
+	if err != nil {
+		t.Fatalf("admit after recovery: %v", err)
+	}
+	lease.Release()
+}
+
+func TestSetPressureShrinksAndRecovers(t *testing.T) {
+	g := New(Config{Specs: specFor(10, 16), HighWatermark: 0.8, LowWatermark: 0.5,
+		Registry: metrics.NewRegistry()})
+	hold, err := g.Admit("l", "c", 48, 16) // 64 tokens = 4 blocks
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if err := hold.Reserve(64); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	if g.Shedding() {
+		t.Fatal("shedding at util 0.4")
+	}
+	// 80% pressure withholds 8 of 10 blocks: 4 used of 2 effective.
+	g.SetPressure("l", 0.8)
+	if !g.Shedding() {
+		t.Fatal("not shedding with effective capacity below current usage")
+	}
+	st := g.Snapshot()
+	if len(st.Lanes) != 1 || st.Lanes[0].EffectiveBlocks != 2 || !st.Lanes[0].Shedding {
+		t.Fatalf("snapshot under pressure: %+v", st.Lanes)
+	}
+	// A grow beyond the effective cap must fail even with free blocks.
+	if err := hold.Grow(64); !errors.Is(err, kvpool.ErrOutOfBlocks) {
+		t.Fatalf("grow under pressure = %v, want ErrOutOfBlocks", err)
+	}
+	// Lifting the pressure recovers: util back to 4/10 <= 0.5.
+	g.SetPressure("l", 0)
+	if g.Shedding() {
+		t.Fatal("still shedding after pressure lifted")
+	}
+	hold.Release()
+	if st := g.Snapshot(); st.Lanes[0].FreeBlocks != st.Lanes[0].TotalBlocks {
+		t.Fatalf("pool not fully free after release: %+v", st.Lanes[0])
+	}
+}
+
+func TestLeasePreemptReleasesBlocksKeepsQuota(t *testing.T) {
+	g := New(Config{Specs: specFor(8, 16), QuotaTokens: 200,
+		Registry: metrics.NewRegistry()})
+	lease, err := g.Admit("l", "c", 64, 36)
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if err := lease.Reserve(64); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	lease.Preempt()
+	if lease.Held() {
+		t.Fatal("lease still holds blocks after preemption")
+	}
+	st := g.Snapshot()
+	if st.Lanes[0].FreeBlocks != st.Lanes[0].TotalBlocks {
+		t.Fatalf("blocks not returned on preempt: %+v", st.Lanes[0])
+	}
+	if st.Lanes[0].Preemptions != 1 {
+		t.Fatalf("preemptions = %d, want 1", st.Lanes[0].Preemptions)
+	}
+	// The quota charge survives preemption (the request is still live):
+	// the client holds 100 of 200, so 120 more must be rejected.
+	if _, err := g.Admit("l", "c", 100, 20); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("quota dropped across preemption: %v", err)
+	}
+	// Readmission re-reserves on the same lease.
+	if err := lease.Reserve(64); err != nil {
+		t.Fatalf("re-reserve after preempt: %v", err)
+	}
+	lease.Release()
+	if _, ok := g.Snapshot().Clients["c"]; ok {
+		t.Fatal("client quota entry not cleared after terminal release")
+	}
+}
+
+func TestAdmitTokensByMode(t *testing.T) {
+	opt := New(Config{Specs: specFor(8, 16), Registry: metrics.NewRegistry()})
+	if got := opt.AdmitTokens(100, 28); got != 100 {
+		t.Errorf("optimistic AdmitTokens = %d, want prompt-only 100", got)
+	}
+	cons := New(Config{Specs: specFor(8, 16), Conservative: true,
+		Registry: metrics.NewRegistry()})
+	if got := cons.AdmitTokens(100, 28); got != 128 {
+		t.Errorf("conservative AdmitTokens = %d, want full context 128", got)
+	}
+	var nilGov *Governor
+	if nilGov.Conservative() || nilGov.Shedding() {
+		t.Error("nil governor must report no mode and no shedding")
+	}
+	if lease, err := nilGov.Admit("l", "c", 1, 1); lease != nil || err != nil {
+		t.Errorf("nil governor Admit = (%v, %v), want (nil, nil)", lease, err)
+	}
+}

@@ -9,6 +9,7 @@ package kvpool
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/model"
 	"repro/internal/tensor"
@@ -17,13 +18,22 @@ import (
 // Pool manages a fixed budget of KV-cache blocks. A block holds BlockSize
 // token positions of K and V for every layer of the model. Blocks are
 // reference-counted so sequences can share prefix blocks copy-on-write.
+//
+// A Pool is safe for concurrent use: sequences owned by different
+// goroutines may allocate, fork and free against the same pool (the live
+// gateway's lanes and beam-search workers do exactly that). An individual
+// Sequence remains single-owner — two goroutines must not Append to or
+// Free the same Sequence concurrently.
 type Pool struct {
 	cfg       model.Config
 	dt        tensor.DType
 	blockSize int
 	total     int
-	refs      []int // refcount per block; 0 = free
-	freeList  []int
+
+	mu       sync.Mutex
+	limit    int   // usable-block cap; < total under memory pressure
+	refs     []int // refcount per block; 0 = free
+	freeList []int
 
 	allocs    int // statistics
 	cowCopies int
@@ -33,6 +43,9 @@ type Pool struct {
 func (p *Pool) BytesPerBlock() int64 {
 	return p.cfg.KVBytesPerTokenPerLayer(p.dt) * int64(p.cfg.Layers) * int64(p.blockSize)
 }
+
+// BlockSize returns the block granularity in token positions.
+func (p *Pool) BlockSize() int { return p.blockSize }
 
 // New sizes a pool for a model under a memory budget.
 func New(cfg model.Config, dt tensor.DType, blockSize int, budgetBytes int64) (*Pool, error) {
@@ -48,6 +61,7 @@ func New(cfg model.Config, dt tensor.DType, blockSize int, budgetBytes int64) (*
 		return nil, fmt.Errorf("kvpool: budget %d below one block (%d)", budgetBytes, per)
 	}
 	p.total = int(budgetBytes / per)
+	p.limit = p.total
 	p.refs = make([]int, p.total)
 	p.freeList = make([]int, p.total)
 	for i := range p.freeList {
@@ -60,18 +74,63 @@ func New(cfg model.Config, dt tensor.DType, blockSize int, budgetBytes int64) (*
 func (p *Pool) TotalBlocks() int { return p.total }
 
 // FreeBlocks returns the currently unallocated block count.
-func (p *Pool) FreeBlocks() int { return len(p.freeList) }
+func (p *Pool) FreeBlocks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.freeList)
+}
+
+// SetEffectiveCapacity caps the usable blocks at n, clamped to [0, total].
+// Blocks already allocated beyond the cap stay allocated; new allocations
+// fail with ErrOutOfBlocks until usage falls under the cap again. This is
+// the mem-pressure fault injector's hook: shrinking the effective pool at
+// runtime models a co-tenant eating the platform's memory.
+func (p *Pool) SetEffectiveCapacity(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > p.total {
+		n = p.total
+	}
+	p.mu.Lock()
+	p.limit = n
+	p.mu.Unlock()
+}
+
+// EffectiveBlocks returns the current usable-block cap (total when no
+// pressure is applied).
+func (p *Pool) EffectiveBlocks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.limit
+}
 
 // Utilization returns the fraction of blocks in use.
 func (p *Pool) Utilization() float64 {
 	if p.total == 0 {
 		return 0
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return 1 - float64(len(p.freeList))/float64(p.total)
 }
 
-func (p *Pool) allocBlock() (int, error) {
-	if len(p.freeList) == 0 {
+// availableLocked returns how many blocks may be allocated right now:
+// the free list, further capped by the effective-capacity limit.
+func (p *Pool) availableLocked() int {
+	used := p.total - len(p.freeList)
+	avail := p.limit - used
+	if avail < 0 {
+		avail = 0
+	}
+	if avail > len(p.freeList) {
+		avail = len(p.freeList)
+	}
+	return avail
+}
+
+func (p *Pool) allocBlockLocked() (int, error) {
+	if p.availableLocked() == 0 {
 		return 0, ErrOutOfBlocks
 	}
 	id := p.freeList[len(p.freeList)-1]
@@ -81,7 +140,7 @@ func (p *Pool) allocBlock() (int, error) {
 	return id, nil
 }
 
-func (p *Pool) releaseBlock(id int) {
+func (p *Pool) releaseBlockLocked(id int) {
 	p.refs[id]--
 	if p.refs[id] < 0 {
 		panic(fmt.Sprintf("kvpool: double free of block %d", id))
@@ -112,20 +171,23 @@ func (p *Pool) NewSequence() *Sequence {
 // as needed. On exhaustion it returns ErrOutOfBlocks with the sequence
 // unchanged.
 func (s *Sequence) Append(n int) error {
-	if s.freed {
-		return fmt.Errorf("kvpool: append to freed sequence")
-	}
 	if n < 0 {
 		return fmt.Errorf("kvpool: negative append %d", n)
 	}
+	p := s.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s.freed {
+		return fmt.Errorf("kvpool: append to freed sequence")
+	}
 	needTokens := s.tokens + n
-	needBlocks := (needTokens + s.pool.blockSize - 1) / s.pool.blockSize
+	needBlocks := (needTokens + p.blockSize - 1) / p.blockSize
 	add := needBlocks - len(s.blocks)
-	if add > s.pool.FreeBlocks() {
+	if add > p.availableLocked() {
 		return ErrOutOfBlocks
 	}
 	for i := 0; i < add; i++ {
-		id, err := s.pool.allocBlock()
+		id, err := p.allocBlockLocked()
 		if err != nil {
 			return err // unreachable given the precheck, kept for safety
 		}
@@ -136,7 +198,11 @@ func (s *Sequence) Append(n int) error {
 }
 
 // Tokens returns the sequence's current length in tokens.
-func (s *Sequence) Tokens() int { return s.tokens }
+func (s *Sequence) Tokens() int {
+	s.pool.mu.Lock()
+	defer s.pool.mu.Unlock()
+	return s.tokens
+}
 
 // Blocks returns the sequence's block table (not to be modified).
 func (s *Sequence) Blocks() []int { return s.blocks }
@@ -144,6 +210,8 @@ func (s *Sequence) Blocks() []int { return s.blocks }
 // WastedSlots returns reserved-but-unused token positions in the last
 // block — paged allocation's only internal fragmentation.
 func (s *Sequence) WastedSlots() int {
+	s.pool.mu.Lock()
+	defer s.pool.mu.Unlock()
 	if len(s.blocks) == 0 {
 		return 0
 	}
@@ -152,16 +220,21 @@ func (s *Sequence) WastedSlots() int {
 
 // Fork creates a copy-on-write child sharing every block (prefix sharing
 // for beam search or common system prompts). The child starts at the same
-// token length; diverging appends allocate fresh blocks.
+// token length; diverging appends allocate fresh blocks. Multiple
+// goroutines may Fork the same parent concurrently as long as none of
+// them mutates it at the same time.
 func (s *Sequence) Fork() (*Sequence, error) {
+	p := s.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if s.freed {
 		return nil, fmt.Errorf("kvpool: fork of freed sequence")
 	}
 	for _, id := range s.blocks {
-		s.pool.refs[id]++
+		p.refs[id]++
 	}
 	child := &Sequence{
-		pool:   s.pool,
+		pool:   p,
 		blocks: append([]int(nil), s.blocks...),
 		tokens: s.tokens,
 	}
@@ -172,6 +245,9 @@ func (s *Sequence) Fork() (*Sequence, error) {
 // (ref > 1), it is copied first (copy-on-write) so siblings keep their
 // version; the method returns whether a copy happened.
 func (s *Sequence) WriteLast() (copied bool, err error) {
+	p := s.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if s.freed {
 		return false, fmt.Errorf("kvpool: write to freed sequence")
 	}
@@ -180,26 +256,29 @@ func (s *Sequence) WriteLast() (copied bool, err error) {
 	}
 	last := len(s.blocks) - 1
 	id := s.blocks[last]
-	if s.pool.refs[id] == 1 {
+	if p.refs[id] == 1 {
 		return false, nil
 	}
-	fresh, err := s.pool.allocBlock()
+	fresh, err := p.allocBlockLocked()
 	if err != nil {
 		return false, err
 	}
-	s.pool.releaseBlock(id) // drop our shared reference
+	p.releaseBlockLocked(id) // drop our shared reference
 	s.blocks[last] = fresh
-	s.pool.cowCopies++
+	p.cowCopies++
 	return true, nil
 }
 
 // Free releases every block reference. Double frees are rejected.
 func (s *Sequence) Free() error {
+	p := s.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if s.freed {
 		return fmt.Errorf("kvpool: double free of sequence")
 	}
 	for _, id := range s.blocks {
-		s.pool.releaseBlock(id)
+		p.releaseBlockLocked(id)
 	}
 	s.blocks = nil
 	s.freed = true
@@ -209,15 +288,19 @@ func (s *Sequence) Free() error {
 // Stats summarizes pool activity.
 type Stats struct {
 	TotalBlocks, FreeBlocks int
+	EffectiveBlocks         int
 	Allocations             int
 	CoWCopies               int
 }
 
 // Stats returns a snapshot.
 func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return Stats{
 		TotalBlocks: p.total, FreeBlocks: len(p.freeList),
-		Allocations: p.allocs, CoWCopies: p.cowCopies,
+		EffectiveBlocks: p.limit,
+		Allocations:     p.allocs, CoWCopies: p.cowCopies,
 	}
 }
 

@@ -1,6 +1,7 @@
 package kvpool
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -261,6 +262,85 @@ func TestBlockAccountingProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentForkCoW is the beam-search race drill, meaningful under
+// -race: many goroutines concurrently fork the same prefilled root (an
+// unmutated parent may be forked concurrently per the Sequence contract),
+// then diverge on their private children — CoW-writing the shared tail,
+// appending, and freeing — while readers hammer the pool's stats. Block
+// accounting must balance exactly when everyone is done.
+func TestConcurrentForkCoW(t *testing.T) {
+	const beams = 16
+	p := newPool(t, 40)
+	root := p.NewSequence()
+	if err := root.Append(20); err != nil { // 2 blocks, tail half-full
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = p.Stats()
+				_ = p.FreeBlocks()
+				_ = p.Utilization()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, beams)
+	for i := 0; i < beams; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			child, err := root.Fork()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			// First write lands on the shared tail block and must copy;
+			// subsequent growth and writes are private to this beam.
+			if _, err := child.WriteLast(); err != nil {
+				errCh <- err
+				return
+			}
+			if err := child.Append(16); err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := child.WriteLast(); err != nil {
+				errCh <- err
+				return
+			}
+			errCh <- child.Free()
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	for i := 0; i < beams; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatalf("beam %d: %v", i, err)
+		}
+	}
+	st := p.Stats()
+	if st.CoWCopies != beams {
+		t.Errorf("CoW copies = %d, want %d (one per beam's first shared-tail write)", st.CoWCopies, beams)
+	}
+	if err := root.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeBlocks() != p.TotalBlocks() {
+		t.Errorf("block accounting drifted: free=%d total=%d", p.FreeBlocks(), p.TotalBlocks())
 	}
 }
 

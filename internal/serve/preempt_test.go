@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"math/rand"
 	"testing"
+	"testing/quick"
 
 	"repro/internal/workload"
 )
@@ -91,6 +93,54 @@ func TestOptimisticMatchesConservativeWhenAmple(t *testing.T) {
 		if a[i].Finish != b[i].Finish {
 			t.Fatalf("request %d: %.3f vs %.3f", i, a[i].Finish, b[i].Finish)
 		}
+	}
+}
+
+// TestOptimisticCompletionProperty: for any trace of requests that each
+// individually fit the pool, optimistic Run terminates (no deadlock or
+// livelock from preemption churn), completes every request exactly once
+// with sane metrics, and returns every block to the pool.
+func TestOptimisticCompletionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := optServer(t, 3, true) // 3 × 48 tokens = 144-token capacity
+		capacity := s.Pool.TotalBlocks() * s.Pool.BlockSize()
+		n := 1 + rng.Intn(20)
+		trace := make([]workload.Request, n)
+		var clock float64
+		for i := range trace {
+			in := 1 + rng.Intn(capacity-1)
+			out := 1 + rng.Intn(capacity-in)
+			clock += rng.Float64() * 0.05
+			trace[i] = workload.Request{ID: i, InputLen: in, OutputLen: out,
+				ArrivalSeconds: clock}
+		}
+		cs, err := s.Run(trace)
+		if err != nil {
+			t.Logf("seed %d: run failed: %v", seed, err)
+			return false
+		}
+		if len(cs) != n {
+			t.Logf("seed %d: completed %d of %d", seed, len(cs), n)
+			return false
+		}
+		seen := map[int]bool{}
+		for _, c := range cs {
+			if seen[c.Request.ID] || c.E2E < 0 || c.TTFT < 0 || c.Finish < c.Request.ArrivalSeconds {
+				t.Logf("seed %d: bad completion %+v (dup=%v)", seed, c, seen[c.Request.ID])
+				return false
+			}
+			seen[c.Request.ID] = true
+		}
+		if s.Pool.FreeBlocks() != s.Pool.TotalBlocks() {
+			t.Logf("seed %d: leaked blocks (%d free of %d)", seed,
+				s.Pool.FreeBlocks(), s.Pool.TotalBlocks())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
 	}
 }
 

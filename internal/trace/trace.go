@@ -38,11 +38,12 @@ const (
 	PhasePricing   = "pricing"   // wall time inside the cost model / engine
 	PhaseHandler   = "handler"   // whole HTTP handler (API middleware)
 	PhaseStalled   = "stalled"   // watchdog-cancelled iteration before requeue
+	PhasePreempted = "preempted" // KV-evicted execution before requeue (recompute)
 )
 
 // PhaseOrder is the canonical rendering order for phase breakdowns.
 var PhaseOrder = []string{PhaseAdmission, PhaseQueue, PhaseBatch,
-	PhasePrefill, PhaseDecode, PhasePricing}
+	PhasePrefill, PhaseDecode, PhasePreempted, PhasePricing}
 
 // Counters are the per-span hardware-counter analogs, mirroring the
 // subset of internal/counters.Report the paper's figures analyze.
