@@ -2,8 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build vet test check chaos bench figures scorecard examples \
-        trace-demo memdemo clean
+.PHONY: all build vet test check chaos bench bench-decode bench-decode-short \
+        figures scorecard examples trace-demo memdemo clean
 
 all: build vet test
 
@@ -60,9 +60,20 @@ memdemo:
 	curl -s -o /dev/null -w "readyz: HTTP %{http_code}\n" "http://$(MEMDEMO_ADDR)/readyz"; \
 	kill $$pid; wait $$pid 2>/dev/null; exit $$st
 
-# One benchmark per paper table/figure plus kernel/engine/ablation benches.
-bench:
+# One benchmark per paper table/figure plus kernel/engine/ablation benches,
+# then the decode-batching sweep (per-seq GEMV loop vs fused batch GEMM),
+# which seeds the perf trajectory artifact BENCH_decode.json.
+bench: bench-decode
 	$(GO) test -bench=. -benchmem ./...
+
+# Prefill/decode tok/s at several batch sizes, fused vs per-sequence
+# baseline, plus the decode-shape kernel sweep. Writes BENCH_decode.json.
+bench-decode:
+	$(GO) run ./cmd/gemmbench -decode -json BENCH_decode.json
+
+# CI-sized variant: smaller shapes, fewer reps, still writes the artifact.
+bench-decode-short:
+	$(GO) run ./cmd/gemmbench -decode -short -json BENCH_decode.json
 
 # Regenerate every table and figure of the evaluation as text.
 figures:

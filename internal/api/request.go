@@ -15,11 +15,14 @@ import (
 	"strconv"
 	"strings"
 
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gateway"
 	"repro/internal/govern"
 	"repro/internal/hw"
+	"repro/internal/kernels"
 	"repro/internal/memsim"
 	"repro/internal/model"
 	"repro/internal/serve"
@@ -262,6 +265,20 @@ func (req *GenerateRequest) normalize() error {
 	return nil
 }
 
+// lanePool is the single persistent worker pool shared by every tiny-*
+// lane engine: gateway lanes run concurrently, and giving each engine a
+// private pool would oversubscribe the cores the paper's thread-scaling
+// curves show matter (one worker set per socket, not per model).
+var (
+	lanePool     *kernels.Pool
+	lanePoolOnce sync.Once
+)
+
+func sharedLanePool() *kernels.Pool {
+	lanePoolOnce.Do(func() { lanePool = kernels.NewPool(0) })
+	return lanePool
+}
+
 // LaneResolver builds serve cost models from canonical lane keys. It is
 // the gateway's bridge back into the simulation substrates: analytic
 // platform models for the paper's evaluation hardware, and the real
@@ -278,8 +295,8 @@ func LaneResolver() gateway.Resolver {
 			return nil, fmt.Errorf("api: malformed lane cores in %q", lane)
 		}
 		if strings.HasPrefix(platform, "tiny-") {
-			eng, err := core.TinyEngine(strings.TrimPrefix(platform, "tiny-"),
-				engine.KernelTileBF16Parallel)
+			eng, err := core.TinyEngineWith(strings.TrimPrefix(platform, "tiny-"),
+				engine.Options{Kernel: engine.KernelTileBF16Parallel, Pool: sharedLanePool()})
 			if err != nil {
 				return nil, err
 			}

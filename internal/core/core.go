@@ -120,6 +120,13 @@ func ExperimentByKey(key string) (Experiment, error) { return experiments.ByKey(
 // TinyEngine builds a runnable miniature functional engine of the given
 // family ("opt" or "llama"), with deterministic random BF16 weights.
 func TinyEngine(family string, kernel engine.Kernel) (*engine.Engine, error) {
+	return TinyEngineWith(family, engine.Options{Kernel: kernel})
+}
+
+// TinyEngineWith is TinyEngine with full Options control — callers can
+// share a kernels.Pool across engines (gateway lanes), disable weight
+// packing for baseline measurements, or attach hooks.
+func TinyEngineWith(family string, opts engine.Options) (*engine.Engine, error) {
 	var f model.Family
 	switch family {
 	case "opt":
@@ -133,10 +140,10 @@ func TinyEngine(family string, kernel engine.Kernel) (*engine.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if kernel == engine.KernelInt8 {
+	if opts.Kernel == engine.KernelInt8 {
 		w.QuantizeAll()
 	}
-	return engine.New(w, engine.Options{Kernel: kernel})
+	return engine.New(w, opts)
 }
 
 // Prompt samples a deterministic random prompt for an engine.

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"repro/internal/kernels"
+)
+
+// arena is per-Session scratch for the fused batch decode path. Every
+// buffer is grow-only and reused across decode steps, so steady-state
+// decode performs zero per-token heap allocations — the paper's decode
+// phase is memory-bandwidth-bound, and allocator traffic plus GC pressure
+// on top of it is pure overhead. The arena also owns the reusable packed
+// GEMM dispatch state (job) and the attention fan-out descriptor (attn),
+// keeping pool dispatch allocation-free too.
+type arena struct {
+	x      []float32 // [batch, d] residual stream
+	h      []float32 // [batch, d] normed hidden
+	q      []float32 // [batch, d] query projection
+	k      []float32 // [batch, kvDim]
+	v      []float32 // [batch, kvDim]
+	att    []float32 // [batch, d] attention output
+	proj   []float32 // [batch, d] output projection
+	up     []float32 // [batch, dff]
+	gate   []float32 // [batch, dff]
+	logits []float32 // [batch, vocab] — the reused logits view DecodeStep returns
+	scores []float32 // [batch, ctxCap] attention score scratch
+	accs   []float64 // [batch, headDim] flash-attention accumulators
+	xq     []int8    // [max(d,dff)] per-row int8 activation scratch
+	next   []int     // [batch] sampled tokens, reused view
+
+	batch  int
+	ctxCap int
+
+	job  kernels.PackedJob
+	attn attnJob
+}
+
+// ensure sizes the arena for a batch of the given size attending over at
+// most ctxCap positions. Sizing scores to the KV cache *capacity* (not the
+// current context) means no buffer grows as decode advances.
+func (ar *arena) ensure(e *Engine, batch, ctxCap int) {
+	if batch <= ar.batch && ctxCap <= ar.ctxCap {
+		return
+	}
+	if batch < ar.batch {
+		batch = ar.batch
+	}
+	if ctxCap < ar.ctxCap {
+		ctxCap = ar.ctxCap
+	}
+	d, kvDim, dff := e.cfg.DModel, e.cfg.KVDim(), e.cfg.DFF
+	ar.x = make([]float32, batch*d)
+	ar.h = make([]float32, batch*d)
+	ar.q = make([]float32, batch*d)
+	ar.k = make([]float32, batch*kvDim)
+	ar.v = make([]float32, batch*kvDim)
+	ar.att = make([]float32, batch*d)
+	ar.proj = make([]float32, batch*d)
+	ar.up = make([]float32, batch*dff)
+	ar.gate = make([]float32, batch*dff)
+	ar.logits = make([]float32, batch*e.cfg.Vocab)
+	ar.scores = make([]float32, batch*ctxCap)
+	ar.accs = make([]float64, batch*e.cfg.HeadDim())
+	n := d
+	if dff > n {
+		n = dff
+	}
+	ar.xq = make([]int8, n)
+	ar.next = make([]int, batch)
+	ar.batch, ar.ctxCap = batch, ctxCap
+}
+
+// attnJob fans causal attention for one decode step out over the worker
+// pool: the batched linear layers run as fused GEMMs, but attention stays
+// per-KV-cache (each sequence reads its own cache), so the B independent
+// single-row attentions are the natural parallel unit.
+type attnJob struct {
+	e      *Engine
+	caches []KVStore
+	layer  int
+	pos    int
+	q      []float32 // [batch, d]
+	att    []float32 // [batch, d]
+	scores []float32 // [batch, ctxCap]
+	accs   []float64 // [batch, headDim]
+	ctxCap int
+}
+
+// RunPart implements kernels.Task: part b computes attention for sequence b.
+func (j *attnJob) RunPart(b, parts int) {
+	e := j.e
+	d := e.cfg.DModel
+	qrow := j.q[b*d : (b+1)*d]
+	arow := j.att[b*d : (b+1)*d]
+	if e.opts.FlashAttention {
+		hd := e.cfg.HeadDim()
+		e.flashRow(j.caches[b], j.layer, j.pos, qrow, arow, j.accs[b*hd:(b+1)*hd])
+	} else {
+		e.attnRow(j.caches[b], j.layer, j.pos, qrow, arow, j.scores[b*j.ctxCap:(b+1)*j.ctxCap])
+	}
+}

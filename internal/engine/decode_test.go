@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// tinyEngineOpts builds an engine over Tiny weights with full Options
+// control (tinyEngine fixes Workers=2 and default packing).
+func tinyEngineOpts(t *testing.T, f model.Family, opts Options) *Engine {
+	t.Helper()
+	cfg := model.Tiny(f)
+	w, err := NewWeights(cfg, 42, tensor.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Kernel == KernelInt8 {
+		w.QuantizeAll()
+	}
+	e, err := New(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func generateTokens(t *testing.T, e *Engine, batch, promptLen, maxNew int) [][]int {
+	t.Helper()
+	prompts := make([][]int, batch)
+	for b := range prompts {
+		prompts[b] = prompt(e, promptLen, int64(100+b))
+	}
+	out, _, err := e.Generate(prompts, maxNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestFusedDecodeMatchesPerSeq is the tentpole invariant: the fused
+// batched decode path (packed weights, arena scratch, pooled attention)
+// must emit exactly the same tokens as the legacy per-sequence loop, for
+// every kernel tier, both model families, and several batch sizes.
+func TestFusedDecodeMatchesPerSeq(t *testing.T) {
+	kernelsUnder := []Kernel{KernelBlocked, KernelParallel, KernelTileBF16, KernelTileBF16Parallel, KernelInt8}
+	for _, f := range []model.Family{model.OPT, model.LLaMA2} {
+		for _, k := range kernelsUnder {
+			for _, batch := range []int{1, 3, 8} {
+				fused := tinyEngineOpts(t, f, Options{Kernel: k, Workers: 2})
+				legacy := tinyEngineOpts(t, f, Options{Kernel: k, Workers: 2, DisablePacking: true})
+				got := generateTokens(t, fused, batch, 6, 10)
+				want := generateTokens(t, legacy, batch, 6, 10)
+				for b := range want {
+					for i := range want[b] {
+						if got[b][i] != want[b][i] {
+							t.Fatalf("%s/%s batch=%d: fused decode diverged at seq %d tok %d (%d vs %d)",
+								f, k, batch, b, i, got[b][i], want[b][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedDecodeFlashAttention covers the pooled flash-attention row path.
+func TestFusedDecodeFlashAttention(t *testing.T) {
+	for _, f := range []model.Family{model.OPT, model.LLaMA2} {
+		fused := tinyEngineOpts(t, f, Options{Kernel: KernelTileBF16, FlashAttention: true})
+		legacy := tinyEngineOpts(t, f, Options{Kernel: KernelTileBF16, FlashAttention: true, DisablePacking: true})
+		got := generateTokens(t, fused, 4, 5, 8)
+		want := generateTokens(t, legacy, 4, 5, 8)
+		for b := range want {
+			for i := range want[b] {
+				if got[b][i] != want[b][i] {
+					t.Fatalf("%s flash: fused decode diverged at seq %d tok %d", f, b, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedDecodePagedSession checks the fused path over paged KV caches.
+func TestFusedDecodePagedSession(t *testing.T) {
+	e := tinyEngineOpts(t, model.LLaMA2, Options{Kernel: KernelBlocked})
+	p := prompt(e, 6, 7)
+	dense := e.NewSession(2, 32)
+	paged := e.NewPagedSession(2, 32, 4)
+	td, err := e.Prefill(dense, [][]int{p, p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := e.Prefill(paged, [][]int{p, p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 10; step++ {
+		if td[0] != tp[0] || td[1] != tp[1] {
+			t.Fatalf("step %d: paged fused decode diverged", step)
+		}
+		// Copy: DecodeStep returns a reused view.
+		tdc := append([]int(nil), td...)
+		tpc := append([]int(nil), tp...)
+		if td, err = e.DecodeStep(dense, tdc); err != nil {
+			t.Fatal(err)
+		}
+		if tp, err = e.DecodeStep(paged, tpc); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDecodeStepZeroAlloc is the acceptance criterion: once the arena is
+// warm, a steady-state fused decode step performs ZERO heap allocations —
+// including the logits, which are served from the arena as a reused view.
+func TestDecodeStepZeroAlloc(t *testing.T) {
+	for _, k := range []Kernel{KernelBlocked, KernelTileBF16, KernelTileBF16Parallel, KernelInt8} {
+		for _, f := range []model.Family{model.OPT, model.LLaMA2} {
+			e := tinyEngineOpts(t, f, Options{Kernel: k, Workers: 2})
+			s := e.NewSession(4, e.Config().MaxSeq)
+			prompts := make([][]int, 4)
+			for b := range prompts {
+				prompts[b] = prompt(e, 4, int64(b+1))
+			}
+			toks, err := e.Prefill(s, prompts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One step warms the arena; AllocsPerRun then runs 1 warmup +
+			// 20 measured steps, all within MaxSeq.
+			toks, err = e.DecodeStep(s, toks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				var derr error
+				toks, derr = e.DecodeStep(s, toks)
+				if derr != nil {
+					t.Fatal(derr)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s/%s: DecodeStep allocated %v times per step, want 0", f, k, allocs)
+			}
+		}
+	}
+}
+
+// TestEnginesSharingPool runs two engines concurrently over one explicit
+// kernels.Pool (the gateway-lane configuration) under load; run with -race.
+func TestEnginesSharingPool(t *testing.T) {
+	pool := kernels.NewPool(4)
+	defer pool.Close()
+	e1 := tinyEngineOpts(t, model.OPT, Options{Kernel: KernelTileBF16Parallel, Pool: pool})
+	e2 := tinyEngineOpts(t, model.LLaMA2, Options{Kernel: KernelTileBF16Parallel, Pool: pool})
+
+	want1 := generateTokens(t, e1, 2, 5, 8)
+	want2 := generateTokens(t, e2, 2, 5, 8)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for it := 0; it < 4; it++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			got := generateTokens(t, e1, 2, 5, 8)
+			for b := range want1 {
+				for i := range want1[b] {
+					if got[b][i] != want1[b][i] {
+						t.Errorf("shared pool: e1 output changed under concurrency")
+						return
+					}
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			got := generateTokens(t, e2, 2, 5, 8)
+			for b := range want2 {
+				for i := range want2[b] {
+					if got[b][i] != want2[b][i] {
+						t.Errorf("shared pool: e2 output changed under concurrency")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestDecodeStepReturnsReusedView documents the API contract change from
+// the logits/next-token arena: the slice DecodeStep returns is valid until
+// the next step on the same session.
+func TestDecodeStepReturnsReusedView(t *testing.T) {
+	e := tinyEngineOpts(t, model.OPT, Options{Kernel: KernelBlocked})
+	s := e.NewSession(2, 32)
+	toks, err := e.Prefill(s, [][]int{prompt(e, 4, 1), prompt(e, 4, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.DecodeStep(s, toks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := append([]int(nil), a...)
+	b, err := e.DecodeStep(s, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("DecodeStep should return the session's reused token view")
+	}
+	_ = first
+}
+
+// TestPackedWeightsSharedAcrossEngines: two engines over the same Weights
+// must not race packing (ensurePacked is mutex-guarded, packs built once).
+func TestPackedWeightsSharedAcrossEngines(t *testing.T) {
+	cfg := model.Tiny(model.LLaMA2)
+	w, err := NewWeights(cfg, 7, tensor.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(k Kernel) {
+			defer wg.Done()
+			if _, err := New(w, Options{Kernel: k}); err != nil {
+				t.Error(err)
+			}
+		}([]Kernel{KernelBlocked, KernelTileBF16, KernelBlocked, KernelTileBF16}[i])
+	}
+	wg.Wait()
+	if w.Layers[0].Wq.pf32 == nil || w.Layers[0].Wq.pbf16 == nil {
+		t.Fatal("expected both precision packs after concurrent construction")
+	}
+}

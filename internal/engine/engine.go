@@ -71,6 +71,16 @@ type Options struct {
 	// FlashAttention switches attention to the single-pass online-softmax
 	// formulation (numerically equivalent; one KV stream per query).
 	FlashAttention bool
+	// Pool is the persistent worker pool used by the packed kernels and
+	// batched attention. Nil creates a private pool for the parallel kernel
+	// tiers (serial tiers stay serial); passing one lets several engines —
+	// e.g. all gateway lanes — share a single set of workers instead of
+	// oversubscribing the machine.
+	Pool *kernels.Pool
+	// DisablePacking turns off packed weight shadows and the fused batch
+	// decode path, keeping the legacy per-sequence loop and unpacked
+	// kernels. It exists as the honest A/B baseline for benchmarks.
+	DisablePacking bool
 	// Hooks receive phase-completion callbacks from forward passes, so
 	// callers (tracing, profiling) can attribute measured engine time
 	// without wrapping every call site. Nil hooks are skipped.
@@ -96,10 +106,13 @@ type Engine struct {
 	cfg  model.Config
 	w    *Weights
 	opts Options
+	pool *kernels.Pool // persistent workers; nil means serial execution
 }
 
 // New returns an engine over the given weights. The INT8 kernel requires
-// quantized shadows (Weights.QuantizeAll).
+// quantized shadows (Weights.QuantizeAll). Unless opts.DisablePacking is
+// set, weights are panel-packed once here (shared Weights pack once) and
+// a persistent worker pool is attached for the parallel kernel tiers.
 func New(w *Weights, opts Options) (*Engine, error) {
 	if w == nil {
 		return nil, fmt.Errorf("engine: nil weights")
@@ -107,7 +120,14 @@ func New(w *Weights, opts Options) (*Engine, error) {
 	if opts.Kernel == KernelInt8 && w.Layers[0].Wq.Q == nil {
 		return nil, fmt.Errorf("engine: int8 kernel requires quantized weights (call QuantizeAll)")
 	}
-	return &Engine{cfg: w.Config, w: w, opts: opts}, nil
+	pool := opts.Pool
+	if pool == nil && (opts.Kernel == KernelParallel || opts.Kernel == KernelTileBF16Parallel) {
+		pool = kernels.NewPool(opts.Workers)
+	}
+	if !opts.DisablePacking {
+		w.ensurePacked(opts.Kernel)
+	}
+	return &Engine{cfg: w.Config, w: w, opts: opts, pool: pool}, nil
 }
 
 // Config returns the model configuration the engine runs.
@@ -117,7 +137,8 @@ func (e *Engine) Config() model.Config { return e.cfg }
 // lockstep (homogeneous lengths, as in the paper's workloads).
 type Session struct {
 	caches []KVStore
-	pos    int // committed tokens per sequence
+	pos    int   // committed tokens per sequence
+	ar     arena // reused scratch for the fused decode path
 }
 
 // NewSession allocates dense KV caches for a batch of sequences.
@@ -162,8 +183,17 @@ func (s *Session) KVBytes() int64 {
 }
 
 // linear computes out = x·W (+bias) for m rows using the configured
-// kernel. x is [m, l.In] row-major; out must hold m*l.Out values.
+// kernel. x is [m, l.In] row-major; out must hold m*l.Out values. When the
+// weight has a packed shadow for the active tier it is consumed instead of
+// the unpacked kernel — numerically bit-identical, but the per-call weight
+// conversion and strided streaming disappear.
 func (e *Engine) linear(m int, x []float32, l *Linear, out []float32) {
+	if pb := e.packOf(l); pb != nil {
+		var j kernels.PackedJob
+		kernels.GemmPackedPooled(e.pool, &j, m, x, pb, out)
+		e.addBias(m, l, out)
+		return
+	}
 	switch e.opts.Kernel {
 	case KernelBlocked:
 		kernels.GemmBlocked(m, l.Out, l.In, x, l.W, out)
@@ -179,11 +209,48 @@ func (e *Engine) linear(m int, x []float32, l *Linear, out []float32) {
 	default:
 		kernels.GemmBlocked(m, l.Out, l.In, x, l.W, out)
 	}
-	if l.Bias != nil {
-		for i := 0; i < m; i++ {
-			kernels.AddBias(out[i*l.Out:(i+1)*l.Out], l.Bias)
-		}
+	e.addBias(m, l, out)
+}
+
+// packOf returns l's packed shadow for the active kernel tier, or nil when
+// packing is disabled or the tier has none.
+func (e *Engine) packOf(l *Linear) *kernels.PackedB {
+	if e.opts.DisablePacking {
+		return nil
 	}
+	return l.packFor(e.opts.Kernel)
+}
+
+func (e *Engine) addBias(m int, l *Linear, out []float32) {
+	if l.Bias == nil {
+		return
+	}
+	for i := 0; i < m; i++ {
+		kernels.AddBias(out[i*l.Out:(i+1)*l.Out], l.Bias)
+	}
+}
+
+// linBatch is the fused-decode variant of linear: the batch's hidden rows
+// multiply the weight in ONE GEMM call (scratch served from the arena, so
+// steady state allocates nothing). The INT8 tier quantizes activations
+// per row — each sequence keeps its own scale, exactly as the legacy
+// per-sequence loop did, so fused and per-seq decode stay bit-identical.
+func (e *Engine) linBatch(ar *arena, m int, x []float32, l *Linear, out []float32) {
+	if e.opts.Kernel == KernelInt8 && l.Q != nil {
+		for i := 0; i < m; i++ {
+			xq := ar.xq[:l.In]
+			xs := tensor.QuantizeInt8Into(xq, x[i*l.In:(i+1)*l.In])
+			kernels.GemmInt8(1, l.Out, l.In, xq, xs, l.Q, l.QScale, out[i*l.Out:(i+1)*l.Out])
+		}
+		e.addBias(m, l, out)
+		return
+	}
+	if pb := e.packOf(l); pb != nil {
+		kernels.GemmPackedPooled(e.pool, &ar.job, m, x, pb, out)
+		e.addBias(m, l, out)
+		return
+	}
+	e.linear(m, x, l, out)
 }
 
 func (e *Engine) norm(x, gain, bias []float32) {
@@ -209,35 +276,42 @@ func (e *Engine) embed(token, pos int, dst []float32) {
 // written to att [rows, d].
 func (e *Engine) attention(cache KVStore, layer, rows, startPos int, q, att []float32) {
 	d := e.cfg.DModel
+	maxCtx := startPos + rows
+	scores := make([]float32, maxCtx)
+	for i := 0; i < rows; i++ {
+		e.attnRow(cache, layer, startPos+i, q[i*d:(i+1)*d], att[i*d:(i+1)*d], scores)
+	}
+}
+
+// attnRow computes causal attention for the single query row q at position
+// pos (attending to cache positions 0..pos), writing the result to att.
+// scores is caller-provided scratch of at least pos+1 values, so the fused
+// decode path can serve it from the session arena.
+func (e *Engine) attnRow(cache KVStore, layer, pos int, q, att, scores []float32) {
 	hd := e.cfg.HeadDim()
 	groups := e.cfg.Heads / e.cfg.KVHeads
 	scale := float32(1 / math.Sqrt(float64(hd)))
 
-	maxCtx := startPos + rows
-	scores := make([]float32, maxCtx)
-
-	for i := 0; i < rows; i++ {
-		ctx := startPos + i + 1 // causal: attend to positions < ctx
-		for h := 0; h < e.cfg.Heads; h++ {
-			kvh := h / groups
-			qv := q[i*d+h*hd : i*d+(h+1)*hd]
-			sc := scores[:ctx]
-			for t := 0; t < ctx; t++ {
-				kr := cache.RowK(layer, t)
-				sc[t] = kernels.Dot(qv, kr[kvh*hd:kvh*hd+hd]) * scale
-			}
-			kernels.Softmax(sc)
-			out := att[i*d+h*hd : i*d+(h+1)*hd]
+	ctx := pos + 1 // causal: attend to positions < ctx
+	for h := 0; h < e.cfg.Heads; h++ {
+		kvh := h / groups
+		qv := q[h*hd : (h+1)*hd]
+		sc := scores[:ctx]
+		for t := 0; t < ctx; t++ {
+			kr := cache.RowK(layer, t)
+			sc[t] = kernels.Dot(qv, kr[kvh*hd:kvh*hd+hd]) * scale
+		}
+		kernels.Softmax(sc)
+		out := att[h*hd : (h+1)*hd]
+		for j := range out {
+			out[j] = 0
+		}
+		for t := 0; t < ctx; t++ {
+			w := sc[t]
+			vr := cache.RowV(layer, t)
+			vv := vr[kvh*hd : kvh*hd+hd]
 			for j := range out {
-				out[j] = 0
-			}
-			for t := 0; t < ctx; t++ {
-				w := sc[t]
-				vr := cache.RowV(layer, t)
-				vv := vr[kvh*hd : kvh*hd+hd]
-				for j := range out {
-					out[j] += w * vv[j]
-				}
+				out[j] += w * vv[j]
 			}
 		}
 	}
@@ -313,6 +387,74 @@ func (e *Engine) forwardSeq(cache KVStore, x []float32, rows, startPos int) []fl
 	return x
 }
 
+// forwardBatch runs all decoder blocks over one token per sequence for a
+// batch of B sequences at the same position — the fused decode step. The
+// per-sequence hidden states are stacked into one M=B activation matrix so
+// every linear layer runs ONCE per layer as a batched GEMM (the weights
+// stream from memory once per layer instead of once per sequence — the
+// paper's arithmetic-intensity lever); attention stays per-KV-cache but
+// fans out over the worker pool. All scratch comes from the arena:
+// steady-state decode performs zero heap allocations. Outputs are
+// bit-identical to B independent forwardSeq calls.
+func (e *Engine) forwardBatch(s *Session, x []float32, B, pos int) {
+	ar := &s.ar
+	d, kvDim, dff := e.cfg.DModel, e.cfg.KVDim(), e.cfg.DFF
+	hd := e.cfg.HeadDim()
+
+	for layer := range e.w.Layers {
+		lw := &e.w.Layers[layer]
+		// Attention block.
+		copy(ar.h[:B*d], x[:B*d])
+		for i := 0; i < B; i++ {
+			e.norm(ar.h[i*d:(i+1)*d], lw.AttnNormGain, lw.AttnNormBias)
+		}
+		e.linBatch(ar, B, ar.h, &lw.Wq, ar.q)
+		e.linBatch(ar, B, ar.h, &lw.Wk, ar.k)
+		e.linBatch(ar, B, ar.h, &lw.Wv, ar.v)
+		if e.cfg.Family == model.LLaMA2 {
+			for i := 0; i < B; i++ {
+				for head := 0; head < e.cfg.Heads; head++ {
+					kernels.RoPE(ar.q[i*d+head*hd:i*d+(head+1)*hd], pos, hd)
+				}
+				for head := 0; head < e.cfg.KVHeads; head++ {
+					kernels.RoPE(ar.k[i*kvDim+head*hd:i*kvDim+(head+1)*hd], pos, hd)
+				}
+			}
+		}
+		for b := 0; b < B; b++ {
+			s.caches[b].Put(layer, pos, ar.k[b*kvDim:(b+1)*kvDim], ar.v[b*kvDim:(b+1)*kvDim])
+		}
+		ar.attn = attnJob{
+			e: e, caches: s.caches, layer: layer, pos: pos,
+			q: ar.q, att: ar.att, scores: ar.scores, accs: ar.accs,
+			ctxCap: ar.ctxCap,
+		}
+		e.pool.Run(&ar.attn, B)
+		e.linBatch(ar, B, ar.att, &lw.Wo, ar.proj)
+		kernels.Add(x[:B*d], ar.proj[:B*d])
+
+		// Feed-forward block.
+		copy(ar.h[:B*d], x[:B*d])
+		for i := 0; i < B; i++ {
+			e.norm(ar.h[i*d:(i+1)*d], lw.FFNNormGain, lw.FFNNormBias)
+		}
+		if e.cfg.Family == model.LLaMA2 {
+			e.linBatch(ar, B, ar.h, &lw.WGate, ar.gate)
+			kernels.SiLU(ar.gate[:B*dff])
+			e.linBatch(ar, B, ar.h, &lw.W1, ar.up)
+			for i := range ar.gate[:B*dff] {
+				ar.gate[i] *= ar.up[i]
+			}
+			e.linBatch(ar, B, ar.gate, &lw.W2, ar.proj)
+		} else {
+			e.linBatch(ar, B, ar.h, &lw.W1, ar.up)
+			kernels.ReLU(ar.up[:B*dff])
+			e.linBatch(ar, B, ar.up, &lw.W2, ar.proj)
+		}
+		kernels.Add(x[:B*d], ar.proj[:B*d])
+	}
+}
+
 // logits computes the vocabulary logits for one hidden state (the final
 // norm is applied to a copy).
 func (e *Engine) logits(hidden []float32) []float32 {
@@ -322,11 +464,44 @@ func (e *Engine) logits(hidden []float32) []float32 {
 	out := make([]float32, e.cfg.Vocab)
 	if e.cfg.Family == model.OPT {
 		// Tied head: logits = TokenEmb · h.
-		kernels.GemmTransB(1, e.cfg.Vocab, d, h, e.w.TokenEmb, out)
+		if th := e.tiedHeadPack(); th != nil {
+			var j kernels.PackedJob
+			kernels.GemmPackedPooled(e.pool, &j, 1, h, th, out)
+		} else {
+			kernels.GemmTransB(1, e.cfg.Vocab, d, h, e.w.TokenEmb, out)
+		}
 	} else {
 		e.linear(1, h, &e.w.LMHead, out)
 	}
 	return out
+}
+
+func (e *Engine) tiedHeadPack() *kernels.PackedB {
+	if e.opts.DisablePacking {
+		return nil
+	}
+	return e.w.tiedHead
+}
+
+// logitsBatch computes logits for the batch's final hidden states into the
+// arena's reused logits buffer (no per-token vocab-sized allocation — the
+// fix for Engine.logits allocating per sequence per token). hidden rows
+// are copied into ar.h before the final norm; results land in ar.logits.
+func (e *Engine) logitsBatch(ar *arena, m int, hidden []float32) {
+	d := e.cfg.DModel
+	copy(ar.h[:m*d], hidden[:m*d])
+	for i := 0; i < m; i++ {
+		e.norm(ar.h[i*d:(i+1)*d], e.w.FinalNormGain, e.w.FinalNormBias)
+	}
+	if e.cfg.Family == model.OPT {
+		if th := e.tiedHeadPack(); th != nil {
+			kernels.GemmPackedPooled(e.pool, &ar.job, m, ar.h, th, ar.logits)
+		} else {
+			kernels.GemmTransB(m, e.cfg.Vocab, d, ar.h, e.w.TokenEmb, ar.logits)
+		}
+	} else {
+		e.linBatch(ar, m, ar.h, &e.w.LMHead, ar.logits)
+	}
 }
 
 // Prefill processes the prompts of a batch (all of equal length) and
@@ -449,6 +624,39 @@ func (e *Engine) decodeSample(s *Session, tokens []int, sampler *Sampler) ([]int
 	if err := e.checkTokens(tokens); err != nil {
 		return nil, err
 	}
+	if e.opts.DisablePacking {
+		return e.decodePerSeq(s, tokens, sampler)
+	}
+	start := time.Now()
+	B, d := len(tokens), e.cfg.DModel
+	ar := &s.ar
+	ar.ensure(e, B, s.caches[0].Cap())
+	for b, tok := range tokens {
+		e.embed(tok, s.pos, ar.x[b*d:(b+1)*d])
+	}
+	e.forwardBatch(s, ar.x, B, s.pos)
+	for b := 0; b < B; b++ {
+		s.caches[b].ExtendTo(s.pos + 1)
+	}
+	e.logitsBatch(ar, B, ar.x)
+	vocab := e.cfg.Vocab
+	for b := 0; b < B; b++ {
+		ar.next[b] = sampler.Sample(ar.logits[b*vocab : (b+1)*vocab])
+	}
+	if h := e.opts.Hooks.OnDecodeStep; h != nil {
+		h(B, s.pos, time.Since(start))
+	}
+	s.pos++
+	// ar.next is a reused view, valid until the next decode step; callers
+	// needing to retain it copy (Generate appends element-wise).
+	return ar.next[:B], nil
+}
+
+// decodePerSeq is the legacy decode: each sequence runs an independent
+// rows=1 forward pass, re-streaming every weight matrix B times per token
+// and allocating scratch per pass. Kept (behind Options.DisablePacking) as
+// the measured baseline the fused path is benchmarked against.
+func (e *Engine) decodePerSeq(s *Session, tokens []int, sampler *Sampler) ([]int, error) {
 	start := time.Now()
 	d := e.cfg.DModel
 	logits := make([][]float32, len(tokens))

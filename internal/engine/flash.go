@@ -23,52 +23,59 @@ import (
 // streaming formulation.
 func (e *Engine) flashAttention(cache KVStore, layer, rows, startPos int, q, att []float32) {
 	d := e.cfg.DModel
+	acc := make([]float64, e.cfg.HeadDim())
+	for i := 0; i < rows; i++ {
+		e.flashRow(cache, layer, startPos+i, q[i*d:(i+1)*d], att[i*d:(i+1)*d], acc)
+	}
+}
+
+// flashRow is the single-query-row streaming attention at position pos.
+// acc is caller-provided headDim scratch (the online-softmax value
+// accumulator), so the fused decode path can serve it from the arena.
+func (e *Engine) flashRow(cache KVStore, layer, pos int, q, att []float32, acc []float64) {
 	hd := e.cfg.HeadDim()
 	groups := e.cfg.Heads / e.cfg.KVHeads
 	scale := 1 / math.Sqrt(float64(hd))
 
-	acc := make([]float64, hd)
-	for i := 0; i < rows; i++ {
-		ctx := startPos + i + 1
-		for h := 0; h < e.cfg.Heads; h++ {
-			kvh := h / groups
-			qv := q[i*d+h*hd : i*d+(h+1)*hd]
+	ctx := pos + 1
+	for h := 0; h < e.cfg.Heads; h++ {
+		kvh := h / groups
+		qv := q[h*hd : (h+1)*hd]
 
-			// Online softmax state: running max m, denominator l, and the
-			// value accumulator (scaled by exp(score-m) weights).
-			m := math.Inf(-1)
-			l := 0.0
-			for j := range acc {
-				acc[j] = 0
+		// Online softmax state: running max m, denominator l, and the
+		// value accumulator (scaled by exp(score-m) weights).
+		m := math.Inf(-1)
+		l := 0.0
+		for j := range acc {
+			acc[j] = 0
+		}
+		for t := 0; t < ctx; t++ {
+			kr := cache.RowK(layer, t)
+			var s float64
+			for j := 0; j < hd; j++ {
+				s += float64(qv[j]) * float64(kr[kvh*hd+j])
 			}
-			for t := 0; t < ctx; t++ {
-				kr := cache.RowK(layer, t)
-				var s float64
-				for j := 0; j < hd; j++ {
-					s += float64(qv[j]) * float64(kr[kvh*hd+j])
+			s *= scale
+			if s > m {
+				// Rescale previous accumulation to the new maximum.
+				corr := math.Exp(m - s)
+				l *= corr
+				for j := range acc {
+					acc[j] *= corr
 				}
-				s *= scale
-				if s > m {
-					// Rescale previous accumulation to the new maximum.
-					corr := math.Exp(m - s)
-					l *= corr
-					for j := range acc {
-						acc[j] *= corr
-					}
-					m = s
-				}
-				w := math.Exp(s - m)
-				l += w
-				vr := cache.RowV(layer, t)
-				for j := 0; j < hd; j++ {
-					acc[j] += w * float64(vr[kvh*hd+j])
-				}
+				m = s
 			}
-			out := att[i*d+h*hd : i*d+(h+1)*hd]
-			inv := 1 / l
-			for j := range out {
-				out[j] = float32(acc[j] * inv)
+			w := math.Exp(s - m)
+			l += w
+			vr := cache.RowV(layer, t)
+			for j := 0; j < hd; j++ {
+				acc[j] += w * float64(vr[kvh*hd+j])
 			}
+		}
+		out := att[h*hd : (h+1)*hd]
+		inv := 1 / l
+		for j := range out {
+			out[j] = float32(acc[j] * inv)
 		}
 	}
 }

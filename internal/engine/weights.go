@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
+	"repro/internal/kernels"
 	"repro/internal/model"
 	"repro/internal/tensor"
 )
@@ -55,18 +57,36 @@ func (k Kernel) String() string {
 
 // Linear is one weight matrix with optional bias and an optional INT8
 // shadow for the quantized path. Weights are stored row-major [In, Out] so
-// that Y = X·W.
+// that Y = X·W. The unexported pack fields hold panel-packed shadows built
+// once at engine construction (Weights.ensurePacked); they are invisible
+// to the serializer, so loaded checkpoints repack lazily.
 type Linear struct {
 	In, Out int
 	W       []float32
 	Bias    []float32 // nil for bias-free families
 	Q       []int8    // int8 shadow, populated by Quantize
 	QScale  float32
+
+	pf32  *kernels.PackedB // FP32 panel pack (blocked/parallel tiers)
+	pbf16 *kernels.PackedB // BF16 pre-rounded panel pack (tile tiers)
 }
 
 // Quantize populates the INT8 shadow representation.
 func (l *Linear) Quantize() {
 	l.Q, l.QScale = tensor.QuantizeInt8(l.W)
+}
+
+// packFor returns the packed shadow matching the kernel tier's numerics,
+// or nil when the tier has none (INT8) or packing hasn't run.
+func (l *Linear) packFor(k Kernel) *kernels.PackedB {
+	switch k {
+	case KernelTileBF16, KernelTileBF16Parallel:
+		return l.pbf16
+	case KernelBlocked, KernelParallel:
+		return l.pf32
+	default:
+		return nil
+	}
 }
 
 // LayerWeights holds one decoder block's parameters.
@@ -88,6 +108,48 @@ type Weights struct {
 	FinalNormGain []float32
 	FinalNormBias []float32
 	LMHead        Linear // untied head (LLaMA-2); OPT ties to TokenEmb
+
+	packMu   sync.Mutex
+	tiedHead *kernels.PackedB // FP32 pack of TokenEmbᵀ (OPT tied logits head)
+}
+
+// ensurePacked builds the panel-packed weight shadows the given kernel
+// tier consumes: BF16 pre-rounded packs for the tile tiers, FP32 packs for
+// the blocked/parallel tiers, and (for OPT) an FP32 pack of the transposed
+// token embedding used as the tied logits head by every tier. Packing runs
+// once per precision class — repeat calls and engines sharing one Weights
+// are no-ops — and is guarded by a mutex so concurrent engine construction
+// is safe.
+func (w *Weights) ensurePacked(k Kernel) {
+	w.packMu.Lock()
+	defer w.packMu.Unlock()
+	pack := func(l *Linear) {
+		if l.W == nil {
+			return
+		}
+		switch k {
+		case KernelTileBF16, KernelTileBF16Parallel:
+			if l.pbf16 == nil {
+				l.pbf16 = kernels.PackBBF16(l.In, l.Out, l.W)
+			}
+		case KernelBlocked, KernelParallel:
+			if l.pf32 == nil {
+				l.pf32 = kernels.PackB(l.In, l.Out, l.W)
+			}
+		}
+	}
+	for i := range w.Layers {
+		lw := &w.Layers[i]
+		for _, l := range []*Linear{&lw.Wq, &lw.Wk, &lw.Wv, &lw.Wo, &lw.W1, &lw.WGate, &lw.W2} {
+			pack(l)
+		}
+	}
+	pack(&w.LMHead)
+	if w.Config.Family == model.OPT && w.tiedHead == nil {
+		// The tied head is computed in FP32 by every kernel tier
+		// (GemmTransB previously), so its pack is always FP32.
+		w.tiedHead = kernels.PackBTrans(w.Config.DModel, w.Config.Vocab, w.TokenEmb)
+	}
 }
 
 // NewWeights initializes deterministic random weights at the scale typical

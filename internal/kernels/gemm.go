@@ -54,15 +54,25 @@ const (
 // vectorizing naturally.
 func GemmBlocked(m, n, k int, a, b, c []float32) {
 	checkDims(m, n, k, a, b, c)
-	for i := range c[:m*n] {
-		c[i] = 0
+	gemmBlockedCols(m, n, k, a, b, c, 0, n)
+}
+
+// gemmBlockedCols is GemmBlocked restricted to output columns [jLo, jHi),
+// the unit of work for column-splitting small-M GEMMs across workers.
+// Accumulation order per output element is identical to the full kernel.
+func gemmBlockedCols(m, n, k int, a, b, c []float32, jLo, jHi int) {
+	for i := 0; i < m; i++ {
+		crow := c[i*n : (i+1)*n]
+		for j := jLo; j < jHi; j++ {
+			crow[j] = 0
+		}
 	}
 	for i0 := 0; i0 < m; i0 += blockM {
 		iMax := min(i0+blockM, m)
 		for p0 := 0; p0 < k; p0 += blockK {
 			pMax := min(p0+blockK, k)
-			for j0 := 0; j0 < n; j0 += blockN {
-				jMax := min(j0+blockN, n)
+			for j0 := jLo; j0 < jHi; j0 += blockN {
+				jMax := min(j0+blockN, jHi)
 				for i := i0; i < iMax; i++ {
 					crow := c[i*n : (i+1)*n]
 					for p := p0; p < pMax; p++ {

@@ -1,0 +1,229 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Packed weight layout. Row-major B (k×n) is repacked at load time into
+// column panels of PanelCols columns each: panel pn holds the k×PanelCols
+// sub-matrix for columns [pn·PanelCols, pn·PanelCols+PanelCols), stored
+// row-major and zero-padded on the ragged right edge. The inner GEMM loop
+// then streams one contiguous panel top to bottom while holding a
+// PanelCols-wide accumulator in registers — the software analog of the
+// AMX/VNNI-friendly pre-tiled weight layouts CPU inference runtimes
+// (IPEX, SparAMX) build when weights are loaded, which is what lets a
+// decode-shape GEMM (tiny M, large K·N) run at streaming bandwidth
+// instead of strided-gather speed.
+//
+// Panels are PanelCols = TileRows wide so a packed panel column band is
+// exactly one AMX C-tile column, and the BF16 variant pre-rounds the
+// weights once at pack time — the per-call weight conversion that
+// dominates the unpacked tile kernel disappears from the hot path.
+
+// PanelCols is the packed panel width in columns.
+const PanelCols = TileRows
+
+// PackedB is a weight matrix repacked into column panels (see package
+// comment above). BF16 marks that values were rounded to bfloat16 at pack
+// time; kernels consuming a BF16 pack round their activation operand to
+// match AMX TMUL numerics.
+type PackedB struct {
+	K, N int
+	BF16 bool
+	data []float32
+}
+
+// Panels returns the number of column panels.
+func (pb *PackedB) Panels() int { return (pb.N + PanelCols - 1) / PanelCols }
+
+// Bytes returns the packed storage footprint.
+func (pb *PackedB) Bytes() int64 { return int64(len(pb.data)) * 4 }
+
+func packInto(k, n int, at func(p, j int) float32, round bool) *PackedB {
+	panels := (n + PanelCols - 1) / PanelCols
+	data := make([]float32, panels*k*PanelCols)
+	for pn := 0; pn < panels; pn++ {
+		j0 := pn * PanelCols
+		w := min(PanelCols, n-j0)
+		dst := data[pn*k*PanelCols:]
+		for p := 0; p < k; p++ {
+			row := dst[p*PanelCols:]
+			for j := 0; j < w; j++ {
+				v := at(p, j0+j)
+				if round {
+					v = tensor.RoundBF16(v)
+				}
+				row[j] = v
+			}
+		}
+	}
+	return &PackedB{K: k, N: n, BF16: round, data: data}
+}
+
+// PackB packs row-major B (k×n) into the panel layout, FP32 values.
+func PackB(k, n int, b []float32) *PackedB {
+	if len(b) < k*n {
+		panic(fmt.Sprintf("kernels: PackB %dx%d: slice too short (%d)", k, n, len(b)))
+	}
+	return packInto(k, n, func(p, j int) float32 { return b[p*n+j] }, false)
+}
+
+// PackBBF16 packs B pre-rounded to bfloat16, the load-time conversion an
+// AMX pipeline performs once instead of per GEMM call.
+func PackBBF16(k, n int, b []float32) *PackedB {
+	if len(b) < k*n {
+		panic(fmt.Sprintf("kernels: PackBBF16 %dx%d: slice too short (%d)", k, n, len(b)))
+	}
+	return packInto(k, n, func(p, j int) float32 { return b[p*n+j] }, true)
+}
+
+// PackBTrans packs B given as its transpose: bT is row-major n×k (each row
+// one column of B). This packs e.g. a tied embedding head ([vocab, d]
+// storage used as a d×vocab matrix) without materializing the transpose.
+func PackBTrans(k, n int, bT []float32) *PackedB {
+	if len(bT) < k*n {
+		panic(fmt.Sprintf("kernels: PackBTrans %dx%d: slice too short (%d)", k, n, len(bT)))
+	}
+	return packInto(k, n, func(p, j int) float32 { return bT[j*k+p] }, false)
+}
+
+// gemmPackedPanels computes C rows [i0,i1) × column panels [pn0,pn1) for
+// C = A·B over a packed B. Accumulation is FP32 ascending k per output
+// element — bit-identical to GemmNaive for an FP32 pack, and bit-identical
+// to GemmTileBF16 for a BF16 pack (same rounding, same zero-skip, same
+// accumulation order). For BF16 packs, a must already be bf16-rounded.
+func gemmPackedPanels(i0, i1, pn0, pn1 int, a []float32, pb *PackedB, c []float32) {
+	k, n := pb.K, pb.N
+	for pn := pn0; pn < pn1; pn++ {
+		j0 := pn * PanelCols
+		w := min(PanelCols, n-j0)
+		panel := pb.data[pn*k*PanelCols : (pn+1)*k*PanelCols]
+		for i := i0; i < i1; i++ {
+			arow := a[i*k : i*k+k]
+			var acc [PanelCols]float32
+			if pb.BF16 {
+				for p, av := range arow {
+					if av == 0 {
+						continue
+					}
+					prow := panel[p*PanelCols : p*PanelCols+PanelCols]
+					for j := range acc {
+						acc[j] += av * prow[j]
+					}
+				}
+			} else {
+				for p, av := range arow {
+					prow := panel[p*PanelCols : p*PanelCols+PanelCols]
+					for j := range acc {
+						acc[j] += av * prow[j]
+					}
+				}
+			}
+			copy(c[i*n+j0:i*n+j0+w], acc[:w])
+		}
+	}
+}
+
+func checkPackedDims(m int, a []float32, pb *PackedB, c []float32) {
+	if len(a) < m*pb.K || len(c) < m*pb.N {
+		panic(fmt.Sprintf("kernels: packed gemm %dx%dx%d: slices too short (a=%d c=%d)",
+			m, pb.N, pb.K, len(a), len(c)))
+	}
+}
+
+// GemmPacked computes C = A·B (A row-major m×K, C m×N) over a packed B.
+// FP32 packs match GemmNaive bit for bit; BF16 packs match GemmTileBF16
+// bit for bit. This is the serial reference entry point — the hot path
+// uses GemmPackedPooled, which reuses scratch and splits over a Pool.
+func GemmPacked(m int, a []float32, pb *PackedB, c []float32) {
+	checkPackedDims(m, a, pb, c)
+	if pb.BF16 {
+		ar := make([]float32, m*pb.K)
+		for i, v := range a[:m*pb.K] {
+			ar[i] = tensor.RoundBF16(v)
+		}
+		a = ar
+	}
+	gemmPackedPanels(0, m, 0, pb.Panels(), a, pb, c)
+}
+
+// GemvPacked computes y = x·B for a single activation row — the decode
+// GEMV shape the paper identifies as memory-bound.
+func GemvPacked(x []float32, pb *PackedB, y []float32) {
+	GemmPacked(1, x, pb, y)
+}
+
+// PackedJob is the reusable dispatch state for pool-parallel packed GEMMs.
+// Keeping it caller-owned (one per scratch arena) makes steady-state
+// dispatch allocation-free: the bf16 rounding buffer and the partition
+// descriptor are reused across every call.
+type PackedJob struct {
+	m  int
+	a  []float32
+	pb *PackedB
+	c  []float32
+
+	byRows    bool
+	rowsPer   int
+	panelsPer int
+
+	ar []float32 // bf16-rounded activation scratch
+}
+
+// RunPart implements Task: it computes one row band or one column-panel
+// band of the current GEMM.
+func (j *PackedJob) RunPart(part, parts int) {
+	if j.byRows {
+		i0 := part * j.rowsPer
+		i1 := min(i0+j.rowsPer, j.m)
+		if i0 < i1 {
+			gemmPackedPanels(i0, i1, 0, j.pb.Panels(), j.a, j.pb, j.c)
+		}
+		return
+	}
+	pn0 := part * j.panelsPer
+	pn1 := min(pn0+j.panelsPer, j.pb.Panels())
+	if pn0 < pn1 {
+		gemmPackedPanels(0, j.m, pn0, pn1, j.a, j.pb, j.c)
+	}
+}
+
+// GemmPackedPooled computes C = A·B over a packed B, splitting the work
+// across the pool: by rows when M ≥ workers (prefill), by column panels
+// when M < workers (decode), so a batch=1 GEMV still uses every core.
+// A nil pool runs inline. Results are bit-identical to GemmPacked for any
+// worker count — each output element's accumulation order is fixed.
+func GemmPackedPooled(p *Pool, j *PackedJob, m int, a []float32, pb *PackedB, c []float32) {
+	checkPackedDims(m, a, pb, c)
+	if pb.BF16 {
+		need := m * pb.K
+		if cap(j.ar) < need {
+			j.ar = make([]float32, need)
+		}
+		j.ar = j.ar[:need]
+		for i, v := range a[:need] {
+			j.ar[i] = tensor.RoundBF16(v)
+		}
+		a = j.ar
+	}
+	workers := p.Workers()
+	panels := pb.Panels()
+	if workers <= 1 {
+		gemmPackedPanels(0, m, 0, panels, a, pb, c)
+		return
+	}
+	j.m, j.a, j.pb, j.c = m, a, pb, c
+	if m >= workers {
+		j.byRows = true
+		j.rowsPer = (m + workers - 1) / workers
+		p.Run(j, workers)
+	} else {
+		parts := min(workers, panels)
+		j.byRows = false
+		j.panelsPer = (panels + parts - 1) / parts
+		p.Run(j, parts)
+	}
+	j.a, j.pb, j.c = nil, nil, nil
+}

@@ -3,36 +3,68 @@ package kernels
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/tensor"
 )
 
+// The parallel kernels split rows of A across workers when M is large
+// (prefill) and fall back to splitting output columns of C when M is
+// smaller than the worker count (decode: M is the batch size, often 1).
+// Without the column split a decode GEMV ran on a single core no matter
+// how many were available — the small-M serialization bug this package
+// now fixes. Either split is bit-identical to the serial kernel because
+// each output element's FP32 accumulation order is unchanged.
+
 // GemmParallel computes C = A·B splitting rows of A across workers
-// goroutines (0 means GOMAXPROCS). Each worker runs the cache-blocked
-// kernel on its row band, mirroring how IPEX parallelizes GEMMs across
-// physical cores.
+// goroutines (0 means GOMAXPROCS), mirroring how IPEX parallelizes GEMMs
+// across physical cores. When M < workers it splits the N dimension
+// instead so small-batch decode still uses every core.
 func GemmParallel(m, n, k int, a, b, c []float32, workers int) {
 	checkDims(m, n, k, a, b, c)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > m {
-		workers = m
+	if workers <= 1 || m == 0 {
+		GemmBlocked(m, n, k, a, b, c)
+		return
+	}
+	var wg sync.WaitGroup
+	if workers <= m {
+		rowsPer := (m + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * rowsPer
+			if lo >= m {
+				break
+			}
+			hi := min(lo+rowsPer, m)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				GemmBlocked(hi-lo, n, k, a[lo*k:hi*k], b, c[lo*n:hi*n])
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	// M < workers: column split.
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
 		GemmBlocked(m, n, k, a, b, c)
 		return
 	}
-	var wg sync.WaitGroup
-	rowsPer := (m + workers - 1) / workers
+	colsPer := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * rowsPer
-		if lo >= m {
+		lo := w * colsPer
+		if lo >= n {
 			break
 		}
-		hi := min(lo+rowsPer, m)
+		hi := min(lo+colsPer, n)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			GemmBlocked(hi-lo, n, k, a[lo*k:hi*k], b, c[lo*n:hi*n])
+			gemmBlockedCols(m, n, k, a, b, c, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -40,33 +72,88 @@ func GemmParallel(m, n, k int, a, b, c []float32, workers int) {
 
 // GemmTileBF16Parallel runs the AMX-emulating tile kernel with rows split
 // across workers goroutines, the closest software analog of a multi-core
-// AMX GEMM.
+// AMX GEMM. When M spans fewer row tiles than workers it splits column
+// tiles instead, so decode-shape GEMVs parallelize. Operands are rounded
+// to bf16 once up front (shared by all workers) rather than once per
+// worker band, and results are bit-identical to the serial kernel.
 func GemmTileBF16Parallel(m, n, k int, a, b, c []float32, workers int) {
 	checkDims(m, n, k, a, b, c)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// Split on tile-row boundaries so every worker computes whole tiles.
-	tiles := (m + TileRows - 1) / TileRows
-	if workers > tiles {
-		workers = tiles
-	}
-	if workers <= 1 {
+	rowTiles := (m + TileRows - 1) / TileRows
+	colTiles := (n + TileRows - 1) / TileRows
+	if workers <= 1 || m == 0 || (rowTiles <= 1 && colTiles <= 1) {
 		GemmTileBF16(m, n, k, a, b, c)
 		return
 	}
+	ab := roundBF16Slice(a[:m*k])
+	bb := make([]float32, k*n)
+	roundBF16Parallel(bb, b[:k*n], workers)
 	var wg sync.WaitGroup
-	tilesPer := (tiles + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	if workers <= rowTiles {
+		tilesPer := (rowTiles + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * tilesPer * TileRows
+			if lo >= m {
+				break
+			}
+			hi := min(lo+tilesPer*TileRows, m)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				tileBF16Core(hi-lo, n, k, ab[lo*k:hi*k], bb, c[lo*n:hi*n], 0, n)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	// Fewer row tiles than workers: split column tiles (tile-aligned bands).
+	parts := min(workers, colTiles)
+	tilesPer := (colTiles + parts - 1) / parts
+	for w := 0; w < parts; w++ {
 		lo := w * tilesPer * TileRows
-		if lo >= m {
+		if lo >= n {
 			break
 		}
-		hi := min(lo+tilesPer*TileRows, m)
+		hi := min(lo+tilesPer*TileRows, n)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			GemmTileBF16(hi-lo, n, k, a[lo*k:hi*k], b, c[lo*n:hi*n])
+			tileBF16Core(m, n, k, ab, bb, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// roundBF16Parallel rounds src to bf16 into dst, splitting the elementwise
+// work across workers — weight conversion is the dominant cost of the
+// unpacked tile kernel at decode shapes, so it must not stay serial.
+func roundBF16Parallel(dst, src []float32, workers int) {
+	n := len(src)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, v := range src {
+			dst[i] = tensor.RoundBF16(v)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		if lo >= n {
+			break
+		}
+		hi := min(lo+per, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				dst[i] = tensor.RoundBF16(src[i])
+			}
 		}(lo, hi)
 	}
 	wg.Wait()

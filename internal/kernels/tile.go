@@ -25,24 +25,38 @@ const (
 // ascending k).
 func GemmTileBF16(m, n, k int, a, b, c []float32) {
 	checkDims(m, n, k, a, b, c)
-	for i := range c[:m*n] {
-		c[i] = 0
-	}
 	// Pre-round both operands to bf16 once, as a real kernel would convert
 	// (or load pre-converted weights) before issuing TMUL.
-	ab := make([]float32, m*k)
-	for i := 0; i < m*k; i++ {
-		ab[i] = tensor.RoundBF16(a[i])
+	ab := roundBF16Slice(a[:m*k])
+	bb := roundBF16Slice(b[:k*n])
+	tileBF16Core(m, n, k, ab, bb, c, 0, n)
+}
+
+func roundBF16Slice(src []float32) []float32 {
+	dst := make([]float32, len(src))
+	for i, v := range src {
+		dst[i] = tensor.RoundBF16(v)
 	}
-	bb := make([]float32, k*n)
-	for i := 0; i < k*n; i++ {
-		bb[i] = tensor.RoundBF16(b[i])
+	return dst
+}
+
+// tileBF16Core runs the AMX tile loops over pre-rounded operands,
+// restricted to output columns [jLo, jHi). jLo must be a multiple of
+// TileRows so tile boundaries — and hence FP32 accumulation order — match
+// the full kernel exactly, making row- and column-banded parallel runs
+// bit-identical to the serial kernel.
+func tileBF16Core(m, n, k int, ab, bb, c []float32, jLo, jHi int) {
+	for i := 0; i < m; i++ {
+		crow := c[i*n : (i+1)*n]
+		for j := jLo; j < jHi; j++ {
+			crow[j] = 0
+		}
 	}
 	var acc [TileRows * TileRows]float32 // one 16×16 FP32 accumulator tile
 	for i0 := 0; i0 < m; i0 += TileRows {
 		iMax := min(i0+TileRows, m)
-		for j0 := 0; j0 < n; j0 += TileRows {
-			jMax := min(j0+TileRows, n)
+		for j0 := jLo; j0 < jHi; j0 += TileRows {
+			jMax := min(j0+TileRows, jHi)
 			for idx := range acc {
 				acc[idx] = 0
 			}

@@ -55,6 +55,16 @@ func FromBF16Slice(src []BFloat16) []float32 {
 // src[i] ~= scale * q[i]. A zero tensor gets scale 1 to keep dequantization
 // well-defined.
 func QuantizeInt8(src []float32) (q []int8, scale float32) {
+	q = make([]int8, len(src))
+	scale = QuantizeInt8Into(q, src)
+	return q, scale
+}
+
+// QuantizeInt8Into quantizes src into the caller-provided dst (which must
+// be at least len(src) long), returning the per-tensor scale. It is the
+// allocation-free variant of QuantizeInt8 used by the decode hot path,
+// where activations are re-quantized every token into arena scratch.
+func QuantizeInt8Into(dst []int8, src []float32) (scale float32) {
 	var maxAbs float32
 	for _, v := range src {
 		a := v
@@ -66,10 +76,12 @@ func QuantizeInt8(src []float32) (q []int8, scale float32) {
 		}
 	}
 	if maxAbs == 0 {
-		return make([]int8, len(src)), 1
+		for i := range src {
+			dst[i] = 0
+		}
+		return 1
 	}
 	scale = maxAbs / 127
-	q = make([]int8, len(src))
 	inv := 1 / scale
 	for i, v := range src {
 		r := v * inv
@@ -85,9 +97,9 @@ func QuantizeInt8(src []float32) (q []int8, scale float32) {
 		} else if n < -127 {
 			n = -127
 		}
-		q[i] = int8(n)
+		dst[i] = int8(n)
 	}
-	return q, scale
+	return scale
 }
 
 // DequantizeInt8 expands q back to float32 using scale.
