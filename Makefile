@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet test check chaos bench bench-decode bench-decode-short \
-        figures scorecard examples trace-demo memdemo clean
+        figures scorecard examples trace-demo memdemo stream-demo clean
 
 all: build vet test
 
@@ -58,6 +58,27 @@ memdemo:
 	echo; echo "=== KV governance after the wave ==="; \
 	curl -s "http://$(MEMDEMO_ADDR)/v1/kv"; echo; \
 	curl -s -o /dev/null -w "readyz: HTTP %{http_code}\n" "http://$(MEMDEMO_ADDR)/readyz"; \
+	kill $$pid; wait $$pid 2>/dev/null; exit $$st
+
+# SSE streaming demo: boot llmperfd, drive it with llmperf's streaming
+# client (client-side TTFT/ITL percentiles from live SSE chunks), show a
+# raw curl -N stream, then scrape the first-token/ITL histograms the
+# streaming path feeds into /metrics.
+STREAM_DEMO_ADDR ?= 127.0.0.1:18082
+stream-demo:
+	$(GO) build -o /tmp/llmperfd-stream ./cmd/llmperfd
+	$(GO) build -o /tmp/llmperf-stream ./cmd/llmperf
+	/tmp/llmperfd-stream -addr $(STREAM_DEMO_ADDR) -timescale 0.02 & \
+	pid=$$!; sleep 1; \
+	/tmp/llmperf-stream -url http://$(STREAM_DEMO_ADDR) -stream -n 32 -concurrency 8 \
+	    -model OPT-13B -in 128 -out 8; st=$$?; \
+	echo; echo "=== raw SSE stream (curl -N) ==="; \
+	curl -sN "http://$(STREAM_DEMO_ADDR)/v1/generate" -H 'Content-Type: application/json' \
+	    -d '{"platform":"spr","model":"OPT-13B","in":32,"out":4,"stream":true}'; \
+	echo "=== streaming metrics ==="; \
+	curl -s "http://$(STREAM_DEMO_ADDR)/metrics" | \
+	    grep -E '^gateway_(first_token_seconds|itl_seconds)_(count|sum)|^gateway_stream_tokens_total' \
+	    || { echo "streaming metrics missing"; st=1; }; \
 	kill $$pid; wait $$pid 2>/dev/null; exit $$st
 
 # One benchmark per paper table/figure plus kernel/engine/ablation benches,

@@ -4,15 +4,20 @@
 // HTTP load generator against a running llmperfd gateway, reporting
 // client-side latency percentiles and per-status counts.
 //
+// In load-generator mode, -stream switches to SSE streaming requests and
+// reports client-side TTFT and inter-token-latency percentiles.
+//
 // Usage:
 //
 //	llmperf -platform spr -model OPT-30B -batch 4
 //	llmperf -platform h100 -model OPT-66B -in 512 -out 32
 //	llmperf -platform spr -cores 96 -cluster snc -memmode cache -model LLaMA2-13B
 //	llmperf -url http://localhost:8080 -n 128 -concurrency 16 -model OPT-13B
+//	llmperf -url http://localhost:8080 -stream -platform tiny-opt -n 32
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -21,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,10 +54,15 @@ func main() {
 	url := flag.String("url", "", "load-generator mode: base URL of a running llmperfd (e.g. http://localhost:8080)")
 	n := flag.Int("n", 64, "load generator: total requests")
 	concurrency := flag.Int("concurrency", 8, "load generator: concurrent clients")
+	stream := flag.Bool("stream", false, "load generator: use SSE streaming and report client-side TTFT/ITL percentiles")
 	flag.Parse()
 
 	if *url != "" {
-		loadGenerate(*url, *platform, *modelName, *in, *out, *n, *concurrency)
+		if *stream {
+			loadStream(*url, *platform, *modelName, *in, *out, *n, *concurrency)
+		} else {
+			loadGenerate(*url, *platform, *modelName, *in, *out, *n, *concurrency)
+		}
 		return
 	}
 
@@ -246,6 +257,145 @@ func loadGenerate(base, platform, modelName string, in, out, n, concurrency int)
 		fmt.Printf("  throughput : %.1f req/s completed\n", float64(len(latencies))/wall)
 	}
 	printPhaseBreakdown(phases)
+}
+
+// loadStream drives n streaming POST /v1/generate requests and reports
+// the two latencies a streaming user actually perceives (§II-C): TTFT —
+// request start to the first SSE token chunk — and ITL, the gap between
+// consecutive chunks, both measured at the client.
+func loadStream(base, platform, modelName string, in, out, n, concurrency int) {
+	if concurrency < 1 {
+		fatal(fmt.Errorf("concurrency must be positive"))
+	}
+	body, err := json.Marshal(map[string]any{
+		"platform": platform, "model": modelName, "in": in, "out": out,
+		"stream": true})
+	if err != nil {
+		fatal(err)
+	}
+	endpoint := base + "/v1/generate"
+	// No overall client timeout: a stream is alive as long as chunks flow.
+	client := &http.Client{}
+
+	var (
+		mu       sync.Mutex
+		ttfts    []float64
+		itls     []float64
+		e2es     []float64
+		tokens   int
+		statuses = map[int]int{}
+		netErrs  int
+		aborted  int // streams that ended without data: [DONE]
+	)
+	jobs := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				t0 := time.Now()
+				resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					netErrs++
+					mu.Unlock()
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					resp.Body.Close()
+					mu.Lock()
+					statuses[resp.StatusCode]++
+					mu.Unlock()
+					continue
+				}
+				var reqTTFT float64
+				var reqITLs []float64
+				reqTokens, done := 0, false
+				last := t0
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+				for sc.Scan() {
+					data, ok := strings.CutPrefix(sc.Text(), "data: ")
+					if !ok {
+						continue // blank separator lines
+					}
+					if data == "[DONE]" {
+						done = true
+						break
+					}
+					var ev struct {
+						Object string `json:"object"`
+					}
+					if json.Unmarshal([]byte(data), &ev) != nil || ev.Object != "generate.token" {
+						continue // terminal result event, or error envelope
+					}
+					now := time.Now()
+					if reqTokens == 0 {
+						reqTTFT = now.Sub(t0).Seconds()
+					} else {
+						reqITLs = append(reqITLs, now.Sub(last).Seconds())
+					}
+					last = now
+					reqTokens++
+				}
+				resp.Body.Close()
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				if reqTokens > 0 {
+					ttfts = append(ttfts, reqTTFT)
+					itls = append(itls, reqITLs...)
+					e2es = append(e2es, time.Since(t0).Seconds())
+					tokens += reqTokens
+				}
+				if !done {
+					aborted++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- struct{}{}
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	fmt.Printf("stream: %d requests to %s (%s/%s in=%d out=%d), %d clients, %.2fs wall\n",
+		n, endpoint, platform, modelName, in, out, concurrency, wall)
+	var codes []int
+	for c := range statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Printf("  HTTP %d    : %d\n", c, statuses[c])
+	}
+	if netErrs > 0 {
+		fmt.Printf("  transport  : %d errors\n", netErrs)
+	}
+	if aborted > 0 {
+		fmt.Printf("  aborted    : %d streams ended without [DONE]\n", aborted)
+	}
+	if len(ttfts) > 0 {
+		sort.Float64s(ttfts)
+		fmt.Printf("  TTFT       : p50 %.3fs   p95 %.3fs   p99 %.3fs (client wall)\n",
+			quantileSorted(ttfts, 0.50), quantileSorted(ttfts, 0.95), quantileSorted(ttfts, 0.99))
+	}
+	if len(itls) > 0 {
+		sort.Float64s(itls)
+		fmt.Printf("  ITL        : p50 %.1fms   p95 %.1fms   p99 %.1fms (inter-token)\n",
+			quantileSorted(itls, 0.50)*1e3, quantileSorted(itls, 0.95)*1e3, quantileSorted(itls, 0.99)*1e3)
+	}
+	if len(e2es) > 0 {
+		sort.Float64s(e2es)
+		fmt.Printf("  E2E        : p50 %.3fs   p95 %.3fs   p99 %.3fs\n",
+			quantileSorted(e2es, 0.50), quantileSorted(e2es, 0.95), quantileSorted(e2es, 0.99))
+		fmt.Printf("  throughput : %.1f tok/s streamed, %.1f req/s completed\n",
+			float64(tokens)/wall, float64(len(e2es))/wall)
+	}
 }
 
 // printPhaseBreakdown renders the server-side phase percentiles collected

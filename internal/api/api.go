@@ -12,6 +12,9 @@
 //	GET|POST /v1/simulate            one simulated inference point
 //	GET|POST /v1/autotune            configuration search
 //	POST /v1/generate                one request through the batching gateway
+//	                                 ("stream": true → SSE per-token chunks)
+//	POST /v1/chat/completions        OpenAI-compatible chat completions
+//	POST /v1/completions             OpenAI-compatible text completions alias
 //	GET  /v1/experiments             experiment keys
 //	GET  /v1/experiments/{key}       one experiment's rendered tables
 //	GET  /v1/scorecard               reproduction scorecard
@@ -23,7 +26,6 @@ package api
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -86,7 +88,9 @@ var endpoints = []endpointInfo{
 	{"GET", "/v1/platforms", "platform registry (CPUs and GPUs of Tables I-II)"},
 	{"GET, POST", "/v1/simulate", "price one inference point (platform, model, batch, in, out)"},
 	{"GET, POST", "/v1/autotune", "search CPU configurations for an objective"},
-	{"POST", "/v1/generate", "serve one generation request through the batching gateway"},
+	{"POST", "/v1/generate", `serve one generation request through the batching gateway; "stream": true delivers per-token SSE chunks (data: {...}, data: [DONE])`},
+	{"POST", "/v1/chat/completions", `OpenAI-compatible chat completions (usage, finish_reason); "stream": true delivers chat.completion.chunk SSE`},
+	{"POST", "/v1/completions", "OpenAI-compatible legacy text completions alias, sharing /v1/generate validation and streaming"},
 	{"GET", "/v1/experiments", "paper experiment keys"},
 	{"GET", "/v1/experiments/{key}", "run one experiment, rendered tables"},
 	{"GET", "/v1/scorecard", "reproduction scorecard"},
@@ -110,6 +114,8 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/simulate", s.handleSimulate, http.MethodGet, http.MethodPost)
 	route("/v1/autotune", s.handleAutotune, http.MethodGet, http.MethodPost)
 	route("/v1/generate", s.handleGenerate, http.MethodPost)
+	route("/v1/chat/completions", s.handleChatCompletions, http.MethodPost)
+	route("/v1/completions", s.handleCompletions, http.MethodPost)
 	route("/v1/experiments", s.handleExperimentList, http.MethodGet)
 	route("/v1/experiments/{key}", s.handleExperiment, http.MethodGet)
 	route("/v1/scorecard", s.handleScorecard, http.MethodGet)
@@ -184,6 +190,17 @@ type statusWriter struct {
 	counted bool
 	status  int
 }
+
+// Flush forwards to the wrapped writer so SSE streaming works through
+// the status-capturing middleware.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
 func (sw *statusWriter) WriteHeader(status int) {
 	if sw.status == 0 {
@@ -474,41 +491,12 @@ type tuneResponse struct {
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	admit := time.Now()
-	tr := trace.FromContext(r.Context())
 	var req GenerateRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeBodyError(w, err)
 		return
 	}
-	if err := req.normalize(); err != nil {
-		// Unknown platform or model names are missing resources (404),
-		// distinct from malformed parameters (400).
-		if errors.Is(err, hw.ErrUnknownPlatform) || errors.Is(err, model.ErrUnknownModel) {
-			writeError(w, http.StatusNotFound, CodeNotFound, err)
-			return
-		}
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
-		return
-	}
-	tr.Add(trace.SpanData{Name: trace.PhaseAdmission, Start: admit, End: time.Now(),
-		Attrs: map[string]string{"lane": req.laneKey()}})
-	res, err := s.gw.Generate(r.Context(), gateway.Request{
-		Lane: req.laneKey(), InputLen: req.InputLen, OutputLen: req.OutputLen,
-		Client: clientID(r), Trace: tr,
-	})
-	if err != nil {
-		s.writeGatewayError(w, err)
-		return
-	}
-	// Server-Timing carries the phase breakdown to clients (llmperf
-	// renders p50/p99 per phase from it) without a second round-trip.
-	if st := trace.FormatServerTiming(tr.PhaseSeconds()); st != "" {
-		w.Header().Set("Server-Timing", st)
-	}
-	if res.TraceID == "" {
-		res.TraceID = tr.ID()
-	}
-	writeJSON(w, http.StatusOK, res)
+	s.serveGeneration(w, r, admit, &req, generateShape{})
 }
 
 // clientID identifies the submitting tenant for per-client KV quotas: the

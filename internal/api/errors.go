@@ -47,6 +47,14 @@ const (
 	// CodeQuotaExceeded rejects a request that would push its client over
 	// the per-client in-flight KV token quota (HTTP 429 + Retry-After).
 	CodeQuotaExceeded = "quota_exceeded"
+	// CodeInvalidStreamParam rejects malformed streaming options (HTTP
+	// 400): unparseable stream_options, unknown option fields, or
+	// stream_options supplied without "stream": true.
+	CodeInvalidStreamParam = "invalid_stream_param"
+	// CodeNotAcceptable rejects an impossible Accept/stream combination
+	// (HTTP 406): a streaming request whose Accept excludes
+	// text/event-stream, or a buffered request that only accepts it.
+	CodeNotAcceptable = "not_acceptable"
 )
 
 // errorBody is the uniform error envelope. TraceID correlates the failure
@@ -87,51 +95,56 @@ func writeBodyError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 }
 
-// writeGatewayError maps scheduler and context errors onto HTTP statuses;
-// everything else is an internal error. Every backpressure status — 429
-// and every 503 — carries a derived Retry-After header so clients back
-// off for as long as the backlog actually needs, not a guessed constant.
-func (s *Server) writeGatewayError(w http.ResponseWriter, err error) {
-	retryAfter := func() {
-		// The hint is the time the current backlog needs to drain at the
-		// observed completion rate, bounded to [1, 30] seconds.
-		w.Header().Set("Retry-After", strconv.Itoa(s.gw.RetryAfterSeconds()))
-	}
+// mapGatewayError classifies scheduler and context errors: the HTTP
+// status, the envelope code, and whether the response should carry a
+// derived Retry-After hint. Shared by the buffered response path
+// (writeGatewayError) and the streaming path, which can only deliver the
+// code inside a terminal SSE event once headers are sent.
+func mapGatewayError(err error) (status int, code string, retryable bool) {
 	switch {
 	case errors.Is(err, gateway.ErrQueueFull):
-		retryAfter()
-		writeError(w, http.StatusTooManyRequests, CodeQueueFull, err)
+		return http.StatusTooManyRequests, CodeQueueFull, true
 	case errors.Is(err, govern.ErrQuotaExceeded):
-		retryAfter()
-		writeError(w, http.StatusTooManyRequests, CodeQuotaExceeded, err)
+		return http.StatusTooManyRequests, CodeQuotaExceeded, true
 	case errors.Is(err, govern.ErrShedding), errors.Is(err, govern.ErrKVExhausted):
 		// KV memory pressure: the lane is above its high watermark, or the
 		// pool stayed exhausted through the request's requeue budget.
-		retryAfter()
-		writeError(w, http.StatusServiceUnavailable, CodeMemoryPressure, err)
+		return http.StatusServiceUnavailable, CodeMemoryPressure, true
 	case errors.Is(err, govern.ErrNeverFits):
 		// Structural: this context can never fit the lane's pool, so
 		// retrying the same request is pointless.
-		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
+		return http.StatusUnprocessableEntity, CodeUnprocessable, false
 	case errors.Is(err, gateway.ErrDraining):
-		retryAfter()
-		writeError(w, http.StatusServiceUnavailable, CodeDraining, err)
+		return http.StatusServiceUnavailable, CodeDraining, true
 	case errors.Is(err, gateway.ErrLaneQuarantined),
 		errors.Is(err, gateway.ErrLaneBroken),
 		errors.Is(err, gateway.ErrWatchdogTimeout):
 		// Transient lane-level failures: quarantine cool-off, an open
 		// breaker without a fallback, or a watchdog-cancelled batch that
 		// exhausted its requeues. The condition clears on its own.
-		retryAfter()
-		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
+		return http.StatusServiceUnavailable, CodeUnavailable, true
 	case errors.Is(err, gateway.ErrLanePanic):
 		// The supervisor recovered the panic and is restarting the lane;
 		// only this request's batch was lost.
-		writeError(w, http.StatusInternalServerError, CodeLanePanic, err)
+		return http.StatusInternalServerError, CodeLanePanic, false
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// 499-style: the client went away or ran out its deadline.
-		writeError(w, http.StatusRequestTimeout, CodeCanceled, err)
+		return http.StatusRequestTimeout, CodeCanceled, false
 	default:
-		writeError(w, http.StatusInternalServerError, CodeInternal, err)
+		return http.StatusInternalServerError, CodeInternal, false
 	}
+}
+
+// writeGatewayError maps scheduler and context errors onto HTTP statuses;
+// everything else is an internal error. Every backpressure status — 429
+// and every 503 — carries a derived Retry-After header so clients back
+// off for as long as the backlog actually needs, not a guessed constant.
+func (s *Server) writeGatewayError(w http.ResponseWriter, err error) {
+	status, code, retryable := mapGatewayError(err)
+	if retryable {
+		// The hint is the time the current backlog needs to drain at the
+		// observed completion rate, bounded to [1, 30] seconds.
+		w.Header().Set("Retry-After", strconv.Itoa(s.gw.RetryAfterSeconds()))
+	}
+	writeError(w, status, code, err)
 }

@@ -51,32 +51,93 @@ func FuzzGenerateBody(f *testing.F) {
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req) // must not panic, whatever the bytes
 
-		res := rec.Result()
-		switch res.StatusCode {
-		case http.StatusOK:
-			var out struct {
-				Lane string `json:"lane"`
+		checkFuzzResponse(t, rec)
+	})
+}
+
+// checkFuzzResponse asserts the no-panic contract shared by the fuzzed
+// generation endpoints: 200s carry decodable JSON (or well-formed SSE
+// when the body selected streaming), errors carry the uniform envelope.
+func checkFuzzResponse(t *testing.T, rec *httptest.ResponseRecorder) {
+	t.Helper()
+	res := rec.Result()
+	switch res.StatusCode {
+	case http.StatusOK:
+		if res.Header.Get("Content-Type") == "text/event-stream" {
+			for _, line := range bytes.Split(rec.Body.Bytes(), []byte("\n")) {
+				if len(line) == 0 {
+					continue
+				}
+				data, ok := bytes.CutPrefix(line, []byte("data: "))
+				if !ok {
+					t.Fatalf("SSE response with non-SSE line %q", line)
+				}
+				if !bytes.Equal(data, []byte("[DONE]")) && !json.Valid(data) {
+					t.Fatalf("SSE chunk with invalid JSON: %q", data)
+				}
 			}
-			if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
-				t.Fatalf("200 with undecodable body: %v", err)
-			}
-		case http.StatusBadRequest, http.StatusNotFound,
-			http.StatusRequestTimeout, http.StatusTooManyRequests,
-			http.StatusUnprocessableEntity, http.StatusInternalServerError,
-			http.StatusServiceUnavailable:
-			var env struct {
-				Error struct {
-					Code    string `json:"code"`
-					Message string `json:"message"`
-				} `json:"error"`
-			}
-			if err := json.NewDecoder(res.Body).Decode(&env); err != nil ||
-				env.Error.Code == "" || env.Error.Message == "" {
-				t.Fatalf("status %d without uniform error envelope (err %v): %s",
-					res.StatusCode, err, rec.Body.Bytes())
-			}
-		default:
-			t.Fatalf("unexpected status %d: %s", res.StatusCode, rec.Body.Bytes())
+			return
 		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("200 with undecodable body: %s", rec.Body.Bytes())
+		}
+	case http.StatusBadRequest, http.StatusNotFound,
+		http.StatusNotAcceptable, http.StatusRequestTimeout,
+		http.StatusTooManyRequests, http.StatusUnprocessableEntity,
+		http.StatusInternalServerError, http.StatusServiceUnavailable:
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.NewDecoder(res.Body).Decode(&env); err != nil ||
+			env.Error.Code == "" || env.Error.Message == "" {
+			t.Fatalf("status %d without uniform error envelope (err %v): %s",
+				res.StatusCode, err, rec.Body.Bytes())
+		}
+	default:
+		t.Fatalf("unexpected status %d: %s", res.StatusCode, rec.Body.Bytes())
+	}
+}
+
+// FuzzChatCompletionsBody drives the OpenAI adapter's request mapping
+// plus the shared validation and streaming path with arbitrary bytes.
+// Run with `go test -fuzz FuzzChatCompletionsBody ./internal/api/`.
+func FuzzChatCompletionsBody(f *testing.F) {
+	seeds := []string{
+		`{"model":"OPT-13B","messages":[{"role":"user","content":"hi"}]}`,
+		`{"model":"OPT-13B","platform":"tiny-opt","max_tokens":4,"messages":[{"role":"user","content":"hi"}]}`,
+		`{"model":"OPT-13B","messages":[{"role":"user","content":"hi"}],"stream":true}`,
+		`{"model":"OPT-13B","messages":[{"role":"user","content":"hi"}],"stream":true,"stream_options":{"include_usage":true}}`,
+		`{"model":"OPT-13B","messages":[{"role":"user","content":"hi"}],"stream_options":{"include_usage":true}}`,
+		`{"model":"OPT-13B","messages":[{"role":"user","content":"hi"}],"temperature":0.7,"top_p":"high","seed":[1]}`,
+		`{"model":"OPT-13B","messages":[{"content":"no role"}]}`,
+		`{"model":"OPT-13B","messages":[],"n":2}`,
+		`{"messages":[{"role":"user","content":"no model"}]}`,
+		`{"model":"gpt-4","messages":[{"role":"user","content":"hi"}]}`,
+		`{"model":"OPT-13B","max_completion_tokens":999999999,"messages":[{"role":"user","content":"hi"}]}`,
+		`{"model":"OPT-13B","messages":"not an array"}`,
+		`{"model":"OPT-13B","messages":[{"role":"user","content":"hi"}],}`,
+		`[]`,
+		``,
+		`{`,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		gw := gateway.New(gateway.Config{MaxQueue: 4, MaxBatch: 2, Workers: 1,
+			WatchdogBudget: -1}, stubResolver(stubCost{}))
+		h := NewServer(gw).Handler()
+
+		req := httptest.NewRequest(http.MethodPost, "/v1/chat/completions", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic, whatever the bytes
+
+		checkFuzzResponse(t, rec)
 	})
 }

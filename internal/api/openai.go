@@ -1,0 +1,374 @@
+package api
+
+// openai.go adapts the gateway to the OpenAI API shapes:
+// POST /v1/chat/completions (chat.completion / chat.completion.chunk)
+// and the older POST /v1/completions (text_completion). Both convert to
+// a GenerateRequest and run through the exact validation and serving
+// path as /v1/generate — the adapter owns only the request mapping and
+// the response JSON.
+//
+// Compatibility scope (see docs/api.md for the full matrix): request and
+// response framing, streaming chunks with [DONE], finish_reason and
+// usage token accounting are faithful; sampling knobs (temperature,
+// top_p, stop, seed, penalties) are accepted and ignored because the
+// serving layer prices scheduling, not sampling — completion text is
+// synthesized deterministically, one word per token. Prompt length is
+// estimated character-wise, consistent with the repo's char-level
+// tokenizer (internal/texttoken: one token per character plus BOS).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/trace"
+)
+
+// chatMessage is one chat turn, in requests and buffered responses.
+type chatMessage struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+// chatCompletionsRequest is the body of POST /v1/chat/completions.
+// RawMessage fields are accepted-but-ignored sampling parameters, kept
+// raw so any JSON type a client sends passes the strict decoder.
+type chatCompletionsRequest struct {
+	Model    string        `json:"model"`
+	Messages []chatMessage `json:"messages"`
+	// MaxCompletionTokens wins over the deprecated MaxTokens; both zero
+	// means the /v1/generate default (32).
+	MaxTokens           int             `json:"max_tokens"`
+	MaxCompletionTokens int             `json:"max_completion_tokens"`
+	N                   int             `json:"n"`
+	Stream              bool            `json:"stream"`
+	StreamOptions       json.RawMessage `json:"stream_options"`
+	Temperature         json.RawMessage `json:"temperature"`
+	TopP                json.RawMessage `json:"top_p"`
+	Stop                json.RawMessage `json:"stop"`
+	Seed                json.RawMessage `json:"seed"`
+	User                json.RawMessage `json:"user"`
+	PresencePenalty     json.RawMessage `json:"presence_penalty"`
+	FrequencyPenalty    json.RawMessage `json:"frequency_penalty"`
+	// Vendor extensions selecting the serving lane, as on /v1/generate.
+	// Platform defaults to "spr" (the paper's flagship CPU).
+	Platform string `json:"platform"`
+	Cores    int    `json:"cores"`
+	MemMode  string `json:"memmode"`
+	Cluster  string `json:"cluster"`
+}
+
+// completionsRequest is the body of POST /v1/completions, the legacy
+// text-completion alias. Prompt must be a string (the array forms are
+// not supported).
+type completionsRequest struct {
+	Model            string          `json:"model"`
+	Prompt           string          `json:"prompt"`
+	MaxTokens        int             `json:"max_tokens"`
+	N                int             `json:"n"`
+	Echo             bool            `json:"echo"`
+	Stream           bool            `json:"stream"`
+	StreamOptions    json.RawMessage `json:"stream_options"`
+	Temperature      json.RawMessage `json:"temperature"`
+	TopP             json.RawMessage `json:"top_p"`
+	Stop             json.RawMessage `json:"stop"`
+	Seed             json.RawMessage `json:"seed"`
+	User             json.RawMessage `json:"user"`
+	PresencePenalty  json.RawMessage `json:"presence_penalty"`
+	FrequencyPenalty json.RawMessage `json:"frequency_penalty"`
+	Platform         string          `json:"platform"`
+	Cores            int             `json:"cores"`
+	MemMode          string          `json:"memmode"`
+	Cluster          string          `json:"cluster"`
+}
+
+// usage is the OpenAI token-accounting block.
+type usage struct {
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
+	TotalTokens      int `json:"total_tokens"`
+}
+
+// usageFor derives the usage block from a gateway result.
+func usageFor(res gateway.Result) usage {
+	return usage{
+		PromptTokens:     res.InputLen,
+		CompletionTokens: res.OutputLen,
+		TotalTokens:      res.InputLen + res.OutputLen,
+	}
+}
+
+// finishLength is the only finish_reason this service produces: every
+// request decodes exactly its requested output length.
+const finishLength = "length"
+
+// promptTokens estimates a chat prompt's token count: one token per
+// content character (the texttoken contract) plus a fixed per-message
+// template overhead for the role framing, plus BOS.
+func promptTokens(msgs []chatMessage) int {
+	n := 1 // BOS
+	for _, m := range msgs {
+		n += len(m.Content) + len(m.Role) + 4
+	}
+	return n
+}
+
+// defaultOpenAIPlatform serves OpenAI-shaped requests that don't pick a
+// lane: the paper's flagship CPU platform.
+const defaultOpenAIPlatform = "spr"
+
+// toGenerate maps the chat request onto the shared GenerateRequest, so
+// /v1/chat/completions runs through exactly /v1/generate's validation.
+func (c *chatCompletionsRequest) toGenerate() (GenerateRequest, error) {
+	if c.Model == "" {
+		return GenerateRequest{}, fmt.Errorf("model is required")
+	}
+	if len(c.Messages) == 0 {
+		return GenerateRequest{}, fmt.Errorf("messages must contain at least one message")
+	}
+	for i, m := range c.Messages {
+		if m.Role == "" {
+			return GenerateRequest{}, fmt.Errorf("messages[%d]: role is required", i)
+		}
+	}
+	if c.N > 1 {
+		return GenerateRequest{}, fmt.Errorf("n=%d is not supported (only n=1)", c.N)
+	}
+	out := c.MaxCompletionTokens
+	if out == 0 {
+		out = c.MaxTokens
+	}
+	platform := c.Platform
+	if platform == "" {
+		platform = defaultOpenAIPlatform
+	}
+	return GenerateRequest{
+		Platform:      platform,
+		Model:         c.Model,
+		InputLen:      promptTokens(c.Messages),
+		OutputLen:     out,
+		Cores:         c.Cores,
+		MemMode:       c.MemMode,
+		Cluster:       c.Cluster,
+		Stream:        c.Stream,
+		StreamOptions: c.StreamOptions,
+	}, nil
+}
+
+// toGenerate maps the text-completion request onto GenerateRequest.
+func (c *completionsRequest) toGenerate() (GenerateRequest, error) {
+	if c.Model == "" {
+		return GenerateRequest{}, fmt.Errorf("model is required")
+	}
+	if c.N > 1 {
+		return GenerateRequest{}, fmt.Errorf("n=%d is not supported (only n=1)", c.N)
+	}
+	if c.Echo {
+		return GenerateRequest{}, fmt.Errorf("echo is not supported")
+	}
+	platform := c.Platform
+	if platform == "" {
+		platform = defaultOpenAIPlatform
+	}
+	return GenerateRequest{
+		Platform:      platform,
+		Model:         c.Model,
+		InputLen:      1 + len(c.Prompt), // BOS + one token per character
+		OutputLen:     c.MaxTokens,
+		Cores:         c.Cores,
+		MemMode:       c.MemMode,
+		Cluster:       c.Cluster,
+		Stream:        c.Stream,
+		StreamOptions: c.StreamOptions,
+	}, nil
+}
+
+// chatDelta is the incremental message fragment in a streamed chunk.
+type chatDelta struct {
+	Role    string `json:"role,omitempty"`
+	Content string `json:"content,omitempty"`
+}
+
+// chatChoice is one choice in a chat.completion or chat.completion.chunk
+// object; Message is set on buffered responses, Delta on chunks.
+type chatChoice struct {
+	Index        int          `json:"index"`
+	Message      *chatMessage `json:"message,omitempty"`
+	Delta        *chatDelta   `json:"delta,omitempty"`
+	FinishReason *string      `json:"finish_reason"`
+}
+
+// chatCompletionResponse is both the buffered chat.completion object and
+// the chat.completion.chunk stream objects. TraceID is a vendor
+// extension correlating with X-Trace-ID and GET /v1/traces.
+type chatCompletionResponse struct {
+	ID      string       `json:"id"`
+	Object  string       `json:"object"`
+	Created int64        `json:"created"`
+	Model   string       `json:"model"`
+	Choices []chatChoice `json:"choices"`
+	Usage   *usage       `json:"usage,omitempty"`
+	TraceID string       `json:"trace_id,omitempty"`
+}
+
+// chatShape renders the OpenAI chat-completions forms.
+type chatShape struct {
+	id      string
+	created int64
+	model   string
+}
+
+func (c *chatShape) buffered(res gateway.Result) any {
+	reason := finishLength
+	u := usageFor(res)
+	return chatCompletionResponse{
+		ID: c.id, Object: "chat.completion", Created: c.created, Model: c.model,
+		Choices: []chatChoice{{
+			Message:      &chatMessage{Role: "assistant", Content: completionText(res.OutputLen)},
+			FinishReason: &reason,
+		}},
+		Usage:   &u,
+		TraceID: res.TraceID,
+	}
+}
+
+func (c *chatShape) token(ev gateway.TokenEvent) any {
+	delta := &chatDelta{Content: tokenText(ev.Index)}
+	if ev.Index == 0 {
+		delta.Role = "assistant"
+	}
+	return chatCompletionResponse{
+		ID: c.id, Object: "chat.completion.chunk", Created: c.created, Model: c.model,
+		Choices: []chatChoice{{Delta: delta}},
+	}
+}
+
+func (c *chatShape) terminal(res gateway.Result, includeUsage bool) []any {
+	reason := finishLength
+	out := []any{chatCompletionResponse{
+		ID: c.id, Object: "chat.completion.chunk", Created: c.created, Model: c.model,
+		Choices: []chatChoice{{Delta: &chatDelta{}, FinishReason: &reason}},
+	}}
+	if includeUsage {
+		u := usageFor(res)
+		out = append(out, chatCompletionResponse{
+			ID: c.id, Object: "chat.completion.chunk", Created: c.created, Model: c.model,
+			Choices: []chatChoice{},
+			Usage:   &u,
+		})
+	}
+	return out
+}
+
+// textChoice is one choice in a text_completion object (buffered and
+// streamed chunks share the shape).
+type textChoice struct {
+	Index        int     `json:"index"`
+	Text         string  `json:"text"`
+	FinishReason *string `json:"finish_reason"`
+}
+
+// completionsResponse is the text_completion object.
+type completionsResponse struct {
+	ID      string       `json:"id"`
+	Object  string       `json:"object"`
+	Created int64        `json:"created"`
+	Model   string       `json:"model"`
+	Choices []textChoice `json:"choices"`
+	Usage   *usage       `json:"usage,omitempty"`
+	TraceID string       `json:"trace_id,omitempty"`
+}
+
+// completionsShape renders the legacy text-completion forms.
+type completionsShape struct {
+	id      string
+	created int64
+	model   string
+}
+
+func (c *completionsShape) buffered(res gateway.Result) any {
+	reason := finishLength
+	u := usageFor(res)
+	return completionsResponse{
+		ID: c.id, Object: "text_completion", Created: c.created, Model: c.model,
+		Choices: []textChoice{{Text: completionText(res.OutputLen), FinishReason: &reason}},
+		Usage:   &u,
+		TraceID: res.TraceID,
+	}
+}
+
+func (c *completionsShape) token(ev gateway.TokenEvent) any {
+	return completionsResponse{
+		ID: c.id, Object: "text_completion", Created: c.created, Model: c.model,
+		Choices: []textChoice{{Text: tokenText(ev.Index)}},
+	}
+}
+
+func (c *completionsShape) terminal(res gateway.Result, includeUsage bool) []any {
+	reason := finishLength
+	out := []any{completionsResponse{
+		ID: c.id, Object: "text_completion", Created: c.created, Model: c.model,
+		Choices: []textChoice{{FinishReason: &reason}},
+	}}
+	if includeUsage {
+		u := usageFor(res)
+		out = append(out, completionsResponse{
+			ID: c.id, Object: "text_completion", Created: c.created, Model: c.model,
+			Choices: []textChoice{},
+			Usage:   &u,
+		})
+	}
+	return out
+}
+
+// completionID builds the response id from the request's trace, so the
+// OpenAI-shaped id is directly greppable in /v1/traces.
+func completionID(prefix string, r *http.Request) string {
+	id := trace.FromContext(r.Context()).ID()
+	if id == "" {
+		id = trace.NewID()
+	}
+	return prefix + id
+}
+
+func (s *Server) handleChatCompletions(w http.ResponseWriter, r *http.Request) {
+	admit := time.Now()
+	var creq chatCompletionsRequest
+	if err := decodeBody(r, &creq); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	greq, err := creq.toGenerate()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	shape := &chatShape{
+		id:      completionID("chatcmpl-", r),
+		created: time.Now().Unix(),
+		model:   creq.Model,
+	}
+	s.serveGeneration(w, r, admit, &greq, shape)
+}
+
+func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
+	admit := time.Now()
+	var creq completionsRequest
+	if err := decodeBody(r, &creq); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	greq, err := creq.toGenerate()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	shape := &completionsShape{
+		id:      completionID("cmpl-", r),
+		created: time.Now().Unix(),
+		model:   creq.Model,
+	}
+	s.serveGeneration(w, r, admit, &greq, shape)
+}

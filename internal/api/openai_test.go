@@ -1,0 +1,224 @@
+package api
+
+// openai_test.go covers the OpenAI-compatible adapter endpoints:
+// buffered and streamed chat.completion shapes, usage token accounting,
+// finish_reason, the legacy /v1/completions alias, and the shared
+// validation path (same 400/404 taxonomy as /v1/generate).
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestChatCompletionsBuffered(t *testing.T) {
+	srv := streamServer(t)
+	resp, body := doOn(t, srv, http.MethodPost, "/v1/chat/completions",
+		`{"model":"opt","platform":"tiny-opt","max_tokens":4,
+		  "messages":[{"role":"user","content":"hi"}],
+		  "temperature":0.7,"top_p":0.9,"stop":["\n"],"seed":42}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cr chatCompletionResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Object != "chat.completion" || !strings.HasPrefix(cr.ID, "chatcmpl-") ||
+		cr.Model != "opt" || cr.Created == 0 {
+		t.Errorf("envelope malformed: %+v", cr)
+	}
+	if len(cr.Choices) != 1 {
+		t.Fatalf("got %d choices", len(cr.Choices))
+	}
+	ch := cr.Choices[0]
+	if ch.Message == nil || ch.Message.Role != "assistant" ||
+		ch.Message.Content != completionText(4) {
+		t.Errorf("message malformed: %+v", ch.Message)
+	}
+	if ch.FinishReason == nil || *ch.FinishReason != finishLength {
+		t.Errorf("finish_reason %v, want %q", ch.FinishReason, finishLength)
+	}
+	// Char-level estimate: BOS + len("hi") + len("user") + 4 framing = 11.
+	if cr.Usage == nil || cr.Usage.PromptTokens != 11 || cr.Usage.CompletionTokens != 4 ||
+		cr.Usage.TotalTokens != 15 {
+		t.Errorf("usage %+v, want {11 4 15}", cr.Usage)
+	}
+	if cr.TraceID == "" || !strings.HasSuffix(cr.ID, cr.TraceID) {
+		t.Errorf("id %q not derived from trace %q", cr.ID, cr.TraceID)
+	}
+}
+
+func TestChatCompletionsStreaming(t *testing.T) {
+	srv := streamServer(t)
+	resp := postAccept(t, srv, "/v1/chat/completions",
+		`{"model":"opt","platform":"tiny-opt","max_tokens":3,"stream":true,
+		  "stream_options":{"include_usage":true},
+		  "messages":[{"role":"user","content":"hi"}]}`, "text/event-stream")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	chunks, done := readSSE(t, resp)
+	if !done {
+		t.Error("stream did not end with [DONE]")
+	}
+	// 3 content chunks + finish chunk + usage chunk.
+	if len(chunks) != 5 {
+		t.Fatalf("got %d chunks, want 5", len(chunks))
+	}
+	var parsed []chatCompletionResponse
+	for i, c := range chunks {
+		var cr chatCompletionResponse
+		if err := json.Unmarshal(c, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.Object != "chat.completion.chunk" || cr.ID != parsedID(parsed, cr.ID) {
+			t.Errorf("chunk %d envelope: %+v", i, cr)
+		}
+		parsed = append(parsed, cr)
+	}
+	var content strings.Builder
+	for i := 0; i < 3; i++ {
+		d := parsed[i].Choices[0].Delta
+		if d == nil {
+			t.Fatalf("chunk %d has no delta", i)
+		}
+		if got, want := d.Role, map[bool]string{true: "assistant", false: ""}[i == 0]; got != want {
+			t.Errorf("chunk %d role %q, want %q", i, got, want)
+		}
+		if parsed[i].Choices[0].FinishReason != nil {
+			t.Errorf("chunk %d has premature finish_reason", i)
+		}
+		content.WriteString(d.Content)
+	}
+	if content.String() != completionText(3) {
+		t.Errorf("streamed content %q != buffered %q", content.String(), completionText(3))
+	}
+	fin := parsed[3].Choices[0]
+	if fin.Delta == nil || fin.Delta.Content != "" || fin.FinishReason == nil ||
+		*fin.FinishReason != finishLength {
+		t.Errorf("finish chunk malformed: %+v", fin)
+	}
+	u := parsed[4]
+	if len(u.Choices) != 0 || u.Usage == nil || u.Usage.CompletionTokens != 3 ||
+		u.Usage.PromptTokens != 11 {
+		t.Errorf("usage chunk malformed: %+v", u)
+	}
+}
+
+// parsedID pins every chunk to the first chunk's id.
+func parsedID(prev []chatCompletionResponse, id string) string {
+	if len(prev) == 0 {
+		return id
+	}
+	return prev[0].ID
+}
+
+func TestCompletionsAlias(t *testing.T) {
+	srv := streamServer(t)
+	resp, body := doOn(t, srv, http.MethodPost, "/v1/completions",
+		`{"model":"opt","platform":"tiny-opt","prompt":"abc","max_tokens":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cr completionsResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Object != "text_completion" || !strings.HasPrefix(cr.ID, "cmpl-") {
+		t.Errorf("envelope malformed: %+v", cr)
+	}
+	if len(cr.Choices) != 1 || cr.Choices[0].Text != completionText(3) ||
+		cr.Choices[0].FinishReason == nil || *cr.Choices[0].FinishReason != finishLength {
+		t.Errorf("choice malformed: %+v", cr.Choices)
+	}
+	// BOS + one token per prompt character.
+	if cr.Usage == nil || cr.Usage.PromptTokens != 4 || cr.Usage.CompletionTokens != 3 {
+		t.Errorf("usage %+v, want {4 3 7}", cr.Usage)
+	}
+}
+
+func TestCompletionsStreamingAlias(t *testing.T) {
+	srv := streamServer(t)
+	resp := postAccept(t, srv, "/v1/completions",
+		`{"model":"opt","platform":"tiny-opt","prompt":"ab","max_tokens":2,"stream":true}`, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	chunks, done := readSSE(t, resp)
+	if !done {
+		t.Error("stream did not end with [DONE]")
+	}
+	if len(chunks) != 3 { // 2 text chunks + finish chunk
+		t.Fatalf("got %d chunks, want 3", len(chunks))
+	}
+	var text strings.Builder
+	for i, c := range chunks {
+		var cr completionsResponse
+		if err := json.Unmarshal(c, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.Object != "text_completion" || len(cr.Choices) != 1 {
+			t.Fatalf("chunk %d malformed: %+v", i, cr)
+		}
+		text.WriteString(cr.Choices[0].Text)
+	}
+	if text.String() != completionText(2) {
+		t.Errorf("streamed text %q != buffered %q", text.String(), completionText(2))
+	}
+}
+
+// TestOpenAIValidation checks the adapters share /v1/generate's error
+// taxonomy: mapping errors are 400s with the uniform envelope, unknown
+// resource names are 404s.
+func TestOpenAIValidation(t *testing.T) {
+	srv := streamServer(t)
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+		wantCode         string
+	}{
+		{"chat missing model", "/v1/chat/completions",
+			`{"messages":[{"role":"user","content":"x"}]}`,
+			http.StatusBadRequest, CodeBadRequest},
+		{"chat missing messages", "/v1/chat/completions",
+			`{"model":"m"}`, http.StatusBadRequest, CodeBadRequest},
+		{"chat message without role", "/v1/chat/completions",
+			`{"model":"m","messages":[{"content":"x"}]}`,
+			http.StatusBadRequest, CodeBadRequest},
+		{"chat n unsupported", "/v1/chat/completions",
+			`{"model":"m","n":2,"messages":[{"role":"user","content":"x"}]}`,
+			http.StatusBadRequest, CodeBadRequest},
+		{"chat unknown model on cpu platform", "/v1/chat/completions",
+			`{"model":"gpt-4","messages":[{"role":"user","content":"x"}]}`,
+			http.StatusNotFound, CodeNotFound},
+		{"chat unknown platform", "/v1/chat/completions",
+			`{"model":"m","platform":"tpu","messages":[{"role":"user","content":"x"}]}`,
+			http.StatusNotFound, CodeNotFound},
+		{"chat stream options without stream", "/v1/chat/completions",
+			`{"model":"m","platform":"tiny-opt","stream_options":{"include_usage":true},
+			  "messages":[{"role":"user","content":"x"}]}`,
+			http.StatusBadRequest, CodeInvalidStreamParam},
+		{"completions missing model", "/v1/completions",
+			`{"prompt":"x"}`, http.StatusBadRequest, CodeBadRequest},
+		{"completions echo unsupported", "/v1/completions",
+			`{"model":"m","platform":"tiny-opt","prompt":"x","echo":true}`,
+			http.StatusBadRequest, CodeBadRequest},
+		{"completions n unsupported", "/v1/completions",
+			`{"model":"m","platform":"tiny-opt","prompt":"x","n":2}`,
+			http.StatusBadRequest, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := doOn(t, srv, http.MethodPost, tc.path, tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.wantStatus, body)
+			}
+			var e errorBody
+			if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != tc.wantCode {
+				t.Errorf("error code %q, want %q (%s)", e.Error.Code, tc.wantCode, body)
+			}
+		})
+	}
+}

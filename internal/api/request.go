@@ -71,6 +71,44 @@ type GenerateRequest struct {
 	Cores     int    `json:"cores"`
 	MemMode   string `json:"memmode"`
 	Cluster   string `json:"cluster"`
+	// Stream switches the response from one buffered JSON result to SSE
+	// per-token delivery (Content-Type text/event-stream, data: chunks,
+	// data: [DONE] termination).
+	Stream bool `json:"stream"`
+	// StreamOptions tunes streaming delivery, OpenAI-shaped. It is kept
+	// raw here so malformed options produce the typed invalid_stream_param
+	// error instead of a generic decode failure.
+	StreamOptions json.RawMessage `json:"stream_options"`
+}
+
+// streamOptions is the decoded form of the stream_options body field.
+type streamOptions struct {
+	// IncludeUsage appends a final usage chunk (token counts) before
+	// [DONE] on the OpenAI-shaped endpoints.
+	IncludeUsage bool `json:"include_usage"`
+}
+
+// errInvalidStreamParam marks malformed streaming options; handlers map
+// it to HTTP 400 with the typed invalid_stream_param code.
+var errInvalidStreamParam = errors.New("invalid stream parameter")
+
+// parseStreamOptions validates the stream/stream_options pair.
+// stream_options without "stream": true is rejected — silently ignoring
+// it would surprise clients expecting a usage chunk.
+func parseStreamOptions(stream bool, raw json.RawMessage) (streamOptions, error) {
+	var opts streamOptions
+	if len(raw) == 0 || string(raw) == "null" {
+		return opts, nil
+	}
+	if !stream {
+		return opts, fmt.Errorf(`%w: stream_options requires "stream": true`, errInvalidStreamParam)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&opts); err != nil {
+		return opts, fmt.Errorf("%w: stream_options: %v", errInvalidStreamParam, err)
+	}
+	return opts, nil
 }
 
 // errUnsupportedMediaType marks POST bodies sent without a JSON

@@ -406,3 +406,108 @@ func TestRetryAfterHint(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosStreamingStallRequeues runs streaming clients through decode
+// stalls that trip the watchdog into cancel-and-requeue, with a quarter
+// of the clients disconnecting mid-stream. The invariant under test is
+// exactly-once token delivery: whatever the scheduler does behind the
+// scenes (requeue, re-prefill, drop), each sink must observe a gap-free,
+// strictly increasing prefix of token indices with no duplicates, and
+// completed requests must see every token exactly once.
+func TestChaosStreamingStallRequeues(t *testing.T) {
+	inj := faults.New(7)
+	cfg := chaosConfig(inj)
+	cfg.WatchdogBudget = 15 * time.Millisecond
+	if err := inj.Arm(faults.Rule{Class: faults.Stall, Site: "cost.decode",
+		Every: 4, Count: 4, DelayMillis: 100}); err != nil {
+		t.Fatal(err)
+	}
+	g := New(cfg, fixedResolver(fakeCost{pre: 0.002, dec: 0.0005}))
+
+	const out = 8
+	sinks := make([]*collector, chaosClients)
+	errs := make([]error, chaosClients)
+	var wg sync.WaitGroup
+	for i := 0; i < chaosClients; i++ {
+		sinks[i] = &collector{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			record := sinks[i].sink()
+			sink := record
+			if i%4 == 3 {
+				// Every fourth client walks away after its second token.
+				cctx, cancel := context.WithCancel(ctx)
+				defer cancel()
+				ctx = cctx
+				sink = func(ev TokenEvent) {
+					record(ev)
+					if ev.Index == 1 {
+						cancel()
+					}
+				}
+			}
+			_, errs[i] = g.Generate(ctx,
+				Request{Lane: "chaos", InputLen: 64, OutputLen: out, Sink: sink})
+		}(i)
+	}
+	wg.Wait()
+	// Let the scheduler finish dropping canceled sequences so no sink is
+	// still being fed while we inspect it.
+	waitFor(t, func() bool {
+		return g.QueueDepth() == 0 &&
+			g.Registry().Gauge("gateway_inflight", "").Value() == 0
+	})
+	time.Sleep(20 * time.Millisecond)
+
+	var failed, canceled int
+	for i, err := range errs {
+		events := sinks[i].snapshot()
+		// Exactly-once, in-order delivery regardless of requeues: the
+		// sink's view is a gap-free prefix of 0..out-1.
+		for k, ev := range events {
+			if ev.Index != k {
+				t.Fatalf("request %d: event %d has index %d (duplicate or gap)", i, k, ev.Index)
+			}
+			if got, want := ev.Final, ev.Index == out-1; got != want {
+				t.Errorf("request %d event %d: Final=%v, want %v", i, k, got, want)
+			}
+		}
+		switch {
+		case err == nil:
+			if len(events) != out {
+				t.Errorf("request %d completed with %d/%d tokens streamed", i, len(events), out)
+			}
+		case errors.Is(err, context.Canceled):
+			canceled++
+			if len(events) > out {
+				t.Errorf("request %d canceled but saw %d tokens", i, len(events))
+			}
+		case errors.Is(err, ErrWatchdogTimeout):
+			failed++
+		default:
+			t.Errorf("request %d: unexpected error %v", i, err)
+			failed++
+		}
+	}
+	if canceled == 0 {
+		t.Error("no mid-stream disconnects took effect")
+	}
+	// 4 stall fires x MaxBatch 8 bounds the requeue-budget casualties.
+	if failed > 32 {
+		t.Errorf("%d requests failed, fault budget allows at most 32", failed)
+	}
+	// Exactly one outcome per request across the counters: completed,
+	// failed, or dropped after cancellation.
+	reg := g.Registry()
+	total := reg.Counter("gateway_completed_total", "").Value() +
+		reg.Counter("gateway_failed_total", "").Value() +
+		reg.Counter("gateway_canceled_total", "").Value()
+	if total != chaosClients {
+		t.Errorf("outcome accounting: %d outcomes for %d requests", total, chaosClients)
+	}
+	if got := reg.Counter("gateway_requeued_total", "").Value(); got < 1 {
+		t.Errorf("no requeues counted (got %d) — stall fault did not exercise the path", got)
+	}
+}

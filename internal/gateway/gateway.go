@@ -218,6 +218,10 @@ type Request struct {
 	// wait, batching, prefill, per-token decode, pricing) as the
 	// scheduler moves it through the lane. The caller owns Finish.
 	Trace *trace.Trace
+	// Sink, when non-nil, receives one TokenEvent per output token as the
+	// scheduler produces it — the transport feeding SSE streaming. It is
+	// called from the lane goroutine and must not block (see TokenSink).
+	Sink TokenSink
 }
 
 // Result reports one served request. Queue and wall times are measured
@@ -254,6 +258,11 @@ type instruments struct {
 	queueWait, ttft, tpot, e2e   *metrics.Histogram
 	wall, batchSize              *metrics.Histogram
 
+	// Streaming instruments (stream.go): wall-clock first-token latency,
+	// inter-token latency, and tokens delivered to sinks.
+	firstToken, itl *metrics.Histogram
+	streamTokens    *metrics.Counter
+
 	// Resilience instruments (supervisor.go, memory.go).
 	panics, restarts, quarantines      *metrics.Counter
 	watchdogTimeouts, requeued         *metrics.Counter
@@ -281,6 +290,12 @@ func newInstruments(r *metrics.Registry) instruments {
 		e2e:        r.Histogram("gateway_e2e_seconds", "modeled request service time", lat),
 		wall:       r.Histogram("gateway_wall_seconds", "real time from submission to completion", lat),
 		batchSize:  r.Histogram("gateway_batch_size", "sequences per decode iteration", metrics.LinearBuckets(1, 1, 32)),
+
+		// Token-level latencies need finer buckets than LatencyBuckets:
+		// without a timescale an iteration is microseconds of wall time.
+		firstToken:   r.Histogram("gateway_first_token_seconds", "real time from submission to first emitted token", metrics.ExponentialBuckets(1e-6, 2, 27)),
+		itl:          r.Histogram("gateway_itl_seconds", "real time between consecutive emitted tokens (inter-token latency)", metrics.ExponentialBuckets(1e-6, 2, 27)),
+		streamTokens: r.Counter("gateway_stream_tokens_total", "tokens delivered to per-request token sinks"),
 
 		panics:           r.Counter("gateway_lane_panics_total", "lane worker panics recovered by the supervisor"),
 		restarts:         r.Counter("gateway_lane_restarts_total", "lane restarts after recovered panics"),
@@ -457,8 +472,11 @@ func (g *Gateway) Generate(ctx context.Context, req Request) (Result, error) {
 		}
 		return out.res, out.err
 	case <-ctx.Done():
-		// The lane observes the dead context and discards the job at the
-		// next admission or iteration boundary.
+		// Still queued: pull the job out and free its KV blocks and quota
+		// now rather than waiting for the lane's next admission scan.
+		// Already executing: the lane evicts it (and releases the lease) at
+		// the next iteration boundary.
+		g.abandonQueued(j)
 		req.Trace.SetError(ctx.Err())
 		return Result{}, ctx.Err()
 	}

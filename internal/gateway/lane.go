@@ -54,6 +54,13 @@ type job struct {
 	// at admission and on requeue, so consecutive tiling spans share
 	// boundaries and their durations sum to the job's gateway residence.
 	lastMark time.Time
+	// emitted is the token-delivery high-water mark: the count of token
+	// indices already handed to the sink (and observed by the ITL
+	// histograms). It survives requeues, so recomputed tokens are not
+	// re-delivered (stream.go).
+	emitted int
+	// lastToken is when the job's most recent token was emitted.
+	lastToken time.Time
 }
 
 // seq is one in-flight sequence being decoded.
@@ -64,6 +71,10 @@ type seq struct {
 	ttftV     float64
 	// prefillDone tracks chunked-prefill progress in tokens.
 	prefillDone int
+	// produced counts tokens produced by this execution attempt; it
+	// restarts at zero after a requeue while job.emitted does not, which
+	// is how recomputed tokens are deduplicated (stream.go).
+	produced int
 	// degraded records that at least one of the sequence's iterations
 	// was priced by the fallback cost model.
 	degraded bool
@@ -319,6 +330,7 @@ func (g *Gateway) continuousIteration(l *lane, admitted []*job) (float64, error)
 					"batch":     strconv.Itoa(len(admitted)),
 					"input_len": strconv.Itoa(maxIn),
 				})
+			g.emitToken(l, s, batch, info.degraded, now)
 			if s.remaining == 0 {
 				g.completeSeq(l, s)
 				continue
@@ -360,6 +372,7 @@ func (g *Gateway) continuousIteration(l *lane, admitted []*job) (float64, error)
 				"batch": strconv.Itoa(batch),
 				"ctx":   strconv.Itoa(s.ctxLen),
 			})
+		g.emitToken(l, s, batch, info.degraded, now)
 		if s.remaining == 0 {
 			g.completeSeq(l, s)
 			continue
@@ -454,6 +467,7 @@ func (g *Gateway) chunkedIteration(l *lane, admitted []*job) (float64, error) {
 				"batch": strconv.Itoa(batch),
 				"ctx":   strconv.Itoa(s.ctxLen),
 			})
+		g.emitToken(l, s, batch, decodeInfo.degraded, now)
 		if s.remaining == 0 {
 			g.completeSeq(l, s)
 			continue
@@ -465,6 +479,7 @@ func (g *Gateway) chunkedIteration(l *lane, admitted []*job) (float64, error) {
 	if l.pre != nil && l.pre.prefillDone >= l.pre.j.req.InputLen {
 		l.pre.ctxLen = l.pre.j.req.InputLen
 		l.pre.ttftV = l.vclock
+		g.emitToken(l, l.pre, len(l.running)+1, l.pre.degraded, now)
 		if l.pre.remaining == 0 {
 			g.completeSeq(l, l.pre)
 		} else {

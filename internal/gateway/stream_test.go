@@ -1,0 +1,253 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/govern"
+	"repro/internal/metrics"
+)
+
+// collector is a test TokenSink that records events under a lock so the
+// test goroutine can inspect them while the lane goroutine appends.
+type collector struct {
+	mu     sync.Mutex
+	events []TokenEvent
+}
+
+func (c *collector) sink() TokenSink {
+	return func(ev TokenEvent) {
+		c.mu.Lock()
+		c.events = append(c.events, ev)
+		c.mu.Unlock()
+	}
+}
+
+func (c *collector) snapshot() []TokenEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TokenEvent(nil), c.events...)
+}
+
+func (c *collector) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// assertTokenStream checks the exactly-once delivery contract: indices
+// 0..n-1 in order, Final set on exactly the last event.
+func assertTokenStream(t *testing.T, events []TokenEvent, n int) {
+	t.Helper()
+	if len(events) != n {
+		t.Fatalf("got %d token events, want %d", len(events), n)
+	}
+	for i, ev := range events {
+		if ev.Index != i {
+			t.Fatalf("event %d has index %d, want %d", i, ev.Index, i)
+		}
+		if got, want := ev.Final, i == n-1; got != want {
+			t.Errorf("event %d: Final=%v, want %v", i, got, want)
+		}
+		if ev.Wall.IsZero() || ev.Batch < 1 {
+			t.Errorf("event %d: degenerate metadata %+v", i, ev)
+		}
+	}
+}
+
+func TestStreamDeliversEveryToken(t *testing.T) {
+	for name, pol := range map[string]Policy{"continuous": Continuous, "chunked": Chunked} {
+		t.Run(name, func(t *testing.T) {
+			reg := metrics.NewRegistry()
+			g := New(Config{MaxBatch: 4, Workers: 1, Policy: pol, Registry: reg},
+				fixedResolver(fakeCost{pre: 0.010, dec: 0.001}))
+
+			const out = 7
+			var col collector
+			res, err := g.Generate(context.Background(), Request{
+				Lane: "spr/OPT-13B", InputLen: 128, OutputLen: out, Sink: col.sink()})
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			assertTokenStream(t, col.snapshot(), out)
+			if res.OutputLen != out {
+				t.Errorf("result output len %d, want %d", res.OutputLen, out)
+			}
+			// Streaming instruments: one first-token sample, out-1 ITL
+			// samples, out streamed tokens.
+			if c := reg.Histogram("gateway_first_token_seconds", "", nil).Count(); c != 1 {
+				t.Errorf("first_token histogram count %d, want 1", c)
+			}
+			if c := reg.Histogram("gateway_itl_seconds", "", nil).Count(); c != out-1 {
+				t.Errorf("itl histogram count %d, want %d", c, out-1)
+			}
+			if c := reg.Counter("gateway_stream_tokens_total", "").Value(); c != out {
+				t.Errorf("stream tokens counter %v, want %d", c, out)
+			}
+		})
+	}
+}
+
+// TestStreamFirstTokenBeforeCompletion is the acceptance criterion for
+// the streaming tentpole: the first token must reach the sink while the
+// decode is still running, not after Generate returns. Timescale makes
+// each decode step take real wall time so the gap is observable.
+func TestStreamFirstTokenBeforeCompletion(t *testing.T) {
+	g := New(Config{MaxBatch: 1, Workers: 1, Timescale: 1},
+		fixedResolver(fakeCost{pre: 0.005, dec: 0.005}))
+
+	first := make(chan time.Time, 1)
+	var once sync.Once
+	_, err := g.Generate(context.Background(), Request{
+		Lane: "l", InputLen: 64, OutputLen: 32,
+		Sink: func(ev TokenEvent) {
+			once.Do(func() { first <- time.Now() })
+		}})
+	doneAt := time.Now()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	select {
+	case at := <-first:
+		// 31 decode steps at 5ms modeled time each separate the first
+		// token from completion; require a comfortably observable gap.
+		if gap := doneAt.Sub(at); gap < 50*time.Millisecond {
+			t.Errorf("first token only %v before completion; want streaming, not buffering", gap)
+		}
+	default:
+		t.Fatal("no token reached the sink")
+	}
+}
+
+// TestStreamNoSinkStillObservesLatency checks the ITL/first-token
+// histograms are fed for every request, streaming or not, so /metrics
+// reflects the whole workload.
+func TestStreamNoSinkStillObservesLatency(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := New(Config{MaxBatch: 1, Workers: 1, Registry: reg},
+		fixedResolver(fakeCost{pre: 0.010, dec: 0.001}))
+	if _, err := g.Generate(context.Background(),
+		Request{Lane: "l", InputLen: 32, OutputLen: 4}); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if c := reg.Histogram("gateway_first_token_seconds", "", nil).Count(); c != 1 {
+		t.Errorf("first_token histogram count %d, want 1", c)
+	}
+	if c := reg.Histogram("gateway_itl_seconds", "", nil).Count(); c != 3 {
+		t.Errorf("itl histogram count %d, want 3", c)
+	}
+	// But the stream counter only moves for sinked requests.
+	if c := reg.Counter("gateway_stream_tokens_total", "").Value(); c != 0 {
+		t.Errorf("stream tokens counter %v for unsinked request, want 0", c)
+	}
+}
+
+// TestStreamDisconnectFreesKV cancels a streaming request mid-decode and
+// asserts its KV blocks return to the governed pool without waiting for
+// the generation to finish — the client walked away, the memory must not
+// stay leased.
+func TestStreamDisconnectFreesKV(t *testing.T) {
+	reg := metrics.NewRegistry()
+	gov := memGovernor(t, reg, 64, nil)
+	g := New(Config{MaxBatch: 1, Workers: 1, Timescale: 1, Governor: gov, Registry: reg},
+		fixedResolver(fakeCost{pre: 0.002, dec: 0.020}))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var col collector
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Generate(ctx, Request{
+			Lane: "l", InputLen: 64, OutputLen: 512, Sink: col.sink()})
+		done <- err
+	}()
+	// Let a few tokens stream, proving the sequence is mid-decode with
+	// KV blocks held, then drop the client.
+	waitFor(t, func() bool { return col.len() >= 3 })
+	st := gov.Snapshot()
+	if len(st.Lanes) != 1 || st.Lanes[0].FreeBlocks == st.Lanes[0].TotalBlocks {
+		t.Fatalf("expected blocks in use mid-decode, got %+v", st.Lanes)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Generate after cancel: %v, want context.Canceled", err)
+	}
+	// The scheduler drops the canceled sequence on its next pass and the
+	// lease releases every block.
+	waitFor(t, func() bool {
+		st := gov.Snapshot()
+		return len(st.Lanes) == 1 && st.Lanes[0].FreeBlocks == st.Lanes[0].TotalBlocks
+	})
+	produced := col.len()
+	if produced >= 512 {
+		t.Errorf("sink saw %d tokens; cancellation should stop generation early", produced)
+	}
+	// No stray emissions after the drop settled.
+	time.Sleep(20 * time.Millisecond)
+	if col.len() != produced {
+		t.Errorf("sink kept receiving after cancel: %d -> %d", produced, col.len())
+	}
+}
+
+// TestQueuedCancelReleasesLease is the satellite bugfix regression test:
+// a request canceled while still queued must release its KV reservation
+// and client quota immediately, even when the lane goroutine is wedged
+// inside a priced call and cannot run its own cancellation sweep.
+func TestQueuedCancelReleasesLease(t *testing.T) {
+	reg := metrics.NewRegistry()
+	gov := memGovernor(t, reg, 64, func(c *govern.Config) { c.QuotaTokens = 256 })
+	cost := &latchCost{fakeCost: fakeCost{pre: 0.010, dec: 0.001}, ready: make(chan struct{})}
+	// MaxBatch 1 and an unreleased latch: request A occupies the lane
+	// inside PrefillCost, so nothing schedules until the latch opens.
+	g := New(Config{MaxBatch: 1, Workers: 1, Governor: gov, Registry: reg,
+		WatchdogBudget: -1}, fixedResolver(cost))
+
+	resA := make(chan error, 1)
+	go func() {
+		_, err := g.Generate(context.Background(),
+			Request{Lane: "l", InputLen: 64, OutputLen: 4, Client: "tenant-a"})
+		resA <- err
+	}()
+	waitFor(t, func() bool {
+		return g.Registry().Gauge("gateway_inflight", "").Value() == 1
+	})
+
+	ctxB, cancelB := context.WithCancel(context.Background())
+	resB := make(chan error, 1)
+	go func() {
+		_, err := g.Generate(ctxB,
+			Request{Lane: "l", InputLen: 64, OutputLen: 8, Client: "tenant-b"})
+		resB <- err
+	}()
+	waitFor(t, func() bool { return g.QueueDepth() == 1 })
+	if got := gov.Snapshot().Clients["tenant-b"]; got != 72 {
+		t.Fatalf("tenant-b in-flight tokens %d before cancel, want 72", got)
+	}
+
+	cancelB()
+	if err := <-resB; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued request after cancel: %v, want context.Canceled", err)
+	}
+	// The lane is still wedged in A's prefill, so only the proactive
+	// release on the submission path can have freed B's lease.
+	if got := gov.Snapshot().Clients["tenant-b"]; got != 0 {
+		t.Errorf("tenant-b still holds %d in-flight tokens after queued cancel", got)
+	}
+	if depth := g.QueueDepth(); depth != 0 {
+		t.Errorf("queue depth %d after queued cancel, want 0", depth)
+	}
+	if c := reg.Counter("gateway_canceled_total", "").Value(); c != 1 {
+		t.Errorf("canceled counter %v, want 1", c)
+	}
+
+	close(cost.ready)
+	if err := <-resA; err != nil {
+		t.Fatalf("wedged request failed after release: %v", err)
+	}
+	st := gov.Snapshot()
+	if len(st.Lanes) != 1 || st.Lanes[0].FreeBlocks != st.Lanes[0].TotalBlocks {
+		t.Errorf("pool not fully free after drain: %+v", st.Lanes)
+	}
+}

@@ -39,11 +39,15 @@ const (
 	PhaseHandler   = "handler"   // whole HTTP handler (API middleware)
 	PhaseStalled   = "stalled"   // watchdog-cancelled iteration before requeue
 	PhasePreempted = "preempted" // KV-evicted execution before requeue (recompute)
+	// PhaseFirstToken spans submission to the first emitted token — the
+	// wall-clock TTFT the streaming client experiences. It overlaps the
+	// tiling phases (queue + batch + prefill) rather than partitioning them.
+	PhaseFirstToken = "first_token"
 )
 
 // PhaseOrder is the canonical rendering order for phase breakdowns.
 var PhaseOrder = []string{PhaseAdmission, PhaseQueue, PhaseBatch,
-	PhasePrefill, PhaseDecode, PhasePreempted, PhasePricing}
+	PhasePrefill, PhaseDecode, PhaseFirstToken, PhasePreempted, PhasePricing}
 
 // Counters are the per-span hardware-counter analogs, mirroring the
 // subset of internal/counters.Report the paper's figures analyze.
