@@ -2,8 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test check chaos bench bench-decode bench-decode-short \
-        figures scorecard examples trace-demo memdemo stream-demo clean
+.PHONY: all build vet test check chaos chaos-cluster bench bench-decode \
+        bench-decode-short figures scorecard examples trace-demo memdemo \
+        stream-demo cluster-demo clean
 
 all: build vet test
 
@@ -26,6 +27,13 @@ check:
 # concurrent load, always with the race detector.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/gateway/ ./internal/faults/
+
+# Cluster chaos drills: replica-down under 64 concurrent mixed
+# streamed/buffered clients (exactly one outcome per request, no token
+# delivered twice across failover, recovery after disarm), the flap
+# drill, and the exactly-once property tests — under the race detector.
+chaos-cluster:
+	$(GO) test -race -count=1 -run 'TestClusterChaos|TestWrapSink|TestFailoverRescues' ./internal/cluster/
 
 # End-to-end tracing demo: boot llmperfd, drive it with the llmperf load
 # generator, print the server-side phase-breakdown table (parsed from
@@ -79,6 +87,41 @@ stream-demo:
 	curl -s "http://$(STREAM_DEMO_ADDR)/metrics" | \
 	    grep -E '^gateway_(first_token_seconds|itl_seconds)_(count|sum)|^gateway_stream_tokens_total' \
 	    || { echo "streaming metrics missing"; st=1; }; \
+	kill $$pid; wait $$pid 2>/dev/null; exit $$st
+
+# Cluster failover demo: boot 3 replicas behind the fault-tolerant
+# router, run a clean wave (even replica spread), kill r1 mid-load via
+# the faults admin endpoint (the wave shows failovers rescuing requests
+# routed at the dead replica), then disarm and verify /v1/cluster
+# reports all 3 replicas healthy again.
+CLUSTER_DEMO_ADDR ?= 127.0.0.1:18083
+cluster-demo:
+	$(GO) build -o /tmp/llmperfd-cluster ./cmd/llmperfd
+	$(GO) build -o /tmp/llmperf-cluster ./cmd/llmperf
+	/tmp/llmperfd-cluster -addr $(CLUSTER_DEMO_ADDR) -timescale 0.02 \
+	    -replicas 3 -route round-robin -probe-interval 50ms -retry-budget 64 & \
+	pid=$$!; sleep 1; \
+	echo "=== clean wave: even replica spread ==="; \
+	/tmp/llmperf-cluster -url http://$(CLUSTER_DEMO_ADDR) -n 48 -concurrency 8 \
+	    -model OPT-13B -in 128 -out 8; st=$$?; \
+	echo; echo "=== killing replica r1 mid-load ==="; \
+	( sleep 0.15; curl -s -X POST "http://$(CLUSTER_DEMO_ADDR)/v1/admin/faults" \
+	    -H 'Content-Type: application/json' \
+	    -d '{"rules":[{"class":"replica-down","site":"replica","lane":"r1"}]}' >/dev/null ) & \
+	armpid=$$!; \
+	/tmp/llmperf-cluster -url http://$(CLUSTER_DEMO_ADDR) -n 256 -concurrency 16 \
+	    -model OPT-13B -in 128 -out 8 || true; \
+	wait $$armpid; \
+	echo; echo "=== cluster status with r1 down ==="; \
+	curl -s "http://$(CLUSTER_DEMO_ADDR)/v1/cluster"; echo; \
+	echo "=== disarming: r1 recovers through half-open probing ==="; \
+	curl -s -X DELETE "http://$(CLUSTER_DEMO_ADDR)/v1/admin/faults" >/dev/null; \
+	sleep 1; \
+	/tmp/llmperf-cluster -url http://$(CLUSTER_DEMO_ADDR) -n 48 -concurrency 8 \
+	    -model OPT-13B -in 128 -out 8 || st=1; \
+	curl -s "http://$(CLUSTER_DEMO_ADDR)/v1/cluster" | grep -q '"healthy":3' \
+	    && echo "recovery: all 3 replicas healthy" \
+	    || { echo "recovery FAILED: cluster not back to 3 healthy replicas"; st=1; }; \
 	kill $$pid; wait $$pid 2>/dev/null; exit $$st
 
 # One benchmark per paper table/figure plus kernel/engine/ablation benches,

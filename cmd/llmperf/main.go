@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -199,6 +200,12 @@ func loadGenerate(base, platform, modelName string, in, out, n, concurrency int)
 		// phases accumulates per-phase server-side seconds parsed from each
 		// 200 response's Server-Timing header, keyed by phase name.
 		phases = map[string][]float64{}
+		// replicas counts 200s per serving replica (X-Replica-ID), and
+		// failovers/hedged tally the cluster's rescue work (X-Failovers,
+		// X-Hedged) — all empty against a single-gateway llmperfd.
+		replicas  = map[string]int{}
+		failovers int
+		hedged    int
 	)
 	jobs := make(chan struct{})
 	var wg sync.WaitGroup
@@ -222,6 +229,15 @@ func loadGenerate(base, platform, modelName string, in, out, n, concurrency int)
 						// dur unit); the breakdown table reports seconds.
 						for name, ms := range trace.ParseServerTiming(resp.Header.Get("Server-Timing")) {
 							phases[name] = append(phases[name], ms/1e3)
+						}
+						if id := resp.Header.Get("X-Replica-ID"); id != "" {
+							replicas[id]++
+						}
+						if f, err := strconv.Atoi(resp.Header.Get("X-Failovers")); err == nil {
+							failovers += f
+						}
+						if resp.Header.Get("X-Hedged") == "true" {
+							hedged++
 						}
 					}
 					resp.Body.Close()
@@ -256,7 +272,32 @@ func loadGenerate(base, platform, modelName string, in, out, n, concurrency int)
 			quantileSorted(latencies, 0.50), quantileSorted(latencies, 0.95), quantileSorted(latencies, 0.99))
 		fmt.Printf("  throughput : %.1f req/s completed\n", float64(len(latencies))/wall)
 	}
+	printReplicaDistribution(replicas, failovers, hedged)
 	printPhaseBreakdown(phases)
+}
+
+// printReplicaDistribution renders how a clustered llmperfd spread the
+// load and how much failover/hedging it took to serve it; silent when
+// the server never sent X-Replica-ID (single-gateway mode).
+func printReplicaDistribution(replicas map[string]int, failovers, hedged int) {
+	if len(replicas) == 0 {
+		return
+	}
+	total := 0
+	var ids []string
+	for id, c := range replicas {
+		ids = append(ids, id)
+		total += c
+	}
+	sort.Strings(ids)
+	fmt.Println("  replica distribution:")
+	for _, id := range ids {
+		fmt.Printf("    %-10s %6d (%.0f%%)\n", id, replicas[id],
+			100*float64(replicas[id])/float64(total))
+	}
+	if failovers > 0 || hedged > 0 {
+		fmt.Printf("  failovers  : %d rescued requests, %d hedge wins\n", failovers, hedged)
+	}
 }
 
 // loadStream drives n streaming POST /v1/generate requests and reports
@@ -286,6 +327,12 @@ func loadStream(base, platform, modelName string, in, out, n, concurrency int) {
 		statuses = map[int]int{}
 		netErrs  int
 		aborted  int // streams that ended without data: [DONE]
+		// Cluster attribution from the terminal generate.result event
+		// (streams commit their headers long before the serving replica
+		// is known, so it travels in-band).
+		replicas  = map[string]int{}
+		failovers int
+		hedged    int
 	)
 	jobs := make(chan struct{})
 	var wg sync.WaitGroup
@@ -312,6 +359,9 @@ func loadStream(base, platform, modelName string, in, out, n, concurrency int) {
 				}
 				var reqTTFT float64
 				var reqITLs []float64
+				var reqReplica string
+				var reqFailovers int
+				var reqHedged bool
 				reqTokens, done := 0, false
 				last := t0
 				sc := bufio.NewScanner(resp.Body)
@@ -326,9 +376,15 @@ func loadStream(base, platform, modelName string, in, out, n, concurrency int) {
 						break
 					}
 					var ev struct {
-						Object string `json:"object"`
+						Object    string `json:"object"`
+						Replica   string `json:"replica"`
+						Failovers int    `json:"failovers"`
+						Hedged    bool   `json:"hedged"`
 					}
 					if json.Unmarshal([]byte(data), &ev) != nil || ev.Object != "generate.token" {
+						if ev.Object == "generate.result" {
+							reqReplica, reqFailovers, reqHedged = ev.Replica, ev.Failovers, ev.Hedged
+						}
 						continue // terminal result event, or error envelope
 					}
 					now := time.Now()
@@ -348,6 +404,13 @@ func loadStream(base, platform, modelName string, in, out, n, concurrency int) {
 					itls = append(itls, reqITLs...)
 					e2es = append(e2es, time.Since(t0).Seconds())
 					tokens += reqTokens
+				}
+				if reqReplica != "" {
+					replicas[reqReplica]++
+					failovers += reqFailovers
+					if reqHedged {
+						hedged++
+					}
 				}
 				if !done {
 					aborted++
@@ -396,6 +459,7 @@ func loadStream(base, platform, modelName string, in, out, n, concurrency int) {
 		fmt.Printf("  throughput : %.1f tok/s streamed, %.1f req/s completed\n",
 			float64(tokens)/wall, float64(len(e2es))/wall)
 	}
+	printReplicaDistribution(replicas, failovers, hedged)
 }
 
 // printPhaseBreakdown renders the server-side phase percentiles collected

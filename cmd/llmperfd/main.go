@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/gateway"
 	"repro/internal/govern"
@@ -58,6 +59,12 @@ func main() {
 	kvQuota := flag.Int("kv-quota-tokens", 0, "per-client in-flight KV token quota, keyed by X-Client-ID (0 = unlimited)")
 	kvHigh := flag.Float64("kv-high", 0.95, "KV utilization high watermark: shed new work (503) at or above it")
 	kvLow := flag.Float64("kv-low", 0.75, "KV utilization low watermark: stop shedding at or below it")
+	replicas := flag.Int("replicas", 1, "in-process gateway replicas behind the fault-tolerant router (>1 enables cluster mode)")
+	route := flag.String("route", "round-robin", "cluster routing policy: round-robin | least-loaded | weighted")
+	probeInterval := flag.Duration("probe-interval", 100*time.Millisecond, "cluster health-check period")
+	failoverMax := flag.Int("failover-max", 2, "max re-dispatch attempts per request beyond the first (cluster mode)")
+	retryBudget := flag.Int("retry-budget", 8, "per-client failover tokens per 10s window, -1 = unlimited (cluster mode)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge short non-streamed requests on a second replica after this delay (0 = off)")
 	traceSample := flag.Float64("trace-sample", 1, "fraction of ok traces retained for /v1/traces (errored and degraded requests are always kept)")
 	traceOut := flag.String("trace-out", "", "append one JSON line per retained trace to this file")
 	logLevel := flag.String("log-level", "info", "stderr log threshold: debug | info | warn | error")
@@ -125,23 +132,72 @@ func main() {
 		})
 	}
 
-	gw := gateway.New(gateway.Config{
-		MaxQueue:     *queue,
-		MaxBatch:     *maxBatch,
-		Policy:       pol,
-		PrefillChunk: *chunk,
-		Workers:      *workers,
-		Timescale:    *timescale,
-		Injector:     inj,
-		Governor:     gov,
-		Fallback:     api.FallbackResolver(),
-		Registry:     reg,
-		Tracer:       trace.New(traceCfg),
-		Logger:       logger,
-	}, api.LaneResolver())
+	tracer := trace.New(traceCfg)
+	// newGateway builds one gateway instance; cluster mode calls it once
+	// per replica (each with its own lanes and KV governor, sharing the
+	// registry, tracer, logger and fault injector), single mode once.
+	newGateway := func(id string) *gateway.Gateway {
+		g := gov
+		if *kvGovern && *replicas > 1 {
+			// Each replica governs its own KV pools; sharing one governor
+			// would double-count admissions across independent lanes.
+			g = govern.New(govern.Config{
+				Specs:         api.PoolSpecResolver(*kvBlock, int64(*kvBudgetMB)<<20),
+				Conservative:  *kvMode == "conservative",
+				HighWatermark: *kvHigh,
+				LowWatermark:  *kvLow,
+				QuotaTokens:   *kvQuota,
+				Registry:      reg,
+			})
+		}
+		return gateway.New(gateway.Config{
+			MaxQueue:     *queue,
+			MaxBatch:     *maxBatch,
+			Policy:       pol,
+			PrefillChunk: *chunk,
+			Workers:      *workers,
+			Timescale:    *timescale,
+			Injector:     inj,
+			Governor:     g,
+			Fallback:     api.FallbackResolver(),
+			Registry:     reg,
+			Tracer:       tracer,
+			Logger:       logger.With("replica", id),
+		}, api.LaneResolver())
+	}
+
+	var backend api.Backend
+	if *replicas > 1 {
+		routePolicy, err := cluster.ParsePolicy(*route)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llmperfd: -route: %v\n", err)
+			os.Exit(2)
+		}
+		router, err := cluster.New(cluster.Config{
+			Replicas:      *replicas,
+			Factory:       func(id string) (*gateway.Gateway, error) { return newGateway(id), nil },
+			Policy:        routePolicy,
+			Registry:      reg,
+			Tracer:        tracer,
+			Logger:        logger,
+			Injector:      inj,
+			ProbeInterval: *probeInterval,
+			MaxFailovers:  *failoverMax,
+			RetryBudget:   *retryBudget,
+			HedgeAfter:    *hedgeAfter,
+			Seed:          *faultSeed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llmperfd: cluster: %v\n", err)
+			os.Exit(2)
+		}
+		backend = router
+	} else {
+		backend = newGateway("r0")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.NewServer(gw).Handler(),
+		Handler:           api.NewServer(backend).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -161,11 +217,15 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	kvDesc := "off"
-	if gov != nil {
-		kvDesc = gov.Mode()
+	if *kvGovern {
+		kvDesc = *kvMode
 	}
-	fmt.Printf("llmperfd listening on %s (queue=%d batch=%d policy=%s workers=%d trace-sample=%g kv=%s)\n",
-		*addr, *queue, *maxBatch, pol, *workers, *traceSample, kvDesc)
+	topo := "single"
+	if *replicas > 1 {
+		topo = fmt.Sprintf("%d replicas, %s routing", *replicas, *route)
+	}
+	fmt.Printf("llmperfd listening on %s (queue=%d batch=%d policy=%s workers=%d trace-sample=%g kv=%s cluster=%s)\n",
+		*addr, *queue, *maxBatch, pol, *workers, *traceSample, kvDesc, topo)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -187,7 +247,7 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
-	if err := gw.Shutdown(ctx); err != nil {
+	if err := backend.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "llmperfd: gateway drain:", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {

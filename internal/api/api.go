@@ -19,6 +19,7 @@
 //	GET  /v1/experiments/{key}       one experiment's rendered tables
 //	GET  /v1/scorecard               reproduction scorecard
 //	GET  /v1/kv                      per-lane KV pool governance status
+//	GET  /v1/cluster                 replica health and failover status
 //	GET|POST|DELETE /v1/admin/faults runtime fault injection control
 //	GET  /metrics                    Prometheus metrics
 //	GET  /healthz, /readyz           liveness / readiness
@@ -44,9 +45,10 @@ import (
 	"repro/internal/trace"
 )
 
-// Server is the v1 API bound to one gateway.
+// Server is the v1 API bound to one backend — a single gateway or a
+// cluster router (see backend.go).
 type Server struct {
-	gw   *gateway.Gateway
+	gw   Backend
 	reg  *metrics.Registry
 	reqs *metrics.Counter
 	errs *metrics.Counter
@@ -55,7 +57,7 @@ type Server struct {
 // NewServer returns a server routing execution through gw. A nil gw gets
 // a default gateway (continuous batching, default bounds) wired to the
 // standard lane resolver.
-func NewServer(gw *gateway.Gateway) *Server {
+func NewServer(gw Backend) *Server {
 	if gw == nil {
 		gw = gateway.New(gateway.Config{}, LaneResolver())
 	}
@@ -72,8 +74,8 @@ func NewServer(gw *gateway.Gateway) *Server {
 // (the historical entry point).
 func NewHandler() http.Handler { return NewServer(nil).Handler() }
 
-// Gateway returns the server's gateway (for shutdown wiring).
-func (s *Server) Gateway() *gateway.Gateway { return s.gw }
+// Gateway returns the server's backend (for shutdown wiring).
+func (s *Server) Gateway() Backend { return s.gw }
 
 // endpointInfo describes one route in the /v1/ index.
 type endpointInfo struct {
@@ -96,6 +98,7 @@ var endpoints = []endpointInfo{
 	{"GET", "/v1/scorecard", "reproduction scorecard"},
 	{"GET", "/v1/traces", "recent request traces (?id= for one, ?limit= to page)"},
 	{"GET", "/v1/kv", "per-lane KV pool governance: blocks, watermarks, quotas, preemptions"},
+	{"GET", "/v1/cluster", "replica health, routing policy and failover counters (404 unless -replicas > 1)"},
 	{"GET, POST, DELETE", "/v1/admin/faults", "inspect, arm or disarm runtime fault injection"},
 	{"GET", "/metrics", "Prometheus metrics (gateway queue, TTFT/TPOT/E2E histograms)"},
 	{"GET", "/healthz", "liveness"},
@@ -121,6 +124,7 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/scorecard", s.handleScorecard, http.MethodGet)
 	route("/v1/traces", s.handleTraces, http.MethodGet)
 	route("/v1/kv", s.handleKV, http.MethodGet)
+	route("/v1/cluster", s.handleCluster, http.MethodGet)
 	route("/v1/admin/faults", s.handleAdminFaults, http.MethodGet, http.MethodPost, http.MethodDelete)
 	route("/metrics", s.handleMetrics, http.MethodGet)
 	route("/healthz", s.handleHealthz, http.MethodGet)

@@ -1,0 +1,66 @@
+package api
+
+// backend.go abstracts what the HTTP surface serves through: a single
+// batching gateway (the historical shape) or a fault-tolerant cluster
+// router fronting N gateway replicas (internal/cluster). Both satisfy
+// Backend structurally, so every endpoint — generation, streaming,
+// traces, metrics, faults, readiness — behaves identically regardless
+// of topology, and llmperfd switches between them with a flag.
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/gateway"
+	"repro/internal/govern"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Backend is the serving surface the API binds to. *gateway.Gateway
+// implements it directly; *cluster.Router implements it by routing over
+// its replicas with health-aware failover.
+type Backend interface {
+	// Generate serves one generation request (optionally streaming
+	// through req.Sink) and Do runs one unary job.
+	Generate(ctx context.Context, req gateway.Request) (gateway.Result, error)
+	Do(ctx context.Context, fn func(context.Context) error) error
+
+	// Observability and control surfaces.
+	Registry() *metrics.Registry
+	Tracer() *trace.Tracer
+	Logger() *slog.Logger
+	Injector() *faults.Injector
+	// Governor returns the backend's KV governor; a cluster returns nil
+	// (its governance is per replica, reported by GET /v1/cluster).
+	Governor() *govern.Governor
+
+	// Lifecycle and backpressure.
+	Draining() bool
+	MemoryPressure() bool
+	RetryAfterSeconds() int
+	Shutdown(ctx context.Context) error
+}
+
+// compile-time conformance of both topologies.
+var (
+	_ Backend = (*gateway.Gateway)(nil)
+	_ Backend = (*cluster.Router)(nil)
+)
+
+// handleCluster serves the router's replica/health/failover snapshot.
+// Under a single-gateway backend the endpoint reports the topology
+// disabled (404), matching how /v1/kv reports a missing governor.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	cr, ok := s.gw.(*cluster.Router)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("not running in cluster mode (llmperfd -replicas N with N > 1)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, cr.Snapshot())
+}

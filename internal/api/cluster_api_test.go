@@ -1,0 +1,174 @@
+package api
+
+// cluster_api_test.go covers the HTTP surface added with cluster mode:
+// deadline propagation (X-Request-Deadline in, typed 504 out), replica
+// attribution headers on buffered responses, and the /v1/cluster status
+// endpoint in both single and cluster topologies.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gateway"
+)
+
+// clusterServer spins up an N-replica router behind the API.
+func clusterServer(t *testing.T, n int) (*httptest.Server, *cluster.Router) {
+	t.Helper()
+	r, err := cluster.New(cluster.Config{
+		Replicas: n,
+		Factory: func(id string) (*gateway.Gateway, error) {
+			return gateway.New(gateway.Config{}, stubResolver(stubCost{})), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = r.Shutdown(ctx)
+	})
+	srv := httptest.NewServer(NewServer(r).Handler())
+	t.Cleanup(srv.Close)
+	return srv, r
+}
+
+func TestDeadlineHeaderEnforced(t *testing.T) {
+	// Timescale 1 with slowCost makes a 4-token request take ~20ms wall,
+	// far past a 5ms deadline.
+	gw := gateway.New(gateway.Config{Timescale: 1}, stubResolver(slowCost{}))
+	srv := httptest.NewServer(NewServer(gw).Handler())
+	t.Cleanup(srv.Close)
+
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/generate",
+		strings.NewReader(`{"platform":"spr","model":"OPT-13B","out":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Deadline", "5ms")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeDeadlineExceeded {
+		t.Fatalf("error code = %q, want %q", env.Error.Code, CodeDeadlineExceeded)
+	}
+}
+
+func TestDeadlineHeaderForms(t *testing.T) {
+	gw := gateway.New(gateway.Config{}, stubResolver(stubCost{}))
+	srv := httptest.NewServer(NewServer(gw).Handler())
+	t.Cleanup(srv.Close)
+
+	tests := []struct {
+		name, deadline string
+		status         int
+	}{
+		{"duration form, generous", "5s", http.StatusOK},
+		{"bare milliseconds", "5000", http.StatusOK},
+		{"garbage", "soon", http.StatusBadRequest},
+		{"negative", "-3s", http.StatusBadRequest},
+		{"zero", "0", http.StatusBadRequest},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/generate",
+				strings.NewReader(`{"platform":"spr","model":"OPT-13B","out":2}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Request-Deadline", tt.deadline)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tt.status {
+				t.Fatalf("deadline %q: status = %d, want %d", tt.deadline, resp.StatusCode, tt.status)
+			}
+			if tt.status == http.StatusBadRequest {
+				var env struct {
+					Error struct {
+						Code string `json:"code"`
+					} `json:"error"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&env); err != nil ||
+					env.Error.Code != CodeInvalidDeadline {
+					t.Fatalf("error code = %q (err %v), want %q", env.Error.Code, err, CodeInvalidDeadline)
+				}
+			}
+		})
+	}
+}
+
+func TestClusterReplicaAttributionHeaders(t *testing.T) {
+	srv, _ := clusterServer(t, 3)
+	seen := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		resp, body := doOn(t, srv, http.MethodPost, "/v1/generate",
+			`{"platform":"spr","model":"OPT-13B","out":2}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		id := resp.Header.Get("X-Replica-ID")
+		if id == "" {
+			t.Fatal("200 from cluster mode without X-Replica-ID")
+		}
+		if resp.Header.Get("X-Failovers") == "" {
+			t.Fatal("200 from cluster mode without X-Failovers")
+		}
+		seen[id] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("round-robin over 3 replicas answered only from %v", seen)
+	}
+}
+
+func TestClusterStatusEndpoint(t *testing.T) {
+	srv, _ := clusterServer(t, 2)
+	resp, body := doOn(t, srv, http.MethodGet, "/v1/cluster", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var st cluster.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decoding status: %v from %s", err, body)
+	}
+	if len(st.Replicas) != 2 || st.Healthy != 2 {
+		t.Fatalf("status = %+v, want 2 healthy replicas", st)
+	}
+	if st.Policy == "" {
+		t.Fatal("status without a routing policy name")
+	}
+}
+
+func TestClusterStatusNotFoundInSingleMode(t *testing.T) {
+	gw := gateway.New(gateway.Config{}, stubResolver(stubCost{}))
+	srv := httptest.NewServer(NewServer(gw).Handler())
+	t.Cleanup(srv.Close)
+	resp, body := doOn(t, srv, http.MethodGet, "/v1/cluster", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("single-mode /v1/cluster status = %d (%s), want 404", resp.StatusCode, body)
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 
+	"repro/internal/cluster"
 	"repro/internal/gateway"
 	"repro/internal/govern"
 )
@@ -55,6 +57,17 @@ const (
 	// (HTTP 406): a streaming request whose Accept excludes
 	// text/event-stream, or a buffered request that only accepts it.
 	CodeNotAcceptable = "not_acceptable"
+	// CodeDeadlineExceeded fails a request whose X-Request-Deadline (or
+	// context deadline) expired before the cluster/gateway finished it
+	// (HTTP 504). Distinct from CodeCanceled: the server ran out the
+	// client's stated budget rather than the client going away.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeInvalidDeadline rejects an unparseable X-Request-Deadline
+	// header (HTTP 400).
+	CodeInvalidDeadline = "invalid_deadline"
+	// CodeNoHealthyReplicas sheds a request because every cluster
+	// replica is ejected, down or draining (HTTP 503 + Retry-After).
+	CodeNoHealthyReplicas = "no_healthy_replicas"
 )
 
 // errorBody is the uniform error envelope. TraceID correlates the failure
@@ -127,12 +140,44 @@ func mapGatewayError(err error) (status int, code string, retryable bool) {
 		// The supervisor recovered the panic and is restarting the lane;
 		// only this request's batch was lost.
 		return http.StatusInternalServerError, CodeLanePanic, false
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// 499-style: the client went away or ran out its deadline.
+	case errors.Is(err, cluster.ErrNoHealthyReplicas):
+		// Whole-cluster outage: every replica ejected, down or draining.
+		return http.StatusServiceUnavailable, CodeNoHealthyReplicas, true
+	case errors.Is(err, cluster.ErrReplicaDown):
+		// The serving replica died mid-flight and failover could not (or
+		// was not allowed to) rescue the request. Transient: the router
+		// routes the retry to a live replica.
+		return http.StatusServiceUnavailable, CodeUnavailable, true
+	case errors.Is(err, context.DeadlineExceeded):
+		// The client's stated time budget (X-Request-Deadline or context
+		// deadline) ran out while the request was still in flight.
+		return http.StatusGatewayTimeout, CodeDeadlineExceeded, false
+	case errors.Is(err, context.Canceled):
+		// 499-style: the client went away.
 		return http.StatusRequestTimeout, CodeCanceled, false
 	default:
 		return http.StatusInternalServerError, CodeInternal, false
 	}
+}
+
+// retryAfterJitter spreads a derived Retry-After hint by ±max(1, v/4)
+// seconds so the synchronized clients of one backpressure episode don't
+// all retry in lockstep against a just-recovering lane or replica
+// (thundering herd). The jittered value stays in the same [1, 30]
+// bounds the underlying hint honors.
+func retryAfterJitter(v int) int {
+	spread := v / 4
+	if spread < 1 {
+		spread = 1
+	}
+	v += rand.IntN(2*spread+1) - spread
+	if v < 1 {
+		v = 1
+	}
+	if v > 30 {
+		v = 30
+	}
+	return v
 }
 
 // writeGatewayError maps scheduler and context errors onto HTTP statuses;
@@ -143,8 +188,9 @@ func (s *Server) writeGatewayError(w http.ResponseWriter, err error) {
 	status, code, retryable := mapGatewayError(err)
 	if retryable {
 		// The hint is the time the current backlog needs to drain at the
-		// observed completion rate, bounded to [1, 30] seconds.
-		w.Header().Set("Retry-After", strconv.Itoa(s.gw.RetryAfterSeconds()))
+		// observed completion rate, bounded to [1, 30] seconds and
+		// jittered per response so retries desynchronize.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterJitter(s.gw.RetryAfterSeconds())))
 	}
 	writeError(w, status, code, err)
 }

@@ -84,7 +84,8 @@ func checkFuzzResponse(t *testing.T, rec *httptest.ResponseRecorder) {
 	case http.StatusBadRequest, http.StatusNotFound,
 		http.StatusNotAcceptable, http.StatusRequestTimeout,
 		http.StatusTooManyRequests, http.StatusUnprocessableEntity,
-		http.StatusInternalServerError, http.StatusServiceUnavailable:
+		http.StatusInternalServerError, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
 		var env struct {
 			Error struct {
 				Code    string `json:"code"`

@@ -16,11 +16,13 @@ package api
 // the same uniform envelope as a terminal event, without [DONE].
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -192,17 +194,23 @@ func (s *Server) serveGeneration(w http.ResponseWriter, r *http.Request, admit t
 		writeError(w, http.StatusNotAcceptable, CodeNotAcceptable, err)
 		return
 	}
+	ctx, cancel, err := requestDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidDeadline, err)
+		return
+	}
+	defer cancel()
 	tr.Add(trace.SpanData{Name: trace.PhaseAdmission, Start: admit, End: time.Now(),
 		Attrs: map[string]string{"lane": req.laneKey()}})
 	greq := gateway.Request{
 		Lane: req.laneKey(), InputLen: req.InputLen, OutputLen: req.OutputLen,
-		Client: clientID(r), Trace: tr,
+		Client: clientID(r), Class: r.Header.Get("X-SLO-Class"), Trace: tr,
 	}
 	if req.Stream {
-		s.streamGeneration(w, r, greq, shape, opts)
+		s.streamGeneration(ctx, w, r, greq, shape, opts)
 		return
 	}
-	res, err := s.gw.Generate(r.Context(), greq)
+	res, err := s.gw.Generate(ctx, greq)
 	if err != nil {
 		s.writeGatewayError(w, err)
 		return
@@ -212,16 +220,57 @@ func (s *Server) serveGeneration(w http.ResponseWriter, r *http.Request, admit t
 	if st := trace.FormatServerTiming(tr.PhaseSeconds()); st != "" {
 		w.Header().Set("Server-Timing", st)
 	}
+	setReplicaHeaders(w, res)
 	if res.TraceID == "" {
 		res.TraceID = tr.ID()
 	}
 	writeJSON(w, http.StatusOK, shape.buffered(res))
 }
 
+// requestDeadline applies the X-Request-Deadline header — the client's
+// remaining time budget as a Go duration ("750ms", "2s") or a bare
+// integer of milliseconds — to the request context. The cluster router
+// refuses failover backoffs that would overrun it, and an expiry
+// surfaces as a typed 504 deadline_exceeded. Without the header the
+// request context passes through untouched.
+func requestDeadline(r *http.Request) (context.Context, context.CancelFunc, error) {
+	h := r.Header.Get("X-Request-Deadline")
+	if h == "" {
+		return r.Context(), func() {}, nil
+	}
+	d, err := time.ParseDuration(h)
+	if err != nil {
+		if ms, msErr := strconv.Atoi(h); msErr == nil {
+			d, err = time.Duration(ms)*time.Millisecond, nil
+		}
+	}
+	if err != nil || d <= 0 {
+		return nil, nil, fmt.Errorf("X-Request-Deadline %q is not a positive duration (want e.g. \"750ms\", \"2s\", or integer milliseconds)", h)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// setReplicaHeaders exposes cluster attribution on buffered responses so
+// load generators can report per-replica distribution and failover/hedge
+// counts without parsing bodies. Streamed responses carry the same
+// fields in-band, in the terminal result event (headers are long
+// committed by then).
+func setReplicaHeaders(w http.ResponseWriter, res gateway.Result) {
+	if res.Replica == "" {
+		return
+	}
+	w.Header().Set("X-Replica-ID", res.Replica)
+	w.Header().Set("X-Failovers", strconv.Itoa(res.Failovers))
+	if res.Hedged {
+		w.Header().Set("X-Hedged", "true")
+	}
+}
+
 // streamGeneration runs the request through the gateway with a token
 // sink and relays chunks as SSE. The stream is started lazily at the
 // first token so pre-token failures keep their proper status codes.
-func (s *Server) streamGeneration(w http.ResponseWriter, r *http.Request, greq gateway.Request, shape responseShape, opts streamOptions) {
+func (s *Server) streamGeneration(ctx context.Context, w http.ResponseWriter, r *http.Request, greq gateway.Request, shape responseShape, opts streamOptions) {
 	feed := newTokenFeed()
 	greq.Sink = feed.sink
 	type outcome struct {
@@ -230,7 +279,7 @@ func (s *Server) streamGeneration(w http.ResponseWriter, r *http.Request, greq g
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := s.gw.Generate(r.Context(), greq)
+		res, err := s.gw.Generate(ctx, greq)
 		done <- outcome{res, err}
 	}()
 
@@ -260,6 +309,35 @@ func (s *Server) streamGeneration(w http.ResponseWriter, r *http.Request, greq g
 		}
 		return true
 	}
+	finish := func(out outcome) {
+		if out.err != nil {
+			if !flush() {
+				return
+			}
+			if stream == nil {
+				// Failed before any token: a regular JSON error with the
+				// mapped status (429/503/504/...) is still possible.
+				s.writeGatewayError(w, out.err)
+				return
+			}
+			// Mid-stream failure: the 200 is committed, so deliver the
+			// uniform envelope as the terminal event and omit [DONE] —
+			// clients treat a missing [DONE] as an aborted stream.
+			_, code, _ := mapGatewayError(out.err)
+			stream.event(errorBody{
+				Error:   errorDetail{Code: code, Message: out.err.Error()},
+				TraceID: w.Header().Get("X-Trace-ID"),
+			})
+			return
+		}
+		if !flush() || !begin() {
+			return
+		}
+		for _, chunk := range shape.terminal(out.res, opts.IncludeUsage) {
+			stream.event(chunk)
+		}
+		stream.done()
+	}
 	for {
 		select {
 		case <-feed.notify:
@@ -267,40 +345,22 @@ func (s *Server) streamGeneration(w http.ResponseWriter, r *http.Request, greq g
 				return
 			}
 		case out := <-done:
-			if out.err != nil {
-				if !flush() {
-					return
-				}
-				if stream == nil {
-					// Failed before any token: a regular JSON error with the
-					// mapped status (429/503/408/...) is still possible.
-					s.writeGatewayError(w, out.err)
-					return
-				}
-				// Mid-stream failure: the 200 is committed, so deliver the
-				// uniform envelope as the terminal event and omit [DONE] —
-				// clients treat a missing [DONE] as an aborted stream.
-				_, code, _ := mapGatewayError(out.err)
-				stream.event(errorBody{
-					Error:   errorDetail{Code: code, Message: out.err.Error()},
-					TraceID: w.Header().Get("X-Trace-ID"),
-				})
-				return
-			}
-			if !flush() || !begin() {
-				return
-			}
-			for _, chunk := range shape.terminal(out.res, opts.IncludeUsage) {
-				stream.event(chunk)
-			}
-			stream.done()
+			finish(out)
 			return
-		case <-r.Context().Done():
-			// Client disconnect. The gateway sees the same dead context:
+		case <-ctx.Done():
+			// The request context died: client disconnect or X-Request-
+			// Deadline expiry. The gateway sees the same dead context —
 			// queued jobs are abandoned immediately, in-flight sequences are
 			// evicted (KV blocks freed) at the next iteration boundary. Wait
-			// for that outcome so no goroutine outlives the handler.
-			<-done
+			// for that outcome so no goroutine outlives the handler; when
+			// the client is still connected (deadline expiry, not
+			// disconnect) deliver the typed 504 instead of dropping the
+			// response on the floor.
+			out := <-done
+			if r.Context().Err() != nil {
+				return // client gone: nothing left to write to
+			}
+			finish(out)
 			return
 		}
 	}

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/gateway"
+	"repro/internal/govern"
+)
+
+// chaos_test.go is the cluster chaos suite: replica-scoped fault classes
+// armed against a live router under concurrent load, run under -race in
+// CI (make chaos-cluster). The headline invariant is exactly-one-outcome:
+// every request resolves to a single result or a single typed error,
+// with no token delivered twice and at most one final token, even while
+// a replica dies mid-load; and the cluster recovers after disarm.
+
+// typedOutcome reports whether err is one of the cluster's documented
+// failure sentinels. Anything else is a contract violation under chaos.
+func typedOutcome(err error) bool {
+	switch {
+	case err == nil,
+		errors.Is(err, ErrNoHealthyReplicas),
+		errors.Is(err, ErrReplicaDown),
+		errors.Is(err, gateway.ErrQueueFull),
+		errors.Is(err, gateway.ErrDraining),
+		errors.Is(err, gateway.ErrWatchdogTimeout),
+		errors.Is(err, gateway.ErrLanePanic),
+		errors.Is(err, gateway.ErrLaneQuarantined),
+		errors.Is(err, gateway.ErrLaneBroken),
+		errors.Is(err, govern.ErrShedding),
+		errors.Is(err, govern.ErrKVExhausted):
+		return true
+	}
+	return false
+}
+
+// chaosSink asserts per-request delivery invariants from inside the
+// token stream: strictly increasing indices and at most one final.
+type chaosSink struct {
+	mu     sync.Mutex
+	last   int
+	finals int
+	bad    string
+}
+
+func newChaosSink() *chaosSink { return &chaosSink{last: -1} }
+
+func (s *chaosSink) sink(ev gateway.TokenEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ev.Index <= s.last {
+		s.bad = fmt.Sprintf("token index %d after %d (duplicate or reorder)", ev.Index, s.last)
+	}
+	s.last = ev.Index
+	if ev.Final {
+		s.finals++
+	}
+}
+
+func TestClusterChaosReplicaDown(t *testing.T) {
+	tc := newTestCluster(t, 3, func(cfg *Config) {
+		cfg.RetryBudget = -1 // chaos hammers retries; budget policy has its own test
+	})
+
+	const clients = 64
+	const perClient = 8
+	var (
+		wg       sync.WaitGroup
+		started  = make(chan struct{})
+		ok, fail atomic.Uint64
+		mu       sync.Mutex
+		bad      []string
+	)
+	report := func(format string, args ...any) {
+		mu.Lock()
+		bad = append(bad, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-started
+			for i := 0; i < perClient; i++ {
+				req := genReq()
+				req.Client = fmt.Sprintf("chaos-%d", c)
+				var sink *chaosSink
+				if c%2 == 1 { // half the clients stream
+					sink = newChaosSink()
+					req.Sink = sink.sink
+				}
+				_, err := tc.r.Generate(context.Background(), req)
+				if err == nil {
+					ok.Add(1)
+				} else {
+					fail.Add(1)
+				}
+				if !typedOutcome(err) {
+					report("client %d req %d: untyped error %v", c, i, err)
+				}
+				if sink != nil {
+					sink.mu.Lock()
+					switch {
+					case sink.bad != "":
+						report("client %d req %d: %s", c, i, sink.bad)
+					case sink.finals > 1:
+						report("client %d req %d: %d final tokens", c, i, sink.finals)
+					case err == nil && sink.finals != 1:
+						report("client %d req %d: success with %d finals", c, i, sink.finals)
+					case err == nil && sink.last != req.OutputLen-1:
+						report("client %d req %d: success delivered %d/%d tokens",
+							c, i, sink.last+1, req.OutputLen)
+					}
+					sink.mu.Unlock()
+				}
+			}
+		}(c)
+	}
+
+	// Kill r1 mid-load, hold the outage briefly, then disarm.
+	close(started)
+	time.Sleep(3 * time.Millisecond)
+	mustArm(t, tc.inj, faults.Rule{Class: faults.ReplicaDown, Site: FaultSite, Lane: "r1"})
+	time.Sleep(20 * time.Millisecond)
+	tc.inj.Disarm()
+	wg.Wait()
+
+	for _, b := range bad {
+		t.Error(b)
+	}
+	if got := ok.Load() + fail.Load(); got != clients*perClient {
+		t.Fatalf("outcomes = %d, want exactly %d (one per request)", got, clients*perClient)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no request succeeded under single-replica chaos; failover is not working")
+	}
+
+	// Recovery: once the fault is disarmed the dead replica is probed
+	// back in and a full batch succeeds with no residual errors.
+	waitFor(t, "all replicas healthy after disarm", func() bool {
+		return tc.r.Snapshot().Healthy == 3
+	})
+	for i := 0; i < 3*clients/2; i++ {
+		req := genReq()
+		req.Client = "recovery"
+		if _, err := tc.r.Generate(context.Background(), req); err != nil {
+			t.Fatalf("post-recovery request %d failed: %v", i, err)
+		}
+	}
+}
+
+// TestClusterChaosReplicaFlap cycles r2 dead/alive while load runs,
+// exercising ejection, half-open probing and readmission repeatedly.
+func TestClusterChaosReplicaFlap(t *testing.T) {
+	tc := newTestCluster(t, 3, func(cfg *Config) {
+		cfg.RetryBudget = -1
+	})
+	mustArm(t, tc.inj, faults.Rule{
+		Class: faults.ReplicaFlap, Site: FaultSite, Lane: "r2", DelayMillis: 10,
+	})
+	for i := 0; i < 200; i++ {
+		req := genReq()
+		req.Client = "flap"
+		if _, err := tc.r.Generate(context.Background(), req); err != nil && !typedOutcome(err) {
+			t.Fatalf("request %d: untyped error %v", i, err)
+		}
+	}
+	tc.inj.Disarm()
+	waitFor(t, "flapping replica settles healthy", func() bool {
+		_, _ = tc.r.Generate(context.Background(), genReq())
+		return tc.r.Snapshot().Healthy == 3
+	})
+}
+
+// TestWrapSinkReplayFiltered is the property test for the cross-attempt
+// exactly-once filter: however a failed attempt's delivery prefix
+// overlaps the rescuing attempt's full replay, the caller sees each
+// index exactly once, in order, with one final.
+func TestWrapSinkReplayFiltered(t *testing.T) {
+	prop := func(prefix, total uint8) bool {
+		n := int(total%32) + 1 // rescuer delivers 0..n-1, final at n-1
+		p := int(prefix) % n   // doomed attempt delivered 0..p-1 first
+		st := &attemptState{}
+		var got []int
+		finals := 0
+		sink := st.wrapSink(func(ev gateway.TokenEvent) {
+			got = append(got, ev.Index)
+			if ev.Final {
+				finals++
+			}
+		})
+		for i := 0; i < p; i++ { // attempt 1 dies after p tokens
+			sink(gateway.TokenEvent{Index: i})
+		}
+		for i := 0; i < n; i++ { // attempt 2 replays from zero
+			sink(gateway.TokenEvent{Index: i, Final: i == n-1})
+		}
+		if len(got) != n || finals != 1 {
+			return false
+		}
+		for i, idx := range got {
+			if idx != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWrapSinkConcurrentAttempts races two attempts through the shared
+// filter (run under -race): no index may reach the caller twice and the
+// delivered sequence must be strictly increasing.
+func TestWrapSinkConcurrentAttempts(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		st := &attemptState{}
+		var mu sync.Mutex
+		last := -1
+		dup := false
+		sink := st.wrapSink(func(ev gateway.TokenEvent) {
+			mu.Lock()
+			if ev.Index <= last {
+				dup = true
+			}
+			last = ev.Index
+			mu.Unlock()
+		})
+		var wg sync.WaitGroup
+		for a := 0; a < 2; a++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					sink(gateway.TokenEvent{Index: i})
+				}
+			}()
+		}
+		wg.Wait()
+		if dup {
+			t.Fatal("concurrent attempts delivered a duplicate or reordered index")
+		}
+	}
+}

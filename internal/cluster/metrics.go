@@ -1,0 +1,64 @@
+package cluster
+
+import "repro/internal/metrics"
+
+// instruments are the router's cluster_* metrics. Registry lookups are
+// idempotent by name, so sharing one registry with the replica gateways
+// is safe: the gateways' instruments and these coexist side by side.
+type instruments struct {
+	replicas        *metrics.Gauge
+	healthyReplicas *metrics.Gauge
+
+	routed          *metrics.Counter
+	noHealthy       *metrics.Counter
+	failovers       *metrics.Counter
+	budgetExhausted *metrics.Counter
+	retriesDeadline *metrics.Counter
+
+	ejections    *metrics.Counter
+	readmissions *metrics.Counter
+	probes       *metrics.Counter
+	restarts     *metrics.Counter
+
+	hedges       *metrics.Counter
+	hedgeWins    *metrics.Counter
+	hedgeWasted  *metrics.Histogram
+	routeLatency *metrics.Histogram
+}
+
+func newInstruments(r *metrics.Registry) instruments {
+	latencyBounds := []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10}
+	return instruments{
+		replicas: r.Gauge("cluster_replicas",
+			"Configured gateway replicas behind the router."),
+		healthyReplicas: r.Gauge("cluster_healthy_replicas",
+			"Replicas currently routable (healthy or half-open)."),
+		routed: r.Counter("cluster_requests_routed_total",
+			"Dispatch attempts routed to a replica (includes retries and hedges)."),
+		noHealthy: r.Counter("cluster_no_healthy_replica_total",
+			"Submissions rejected because no replica was routable."),
+		failovers: r.Counter("cluster_failovers_total",
+			"Requests re-dispatched to another replica after a replica-level failure."),
+		budgetExhausted: r.Counter("cluster_retry_budget_exhausted_total",
+			"Failovers suppressed because the client's retry budget was empty."),
+		retriesDeadline: r.Counter("cluster_retry_deadline_abandoned_total",
+			"Failovers abandoned because backoff would overrun the request deadline."),
+		ejections: r.Counter("cluster_replica_ejections_total",
+			"Replicas passively ejected (consecutive errors or latency outlier)."),
+		readmissions: r.Counter("cluster_replica_readmissions_total",
+			"Replicas readmitted to rotation after a successful half-open trial."),
+		probes: r.Counter("cluster_health_probes_total",
+			"Active health-check sweeps over the replica set."),
+		restarts: r.Counter("cluster_replica_restarts_total",
+			"Replica gateways rebuilt by restart or rolling restart."),
+		hedges: r.Counter("cluster_hedged_requests_total",
+			"Requests that spawned a hedged duplicate dispatch."),
+		hedgeWins: r.Counter("cluster_hedge_wins_total",
+			"Hedged requests resolved by the duplicate rather than the original."),
+		hedgeWasted: r.Histogram("cluster_hedge_wasted_seconds",
+			"Compute discarded when a hedge loser was cancelled.", latencyBounds),
+		routeLatency: r.Histogram("cluster_route_attempt_seconds",
+			"Wall time of one dispatch attempt on one replica.", latencyBounds),
+	}
+}

@@ -50,6 +50,21 @@ const (
 	// memory). The memory governor queries it with Pressure; Apply
 	// ignores it.
 	MemPressure
+	// ReplicaDown is a standing replica-scoped condition: while armed,
+	// the matching replica (the rule's Lane field names the replica ID)
+	// is dead — the cluster router fails its health probes, stops
+	// routing to it, and terminates its in-flight work. The router
+	// queries it with Outage; Apply ignores it.
+	ReplicaDown
+	// ReplicaSlow is a standing replica-scoped condition: while armed,
+	// every request dispatched to the matching replica is delayed by
+	// DelayMillis before execution — a wedged-but-alive box whose
+	// latency EWMA should trip passive outlier ejection.
+	ReplicaSlow
+	// ReplicaFlap is a standing replica-scoped condition: the matching
+	// replica alternates dead and alive with half-period DelayMillis,
+	// exercising ejection, half-open probing and readmission in a loop.
+	ReplicaFlap
 )
 
 // String names the class; ParseClass is its inverse.
@@ -65,6 +80,12 @@ func (c Class) String() string {
 		return "cost-error"
 	case MemPressure:
 		return "mem-pressure"
+	case ReplicaDown:
+		return "replica-down"
+	case ReplicaSlow:
+		return "replica-slow"
+	case ReplicaFlap:
+		return "replica-flap"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -83,8 +104,14 @@ func ParseClass(s string) (Class, error) {
 		return CostError, nil
 	case "mem-pressure", "mempressure", "mem_pressure":
 		return MemPressure, nil
+	case "replica-down", "replica_down":
+		return ReplicaDown, nil
+	case "replica-slow", "replica_slow":
+		return ReplicaSlow, nil
+	case "replica-flap", "replica_flap":
+		return ReplicaFlap, nil
 	default:
-		return 0, fmt.Errorf("faults: unknown class %q (want latency, stall, panic, cost-error or mem-pressure)", s)
+		return 0, fmt.Errorf("faults: unknown class %q (want latency, stall, panic, cost-error, mem-pressure, replica-down, replica-slow or replica-flap)", s)
 	}
 }
 
@@ -145,6 +172,20 @@ func (r Rule) Validate() error {
 		}
 		return nil
 	}
+	if r.Class == ReplicaDown || r.Class == ReplicaSlow || r.Class == ReplicaFlap {
+		// Standing replica conditions: armed is active. Slow and flap
+		// need a delay (the added latency / the flap half-period).
+		if r.Every != 0 || r.P != 0 || r.Count != 0 || r.Fraction != 0 {
+			return fmt.Errorf("faults: %s rules take only site, lane and delay", r.Class)
+		}
+		if r.Class != ReplicaDown && r.DelayMillis <= 0 {
+			return fmt.Errorf("faults: %s rule needs delay_ms > 0", r.Class)
+		}
+		if r.Class == ReplicaDown && r.DelayMillis != 0 {
+			return fmt.Errorf("faults: replica-down rules take no delay")
+		}
+		return nil
+	}
 	if r.Fraction != 0 {
 		return fmt.Errorf("faults: fraction applies only to mem-pressure rules")
 	}
@@ -202,11 +243,13 @@ func (e *Injected) Attrs() map[string]string {
 	}
 }
 
-// ruleState pairs a rule with its evaluation bookkeeping.
+// ruleState pairs a rule with its evaluation bookkeeping. armedAt
+// anchors time-varying standing conditions (replica-flap phases).
 type ruleState struct {
 	Rule
-	evals int
-	fired int
+	evals   int
+	fired   int
+	armedAt time.Time
 }
 
 // RuleStatus is one rule with its counters, for snapshots.
@@ -257,6 +300,9 @@ func (i *Injector) Instrument(reg *metrics.Registry) *Injector {
 		Panic:       reg.Counter("faults_injected_panic_total", "panic faults injected"),
 		CostError:   reg.Counter("faults_injected_cost_error_total", "cost-model-error faults injected"),
 		MemPressure: reg.Counter("faults_injected_mem_pressure_total", "mem-pressure conditions applied"),
+		ReplicaDown: reg.Counter("faults_injected_replica_down_total", "replica-down conditions applied"),
+		ReplicaSlow: reg.Counter("faults_injected_replica_slow_total", "replica-slow conditions applied"),
+		ReplicaFlap: reg.Counter("faults_injected_replica_flap_total", "replica-flap conditions applied"),
 	}
 	return i
 }
@@ -274,8 +320,9 @@ func (i *Injector) Arm(rules ...Rule) error {
 	defer i.mu.Unlock()
 	i.rng = rand.New(rand.NewSource(i.seed))
 	i.rules = make([]ruleState, len(rules))
+	now := time.Now()
 	for idx, r := range rules {
-		i.rules[idx] = ruleState{Rule: r}
+		i.rules[idx] = ruleState{Rule: r, armedAt: now}
 	}
 	if i.armed != nil {
 		i.armed.Set(int64(len(rules)))
@@ -332,8 +379,9 @@ func (i *Injector) Apply(site, lane string) error {
 	i.mu.Lock()
 	for idx := range i.rules {
 		r := &i.rules[idx]
-		if r.Class == MemPressure {
-			continue // standing condition, queried via Pressure
+		if r.Class == MemPressure || r.Class == ReplicaDown ||
+			r.Class == ReplicaSlow || r.Class == ReplicaFlap {
+			continue // standing conditions, queried via Pressure / Outage
 		}
 		if !r.matches(site, lane) {
 			continue
@@ -419,4 +467,62 @@ func (i *Injector) Pressure(site, lane string) float64 {
 		frac = 1
 	}
 	return frac
+}
+
+// Outage reports the standing replica condition at (site, lane): whether
+// matching replica-down/replica-flap rules hold the replica dead right
+// now, and the extra per-request latency matching replica-slow rules
+// impose. The cluster router's health checker polls it with site
+// "replica" and the replica ID as the lane; like Pressure, the effect
+// lasts for as long as the rule stays armed and ends at disarm. A
+// replica-flap rule alternates dead and alive with half-period
+// DelayMillis, anchored at arm time so the schedule is stable across
+// polls. Nil-safe; each query counts as an evaluation, and the first
+// query that observes a rule's effect counts as its fire.
+func (i *Injector) Outage(site, lane string) (down bool, slow time.Duration) {
+	if i == nil {
+		return false, 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	now := time.Now()
+	for idx := range i.rules {
+		r := &i.rules[idx]
+		var active bool
+		switch r.Class {
+		case ReplicaDown:
+			active = true
+		case ReplicaFlap:
+			// Dead during even half-periods (starting at arm), alive
+			// during odd ones.
+			phase := int(now.Sub(r.armedAt) / r.delay())
+			active = phase%2 == 0
+		case ReplicaSlow:
+			active = true
+		default:
+			continue
+		}
+		if !r.matches(site, lane) {
+			continue
+		}
+		r.evals++
+		if !active {
+			continue
+		}
+		if r.fired == 0 {
+			r.fired = 1
+			i.injected++
+			if i.total != nil {
+				i.total.Inc()
+				i.byClass[r.Class].Inc()
+			}
+		}
+		switch r.Class {
+		case ReplicaDown, ReplicaFlap:
+			down = true
+		case ReplicaSlow:
+			slow += r.delay()
+		}
+	}
+	return down, slow
 }

@@ -251,3 +251,65 @@ func TestRuleJSONRoundTrip(t *testing.T) {
 		t.Error("numeric class accepted")
 	}
 }
+
+func TestReplicaOutageConditions(t *testing.T) {
+	inj := New(1)
+	if down, slow := inj.Outage("replica", "r0"); down || slow != 0 {
+		t.Fatalf("disarmed injector reports outage down=%v slow=%v", down, slow)
+	}
+	if err := inj.Arm(
+		Rule{Class: ReplicaDown, Site: "replica", Lane: "r1"},
+		Rule{Class: ReplicaSlow, Site: "replica", Lane: "r2", DelayMillis: 25},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if down, slow := inj.Outage("replica", "r0"); down || slow != 0 {
+		t.Errorf("unmatched replica r0: down=%v slow=%v", down, slow)
+	}
+	if down, _ := inj.Outage("replica", "r1"); !down {
+		t.Error("replica-down rule did not take r1 down")
+	}
+	if down, slow := inj.Outage("replica", "r2"); down || slow != 25*time.Millisecond {
+		t.Errorf("replica-slow on r2: down=%v slow=%v", down, slow)
+	}
+	inj.Disarm()
+	if down, _ := inj.Outage("replica", "r1"); down {
+		t.Error("outage survives disarm")
+	}
+
+	// Flap alternates dead/alive with half-period delay, dead first.
+	if err := inj.Arm(Rule{Class: ReplicaFlap, Site: "replica", Lane: "r1", DelayMillis: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if down, _ := inj.Outage("replica", "r1"); !down {
+		t.Error("flap not down in its first half-period")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if down, _ := inj.Outage("replica", "r1"); down {
+		t.Error("flap still down in its second half-period")
+	}
+}
+
+func TestReplicaRuleValidation(t *testing.T) {
+	for _, bad := range []Rule{
+		{Class: ReplicaDown, DelayMillis: 5},          // down takes no delay
+		{Class: ReplicaSlow},                          // slow needs delay
+		{Class: ReplicaFlap},                          // flap needs delay
+		{Class: ReplicaDown, Every: 3},                // standing: no trigger
+		{Class: ReplicaSlow, DelayMillis: 5, P: 0.5},  // standing: no trigger
+		{Class: ReplicaFlap, DelayMillis: 5, Count: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("rule %+v accepted", bad)
+		}
+	}
+	for _, spec := range []string{
+		"replica-down@replica:lane=r1",
+		"replica-slow@replica:lane=r1,delay=50ms",
+		"replica-flap@replica:lane=r2,delay=200ms",
+	} {
+		if _, err := ParseSpec(spec); err != nil {
+			t.Errorf("spec %q rejected: %v", spec, err)
+		}
+	}
+}

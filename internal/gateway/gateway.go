@@ -214,6 +214,10 @@ type Request struct {
 	// quotas (the API layer fills it from X-Client-ID, falling back to
 	// the remote address). Empty means anonymous.
 	Client string
+	// Class is the request's SLO class ("interactive", "batch", ...).
+	// The gateway itself ignores it; the cluster router's SLO-weighted
+	// policy keys on it. The API layer fills it from X-SLO-Class.
+	Class string
 	// Trace, when non-nil, receives the request's phase spans (queue
 	// wait, batching, prefill, per-token decode, pricing) as the
 	// scheduler moves it through the lane. The caller owns Finish.
@@ -245,6 +249,16 @@ type Result struct {
 	// TraceID identifies the request's trace when one was recorded; its
 	// full phase timeline is served by GET /v1/traces?id=.
 	TraceID string `json:"trace_id,omitempty"`
+
+	// Cluster attribution, filled by the cluster router (internal/cluster)
+	// when the request was served through a multi-replica front end; a
+	// single-gateway deployment leaves them zero. Replica is the ID of the
+	// replica that produced the result, Failovers counts dispatch attempts
+	// beyond the first, and Hedged marks a result raced against (and won
+	// over) a hedged duplicate.
+	Replica   string `json:"replica,omitempty"`
+	Failovers int    `json:"failovers,omitempty"`
+	Hedged    bool   `json:"hedged,omitempty"`
 }
 
 // Resolver builds the cost model for a lane key on first use.

@@ -43,10 +43,19 @@ const (
 	// wall-clock TTFT the streaming client experiences. It overlaps the
 	// tiling phases (queue + batch + prefill) rather than partitioning them.
 	PhaseFirstToken = "first_token"
+	// Cluster-layer phases (internal/cluster). PhaseRoute spans one
+	// dispatch attempt on one replica (attrs: replica, policy, attempt);
+	// PhaseFailover spans the backoff between a failed attempt and the
+	// retry on the next replica; PhaseHedge spans a hedged duplicate
+	// dispatch (attrs: replica, won).
+	PhaseRoute    = "route"
+	PhaseFailover = "failover"
+	PhaseHedge    = "hedge"
 )
 
 // PhaseOrder is the canonical rendering order for phase breakdowns.
-var PhaseOrder = []string{PhaseAdmission, PhaseQueue, PhaseBatch,
+var PhaseOrder = []string{PhaseAdmission, PhaseRoute, PhaseFailover,
+	PhaseHedge, PhaseQueue, PhaseBatch,
 	PhasePrefill, PhaseDecode, PhaseFirstToken, PhasePreempted, PhasePricing}
 
 // Counters are the per-span hardware-counter analogs, mirroring the
