@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build vet test check chaos chaos-cluster bench bench-decode \
         bench-decode-short figures scorecard examples trace-demo memdemo \
-        stream-demo cluster-demo clean
+        stream-demo cluster-demo cache-demo clean
 
 all: build vet test
 
@@ -122,6 +122,31 @@ cluster-demo:
 	curl -s "http://$(CLUSTER_DEMO_ADDR)/v1/cluster" | grep -q '"healthy":3' \
 	    && echo "recovery: all 3 replicas healthy" \
 	    || { echo "recovery FAILED: cluster not back to 3 healthy replicas"; st=1; }; \
+	kill $$pid; wait $$pid 2>/dev/null; exit $$st
+
+# Prefix-cache demo: boot llmperfd with the radix KV cache on, replay a
+# multi-turn chatbot trace twice (cache off, flush, cache on) with
+# llmperf's chat mode, and assert the cache actually pays: the A/B
+# prefill_reduction line must clear 30% (the issue's acceptance floor)
+# and the server's /v1/cache view must report hits.
+CACHE_DEMO_ADDR ?= 127.0.0.1:18084
+cache-demo:
+	$(GO) build -o /tmp/llmperfd-cache ./cmd/llmperfd
+	$(GO) build -o /tmp/llmperf-cache ./cmd/llmperf
+	/tmp/llmperfd-cache -addr $(CACHE_DEMO_ADDR) -timescale 0.02 & \
+	pid=$$!; sleep 1; \
+	/tmp/llmperf-cache -url http://$(CACHE_DEMO_ADDR) -chat-sessions 6 -chat-turns 4 \
+	    -system-tokens 512 -model OPT-13B -in 64 -out 32 -concurrency 4 \
+	    | tee /tmp/cache-demo.out; st=$$?; \
+	red=$$(grep -o 'prefill_reduction=[0-9.]*' /tmp/cache-demo.out | cut -d= -f2); \
+	if [ -z "$$red" ]; then echo "cache-demo FAILED: no prefill_reduction line"; st=1; \
+	elif ! awk "BEGIN{exit !($$red >= 30)}"; then \
+	    echo "cache-demo FAILED: prefill reduction $$red% below the 30% floor"; st=1; \
+	else echo "cache-demo: prefill reduction $$red% clears the 30% floor"; fi; \
+	echo "=== /v1/cache ==="; \
+	curl -s "http://$(CACHE_DEMO_ADDR)/v1/cache"; echo; \
+	curl -s "http://$(CACHE_DEMO_ADDR)/v1/cache" | grep -q '"hits":' \
+	    || { echo "cache-demo FAILED: /v1/cache reports no hit counters"; st=1; }; \
 	kill $$pid; wait $$pid 2>/dev/null; exit $$st
 
 # One benchmark per paper table/figure plus kernel/engine/ablation benches,

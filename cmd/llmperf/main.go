@@ -56,9 +56,17 @@ func main() {
 	n := flag.Int("n", 64, "load generator: total requests")
 	concurrency := flag.Int("concurrency", 8, "load generator: concurrent clients")
 	stream := flag.Bool("stream", false, "load generator: use SSE streaming and report client-side TTFT/ITL percentiles")
+	chatSessions := flag.Int("chat-sessions", 0, "load generator: replay a multi-turn chatbot trace with this many sessions and A/B the prefix cache (0 = off)")
+	chatTurns := flag.Int("chat-turns", 4, "load generator: turns per chat session")
+	systemTokens := flag.Int("system-tokens", 512, "load generator: shared system-prompt tokens per chat session")
+	seed := flag.Int64("seed", 1, "load generator: workload seed for the chat trace")
 	flag.Parse()
 
 	if *url != "" {
+		if *chatSessions > 0 {
+			loadChat(*url, *platform, *modelName, *in, *out, *chatSessions, *chatTurns, *systemTokens, *concurrency, *seed)
+			return
+		}
 		if *stream {
 			loadStream(*url, *platform, *modelName, *in, *out, *n, *concurrency)
 		} else {

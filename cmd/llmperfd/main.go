@@ -57,6 +57,7 @@ func main() {
 	kvBlock := flag.Int("kv-block", govern.DefaultBlockSize, "KV pool block size in tokens")
 	kvBudgetMB := flag.Int("kv-budget-mb", 0, "override every lane's KV budget in MiB (0 = derive from the platform's memory minus weights)")
 	kvQuota := flag.Int("kv-quota-tokens", 0, "per-client in-flight KV token quota, keyed by X-Client-ID (0 = unlimited)")
+	kvCache := flag.Bool("kv-cache", true, "prefix-aware radix KV cache: requests sharing a prompt prefix skip its prefill (requires -kv-govern)")
 	kvHigh := flag.Float64("kv-high", 0.95, "KV utilization high watermark: shed new work (503) at or above it")
 	kvLow := flag.Float64("kv-low", 0.75, "KV utilization low watermark: stop shedding at or below it")
 	replicas := flag.Int("replicas", 1, "in-process gateway replicas behind the fault-tolerant router (>1 enables cluster mode)")
@@ -128,6 +129,7 @@ func main() {
 			HighWatermark: *kvHigh,
 			LowWatermark:  *kvLow,
 			QuotaTokens:   *kvQuota,
+			EnableCache:   *kvCache,
 			Registry:      reg,
 		})
 	}
@@ -147,6 +149,7 @@ func main() {
 				HighWatermark: *kvHigh,
 				LowWatermark:  *kvLow,
 				QuotaTokens:   *kvQuota,
+				EnableCache:   *kvCache,
 				Registry:      reg,
 			})
 		}
@@ -219,6 +222,9 @@ func main() {
 	kvDesc := "off"
 	if *kvGovern {
 		kvDesc = *kvMode
+		if *kvCache {
+			kvDesc += "+cache"
+		}
 	}
 	topo := "single"
 	if *replicas > 1 {

@@ -19,8 +19,10 @@
 //	GET  /v1/experiments/{key}       one experiment's rendered tables
 //	GET  /v1/scorecard               reproduction scorecard
 //	GET  /v1/kv                      per-lane KV pool governance status
+//	GET  /v1/cache                   prefix-cache status (hit rate, retained blocks)
 //	GET  /v1/cluster                 replica health and failover status
 //	GET|POST|DELETE /v1/admin/faults runtime fault injection control
+//	POST /v1/admin/cache/flush       drop unpinned prefix-cache entries
 //	GET  /metrics                    Prometheus metrics
 //	GET  /healthz, /readyz           liveness / readiness
 package api
@@ -97,9 +99,11 @@ var endpoints = []endpointInfo{
 	{"GET", "/v1/experiments/{key}", "run one experiment, rendered tables"},
 	{"GET", "/v1/scorecard", "reproduction scorecard"},
 	{"GET", "/v1/traces", "recent request traces (?id= for one, ?limit= to page)"},
-	{"GET", "/v1/kv", "per-lane KV pool governance: blocks, watermarks, quotas, preemptions"},
+	{"GET", "/v1/kv", "per-lane KV pool governance: blocks, watermarks, quotas, preemptions; cache fields are deprecated here — use /v1/cache"},
+	{"GET", "/v1/cache", "prefix-cache status: tree sizes, hit rate, retained blocks per lane (404 while caching is disabled)"},
 	{"GET", "/v1/cluster", "replica health, routing policy and failover counters (404 unless -replicas > 1)"},
 	{"GET, POST, DELETE", "/v1/admin/faults", "inspect, arm or disarm runtime fault injection"},
+	{"POST", "/v1/admin/cache/flush", "drop every unpinned prefix-cache entry, returning blocks_released"},
 	{"GET", "/metrics", "Prometheus metrics (gateway queue, TTFT/TPOT/E2E histograms)"},
 	{"GET", "/healthz", "liveness"},
 	{"GET", "/readyz", "readiness (503 while draining)"},
@@ -124,8 +128,10 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/scorecard", s.handleScorecard, http.MethodGet)
 	route("/v1/traces", s.handleTraces, http.MethodGet)
 	route("/v1/kv", s.handleKV, http.MethodGet)
+	route("/v1/cache", s.handleCache, http.MethodGet)
 	route("/v1/cluster", s.handleCluster, http.MethodGet)
 	route("/v1/admin/faults", s.handleAdminFaults, http.MethodGet, http.MethodPost, http.MethodDelete)
+	route("/v1/admin/cache/flush", s.handleCacheFlush, http.MethodPost)
 	route("/metrics", s.handleMetrics, http.MethodGet)
 	route("/healthz", s.handleHealthz, http.MethodGet)
 	route("/readyz", s.handleReadyz, http.MethodGet)

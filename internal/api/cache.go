@@ -1,0 +1,65 @@
+package api
+
+// cache.go serves the prefix-cache observability and control surface:
+//
+//	GET  /v1/cache             tree sizes, hit rates, retained blocks per lane
+//	POST /v1/admin/cache/flush drop every unpinned cache entry
+//
+// GET /v1/cache supersedes the cache-related ambitions of GET /v1/kv:
+// the KV endpoint keeps reporting pool governance (blocks, watermarks,
+// quotas) and each lane's embedded cache summary, while this endpoint is
+// the authoritative cache view with cluster-wide aggregation.
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/cluster"
+	"repro/internal/gateway"
+	"repro/internal/govern"
+)
+
+// cacheBackend is the slice of the serving backend the cache endpoints
+// need. Both topologies implement it: a gateway delegates to its
+// governor, a cluster router aggregates across replicas.
+type cacheBackend interface {
+	CacheSnapshot() govern.CacheStatus
+	FlushCache() int
+}
+
+var (
+	_ cacheBackend = (*gateway.Gateway)(nil)
+	_ cacheBackend = (*cluster.Router)(nil)
+)
+
+// errCacheDisabled is the uniform 404 detail when prefix caching is off,
+// matching how /v1/kv reports a missing governor.
+var errCacheDisabled = fmt.Errorf("prefix caching disabled (llmperfd -kv-cache=false, or no KV governor configured)")
+
+// handleCache serves the prefix-cache snapshot.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	cb, ok := s.gw.(cacheBackend)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, errCacheDisabled)
+		return
+	}
+	st := cb.CacheSnapshot()
+	if !st.Enabled {
+		writeError(w, http.StatusNotFound, CodeNotFound, errCacheDisabled)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleCacheFlush drops every unpinned cache entry (operator surface:
+// before an A/B measurement, or to reclaim blocks ahead of a burst).
+// Pinned paths survive and in-flight forks keep their blocks — flushing
+// is always safe, never a correctness event.
+func (s *Server) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
+	cb, ok := s.gw.(cacheBackend)
+	if !ok || !cb.CacheSnapshot().Enabled {
+		writeError(w, http.StatusNotFound, CodeNotFound, errCacheDisabled)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"blocks_released": cb.FlushCache()})
+}

@@ -1,0 +1,262 @@
+package api
+
+// cache_test.go covers the prefix-cache surface of the v1 API: the
+// cached_tokens accounting and X-Prefix-Cache header on /v1/generate,
+// the in-band prefix_cache field on the terminal SSE event, cached token
+// counts in OpenAI-compatible usage (prompt_tokens_details), the
+// per-request cache opt-out and min_prefix_tokens knobs with their typed
+// 400, and the GET /v1/cache + POST /v1/admin/cache/flush endpoints.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/gateway"
+	"repro/internal/govern"
+)
+
+// cachedServer is governedServer with the radix prefix cache enabled.
+func cachedServer(t *testing.T, blocks int) (*govern.Governor, *httptest.Server) {
+	t.Helper()
+	return governedServer(t, blocks, func(c *govern.Config) { c.EnableCache = true })
+}
+
+// genResult is the subset of the buffered /v1/generate response the
+// cache tests care about.
+type genResult struct {
+	CachedTokens        int     `json:"cached_tokens"`
+	PrefillSavedSeconds float64 `json:"prefill_saved_s"`
+}
+
+func postGenerate(t *testing.T, srv *httptest.Server, body string) (*http.Response, genResult) {
+	t.Helper()
+	resp, raw := doOn(t, srv, http.MethodPost, "/v1/generate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate status %d: %s", resp.StatusCode, raw)
+	}
+	var res genResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	return resp, res
+}
+
+const sharedPromptBody = `{"platform":"spr","model":"OPT-13B","in":80,"out":4,
+	"prefix_group":"sess","prefix_tokens":64}`
+
+func TestGenerateCachedTokensAndHeader(t *testing.T) {
+	_, srv := cachedServer(t, 64)
+
+	resp, res := postGenerate(t, srv, sharedPromptBody)
+	if res.CachedTokens != 0 {
+		t.Errorf("cold request cached %d tokens, want 0", res.CachedTokens)
+	}
+	if h := resp.Header.Get("X-Prefix-Cache"); h != "miss" {
+		t.Errorf("cold X-Prefix-Cache %q, want %q", h, "miss")
+	}
+
+	// The same shared prefix again: its 64 tokens (4 whole 16-token
+	// blocks) come from the cache and the response says so in both the
+	// body and the header.
+	resp, res = postGenerate(t, srv, sharedPromptBody)
+	if res.CachedTokens != 64 {
+		t.Errorf("warm request cached %d tokens, want 64", res.CachedTokens)
+	}
+	// stubCost prices prefill at a flat rate, so the modeled savings are
+	// zero here; cmd/llmperf's A/B demo covers the real cost model.
+	if res.PrefillSavedSeconds < 0 {
+		t.Errorf("warm request saved %v prefill seconds, want >= 0", res.PrefillSavedSeconds)
+	}
+	if h := resp.Header.Get("X-Prefix-Cache"); h != "hit;tokens=64" {
+		t.Errorf("warm X-Prefix-Cache %q, want %q", h, "hit;tokens=64")
+	}
+}
+
+func TestCacheOptOutPerRequest(t *testing.T) {
+	_, srv := cachedServer(t, 64)
+	postGenerate(t, srv, sharedPromptBody)
+
+	resp, res := postGenerate(t, srv, `{"platform":"spr","model":"OPT-13B","in":80,"out":4,
+		"prefix_group":"sess","prefix_tokens":64,"cache":{"enabled":false}}`)
+	if res.CachedTokens != 0 {
+		t.Errorf("opted-out request cached %d tokens, want 0", res.CachedTokens)
+	}
+	if h := resp.Header.Get("X-Prefix-Cache"); h != "miss" {
+		t.Errorf("opted-out X-Prefix-Cache %q, want %q", h, "miss")
+	}
+}
+
+func TestMinPrefixTokensIgnoresShortMatch(t *testing.T) {
+	_, srv := cachedServer(t, 64)
+	postGenerate(t, srv, sharedPromptBody)
+
+	// The cached prefix is 64 tokens; demanding at least 128 makes the
+	// lookup not worth adopting, so the request prefills cold.
+	resp, res := postGenerate(t, srv, `{"platform":"spr","model":"OPT-13B","in":80,"out":4,
+		"prefix_group":"sess","prefix_tokens":64,"cache":{"min_prefix_tokens":128}}`)
+	if res.CachedTokens != 0 {
+		t.Errorf("short match adopted anyway: cached %d tokens", res.CachedTokens)
+	}
+	if h := resp.Header.Get("X-Prefix-Cache"); h != "miss" {
+		t.Errorf("X-Prefix-Cache %q, want %q", h, "miss")
+	}
+}
+
+func TestInvalidCacheParam400(t *testing.T) {
+	_, srv := cachedServer(t, 64)
+	for _, body := range []string{
+		`{"platform":"spr","model":"OPT-13B","in":32,"out":4,"cache":{"bogus":true}}`,
+		`{"platform":"spr","model":"OPT-13B","in":32,"out":4,"cache":{"min_prefix_tokens":-1}}`,
+		`{"platform":"spr","model":"OPT-13B","in":32,"out":4,"cache":"yes"}`,
+	} {
+		resp, raw := doOn(t, srv, http.MethodPost, "/v1/generate", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", body, resp.StatusCode)
+			continue
+		}
+		if code, _ := errEnvelope(t, raw); code != CodeInvalidCacheParam {
+			t.Errorf("%s: code %q, want %q", body, code, CodeInvalidCacheParam)
+		}
+	}
+}
+
+func TestSSETerminalEventReportsPrefixCache(t *testing.T) {
+	_, srv := cachedServer(t, 64)
+	prefixCacheOf := func() string {
+		resp := postAccept(t, srv, "/v1/generate",
+			`{"platform":"spr","model":"OPT-13B","in":80,"out":3,"stream":true,
+			  "prefix_group":"sse","prefix_tokens":64}`, "text/event-stream")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream status %d", resp.StatusCode)
+		}
+		chunks, done := readSSE(t, resp)
+		if !done || len(chunks) == 0 {
+			t.Fatalf("incomplete stream: %d chunks, done=%v", len(chunks), done)
+		}
+		var terminal struct {
+			Object      string `json:"object"`
+			PrefixCache string `json:"prefix_cache"`
+		}
+		if err := json.Unmarshal(chunks[len(chunks)-1], &terminal); err != nil {
+			t.Fatal(err)
+		}
+		if terminal.Object != "generate.result" {
+			t.Fatalf("last chunk is %q, want generate.result", terminal.Object)
+		}
+		return terminal.PrefixCache
+	}
+	if got := prefixCacheOf(); got != "miss" {
+		t.Errorf("cold stream prefix_cache %q, want %q", got, "miss")
+	}
+	if got := prefixCacheOf(); got != "hit;tokens=64" {
+		t.Errorf("warm stream prefix_cache %q, want %q", got, "hit;tokens=64")
+	}
+}
+
+func TestOpenAIUsageCachedTokens(t *testing.T) {
+	_, srv := cachedServer(t, 64)
+	body := `{"model":"OPT-13B","messages":[
+		{"role":"system","content":"You are a careful assistant. Answer briefly and cite the manual when unsure about hardware counters."},
+		{"role":"user","content":"How many memory channels does Sapphire Rapids have per socket?"}]}`
+
+	usageOf := func() (int, *int) {
+		resp, raw := doOn(t, srv, http.MethodPost, "/v1/chat/completions", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("chat status %d: %s", resp.StatusCode, raw)
+		}
+		var cc struct {
+			Usage struct {
+				CachedTokens        int `json:"cached_tokens"`
+				PromptTokensDetails *struct {
+					CachedTokens int `json:"cached_tokens"`
+				} `json:"prompt_tokens_details"`
+			} `json:"usage"`
+		}
+		if err := json.Unmarshal(raw, &cc); err != nil {
+			t.Fatal(err)
+		}
+		if cc.Usage.PromptTokensDetails == nil {
+			return cc.Usage.CachedTokens, nil
+		}
+		return cc.Usage.CachedTokens, &cc.Usage.PromptTokensDetails.CachedTokens
+	}
+
+	if cached, details := usageOf(); cached != 0 || details != nil {
+		t.Errorf("cold chat: cached_tokens=%d details=%v, want 0 and absent", cached, details)
+	}
+	cached, details := usageOf()
+	if cached <= 0 {
+		t.Errorf("warm chat cached %d tokens, want > 0", cached)
+	}
+	if details == nil || *details != cached {
+		t.Errorf("prompt_tokens_details %v, want %d", details, cached)
+	}
+}
+
+func TestCacheStatusAndFlushEndpoints(t *testing.T) {
+	_, srv := cachedServer(t, 64)
+	postGenerate(t, srv, sharedPromptBody)
+	postGenerate(t, srv, sharedPromptBody) // the hit
+
+	resp, raw := doOn(t, srv, http.MethodGet, "/v1/cache", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/cache status %d: %s", resp.StatusCode, raw)
+	}
+	var st govern.CacheStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Enabled || st.Hits < 1 || st.RetainedBlocks == 0 || len(st.Lanes) != 1 {
+		t.Errorf("cache status after a hit: %s", raw)
+	}
+
+	resp, raw = doOn(t, srv, http.MethodPost, "/v1/admin/cache/flush", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush status %d: %s", resp.StatusCode, raw)
+	}
+	var fl struct {
+		BlocksReleased int `json:"blocks_released"`
+	}
+	if err := json.Unmarshal(raw, &fl); err != nil {
+		t.Fatal(err)
+	}
+	if fl.BlocksReleased == 0 {
+		t.Error("flush released no blocks despite retained prefixes")
+	}
+
+	resp, raw = doOn(t, srv, http.MethodGet, "/v1/cache", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/cache after flush: %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RetainedBlocks != 0 {
+		t.Errorf("flush left %d retained blocks", st.RetainedBlocks)
+	}
+}
+
+func TestCacheEndpoints404WhenDisabled(t *testing.T) {
+	// No governor at all.
+	gw := gateway.New(gateway.Config{}, stubResolver(stubCost{}))
+	bare := httptest.NewServer(NewServer(gw).Handler())
+	defer bare.Close()
+	// Governor present but caching off.
+	_, governed := governedServer(t, 16, nil)
+
+	for _, srv := range []*httptest.Server{bare, governed} {
+		resp, raw := doOn(t, srv, http.MethodGet, "/v1/cache", "")
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET /v1/cache status %d, want 404: %s", resp.StatusCode, raw)
+		}
+		if code, _ := errEnvelope(t, raw); code != CodeNotFound {
+			t.Errorf("GET /v1/cache code %q, want %q", code, CodeNotFound)
+		}
+		resp, raw = doOn(t, srv, http.MethodPost, "/v1/admin/cache/flush", "")
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("flush status %d, want 404: %s", resp.StatusCode, raw)
+		}
+	}
+}

@@ -53,6 +53,10 @@ const (
 	// 400): unparseable stream_options, unknown option fields, or
 	// stream_options supplied without "stream": true.
 	CodeInvalidStreamParam = "invalid_stream_param"
+	// CodeInvalidCacheParam rejects malformed prefix-cache options (HTTP
+	// 400): an unparseable cache object, unknown option fields, or a
+	// negative min_prefix_tokens.
+	CodeInvalidCacheParam = "invalid_cache_param"
 	// CodeNotAcceptable rejects an impossible Accept/stream combination
 	// (HTTP 406): a streaming request whose Accept excludes
 	// text/event-stream, or a buffered request that only accepts it.

@@ -19,10 +19,13 @@ package api
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net/http"
 	"time"
 
 	"repro/internal/gateway"
+	"repro/internal/prefixcache"
 	"repro/internal/trace"
 )
 
@@ -58,6 +61,8 @@ type chatCompletionsRequest struct {
 	Cores    int    `json:"cores"`
 	MemMode  string `json:"memmode"`
 	Cluster  string `json:"cluster"`
+	// Cache is the per-request prefix-cache knob, as on /v1/generate.
+	Cache json.RawMessage `json:"cache"`
 }
 
 // completionsRequest is the body of POST /v1/completions, the legacy
@@ -82,22 +87,38 @@ type completionsRequest struct {
 	Cores            int             `json:"cores"`
 	MemMode          string          `json:"memmode"`
 	Cluster          string          `json:"cluster"`
+	Cache            json.RawMessage `json:"cache"`
 }
 
-// usage is the OpenAI token-accounting block.
+// usage is the OpenAI token-accounting block. CachedTokens is the
+// vendor-native count of prompt tokens served from the prefix cache;
+// PromptTokensDetails carries the same count in the OpenAI-compatible
+// location.
 type usage struct {
-	PromptTokens     int `json:"prompt_tokens"`
-	CompletionTokens int `json:"completion_tokens"`
-	TotalTokens      int `json:"total_tokens"`
+	PromptTokens        int                  `json:"prompt_tokens"`
+	CompletionTokens    int                  `json:"completion_tokens"`
+	TotalTokens         int                  `json:"total_tokens"`
+	CachedTokens        int                  `json:"cached_tokens"`
+	PromptTokensDetails *promptTokensDetails `json:"prompt_tokens_details,omitempty"`
+}
+
+// promptTokensDetails is the OpenAI prompt-token breakdown.
+type promptTokensDetails struct {
+	CachedTokens int `json:"cached_tokens"`
 }
 
 // usageFor derives the usage block from a gateway result.
 func usageFor(res gateway.Result) usage {
-	return usage{
+	u := usage{
 		PromptTokens:     res.InputLen,
 		CompletionTokens: res.OutputLen,
 		TotalTokens:      res.InputLen + res.OutputLen,
+		CachedTokens:     res.CachedTokens,
 	}
+	if res.CachedTokens > 0 {
+		u.PromptTokensDetails = &promptTokensDetails{CachedTokens: res.CachedTokens}
+	}
+	return u
 }
 
 // finishLength is the only finish_reason this service produces: every
@@ -118,6 +139,63 @@ func promptTokens(msgs []chatMessage) int {
 // defaultOpenAIPlatform serves OpenAI-shaped requests that don't pick a
 // lane: the paper's flagship CPU platform.
 const defaultOpenAIPlatform = "spr"
+
+// chatSegments describes a chat prompt for the prefix cache: one
+// content-hashed segment per message, so two conversations share cache
+// entries exactly as far as their message lists agree — the multi-turn
+// chat and shared-system-prompt patterns, with no client opt-in needed.
+// Token counts mirror promptTokens exactly.
+func chatSegments(msgs []chatMessage) []prefixcache.Segment {
+	segs := make([]prefixcache.Segment, len(msgs))
+	for i, m := range msgs {
+		h := fnv.New64a()
+		io.WriteString(h, m.Role)
+		h.Write([]byte{0})
+		io.WriteString(h, m.Content)
+		tokens := len(m.Content) + len(m.Role) + 4
+		if i == 0 {
+			tokens++ // BOS
+		}
+		segs[i] = prefixcache.Segment{
+			ID:     fmt.Sprintf("msg:%016x", h.Sum64()),
+			Tokens: tokens,
+		}
+	}
+	return segs
+}
+
+// promptChunkChars is the segment granularity for raw text prompts:
+// completions share cache entries per aligned chunk of this many
+// characters (one token per character), so a common document prefix is
+// shareable without message structure.
+const promptChunkChars = 256
+
+// promptSegments describes a raw text prompt for the prefix cache as
+// content-hashed fixed-size chunks. Token counts mirror the completions
+// estimate (BOS + one token per character).
+func promptSegments(prompt string) []prefixcache.Segment {
+	if prompt == "" {
+		return nil
+	}
+	var segs []prefixcache.Segment
+	for start := 0; start < len(prompt); start += promptChunkChars {
+		end := start + promptChunkChars
+		if end > len(prompt) {
+			end = len(prompt)
+		}
+		h := fnv.New64a()
+		io.WriteString(h, prompt[start:end])
+		tokens := end - start
+		if start == 0 {
+			tokens++ // BOS
+		}
+		segs = append(segs, prefixcache.Segment{
+			ID:     fmt.Sprintf("txt:%016x", h.Sum64()),
+			Tokens: tokens,
+		})
+	}
+	return segs
+}
 
 // toGenerate maps the chat request onto the shared GenerateRequest, so
 // /v1/chat/completions runs through exactly /v1/generate's validation.
@@ -154,6 +232,8 @@ func (c *chatCompletionsRequest) toGenerate() (GenerateRequest, error) {
 		Cluster:       c.Cluster,
 		Stream:        c.Stream,
 		StreamOptions: c.StreamOptions,
+		Cache:         c.Cache,
+		prefix:        chatSegments(c.Messages),
 	}, nil
 }
 
@@ -182,6 +262,8 @@ func (c *completionsRequest) toGenerate() (GenerateRequest, error) {
 		Cluster:       c.Cluster,
 		Stream:        c.Stream,
 		StreamOptions: c.StreamOptions,
+		Cache:         c.Cache,
+		prefix:        promptSegments(c.Prompt),
 	}, nil
 }
 

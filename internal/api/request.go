@@ -25,6 +25,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/memsim"
 	"repro/internal/model"
+	"repro/internal/prefixcache"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
@@ -79,6 +80,22 @@ type GenerateRequest struct {
 	// raw here so malformed options produce the typed invalid_stream_param
 	// error instead of a generic decode failure.
 	StreamOptions json.RawMessage `json:"stream_options"`
+	// PrefixGroup names the shared-prompt group this request belongs to
+	// (a system prompt, an agent's tool preamble). Requests in one group
+	// share the prefix cache for their first PrefixTokens tokens.
+	PrefixGroup string `json:"prefix_group"`
+	// PrefixTokens is how many leading tokens of the prompt the group
+	// shares; 0 with a group set means the whole prompt.
+	PrefixTokens int `json:"prefix_tokens"`
+	// Cache tunes prefix caching per request ({"enabled": false} opts
+	// out, "min_prefix_tokens" discards short matches). Kept raw so
+	// malformed options produce the typed invalid_cache_param error.
+	Cache json.RawMessage `json:"cache"`
+
+	// prefix carries pre-built cache segments from adapter routes (chat
+	// messages, completion prompt chunks); when nil, prefixSegments
+	// derives segments from PrefixGroup/PrefixTokens.
+	prefix []prefixcache.Segment
 }
 
 // streamOptions is the decoded form of the stream_options body field.
@@ -107,6 +124,43 @@ func parseStreamOptions(stream bool, raw json.RawMessage) (streamOptions, error)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&opts); err != nil {
 		return opts, fmt.Errorf("%w: stream_options: %v", errInvalidStreamParam, err)
+	}
+	return opts, nil
+}
+
+// cacheOptions is the decoded form of the cache body field.
+type cacheOptions struct {
+	// Enabled opts the request out of the prefix cache when false: no
+	// lookup, no donation. Absent means enabled.
+	Enabled *bool `json:"enabled"`
+	// MinPrefixTokens discards cache matches shorter than this many
+	// tokens — chats that want a hit only when the whole history matched.
+	MinPrefixTokens int `json:"min_prefix_tokens"`
+}
+
+// disabled reports whether the options opt the request out.
+func (c cacheOptions) disabled() bool { return c.Enabled != nil && !*c.Enabled }
+
+// errInvalidCacheParam marks malformed cache options; handlers map it to
+// HTTP 400 with the typed invalid_cache_param code.
+var errInvalidCacheParam = errors.New("invalid cache parameter")
+
+// parseCacheOptions strictly validates the cache body field: unknown
+// fields and wrong types are rejected rather than silently ignored, so a
+// client that misspells "enabled" cannot believe it opted out.
+func parseCacheOptions(raw json.RawMessage) (cacheOptions, error) {
+	var opts cacheOptions
+	if len(raw) == 0 || string(raw) == "null" {
+		return opts, nil
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&opts); err != nil {
+		return opts, fmt.Errorf("%w: cache: %v", errInvalidCacheParam, err)
+	}
+	if opts.MinPrefixTokens < 0 {
+		return opts, fmt.Errorf("%w: cache.min_prefix_tokens must be non-negative, got %d",
+			errInvalidCacheParam, opts.MinPrefixTokens)
 	}
 	return opts, nil
 }
@@ -278,6 +332,16 @@ func (req *GenerateRequest) normalize() error {
 	if req.InputLen > maxGenTokens || req.OutputLen > maxGenTokens {
 		return fmt.Errorf("in and out must be at most %d tokens", maxGenTokens)
 	}
+	if req.PrefixTokens < 0 {
+		return fmt.Errorf("prefix_tokens must be non-negative, got %d", req.PrefixTokens)
+	}
+	if req.PrefixTokens > req.InputLen {
+		return fmt.Errorf("prefix_tokens (%d) exceeds the prompt length in (%d)",
+			req.PrefixTokens, req.InputLen)
+	}
+	if req.PrefixTokens > 0 && req.PrefixGroup == "" {
+		return fmt.Errorf("prefix_tokens requires prefix_group")
+	}
 	if strings.HasPrefix(req.Platform, "tiny-") {
 		fam := strings.TrimPrefix(req.Platform, "tiny-")
 		if fam != "opt" && fam != "llama" {
@@ -301,6 +365,47 @@ func (req *GenerateRequest) normalize() error {
 		return fmt.Errorf("cores/memmode/cluster apply only to CPU platforms, not %q", req.Platform)
 	}
 	return nil
+}
+
+// prefixGroupChunkTokens is the granularity at which a prefix_group's
+// shared span is segmented. Chunking matters for growing prefixes: a
+// multi-turn session whose shared context lengthens each turn must
+// extend the previous turn's key chain rather than hash differently from
+// token zero, and fixed-size chunks keep every completed chunk's segment
+// identity stable as prefix_tokens grows.
+const prefixGroupChunkTokens = 64
+
+// prefixSegments describes the request's prompt for the prefix cache:
+// adapter-built segments when present (chat messages, prompt chunks),
+// otherwise the prefix_group shared span in fixed-size chunks plus a
+// private per-request tail. Requests with no group and no adapter
+// segments return nil and bypass the cache entirely.
+func (req *GenerateRequest) prefixSegments() []prefixcache.Segment {
+	if req.prefix != nil {
+		return req.prefix
+	}
+	if req.PrefixGroup == "" {
+		return nil
+	}
+	shared := req.PrefixTokens
+	if shared == 0 || shared > req.InputLen {
+		shared = req.InputLen
+	}
+	var segs []prefixcache.Segment
+	for i := 0; i*prefixGroupChunkTokens < shared; i++ {
+		n := shared - i*prefixGroupChunkTokens
+		if n > prefixGroupChunkTokens {
+			n = prefixGroupChunkTokens
+		}
+		segs = append(segs, prefixcache.Segment{
+			ID:     fmt.Sprintf("group:%s#%d", req.PrefixGroup, i),
+			Tokens: n,
+		})
+	}
+	if tail := req.InputLen - shared; tail > 0 {
+		segs = append(segs, prefixcache.Segment{ID: "tail", Tokens: tail, Private: true})
+	}
+	return segs
 }
 
 // lanePool is the single persistent worker pool shared by every tiny-*

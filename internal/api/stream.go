@@ -190,6 +190,11 @@ func (s *Server) serveGeneration(w http.ResponseWriter, r *http.Request, admit t
 		writeError(w, http.StatusBadRequest, CodeInvalidStreamParam, err)
 		return
 	}
+	copts, err := parseCacheOptions(req.Cache)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidCacheParam, err)
+		return
+	}
 	if err := negotiateStream(r, req.Stream); err != nil {
 		writeError(w, http.StatusNotAcceptable, CodeNotAcceptable, err)
 		return
@@ -205,6 +210,9 @@ func (s *Server) serveGeneration(w http.ResponseWriter, r *http.Request, admit t
 	greq := gateway.Request{
 		Lane: req.laneKey(), InputLen: req.InputLen, OutputLen: req.OutputLen,
 		Client: clientID(r), Class: r.Header.Get("X-SLO-Class"), Trace: tr,
+		Prefix:          req.prefixSegments(),
+		CacheDisabled:   copts.disabled(),
+		MinPrefixTokens: copts.MinPrefixTokens,
 	}
 	if req.Stream {
 		s.streamGeneration(ctx, w, r, greq, shape, opts)
@@ -221,6 +229,7 @@ func (s *Server) serveGeneration(w http.ResponseWriter, r *http.Request, admit t
 		w.Header().Set("Server-Timing", st)
 	}
 	setReplicaHeaders(w, res)
+	w.Header().Set("X-Prefix-Cache", prefixCacheValue(res))
 	if res.TraceID == "" {
 		res.TraceID = tr.ID()
 	}
@@ -265,6 +274,16 @@ func setReplicaHeaders(w http.ResponseWriter, res gateway.Result) {
 	if res.Hedged {
 		w.Header().Set("X-Hedged", "true")
 	}
+}
+
+// prefixCacheValue renders the result's prefix-cache outcome in the
+// X-Prefix-Cache header format, also carried in-band by the terminal SSE
+// result event: "hit;tokens=N" or "miss".
+func prefixCacheValue(res gateway.Result) string {
+	if res.CachedTokens > 0 {
+		return fmt.Sprintf("hit;tokens=%d", res.CachedTokens)
+	}
+	return "miss"
 }
 
 // streamGeneration runs the request through the gateway with a token
@@ -412,8 +431,11 @@ type generateTokenEvent struct {
 
 // generateResultEvent is /v1/generate's terminal SSE chunk: the buffered
 // result tagged with an object type so stream parsers can switch on it.
+// PrefixCache is the in-band equivalent of the X-Prefix-Cache header
+// ("hit;tokens=N" / "miss") — headers are long committed by then.
 type generateResultEvent struct {
-	Object string `json:"object"` // "generate.result"
+	Object      string `json:"object"` // "generate.result"
+	PrefixCache string `json:"prefix_cache"`
 	gateway.Result
 }
 
@@ -432,7 +454,8 @@ func (generateShape) token(ev gateway.TokenEvent) any {
 }
 
 func (generateShape) terminal(res gateway.Result, includeUsage bool) []any {
-	out := []any{generateResultEvent{Object: "generate.result", Result: res}}
+	out := []any{generateResultEvent{Object: "generate.result",
+		PrefixCache: prefixCacheValue(res), Result: res}}
 	if includeUsage {
 		out = append(out, map[string]any{
 			"object": "generate.usage",

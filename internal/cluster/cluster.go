@@ -381,6 +381,45 @@ func (r *Router) Injector() *faults.Injector { return r.inj }
 // replica in Snapshot (GET /v1/cluster) rather than as one pool.
 func (r *Router) Governor() *govern.Governor { return nil }
 
+// CacheSnapshot aggregates prefix-cache state across replicas (GET
+// /v1/cache under a cluster backend). Lanes are namespaced "rN/lane" so
+// per-replica trees stay distinguishable; Enabled reports whether any
+// replica caches.
+func (r *Router) CacheSnapshot() govern.CacheStatus {
+	var st govern.CacheStatus
+	for _, rep := range r.replicas {
+		cs := rep.gateway().CacheSnapshot()
+		if !cs.Enabled {
+			continue
+		}
+		st.Enabled = true
+		st.Nodes += cs.Nodes
+		st.RetainedBlocks += cs.RetainedBlocks
+		st.Hits += cs.Hits
+		st.Misses += cs.Misses
+		st.HitTokens += cs.HitTokens
+		st.Evictions += cs.Evictions
+		for _, lane := range cs.Lanes {
+			lane.Lane = rep.id + "/" + lane.Lane
+			st.Lanes = append(st.Lanes, lane)
+		}
+	}
+	if n := st.Hits + st.Misses; n > 0 {
+		st.HitRate = float64(st.Hits) / float64(n)
+	}
+	return st
+}
+
+// FlushCache flushes every replica's prefix cache and returns the total
+// number of KV blocks released.
+func (r *Router) FlushCache() int {
+	released := 0
+	for _, rep := range r.replicas {
+		released += rep.gateway().FlushCache()
+	}
+	return released
+}
+
 // Draining reports whether Shutdown has begun.
 func (r *Router) Draining() bool { return r.drainFlag.Load() }
 
@@ -588,6 +627,11 @@ type ReplicaStatus struct {
 	Failed            uint64  `json:"failed,omitempty"`
 	KVUtilization     float64 `json:"kv_utilization,omitempty"`
 	Shedding          bool    `json:"shedding,omitempty"`
+	// Prefix-cache effectiveness on this replica, omitted while caching
+	// is disabled. The full per-lane breakdown lives at GET /v1/cache.
+	CacheHitRate        float64 `json:"cache_hit_rate,omitempty"`
+	CacheRetainedBlocks int     `json:"cache_retained_blocks,omitempty"`
+	CacheHitTokens      uint64  `json:"cache_hit_tokens,omitempty"`
 }
 
 // Status is the router's observable state (GET /v1/cluster).
@@ -628,6 +672,11 @@ func (r *Router) Snapshot() Status {
 		rs.QueueDepth = gw.QueueDepth()
 		rs.KVUtilization = kvUtilization(gw)
 		rs.Shedding = gw.MemoryPressure()
+		if cs := gw.CacheSnapshot(); cs.Enabled {
+			rs.CacheHitRate = cs.HitRate
+			rs.CacheRetainedBlocks = cs.RetainedBlocks
+			rs.CacheHitTokens = cs.HitTokens
+		}
 		if state == healthy || state == halfOpen {
 			st.Healthy++
 		}

@@ -1,0 +1,93 @@
+package engine
+
+// fork.go is the functional layer under the serving stack's radix prefix
+// cache (internal/prefixcache over kvpool blocks): a cache hit forks the
+// session that already computed a shared prompt prefix instead of
+// recomputing its prefill. ForkPagedSession adopts the source's KV
+// blocks copy-on-write, and PrefillResume runs only the unmatched prompt
+// tail — causal attention makes the combination bit-identical to a cold
+// prefill of the whole prompt.
+
+import (
+	"fmt"
+	"time"
+)
+
+// ForkPagedSession returns a new session whose KV caches alias the first
+// prefix positions of src copy-on-write (whole blocks shared, the
+// partial boundary block copied). src must be a paged session with at
+// least prefix committed positions; it stays usable and is never mutated
+// through the fork. The fork resumes at position prefix — finish its
+// prompt with PrefillResume before decoding.
+func (e *Engine) ForkPagedSession(src *Session, prefix int) (*Session, error) {
+	if prefix <= 0 || prefix > src.pos {
+		return nil, fmt.Errorf("engine: fork prefix %d outside (0,%d]", prefix, src.pos)
+	}
+	s := &Session{caches: make([]KVStore, len(src.caches)), pos: prefix}
+	for i, store := range src.caches {
+		pc, ok := store.(*PagedKVCache)
+		if !ok {
+			return nil, fmt.Errorf("engine: fork requires a paged session (cache %d is %T)", i, store)
+		}
+		f := NewPagedKVCache(pc.layers, pc.kvDim, pc.maxSeq, pc.blockSize)
+		f.AdoptPrefix(pc, prefix)
+		s.caches[i] = f
+	}
+	return s, nil
+}
+
+// PrefillResume completes the prefill of a forked session: prompts are
+// the full prompts, and only the positions from s.Pos() on are embedded
+// and run through the network on top of the adopted KV prefix. The
+// returned greedy next tokens match what a cold Prefill of the full
+// prompts would produce. At least one position must remain — a fork
+// never adopts the entire prompt, because the last position's logits are
+// what generation starts from.
+func (e *Engine) PrefillResume(s *Session, prompts [][]int) ([]int, error) {
+	if len(prompts) != s.Batch() {
+		return nil, fmt.Errorf("engine: %d prompts for batch %d", len(prompts), s.Batch())
+	}
+	rows := len(prompts[0])
+	if s.pos <= 0 {
+		return nil, fmt.Errorf("engine: PrefillResume on an unfilled session; use Prefill")
+	}
+	if s.pos >= rows {
+		return nil, fmt.Errorf("engine: nothing to resume (%d committed of %d prompt positions)", s.pos, rows)
+	}
+	d := e.cfg.DModel
+	for _, prompt := range prompts {
+		if len(prompt) != rows {
+			return nil, fmt.Errorf("engine: ragged prompts (%d vs %d); pad the batch", len(prompt), rows)
+		}
+		if err := e.checkTokens(prompt); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	from := s.pos
+	n := rows - from
+	logits := make([][]float32, len(prompts))
+	err := e.forEachSeq(len(prompts), func(b int) error {
+		x := make([]float32, n*d)
+		for i := 0; i < n; i++ {
+			e.embed(prompts[b][from+i], from+i, x[i*d:(i+1)*d])
+		}
+		e.forwardSeq(s.caches[b], x, n, from)
+		s.caches[b].ExtendTo(rows)
+		logits[b] = e.logits(x[(n-1)*d:])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sampler *Sampler
+	next := make([]int, len(prompts))
+	for b := range next {
+		next[b] = sampler.Sample(logits[b])
+	}
+	s.pos = rows
+	if h := e.opts.Hooks.OnPrefill; h != nil {
+		h(len(prompts), n, time.Since(start))
+	}
+	return next, nil
+}

@@ -17,7 +17,12 @@ type PagedKVCache struct {
 	// k and v are [layer][block] → []float32 of blockSize×kvDim values,
 	// nil until first touched.
 	k, v      [][][]float32
-	allocated int // blocks allocated across layers (K and V pairs)
+	allocated int // blocks this cache owns across layers (K and V pairs)
+	// shared marks blocks aliased from another cache by AdoptPrefix.
+	// They are read-only until a Put copies them (copy-on-write) and are
+	// not counted in allocated or Bytes — the source cache owns them.
+	shared  [][]bool
+	sharedN int
 }
 
 // NewPagedKVCache builds an empty paged cache.
@@ -28,12 +33,14 @@ func NewPagedKVCache(layers, kvDim, maxSeq, blockSize int) *PagedKVCache {
 	blocks := (maxSeq + blockSize - 1) / blockSize
 	c := &PagedKVCache{
 		layers: layers, kvDim: kvDim, blockSize: blockSize, maxSeq: maxSeq,
-		k: make([][][]float32, layers),
-		v: make([][][]float32, layers),
+		k:      make([][][]float32, layers),
+		v:      make([][][]float32, layers),
+		shared: make([][]bool, layers),
 	}
 	for l := 0; l < layers; l++ {
 		c.k[l] = make([][]float32, blocks)
 		c.v[l] = make([][]float32, blocks)
+		c.shared[l] = make([]bool, blocks)
 	}
 	return c
 }
@@ -44,8 +51,12 @@ func (c *PagedKVCache) Len() int { return c.n }
 // Cap returns the maximum number of positions.
 func (c *PagedKVCache) Cap() int { return c.maxSeq }
 
-// AllocatedBlocks returns how many (K,V) block pairs exist.
+// AllocatedBlocks returns how many (K,V) block pairs this cache owns.
 func (c *PagedKVCache) AllocatedBlocks() int { return c.allocated }
+
+// SharedBlocks returns how many (K,V) block pairs are currently aliased
+// from another cache via AdoptPrefix and not yet copied on write.
+func (c *PagedKVCache) SharedBlocks() int { return c.sharedN }
 
 // Bytes returns the footprint of the allocated blocks (FP32 storage).
 func (c *PagedKVCache) Bytes() int64 {
@@ -72,6 +83,16 @@ func (c *PagedKVCache) Put(layer, pos int, key, value []float32) {
 	if c.k[layer][b] == nil {
 		c.k[layer][b] = make([]float32, c.blockSize*c.kvDim)
 		c.v[layer][b] = make([]float32, c.blockSize*c.kvDim)
+		c.allocated++
+	} else if c.shared[layer][b] {
+		// Copy-on-write: never mutate a block another cache owns.
+		nk := make([]float32, len(c.k[layer][b]))
+		nv := make([]float32, len(c.v[layer][b]))
+		copy(nk, c.k[layer][b])
+		copy(nv, c.v[layer][b])
+		c.k[layer][b], c.v[layer][b] = nk, nv
+		c.shared[layer][b] = false
+		c.sharedN--
 		c.allocated++
 	}
 	off := (pos % c.blockSize) * c.kvDim
@@ -123,8 +144,55 @@ func (c *PagedKVCache) Truncate(n int) {
 		for b := firstFree; b < len(c.k[l]); b++ {
 			if c.k[l][b] != nil {
 				c.k[l][b], c.v[l][b] = nil, nil
-				c.allocated--
+				if c.shared[l][b] {
+					// Dropping an aliased block releases the reference,
+					// not memory this cache owns.
+					c.shared[l][b] = false
+					c.sharedN--
+				} else {
+					c.allocated--
+				}
 			}
 		}
 	}
+}
+
+// AdoptPrefix aliases the first prefix positions of src into c, which
+// must be empty and share src's geometry. Whole blocks are shared by
+// reference and marked copy-on-write — a later Put into one copies it
+// first, so neither cache can corrupt the other — while the partial
+// boundary block is copied eagerly (the adopting sequence appends into
+// it immediately). This is the functional analog of kvpool's Fork: a
+// prefix-cache hit adopts the retained blocks instead of recomputing
+// their prefill.
+func (c *PagedKVCache) AdoptPrefix(src *PagedKVCache, prefix int) {
+	if c.n != 0 || c.allocated != 0 || c.sharedN != 0 {
+		panic("engine: AdoptPrefix into a non-empty cache")
+	}
+	if c.layers != src.layers || c.kvDim != src.kvDim || c.blockSize != src.blockSize {
+		panic("engine: AdoptPrefix across mismatched cache geometry")
+	}
+	if prefix <= 0 || prefix > src.n || prefix > c.maxSeq {
+		panic(fmt.Sprintf("engine: adopt prefix %d outside (0,%d]", prefix, src.n))
+	}
+	whole, rem := prefix/c.blockSize, prefix%c.blockSize
+	for l := 0; l < c.layers; l++ {
+		for b := 0; b < whole; b++ {
+			if src.k[l][b] == nil {
+				continue
+			}
+			c.k[l][b], c.v[l][b] = src.k[l][b], src.v[l][b]
+			c.shared[l][b] = true
+			c.sharedN++
+		}
+		if rem > 0 && src.k[l][whole] != nil {
+			nk := make([]float32, len(src.k[l][whole]))
+			nv := make([]float32, len(src.v[l][whole]))
+			copy(nk, src.k[l][whole])
+			copy(nv, src.v[l][whole])
+			c.k[l][whole], c.v[l][whole] = nk, nv
+			c.allocated++
+		}
+	}
+	c.n = prefix
 }

@@ -1,0 +1,136 @@
+package gateway
+
+// cache_chaos_test.go drills the prefix cache under memory pressure: a
+// standing mem-pressure fault halves the pool while concurrent sessions
+// share prompt prefixes. The cache must keep its accounting exact —
+// every request ends in exactly one contract outcome, hits still happen,
+// eviction under the watermark never corrupts an in-flight fork, and
+// after disarm + flush the pool is fully free.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/govern"
+	"repro/internal/prefixcache"
+)
+
+// sessionPrefix builds the segment spec the API layer would: a shared
+// per-session chunk plus a private tail, 80 tokens total.
+func sessionPrefix(session int) []prefixcache.Segment {
+	return []prefixcache.Segment{
+		{ID: fmt.Sprintf("sess-%d#0", session), Tokens: 64},
+		{ID: "tail", Tokens: 16, Private: true},
+	}
+}
+
+func TestChaosCacheUnderMemPressure(t *testing.T) {
+	inj := faults.New(1)
+	if err := inj.Arm(faults.Rule{Class: faults.MemPressure, Site: "govern.kv", Fraction: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig(inj)
+	cfg.MaxRequeues = 100
+	// 96 blocks, halved to 48 by the fault. The single chaos lane keeps
+	// ~8 requests in flight (MaxBatch 8), holding ~48 blocks with the
+	// retained prefixes: over the halved pool's 0.9 watermark (so the
+	// pressure machinery — eviction, preemption, shedding — engages) but
+	// inside the full pool (so the recovery wave's cache survives long
+	// enough to be hit).
+	gov := memGovernor(t, cfg.Registry, 96, func(c *govern.Config) {
+		c.EnableCache = true
+		c.HighWatermark = 0.9
+		c.LowWatermark = 0.5
+	})
+	cfg.Governor = gov
+	g := New(cfg, fixedResolver(fakeCost{pre: 0.002, dec: 0.0002}))
+	defer g.Shutdown(context.Background())
+
+	// 64 clients across 8 sessions: within a session every request shares
+	// its 64 leading tokens, so once any one of them prefills, the rest
+	// can fork from the cache — even while the fault keeps the effective
+	// pool at half size and the watermark evicts retained prefixes.
+	cacheWave := func(n int) ([]Result, []error) {
+		results := make([]Result, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = g.Generate(context.Background(), Request{
+					Lane: "chaos", InputLen: 80, OutputLen: 4,
+					Prefix: sessionPrefix(i % 8),
+				})
+			}(i)
+		}
+		wg.Wait()
+		return results, errs
+	}
+
+	results, errs := cacheWave(chaosClients)
+	var completed, shed, cached int
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			completed++
+			if results[i].OutputLen != 4 {
+				t.Errorf("request %d: truncated result %+v", i, results[i])
+			}
+			if results[i].CachedTokens > 0 {
+				cached++
+			}
+		case errors.Is(err, govern.ErrShedding), errors.Is(err, govern.ErrKVExhausted):
+			shed++
+		default:
+			t.Errorf("request %d: outcome outside the contract: %v", i, err)
+		}
+	}
+	if completed == 0 {
+		t.Error("no request completed under 50% mem pressure with caching on")
+	}
+	m := func(name string) uint64 { return cfg.Registry.Counter(name, "").Value() }
+	if got := m("gateway_completed_total") + m("gateway_failed_total") + m("gateway_rejected_total"); got != chaosClients {
+		t.Errorf("outcome counters sum to %d, want exactly %d (lost or double-counted requests)", got, chaosClients)
+	}
+	cs := gov.CacheSnapshot()
+	t.Logf("pressure wave: %d completed (%d from cache), %d shed, %d preempted; cache hits=%d evictions=%d retained=%d",
+		completed, cached, shed, m("gateway_preempted_total"), cs.Hits, cs.Evictions, cs.RetainedBlocks)
+
+	// Disarm: a clean follow-up wave must complete fully and, with the
+	// whole pool back, actually exploit the shared prefixes.
+	inj.Disarm()
+	results, errs = cacheWave(chaosClients)
+	cached = 0
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("recovery wave request %d failed: %v", i, err)
+		} else if results[i].CachedTokens > 0 {
+			cached++
+		}
+	}
+	if cached == 0 {
+		t.Error("recovery wave scored no cache hits despite 8x-shared prefixes")
+	}
+
+	// The only blocks still held must be the cache's retained prefixes —
+	// flushing them must leave the pool exactly fully free, proving no
+	// refcount leaked through preemption, eviction, or forking.
+	waitFor(t, func() bool {
+		st, cst := gov.Snapshot(), gov.CacheSnapshot()
+		return !st.Shedding && len(st.Lanes) == 1 &&
+			st.Lanes[0].FreeBlocks+cst.RetainedBlocks == st.Lanes[0].TotalBlocks
+	})
+	gov.FlushCache()
+	st := gov.Snapshot()
+	if st.Lanes[0].FreeBlocks != st.Lanes[0].TotalBlocks {
+		t.Errorf("pool not fully free after flush: %+v", st.Lanes[0])
+	}
+	if cst := gov.CacheSnapshot(); cst.RetainedBlocks != 0 {
+		t.Errorf("cache still retains %d blocks after flush", cst.RetainedBlocks)
+	}
+}

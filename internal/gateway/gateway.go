@@ -38,6 +38,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/govern"
 	"repro/internal/metrics"
+	"repro/internal/prefixcache"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -226,6 +227,17 @@ type Request struct {
 	// scheduler produces it — the transport feeding SSE streaming. It is
 	// called from the lane goroutine and must not block (see TokenSink).
 	Sink TokenSink
+	// Prefix describes the prompt as hashable segments for the prefix
+	// cache (internal/prefixcache): requests whose segment lists agree
+	// share cached KV blocks and skip prefill for the matched prefix.
+	// Empty means the request is unmatchable (and donates nothing).
+	Prefix []prefixcache.Segment
+	// CacheDisabled opts this request out of prefix-cache lookup and
+	// donation (the API's "cache":{"enabled":false}).
+	CacheDisabled bool
+	// MinPrefixTokens discards cache matches shorter than this many
+	// tokens (the API's "cache":{"min_prefix_tokens":N}).
+	MinPrefixTokens int
 }
 
 // Result reports one served request. Queue and wall times are measured
@@ -259,6 +271,13 @@ type Result struct {
 	Replica   string `json:"replica,omitempty"`
 	Failovers int    `json:"failovers,omitempty"`
 	Hedged    bool   `json:"hedged,omitempty"`
+
+	// Prefix-cache attribution. CachedTokens counts prompt tokens whose
+	// KV was adopted from the lane's prefix cache (prefill skipped);
+	// PrefillSavedSeconds is the prefill model-seconds the hit saved per
+	// the platform cost model at the request's actual batch size.
+	CachedTokens        int     `json:"cached_tokens"`
+	PrefillSavedSeconds float64 `json:"prefill_saved_s,omitempty"`
 }
 
 // Resolver builds the cost model for a lane key on first use.
@@ -284,6 +303,11 @@ type instruments struct {
 	degraded, degradedIters            *metrics.Counter
 	breakerOpened, breakerClosed       *metrics.Counter
 	quarantinedLanes, breakerOpenLanes *metrics.Gauge
+
+	// Prefix-cache instruments (memory.go, lane.go).
+	cacheHits, cacheMisses *metrics.Counter
+	cacheTokens            *metrics.Counter
+	cacheSaved             *metrics.Histogram
 }
 
 func newInstruments(r *metrics.Registry) instruments {
@@ -323,6 +347,11 @@ func newInstruments(r *metrics.Registry) instruments {
 		breakerClosed:    r.Counter("gateway_breaker_closed_total", "lane circuit breakers recovered to closed"),
 		quarantinedLanes: r.Gauge("gateway_quarantined_lanes", "lanes currently quarantined"),
 		breakerOpenLanes: r.Gauge("gateway_breaker_open_lanes", "lanes whose circuit breaker is open or half-open"),
+
+		cacheHits:   r.Counter("gateway_cache_hits_total", "admissions whose prompt prefix was served from the KV prefix cache"),
+		cacheMisses: r.Counter("gateway_cache_misses_total", "cache-eligible admissions that found no usable prefix"),
+		cacheTokens: r.Counter("gateway_cache_cached_tokens_total", "prompt tokens served from the prefix cache instead of prefill"),
+		cacheSaved:  r.Histogram("gateway_cache_prefill_saved_seconds", "prefill model-seconds saved per cache-hit request", lat),
 	}
 }
 
@@ -391,6 +420,14 @@ func (g *Gateway) Governor() *govern.Governor { return g.gov }
 // MemoryPressure reports whether any lane is shedding above its KV high
 // watermark (for /readyz). False without a governor.
 func (g *Gateway) MemoryPressure() bool { return g.gov.Shedding() }
+
+// CacheSnapshot exposes the governor's prefix-cache status (for
+// GET /v1/cache). Disabled without a governor.
+func (g *Gateway) CacheSnapshot() govern.CacheStatus { return g.gov.CacheSnapshot() }
+
+// FlushCache drops every unpinned prefix-cache entry across lanes and
+// returns the number of KV blocks released (POST /v1/admin/cache/flush).
+func (g *Gateway) FlushCache() int { return g.gov.FlushCache() }
 
 // Draining reports whether Shutdown has begun (for /readyz).
 func (g *Gateway) Draining() bool {

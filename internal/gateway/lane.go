@@ -61,6 +61,11 @@ type job struct {
 	emitted int
 	// lastToken is when the job's most recent token was emitted.
 	lastToken time.Time
+	// cached counts prompt tokens adopted from the prefix cache at the
+	// most recent admission (0 on a miss); saved is the prefill
+	// model-seconds that adoption avoided, fixed at prefill pricing.
+	cached int
+	saved  float64
 }
 
 // seq is one in-flight sequence being decoded.
@@ -300,8 +305,11 @@ func (g *Gateway) continuousIteration(l *lane, admitted []*job) (float64, error)
 		batch := len(l.running) + len(admitted)
 		start := len(l.running)
 		for _, j := range admitted {
-			if j.req.InputLen > maxIn {
-				maxIn = j.req.InputLen
+			// Cache-hit prompts only prefill their uncached suffix; the
+			// batched prefill is priced over the longest *effective*
+			// prompt, which is where the cache's compute saving lands.
+			if eff := j.req.InputLen - j.cached; eff > maxIn {
+				maxIn = eff
 			}
 			j.batchAt = batch
 			s := &seq{j: j, ctxLen: j.req.InputLen,
@@ -330,6 +338,8 @@ func (g *Gateway) continuousIteration(l *lane, admitted []*job) (float64, error)
 					"batch":     strconv.Itoa(len(admitted)),
 					"input_len": strconv.Itoa(maxIn),
 				})
+			g.noteCacheHit(s.j, info.model, len(admitted), iterStart)
+			g.donatePrefix(s.j)
 			g.emitToken(l, s, batch, info.degraded, now)
 			if s.remaining == 0 {
 				g.completeSeq(l, s)
@@ -390,7 +400,10 @@ func (g *Gateway) chunkedIteration(l *lane, admitted []*job) (float64, error) {
 	if len(admitted) > 0 { // at most one under Chunked
 		j := admitted[0]
 		j.batchAt = len(l.running) + 1
-		l.pre = &seq{j: j, remaining: j.req.OutputLen - 1, mark: j.lastMark}
+		// prefillDone starts at the cached prefix: those chunks are
+		// never priced, which is the chunked policy's cache saving.
+		l.pre = &seq{j: j, remaining: j.req.OutputLen - 1,
+			prefillDone: j.cached, mark: j.lastMark}
 		if tr := j.req.Trace; tr != nil {
 			now := time.Now()
 			tr.Add(trace.SpanData{Name: trace.PhaseBatch,
@@ -477,6 +490,8 @@ func (g *Gateway) chunkedIteration(l *lane, admitted []*job) (float64, error) {
 	l.running = kept
 
 	if l.pre != nil && l.pre.prefillDone >= l.pre.j.req.InputLen {
+		g.noteCacheHit(l.pre.j, l.cost, 1, now)
+		g.donatePrefix(l.pre.j)
 		l.pre.ctxLen = l.pre.j.req.InputLen
 		l.pre.ttftV = l.vclock
 		g.emitToken(l, l.pre, len(l.running)+1, l.pre.degraded, now)
@@ -518,6 +533,7 @@ func (g *Gateway) completeSeq(l *lane, s *seq) {
 		Lane:             j.req.Lane,
 		InputLen:         j.req.InputLen,
 		OutputLen:        j.req.OutputLen,
+		CachedTokens:     j.cached,
 		QueueSeconds:     j.admitWall.Sub(j.submitted).Seconds(),
 		TTFTSeconds:      ttft,
 		TPOTSeconds:      tpot,
@@ -530,6 +546,7 @@ func (g *Gateway) completeSeq(l *lane, s *seq) {
 	if e2e > 0 {
 		res.TokensPerSecond = float64(j.req.OutputLen) / e2e
 	}
+	res.PrefillSavedSeconds = j.saved
 	g.m.ttft.Observe(ttft)
 	if tpot > 0 {
 		g.m.tpot.Observe(tpot)

@@ -9,6 +9,7 @@ package gateway
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/govern"
@@ -24,7 +25,81 @@ func (g *Gateway) reserveAdmit(j *job) bool {
 	if j.lease == nil {
 		return true
 	}
-	return j.lease.Reserve(g.gov.AdmitTokens(j.req.InputLen, j.req.OutputLen)) == nil
+	tokens := g.gov.AdmitTokens(j.req.InputLen, j.req.OutputLen)
+	j.cached = 0
+	if j.req.CacheDisabled || !g.gov.CacheEnabled() || len(j.req.Prefix) == 0 {
+		return j.lease.Reserve(tokens) == nil
+	}
+	start := time.Now()
+	cached, err := j.lease.ReserveWithPrefix(j.req.Prefix, tokens,
+		j.req.InputLen, j.req.MinPrefixTokens)
+	if tr := j.req.Trace; tr != nil {
+		attrs := map[string]string{"result": "miss"}
+		if cached > 0 {
+			attrs["result"] = "hit"
+			attrs["cached_tokens"] = strconv.Itoa(cached)
+		}
+		tr.Add(trace.SpanData{Name: trace.PhaseCacheLookup,
+			Start: start, End: time.Now(), Attrs: attrs})
+	}
+	if err != nil {
+		return false
+	}
+	j.cached = cached
+	if cached > 0 {
+		g.m.cacheHits.Inc()
+		g.m.cacheTokens.Add(uint64(cached))
+	} else {
+		g.m.cacheMisses.Inc()
+	}
+	return true
+}
+
+// noteCacheHit fixes a cache-hit job's prefill saving once its (possibly
+// shortened) prefill has been priced: the saving is the cost-model delta
+// between prefilling the full prompt and the uncached suffix at the
+// iteration's batch size, recorded on the trace as a cache_hit marker
+// span and observed by the saved-seconds histogram. Misses are no-ops.
+func (g *Gateway) noteCacheHit(j *job, m costModel, batch int, at time.Time) {
+	if j.cached <= 0 {
+		return
+	}
+	j.saved = estimateSaved(m, batch, j.req.InputLen, j.cached)
+	g.m.cacheSaved.Observe(j.saved)
+	if tr := j.req.Trace; tr != nil {
+		tr.Add(trace.SpanData{Name: trace.PhaseCacheHit,
+			Start: at, End: at, ModelSeconds: j.saved,
+			Attrs: map[string]string{
+				"cached_tokens": strconv.Itoa(j.cached),
+				"saved_s":       strconv.FormatFloat(j.saved, 'g', 6, 64),
+			}})
+	}
+}
+
+// estimateSaved prices the prefill compute a cache hit avoided: the
+// platform cost model's full-prompt prefill minus the uncached-suffix
+// prefill, at the iteration's batch size. Both calls ride the model's
+// pricing memo. Best-effort: a failing model yields 0, never an error.
+func estimateSaved(m costModel, batch, fullIn, cached int) float64 {
+	if cached <= 0 || m == nil {
+		return 0
+	}
+	full, err1 := m.PrefillCost(batch, fullIn)
+	eff, err2 := m.PrefillCost(batch, fullIn-cached)
+	if err1 != nil || err2 != nil || eff >= full {
+		return 0
+	}
+	return full - eff
+}
+
+// donatePrefix offers a just-prefilled job's prompt blocks to its lane's
+// prefix cache so later requests sharing the prefix skip that compute.
+// Opted-out and unmatchable requests donate nothing.
+func (g *Gateway) donatePrefix(j *job) {
+	if j.req.CacheDisabled || len(j.req.Prefix) == 0 {
+		return
+	}
+	j.lease.DonatePrefix(j.req.Prefix)
 }
 
 // growRunning extends every running sequence's reservation by the one

@@ -29,6 +29,7 @@ import (
 	"repro/internal/kvpool"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/prefixcache"
 	"repro/internal/tensor"
 )
 
@@ -90,6 +91,13 @@ type Config struct {
 	// tokens summed over its unfinished requests) across all lanes.
 	// 0 disables quotas.
 	QuotaTokens int
+	// EnableCache gives every lane a prefix-cache radix tree over its
+	// pool: finished prefills donate their prompt blocks, and later
+	// requests sharing a token prefix adopt them copy-on-write instead
+	// of recomputing prefill. Retained blocks are charged against the
+	// same budget as live sequences and evicted LRU-first when the lane
+	// crosses its high watermark, before any shedding.
+	EnableCache bool
 	// Registry receives the governor's instruments; a private registry is
 	// created when nil.
 	Registry *metrics.Registry
@@ -112,15 +120,20 @@ func (c Config) withDefaults() Config {
 type laneState struct {
 	key         string
 	pool        *kvpool.Pool
+	tree        *prefixcache.Tree // nil unless Config.EnableCache
 	pressure    float64
 	shedding    bool
 	preemptions int
 
 	// Per-lane instruments with delta cursors for the pool's monotonic
 	// counters (the registry has no labels, so names embed the lane key).
-	total, free, effective, shedGauge *metrics.Gauge
-	allocsC, cowC, preemptsC          *metrics.Counter
-	lastAllocs, lastCoW               int
+	total, free, effective, shedGauge    *metrics.Gauge
+	allocsC, cowC, preemptsC             *metrics.Counter
+	lastAllocs, lastCoW                  int
+	cacheHitsC, cacheMissC               *metrics.Counter
+	cacheTokC, cacheEvictC               *metrics.Counter
+	cacheRetainedG                       *metrics.Gauge
+	lastHits, lastMiss, lastTok, lastEvt uint64
 }
 
 // Governor places every lane of a gateway under a finite KV budget.
@@ -222,6 +235,14 @@ func (g *Governor) laneLocked(lane string) (*laneState, error) {
 		cowC:      r.Counter("govern_kv_cow_copies_total_"+sfx, "copy-on-write block copies, lane "+lane),
 		preemptsC: r.Counter("govern_kv_preemptions_total_"+sfx, "sequences preempted on KV exhaustion, lane "+lane),
 	}
+	if g.cfg.EnableCache {
+		ls.tree = prefixcache.New(pool)
+		ls.cacheHitsC = r.Counter("govern_cache_hits_total_"+sfx, "prefix-cache lookup hits, lane "+lane)
+		ls.cacheMissC = r.Counter("govern_cache_misses_total_"+sfx, "prefix-cache lookup misses, lane "+lane)
+		ls.cacheTokC = r.Counter("govern_cache_hit_tokens_total_"+sfx, "prompt tokens served from the prefix cache, lane "+lane)
+		ls.cacheEvictC = r.Counter("govern_cache_evictions_total_"+sfx, "prefix-cache blocks evicted, lane "+lane)
+		ls.cacheRetainedG = r.Gauge("govern_cache_retained_blocks_"+sfx, "pool blocks retained by the prefix cache, lane "+lane)
+	}
 	g.lanes[lane] = ls
 	g.governedLanes.Inc()
 	g.evalLocked(ls)
@@ -244,6 +265,41 @@ func (g *Governor) evalLocked(ls *laneState) {
 	if d := st.CoWCopies - ls.lastCoW; d > 0 {
 		ls.cowC.Add(uint64(d))
 		ls.lastCoW = st.CoWCopies
+	}
+	if ls.tree != nil {
+		// Watermark pressure evicts cold cache before it sheds live
+		// traffic: above the high mark, drop LRU retained blocks until
+		// usage would fall to the low mark (pinned paths are skipped,
+		// and adopted forks keep their blocks via pool refcounts, so
+		// eviction never breaks an in-flight request).
+		used := st.TotalBlocks - st.FreeBlocks
+		if st.EffectiveBlocks > 0 &&
+			float64(used)/float64(st.EffectiveBlocks) >= g.cfg.HighWatermark {
+			target := int(g.cfg.LowWatermark * float64(st.EffectiveBlocks))
+			if excess := used - target; excess > 0 {
+				if ls.tree.EvictLRU(excess) > 0 {
+					st = ls.pool.Stats()
+				}
+			}
+		}
+		cs := ls.tree.Stats()
+		if d := cs.Hits - ls.lastHits; d > 0 {
+			ls.cacheHitsC.Add(d)
+			ls.lastHits = cs.Hits
+		}
+		if d := cs.Misses - ls.lastMiss; d > 0 {
+			ls.cacheMissC.Add(d)
+			ls.lastMiss = cs.Misses
+		}
+		if d := cs.HitTokens - ls.lastTok; d > 0 {
+			ls.cacheTokC.Add(d)
+			ls.lastTok = cs.HitTokens
+		}
+		if d := cs.Evictions - ls.lastEvt; d > 0 {
+			ls.cacheEvictC.Add(d)
+			ls.lastEvt = cs.Evictions
+		}
+		ls.cacheRetainedG.Set(int64(cs.RetainedBlocks))
 	}
 
 	used := st.TotalBlocks - st.FreeBlocks
@@ -358,6 +414,8 @@ type LaneStatus struct {
 	Allocations     int     `json:"allocations"`
 	CoWCopies       int     `json:"cow_copies"`
 	Preemptions     int     `json:"preemptions"`
+	// Cache is the lane's prefix-cache summary; nil when caching is off.
+	Cache *prefixcache.Stats `json:"cache,omitempty"`
 }
 
 // Status is the governor's observable state (GET /v1/kv).
@@ -401,17 +459,94 @@ func (g *Governor) Snapshot() Status {
 		} else if used > 0 {
 			util = 1
 		}
-		st.Lanes = append(st.Lanes, LaneStatus{
+		lst := LaneStatus{
 			Lane: ls.key, BlockSize: ls.pool.BlockSize(),
 			TotalBlocks: ps.TotalBlocks, FreeBlocks: ps.FreeBlocks,
 			EffectiveBlocks: ps.EffectiveBlocks, Utilization: util,
 			Pressure: ls.pressure, Shedding: ls.shedding,
 			Allocations: ps.Allocations, CoWCopies: ps.CoWCopies,
 			Preemptions: ls.preemptions,
-		})
+		}
+		if ls.tree != nil {
+			cs := ls.tree.Stats()
+			lst.Cache = &cs
+		}
+		st.Lanes = append(st.Lanes, lst)
 	}
 	sort.Slice(st.Lanes, func(a, b int) bool { return st.Lanes[a].Lane < st.Lanes[b].Lane })
 	return st
+}
+
+// CacheEnabled reports whether lanes carry prefix-cache trees. Nil-safe.
+func (g *Governor) CacheEnabled() bool { return g != nil && g.cfg.EnableCache }
+
+// CacheLaneStatus is one lane's prefix-cache snapshot (GET /v1/cache).
+type CacheLaneStatus struct {
+	Lane string `json:"lane"`
+	prefixcache.Stats
+	HitRate float64 `json:"hit_rate"`
+}
+
+// CacheStatus aggregates prefix-cache state across lanes.
+type CacheStatus struct {
+	Enabled        bool              `json:"enabled"`
+	Nodes          int               `json:"nodes"`
+	RetainedBlocks int               `json:"retained_blocks"`
+	Hits           uint64            `json:"hits"`
+	Misses         uint64            `json:"misses"`
+	HitTokens      uint64            `json:"hit_tokens"`
+	Evictions      uint64            `json:"evictions"`
+	HitRate        float64           `json:"hit_rate"`
+	Lanes          []CacheLaneStatus `json:"lanes,omitempty"`
+}
+
+// CacheSnapshot returns the prefix-cache state, lanes sorted by key.
+func (g *Governor) CacheSnapshot() CacheStatus {
+	if g == nil {
+		return CacheStatus{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := CacheStatus{Enabled: g.cfg.EnableCache}
+	for _, ls := range g.lanes {
+		if ls.tree == nil {
+			continue
+		}
+		cs := ls.tree.Stats()
+		st.Nodes += cs.Nodes
+		st.RetainedBlocks += cs.RetainedBlocks
+		st.Hits += cs.Hits
+		st.Misses += cs.Misses
+		st.HitTokens += cs.HitTokens
+		st.Evictions += cs.Evictions
+		st.Lanes = append(st.Lanes, CacheLaneStatus{
+			Lane: ls.key, Stats: cs, HitRate: cs.HitRate(),
+		})
+	}
+	if n := st.Hits + st.Misses; n > 0 {
+		st.HitRate = float64(st.Hits) / float64(n)
+	}
+	sort.Slice(st.Lanes, func(a, b int) bool { return st.Lanes[a].Lane < st.Lanes[b].Lane })
+	return st
+}
+
+// FlushCache drops every unpinned cache entry across all lanes and
+// returns how many pool blocks were released (POST /v1/admin/cache/flush).
+func (g *Governor) FlushCache() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	released := 0
+	for _, ls := range g.lanes {
+		if ls.tree == nil {
+			continue
+		}
+		released += ls.tree.Flush()
+		g.evalLocked(ls)
+	}
+	return released
 }
 
 // Lease is one admitted request's claim on its lane's pool and its
@@ -463,6 +598,111 @@ func (l *Lease) Reserve(tokens int) error {
 	l.mu.Unlock()
 	l.note()
 	return err
+}
+
+// ReserveWithPrefix is Reserve with a prefix-cache lookup: the request's
+// prompt, described as hashable segments, is matched against the lane's
+// radix tree, matched blocks are adopted copy-on-write, and only the
+// remainder is freshly allocated. tokens is the reservation size (prompt,
+// or full context under conservative admission); promptTokens is the
+// prompt length the segments describe. It returns how many prompt tokens
+// the cache covered (0 on a miss, on a match shorter than minPrefix, or
+// when caching is off). At least one prompt token is always left to
+// prefill — the last position's logits seed decode — so cached <
+// promptTokens always holds. On exhaustion it evicts LRU cache entries
+// once and retries; a reservation that still fails holds nothing.
+func (l *Lease) ReserveWithPrefix(segs []prefixcache.Segment, tokens, promptTokens, minPrefix int) (int, error) {
+	if l == nil {
+		return 0, nil
+	}
+	tree := l.ls.tree
+	if tree == nil || len(segs) == 0 {
+		return 0, l.Reserve(tokens)
+	}
+	if promptTokens > tokens {
+		promptTokens = tokens
+	}
+	bs := l.ls.pool.BlockSize()
+	keys := prefixcache.BlockKeys(segs, bs)
+	if len(keys) == 0 {
+		return 0, l.Reserve(tokens)
+	}
+	l.mu.Lock()
+	if l.released {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("govern: reserve on a released lease")
+	}
+	if l.alloc != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("govern: lease already holds a reservation")
+	}
+	m := tree.Lookup(keys)
+	cached := 0
+	var s *kvpool.Sequence
+	if m != nil {
+		nblocks := len(m.Blocks)
+		if limit := (promptTokens - 1) / bs; nblocks > limit {
+			nblocks = limit
+		}
+		if nblocks > 0 && nblocks*bs >= minPrefix {
+			adopted, err := l.ls.pool.AdoptPrefix(m.Blocks[:nblocks], nblocks*bs)
+			if err == nil {
+				s = adopted
+				cached = nblocks * bs
+			}
+		}
+	}
+	if s == nil {
+		s = l.ls.pool.NewSequence()
+	}
+	err := s.Append(tokens - cached)
+	if err != nil {
+		// Exhaustion with cold cache retained: reclaim and retry once.
+		if tree.EvictLRU((tokens+bs-1)/bs) > 0 {
+			err = s.Append(tokens - cached)
+		}
+	}
+	if err != nil && cached > 0 {
+		_ = s.Free() // drop the adopted references; hold nothing
+		cached = 0
+	} else if err == nil {
+		l.alloc = s
+	}
+	m.Release()
+	l.mu.Unlock()
+	l.note()
+	return cached, err
+}
+
+// DonatePrefix offers the reservation's prompt blocks to the lane's
+// prefix cache under the same segment hashing ReserveWithPrefix matches
+// on. Only whole blocks covered by the shareable segment prefix are
+// indexed; the tree takes its own pool references, so the donor's later
+// Free leaves cached blocks alive. Returns how many new blocks the tree
+// retained (0 when caching is off or everything was already cached).
+func (l *Lease) DonatePrefix(segs []prefixcache.Segment) int {
+	if l == nil || l.ls.tree == nil || len(segs) == 0 {
+		return 0
+	}
+	bs := l.ls.pool.BlockSize()
+	keys := prefixcache.BlockKeys(segs, bs)
+	if len(keys) == 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.released || l.alloc == nil {
+		return 0
+	}
+	blocks := l.alloc.Blocks()
+	n := len(keys)
+	if n > len(blocks) {
+		n = len(blocks)
+	}
+	if n == 0 {
+		return 0
+	}
+	return l.ls.tree.Insert(keys[:n], blocks[:n])
 }
 
 // Grow extends the reservation by n tokens (one per decode step under

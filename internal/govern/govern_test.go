@@ -7,6 +7,7 @@ import (
 	"repro/internal/kvpool"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/prefixcache"
 	"repro/internal/tensor"
 )
 
@@ -184,4 +185,149 @@ func TestAdmitTokensByMode(t *testing.T) {
 	if lease, err := nilGov.Admit("l", "c", 1, 1); lease != nil || err != nil {
 		t.Errorf("nil governor Admit = (%v, %v), want (nil, nil)", lease, err)
 	}
+}
+
+// segsFor builds a shareable prompt description: one group segment plus a
+// private per-request tail, the shape the gateway produces.
+func segsFor(group string, shared, private int) []prefixcache.Segment {
+	return []prefixcache.Segment{
+		{ID: group, Tokens: shared},
+		{ID: "tail", Tokens: private, Private: true},
+	}
+}
+
+func TestCachedReserveDonateAndHit(t *testing.T) {
+	g := New(Config{Specs: specFor(64, 16), EnableCache: true,
+		Registry: metrics.NewRegistry()})
+	if !g.CacheEnabled() {
+		t.Fatal("cache should be enabled")
+	}
+	segs := segsFor("sys", 48, 16)
+
+	// Cold request: miss, full reservation, then donation after prefill.
+	l1, err := g.Admit("lane", "c1", 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := l1.ReserveWithPrefix(segs, 64, 64, 0)
+	if err != nil || cached != 0 {
+		t.Fatalf("cold reserve: cached=%d err=%v", cached, err)
+	}
+	if n := l1.DonatePrefix(segs); n != 3 { // 48 shared tokens → 3 blocks
+		t.Fatalf("donated %d blocks, want 3", n)
+	}
+
+	// Second request sharing the prefix: hit covering the 3 blocks.
+	l2, err := g.Admit("lane", "c2", 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err = l2.ReserveWithPrefix(segs, 64, 64, 0)
+	if err != nil || cached != 48 {
+		t.Fatalf("warm reserve: cached=%d err=%v", cached, err)
+	}
+	// min_prefix_tokens above the match turns it into a miss.
+	l3, err := g.Admit("lane", "c3", 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err = l3.ReserveWithPrefix(segs, 64, 64, 64)
+	if err != nil || cached != 0 {
+		t.Fatalf("min-prefix reserve: cached=%d err=%v", cached, err)
+	}
+
+	st := g.CacheSnapshot()
+	if !st.Enabled || st.RetainedBlocks != 3 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("cache snapshot %+v", st)
+	}
+	if kv := g.Snapshot(); kv.Lanes[0].Cache == nil {
+		t.Error("lane status must carry cache stats when enabled")
+	}
+
+	l1.Release()
+	l2.Release()
+	l3.Release()
+	if n := g.FlushCache(); n != 3 {
+		t.Fatalf("flush released %d, want 3", n)
+	}
+	if st := g.CacheSnapshot(); st.RetainedBlocks != 0 {
+		t.Fatalf("retained %d after flush", st.RetainedBlocks)
+	}
+	// Everything released and flushed: the pool must be exactly full.
+	if free := g.Snapshot().Lanes[0].FreeBlocks; free != 64 {
+		t.Fatalf("free=%d at end, want 64", free)
+	}
+}
+
+// TestCacheEvictionUnderWatermark drives the lane over its high watermark
+// with cache-retained blocks present and checks the governor reclaims the
+// cache instead of shedding live traffic.
+func TestCacheEvictionUnderWatermark(t *testing.T) {
+	g := New(Config{Specs: specFor(16, 16), EnableCache: true,
+		HighWatermark: 0.8, LowWatermark: 0.4, Registry: metrics.NewRegistry()})
+	// Donate 8 blocks of cache (two 64-token groups).
+	for _, grp := range []string{"a", "b"} {
+		l, err := g.Admit("lane", "c", 64, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.ReserveWithPrefix(segsFor(grp, 64, 0), 64, 64, 0); err != nil {
+			t.Fatal(err)
+		}
+		l.DonatePrefix(segsFor(grp, 64, 0))
+		l.Release()
+	}
+	if st := g.CacheSnapshot(); st.RetainedBlocks != 8 {
+		t.Fatalf("retained %d, want 8", st.RetainedBlocks)
+	}
+	// A live request pushing usage to 14/16 (87%) crosses the high
+	// watermark; admission must evict cache down to the low mark and
+	// keep serving rather than shed.
+	l, err := g.Admit("lane", "c", 96, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ReserveWithPrefix(nil, 96, 96, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Admit("lane", "c", 16, 1); err != nil {
+		t.Fatalf("admission after cache eviction: %v", err)
+	}
+	if st := g.CacheSnapshot(); st.Evictions == 0 {
+		t.Error("watermark pressure should have evicted cache blocks")
+	}
+	if g.Shedding() {
+		t.Error("lane must not shed while cold cache is reclaimable")
+	}
+}
+
+// TestCachedReserveExhaustionRetry fills the pool with cache, then checks
+// a miss-path reservation reclaims cache via the evict-and-retry path.
+func TestCachedReserveExhaustionRetry(t *testing.T) {
+	g := New(Config{Specs: specFor(8, 16), EnableCache: true,
+		HighWatermark: 0.999, LowWatermark: 0.99, Registry: metrics.NewRegistry()})
+	l, err := g.Admit("lane", "c", 112, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ReserveWithPrefix(segsFor("big", 112, 0), 112, 112, 0); err != nil {
+		t.Fatal(err)
+	}
+	l.DonatePrefix(segsFor("big", 112, 0))
+	l.Release() // pool now mostly retained by the tree
+	if st := g.CacheSnapshot(); st.RetainedBlocks != 7 {
+		t.Fatalf("retained %d, want 7", st.RetainedBlocks)
+	}
+	l2, err := g.Admit("lane", "c", 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := l2.ReserveWithPrefix(segsFor("other", 64, 0), 64, 64, 0)
+	if err != nil {
+		t.Fatalf("reserve should evict-and-retry: %v", err)
+	}
+	if cached != 0 {
+		t.Fatalf("different group must miss, got %d cached", cached)
+	}
+	l2.Release()
 }

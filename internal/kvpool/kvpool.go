@@ -269,7 +269,85 @@ func (s *Sequence) WriteLast() (copied bool, err error) {
 	return true, nil
 }
 
+// RetainBlocks takes an extra reference on each listed block so a holder
+// other than a Sequence (the prefix cache's radix tree) can keep them
+// alive after the donating sequence frees. Every block must currently be
+// allocated; retaining a free block is a programming error and panics,
+// matching the double-free guard.
+func (p *Pool) RetainBlocks(ids []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range ids {
+		if id < 0 || id >= p.total || p.refs[id] == 0 {
+			panic(fmt.Sprintf("kvpool: retain of free block %d", id))
+		}
+		p.refs[id]++
+	}
+}
+
+// ReleaseBlockIDs drops one reference from each listed block (the prefix
+// cache's eviction path). Blocks whose count reaches zero return to the
+// free list. Releasing an unallocated block panics, like double frees.
+func (p *Pool) ReleaseBlockIDs(ids []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range ids {
+		p.releaseBlockLocked(id)
+	}
+}
+
+// BlockRef reports the current reference count of a block (tests and the
+// cache's accounting checks).
+func (p *Pool) BlockRef(id int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id < 0 || id >= p.total {
+		return 0
+	}
+	return p.refs[id]
+}
+
+// AdoptPrefix builds a new sequence that shares the given prefix blocks
+// copy-on-write, taking one reference on each — a cross-request Fork for
+// the prefix cache, where the donor sequence may already be gone and only
+// the radix tree keeps the blocks alive. tokens is the prefix length the
+// adopted blocks cover; it must fit exactly in the listed blocks so that
+// subsequent Appends never write into a shared partially-filled block
+// without CoW. Every listed block must be live.
+func (p *Pool) AdoptPrefix(blocks []int, tokens int) (*Sequence, error) {
+	if tokens < 0 || tokens > len(blocks)*p.blockSize {
+		return nil, fmt.Errorf("kvpool: adopt of %d tokens over %d blocks", tokens, len(blocks))
+	}
+	if tokens != len(blocks)*p.blockSize {
+		return nil, fmt.Errorf("kvpool: adopted prefix must fill its blocks (%d tokens, %d blocks of %d)",
+			tokens, len(blocks), p.blockSize)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range blocks {
+		if id < 0 || id >= p.total || p.refs[id] == 0 {
+			panic(fmt.Sprintf("kvpool: adopt of free block %d", id))
+		}
+	}
+	for _, id := range blocks {
+		p.refs[id]++
+	}
+	return &Sequence{
+		pool:   p,
+		blocks: append([]int(nil), blocks...),
+		tokens: tokens,
+	}, nil
+}
+
 // Free releases every block reference. Double frees are rejected.
+//
+// Audit note (fork/preempt interaction): a forked or adopted child that
+// is preempted-by-recompute before its first decode step frees here
+// having never called WriteLast, so every one of its block references is
+// still a shared reference. releaseBlockLocked only returns a block to
+// the free list when its count reaches zero, so the parent (or the
+// prefix tree's retained reference) keeps the block alive and the
+// child's early death leaks nothing — see TestForkPreemptBeforeDecode.
 func (s *Sequence) Free() error {
 	p := s.pool
 	p.mu.Lock()

@@ -354,3 +354,105 @@ func TestNegativeAppend(t *testing.T) {
 		t.Error("write to empty sequence must fail")
 	}
 }
+
+// TestForkPreemptBeforeDecode is the regression test for the fork/free
+// refcount audit: a forked child that is preempted-by-recompute before
+// its first decode step (so it never called WriteLast) frees only its
+// shared references. The parent's blocks must survive with their counts
+// restored, and once the parent frees too the pool must be exactly full.
+func TestForkPreemptBeforeDecode(t *testing.T) {
+	p := newPool(t, 8)
+	parent := p.NewSequence()
+	if err := parent.Append(40); err != nil { // 3 blocks
+		t.Fatal(err)
+	}
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range parent.Blocks() {
+		if got := p.BlockRef(id); got != 2 {
+			t.Fatalf("block %d ref %d after fork, want 2", id, got)
+		}
+	}
+	// Preemption-by-recompute: the child dies before any decode write.
+	if err := child.Free(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range parent.Blocks() {
+		if got := p.BlockRef(id); got != 1 {
+			t.Fatalf("block %d ref %d after child preempt, want 1", id, got)
+		}
+	}
+	if p.FreeBlocks() != 5 {
+		t.Fatalf("free=%d after child preempt, want 5", p.FreeBlocks())
+	}
+	if err := parent.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeBlocks() != 8 {
+		t.Fatalf("free=%d after both frees, want 8 (refcount leak)", p.FreeBlocks())
+	}
+}
+
+// TestRetainAdoptRelease covers the prefix-cache surface: a third party
+// retaining blocks keeps them alive after the donor frees; AdoptPrefix
+// forks a sequence from retained blocks; releasing every holder returns
+// the pool to full.
+func TestRetainAdoptRelease(t *testing.T) {
+	p := newPool(t, 8)
+	donor := p.NewSequence()
+	if err := donor.Append(32); err != nil { // 2 full blocks
+		t.Fatal(err)
+	}
+	retained := append([]int(nil), donor.Blocks()...)
+	p.RetainBlocks(retained)
+	if err := donor.Free(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range retained {
+		if got := p.BlockRef(id); got != 1 {
+			t.Fatalf("retained block %d ref %d, want 1", id, got)
+		}
+	}
+	adopted, err := p.AdoptPrefix(retained, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adopted.Tokens() != 32 || len(adopted.Blocks()) != 2 {
+		t.Fatalf("adopted: tokens=%d blocks=%d", adopted.Tokens(), len(adopted.Blocks()))
+	}
+	if err := adopted.Append(20); err != nil { // grows fresh blocks only
+		t.Fatal(err)
+	}
+	for _, id := range retained {
+		if got := p.BlockRef(id); got != 2 {
+			t.Fatalf("shared block %d ref %d, want 2", id, got)
+		}
+	}
+	// Tree evicts while the adopted sequence is in flight: blocks live on.
+	p.ReleaseBlockIDs(retained)
+	for _, id := range retained {
+		if got := p.BlockRef(id); got != 1 {
+			t.Fatalf("block %d ref %d after tree release, want 1", id, got)
+		}
+	}
+	if err := adopted.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeBlocks() != 8 {
+		t.Fatalf("free=%d at end, want 8", p.FreeBlocks())
+	}
+	// A partial last block must be rejected — adopting it would let the
+	// child write into shared storage without CoW.
+	s := p.NewSequence()
+	if err := s.Append(20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AdoptPrefix(s.Blocks(), 20); err == nil {
+		t.Error("adopting a partially-filled prefix must fail")
+	}
+	if err := s.Free(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -51,11 +51,17 @@ const (
 	PhaseRoute    = "route"
 	PhaseFailover = "failover"
 	PhaseHedge    = "hedge"
+	// Prefix-cache phases (internal/prefixcache via govern).
+	// PhaseCacheLookup spans the radix-tree probe at lane admission;
+	// PhaseCacheHit is a zero-compute marker span carrying the matched
+	// token count and the prefill model-seconds the hit saved.
+	PhaseCacheLookup = "cache_lookup"
+	PhaseCacheHit    = "cache_hit"
 )
 
 // PhaseOrder is the canonical rendering order for phase breakdowns.
 var PhaseOrder = []string{PhaseAdmission, PhaseRoute, PhaseFailover,
-	PhaseHedge, PhaseQueue, PhaseBatch,
+	PhaseHedge, PhaseQueue, PhaseCacheLookup, PhaseCacheHit, PhaseBatch,
 	PhasePrefill, PhaseDecode, PhaseFirstToken, PhasePreempted, PhasePricing}
 
 // Counters are the per-span hardware-counter analogs, mirroring the
