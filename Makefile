@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test check chaos chaos-cluster bench bench-decode \
-        bench-decode-short figures scorecard examples trace-demo memdemo \
-        stream-demo cluster-demo cache-demo clean
+.PHONY: all build vet test check chaos chaos-cluster chaos-overload bench \
+        bench-decode bench-decode-short figures scorecard examples trace-demo \
+        memdemo stream-demo cluster-demo cache-demo overload-demo clean
 
 all: build vet test
 
@@ -148,6 +148,50 @@ cache-demo:
 	curl -s "http://$(CACHE_DEMO_ADDR)/v1/cache" | grep -q '"hits":' \
 	    || { echo "cache-demo FAILED: /v1/cache reports no hit counters"; st=1; }; \
 	kill $$pid; wait $$pid 2>/dev/null; exit $$st
+
+# Overload chaos drill: a standing load-spike at 2× saturation under 64
+# mixed-class clients — interactive goodput must survive while batch is
+# shed class-ordered, and the brownout ladder must walk back to nominal
+# after disarm — under the race detector.
+chaos-overload:
+	$(GO) test -race -count=1 -run 'TestChaosOverload' ./internal/gateway/
+
+# Overload-control demo: an A/B load ramp past saturation. With overload
+# control on (the default), llmperf's 3-class ramp at 2× offered load
+# must keep interactive p99 TTFT inside the SLO and interactive goodput
+# at >= 85% of its peak; with -overload=false the same ramp on the
+# class-blind FIFO baseline must collapse below 50% — the gap is the
+# tentpole's measurable win.
+OVERLOAD_DEMO_ADDR ?= 127.0.0.1:18085
+overload-demo:
+	$(GO) build -o /tmp/llmperfd-overload ./cmd/llmperfd
+	$(GO) build -o /tmp/llmperf-overload ./cmd/llmperf
+	@echo "=== A: overload control ON ==="; \
+	/tmp/llmperfd-overload -addr $(OVERLOAD_DEMO_ADDR) -timescale 0.02 & \
+	pid=$$!; sleep 1; \
+	/tmp/llmperf-overload -url http://$(OVERLOAD_DEMO_ADDR) -ramp \
+	    -concurrency 8 -model OPT-13B -in 128 -out 8 \
+	    | tee /tmp/overload-demo-on.out; st=$$?; \
+	echo "=== /v1/overload after the ramp ==="; \
+	curl -s "http://$(OVERLOAD_DEMO_ADDR)/v1/overload"; echo; \
+	kill $$pid; wait $$pid 2>/dev/null; \
+	echo; echo "=== B: overload control OFF (class-blind baseline) ==="; \
+	/tmp/llmperfd-overload -addr $(OVERLOAD_DEMO_ADDR) -timescale 0.02 -overload=false & \
+	pid=$$!; sleep 1; \
+	/tmp/llmperf-overload -url http://$(OVERLOAD_DEMO_ADDR) -ramp \
+	    -concurrency 8 -model OPT-13B -in 128 -out 8 \
+	    | tee /tmp/overload-demo-off.out || st=1; \
+	kill $$pid; wait $$pid 2>/dev/null; \
+	on=$$(grep -o 'interactive_goodput_ratio=[0-9]*' /tmp/overload-demo-on.out | cut -d= -f2); \
+	off=$$(grep -o 'interactive_goodput_ratio=[0-9]*' /tmp/overload-demo-off.out | cut -d= -f2); \
+	slo=$$(grep -o 'interactive_slo_ok=[01]' /tmp/overload-demo-on.out | cut -d= -f2); \
+	echo; echo "overload-demo: goodput ratio ON=$$on% OFF=$$off% (SLO held: $$slo)"; \
+	if [ -z "$$on" ] || [ -z "$$off" ]; then echo "overload-demo FAILED: missing summary lines"; st=1; \
+	elif [ "$$slo" != "1" ]; then echo "overload-demo FAILED: interactive p99 TTFT busted the SLO at 2x"; st=1; \
+	elif ! awk "BEGIN{exit !($$on >= 85)}"; then echo "overload-demo FAILED: ratio $$on% below the 85% floor with overload on"; st=1; \
+	elif ! awk "BEGIN{exit !($$off < 50)}"; then echo "overload-demo FAILED: baseline ratio $$off% did not collapse below 50%"; st=1; \
+	else echo "overload-demo: interactive goodput held at $$on% of peak under 2x load (baseline $$off%)"; fi; \
+	exit $$st
 
 # One benchmark per paper table/figure plus kernel/engine/ablation benches,
 # then the decode-batching sweep (per-seq GEMV loop vs fused batch GEMM),

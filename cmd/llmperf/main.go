@@ -5,7 +5,11 @@
 // client-side latency percentiles and per-status counts.
 //
 // In load-generator mode, -stream switches to SSE streaming requests and
-// reports client-side TTFT and inter-token-latency percentiles.
+// reports client-side TTFT and inter-token-latency percentiles, and -ramp
+// calibrates the server's capacity then sweeps offered load through
+// multiples of it with a mixed interactive/standard/batch class mix,
+// reporting per-class SLO-conditioned goodput (the overload-control A/B
+// harness behind `make overload-demo`).
 //
 // Usage:
 //
@@ -14,6 +18,7 @@
 //	llmperf -platform spr -cores 96 -cluster snc -memmode cache -model LLaMA2-13B
 //	llmperf -url http://localhost:8080 -n 128 -concurrency 16 -model OPT-13B
 //	llmperf -url http://localhost:8080 -stream -platform tiny-opt -n 32
+//	llmperf -url http://localhost:8080 -ramp -platform tiny-opt -ramp-steps 0.5,1,2
 package main
 
 import (
@@ -56,6 +61,10 @@ func main() {
 	n := flag.Int("n", 64, "load generator: total requests")
 	concurrency := flag.Int("concurrency", 8, "load generator: concurrent clients")
 	stream := flag.Bool("stream", false, "load generator: use SSE streaming and report client-side TTFT/ITL percentiles")
+	ramp := flag.Bool("ramp", false, "load generator: sweep offered load past saturation with a 3-class mix and report per-class goodput (overload-control drill)")
+	rampSteps := flag.String("ramp-steps", "0.5,1,2", "ramp: comma-separated offered-load multipliers of calibrated capacity")
+	rampStep := flag.Duration("ramp-step-duration", 6*time.Second, "ramp: duration of the calibration phase and each open-loop step")
+	rampSLO := flag.Float64("ramp-slo-ttft-ms", 500, "ramp: interactive TTFT SLO (ms) that conditions interactive goodput")
 	chatSessions := flag.Int("chat-sessions", 0, "load generator: replay a multi-turn chatbot trace with this many sessions and A/B the prefix cache (0 = off)")
 	chatTurns := flag.Int("chat-turns", 4, "load generator: turns per chat session")
 	systemTokens := flag.Int("system-tokens", 512, "load generator: shared system-prompt tokens per chat session")
@@ -63,6 +72,11 @@ func main() {
 	flag.Parse()
 
 	if *url != "" {
+		if *ramp {
+			loadRamp(*url, *platform, *modelName, *in, *out, *concurrency,
+				*rampSteps, *rampStep, *rampSLO)
+			return
+		}
 		if *chatSessions > 0 {
 			loadChat(*url, *platform, *modelName, *in, *out, *chatSessions, *chatTurns, *systemTokens, *concurrency, *seed)
 			return

@@ -37,6 +37,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/govern"
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/trace"
 )
 
@@ -60,6 +61,13 @@ func main() {
 	kvCache := flag.Bool("kv-cache", true, "prefix-aware radix KV cache: requests sharing a prompt prefix skip its prefill (requires -kv-govern)")
 	kvHigh := flag.Float64("kv-high", 0.95, "KV utilization high watermark: shed new work (503) at or above it")
 	kvLow := flag.Float64("kv-low", 0.75, "KV utilization low watermark: stop shedding at or below it")
+	overloadCtl := flag.Bool("overload", true, "overload control: SLO-class admission priorities, adaptive concurrency limiting, brownout degradation ladder")
+	sloInteractive := flag.Duration("slo-interactive-ttft", 500*time.Millisecond, "interactive-class TTFT SLO target for the adaptive limiter")
+	sloStandard := flag.Duration("slo-standard-ttft", 2*time.Second, "standard-class TTFT SLO target for the adaptive limiter")
+	sloBatch := flag.Duration("slo-batch-ttft", 10*time.Second, "batch-class TTFT SLO target for the adaptive limiter")
+	brownoutUp := flag.Duration("brownout-step-up", 250*time.Millisecond, "sustained pressure required before the brownout ladder climbs one rung")
+	brownoutDown := flag.Duration("brownout-step-down", time.Second, "sustained calm required before the brownout ladder descends one rung")
+	brownoutCap := flag.Int("brownout-batch-cap", 16, "max_tokens cap applied to batch-class requests at brownout level 2+ (finish_reason \"brownout\")")
 	replicas := flag.Int("replicas", 1, "in-process gateway replicas behind the fault-tolerant router (>1 enables cluster mode)")
 	route := flag.String("route", "round-robin", "cluster routing policy: round-robin | least-loaded | weighted")
 	probeInterval := flag.Duration("probe-interval", 100*time.Millisecond, "cluster health-check period")
@@ -153,6 +161,17 @@ func main() {
 				Registry:      reg,
 			})
 		}
+		var oc *overload.Config
+		if *overloadCtl {
+			oc = &overload.Config{
+				InteractiveTTFT: *sloInteractive,
+				StandardTTFT:    *sloStandard,
+				BatchTTFT:       *sloBatch,
+				StepUp:          *brownoutUp,
+				StepDown:        *brownoutDown,
+				BatchTokenCap:   *brownoutCap,
+			}
+		}
 		return gateway.New(gateway.Config{
 			MaxQueue:     *queue,
 			MaxBatch:     *maxBatch,
@@ -162,6 +181,7 @@ func main() {
 			Timescale:    *timescale,
 			Injector:     inj,
 			Governor:     g,
+			Overload:     oc,
 			Fallback:     api.FallbackResolver(),
 			Registry:     reg,
 			Tracer:       tracer,
@@ -230,8 +250,12 @@ func main() {
 	if *replicas > 1 {
 		topo = fmt.Sprintf("%d replicas, %s routing", *replicas, *route)
 	}
-	fmt.Printf("llmperfd listening on %s (queue=%d batch=%d policy=%s workers=%d trace-sample=%g kv=%s cluster=%s)\n",
-		*addr, *queue, *maxBatch, pol, *workers, *traceSample, kvDesc, topo)
+	overloadDesc := "off"
+	if *overloadCtl {
+		overloadDesc = "on"
+	}
+	fmt.Printf("llmperfd listening on %s (queue=%d batch=%d policy=%s workers=%d trace-sample=%g kv=%s overload=%s cluster=%s)\n",
+		*addr, *queue, *maxBatch, pol, *workers, *traceSample, kvDesc, overloadDesc, topo)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

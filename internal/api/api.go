@@ -102,6 +102,7 @@ var endpoints = []endpointInfo{
 	{"GET", "/v1/kv", "per-lane KV pool governance: blocks, watermarks, quotas, preemptions; cache fields are deprecated here — use /v1/cache"},
 	{"GET", "/v1/cache", "prefix-cache status: tree sizes, hit rate, retained blocks per lane (404 while caching is disabled)"},
 	{"GET", "/v1/cluster", "replica health, routing policy and failover counters (404 unless -replicas > 1)"},
+	{"GET", "/v1/overload", "overload control status: brownout level, active degradations, adaptive concurrency limit, per-class admission counters (404 while disabled)"},
 	{"GET, POST, DELETE", "/v1/admin/faults", "inspect, arm or disarm runtime fault injection"},
 	{"POST", "/v1/admin/cache/flush", "drop every unpinned prefix-cache entry, returning blocks_released"},
 	{"GET", "/metrics", "Prometheus metrics (gateway queue, TTFT/TPOT/E2E histograms)"},
@@ -130,6 +131,7 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/kv", s.handleKV, http.MethodGet)
 	route("/v1/cache", s.handleCache, http.MethodGet)
 	route("/v1/cluster", s.handleCluster, http.MethodGet)
+	route("/v1/overload", s.handleOverload, http.MethodGet)
 	route("/v1/admin/faults", s.handleAdminFaults, http.MethodGet, http.MethodPost, http.MethodDelete)
 	route("/v1/admin/cache/flush", s.handleCacheFlush, http.MethodPost)
 	route("/metrics", s.handleMetrics, http.MethodGet)
@@ -635,6 +637,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("gateway draining"))
 		return
 	}
+	if s.gw.Saturated() {
+		// Sustained queue saturation: the admission queue has sat at
+		// capacity past the saturation window, so new work only buys 429s.
+		// Flip readiness just like KV pressure so load balancers route
+		// around this instance until the backlog drains.
+		writeError(w, http.StatusServiceUnavailable, CodeOverloadShed,
+			fmt.Errorf("admission queue saturated past the saturation window"))
+		return
+	}
 	if s.gw.MemoryPressure() {
 		// Shedding above the KV high watermark: tell load balancers to
 		// route elsewhere until the lane recovers below the low watermark.
@@ -643,4 +654,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleOverload serves the overload controller's snapshot: brownout
+// level and active degradations, the adaptive concurrency limit, and
+// per-class admission/shed counters. With overload control disabled the
+// endpoint reports 404, matching how /v1/kv reports a missing governor.
+func (s *Server) handleOverload(w http.ResponseWriter, r *http.Request) {
+	st := s.gw.OverloadStatus()
+	if !st.Enabled {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("overload control disabled (llmperfd -overload=false, or no controller configured)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/govern"
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/trace"
 )
 
@@ -44,6 +45,15 @@ type Backend interface {
 	MemoryPressure() bool
 	RetryAfterSeconds() int
 	Shutdown(ctx context.Context) error
+
+	// Overload control (internal/overload). Saturated reports sustained
+	// admission-queue saturation (readiness flips alongside KV pressure);
+	// BrownoutLevel is the degradation ladder's current rung (0 nominal,
+	// also the X-Brownout-Level response header); OverloadStatus is the
+	// GET /v1/overload snapshot (zero Status when the feature is off).
+	Saturated() bool
+	BrownoutLevel() int
+	OverloadStatus() overload.Status
 }
 
 // compile-time conformance of both topologies.

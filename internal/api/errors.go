@@ -72,6 +72,19 @@ const (
 	// CodeNoHealthyReplicas sheds a request because every cluster
 	// replica is ejected, down or draining (HTTP 503 + Retry-After).
 	CodeNoHealthyReplicas = "no_healthy_replicas"
+	// CodeInvalidSLOClass rejects an unknown priority / X-SLO-Class value
+	// or a body-header disagreement (HTTP 400). Valid classes are
+	// interactive, standard and batch.
+	CodeInvalidSLOClass = "invalid_slo_class"
+	// CodeOverloadShed sheds a request because the brownout ladder
+	// reached its shed rung, or a higher-class arrival evicted it from a
+	// full queue (HTTP 503 + Retry-After). Lower classes shed first;
+	// retry, or resubmit with a higher priority if the work is urgent.
+	CodeOverloadShed = "overload_shed"
+	// CodeConcurrencyLimited rejects a request because the adaptive
+	// concurrency limiter is holding admissions below the level at which
+	// observed TTFT would bust the class SLO (HTTP 429 + Retry-After).
+	CodeConcurrencyLimited = "concurrency_limited"
 )
 
 // errorBody is the uniform error envelope. TraceID correlates the failure
@@ -119,6 +132,18 @@ func writeBodyError(w http.ResponseWriter, err error) {
 // code inside a terminal SSE event once headers are sent.
 func mapGatewayError(err error) (status int, code string, retryable bool) {
 	switch {
+	case errors.Is(err, gateway.ErrClassShed):
+		// Brownout: the ladder's shed rung (or a class eviction) dropped
+		// this request so higher classes keep their SLOs. Transient.
+		return http.StatusServiceUnavailable, CodeOverloadShed, true
+	case errors.Is(err, gateway.ErrConcurrencyLimited):
+		// The AIMD limiter is below the offered load; the limit reopens
+		// additively as TTFT recovers.
+		return http.StatusTooManyRequests, CodeConcurrencyLimited, true
+	case errors.Is(err, gateway.ErrDeadlineUnmeetable):
+		// Queue eviction: the modeled TTFT overruns the client's stated
+		// X-Request-Deadline, so serving it would only waste compute.
+		return http.StatusGatewayTimeout, CodeDeadlineExceeded, false
 	case errors.Is(err, gateway.ErrQueueFull):
 		return http.StatusTooManyRequests, CodeQueueFull, true
 	case errors.Is(err, govern.ErrQuotaExceeded):

@@ -1,7 +1,8 @@
 package api
 
 // fuzz_test.go fuzzes the v1 POST body validation path: whatever bytes
-// arrive at /v1/generate, the handler must never panic and must answer
+// arrive at /v1/generate — and whatever X-SLO-Class / X-Request-Deadline
+// headers ride along — the handler must never panic and must answer
 // either 200 with a result or an error status with the uniform envelope.
 // Run with `go test -fuzz FuzzGenerateBody ./internal/api/`; the checked
 // in corpus under testdata/fuzz seeds the interesting shapes.
@@ -14,9 +15,11 @@ import (
 	"testing"
 
 	"repro/internal/gateway"
+	"repro/internal/overload"
 )
 
 func FuzzGenerateBody(f *testing.F) {
+	// Body seeds; each is also crossed with empty headers.
 	seeds := []string{
 		`{"platform":"spr","model":"OPT-13B"}`,
 		`{"platform":"spr","model":"OPT-13B","in":32,"out":4,"cores":16,"memmode":"cache","cluster":"snc"}`,
@@ -33,21 +36,52 @@ func FuzzGenerateBody(f *testing.F) {
 		``,
 		`{`,
 		"\x00\xff\xfe",
+		// SLO-class body field and cache options, valid and not.
+		`{"platform":"tiny-opt","priority":"interactive"}`,
+		`{"platform":"tiny-opt","priority":"batch","cache":{"enabled":false}}`,
+		`{"platform":"tiny-opt","priority":"urgent"}`,
+		`{"platform":"tiny-opt","priority":""}`,
+		`{"platform":"tiny-opt","cache":{"min_prefix_tokens":-5}}`,
+		`{"platform":"tiny-opt","priority":42}`,
 	}
 	for _, s := range seeds {
-		f.Add([]byte(s))
+		f.Add([]byte(s), "", "")
+	}
+	// Header combinations: agreeing and conflicting class labels, junk
+	// classes, and deadline shapes from plausible to hostile.
+	valid := `{"platform":"tiny-opt","out":2}`
+	prio := `{"platform":"tiny-opt","priority":"interactive"}`
+	for _, hs := range [][2]string{
+		{"interactive", ""},
+		{"batch", "750ms"},
+		{"standard", "0"},
+		{"bogus", ""},
+		{"", "not-a-duration"},
+		{"", "-3ms"},
+		{"", "9999999h"},
+		{"INTERACTIVE", "1s"},
+	} {
+		f.Add([]byte(valid), hs[0], hs[1])
+		f.Add([]byte(prio), hs[0], hs[1]) // body/header agree or conflict
 	}
 
-	f.Fuzz(func(t *testing.T, body []byte) {
+	f.Fuzz(func(t *testing.T, body []byte, sloClass, deadline string) {
 		// A fresh tiny gateway per input keeps iterations independent and
 		// the lane map from growing without bound under long fuzz runs.
 		// WatchdogBudget < 0 prices directly, without per-call goroutines.
+		// Overload control is on so the class/brownout admission paths run.
 		gw := gateway.New(gateway.Config{MaxQueue: 4, MaxBatch: 2, Workers: 1,
-			WatchdogBudget: -1}, stubResolver(stubCost{}))
+			WatchdogBudget: -1, Overload: &overload.Config{}}, stubResolver(stubCost{}))
 		h := NewServer(gw).Handler()
 
 		req := httptest.NewRequest(http.MethodPost, "/v1/generate", bytes.NewReader(body))
 		req.Header.Set("Content-Type", "application/json")
+		if sloClass != "" {
+			req.Header.Set("X-SLO-Class", sloClass)
+		}
+		if deadline != "" {
+			req.Header.Set("X-Request-Deadline", deadline)
+		}
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req) // must not panic, whatever the bytes
 

@@ -63,6 +63,9 @@ type chatCompletionsRequest struct {
 	Cluster  string `json:"cluster"`
 	// Cache is the per-request prefix-cache knob, as on /v1/generate.
 	Cache json.RawMessage `json:"cache"`
+	// Priority is the SLO class (interactive | standard | batch), as on
+	// /v1/generate; it must agree with X-SLO-Class when both are set.
+	Priority string `json:"priority"`
 }
 
 // completionsRequest is the body of POST /v1/completions, the legacy
@@ -88,6 +91,7 @@ type completionsRequest struct {
 	MemMode          string          `json:"memmode"`
 	Cluster          string          `json:"cluster"`
 	Cache            json.RawMessage `json:"cache"`
+	Priority         string          `json:"priority"`
 }
 
 // usage is the OpenAI token-accounting block. CachedTokens is the
@@ -121,9 +125,19 @@ func usageFor(res gateway.Result) usage {
 	return u
 }
 
-// finishLength is the only finish_reason this service produces: every
-// request decodes exactly its requested output length.
+// finishLength is the default finish_reason: every request decodes
+// exactly its requested output length. Under brownout the gateway may
+// clamp batch-class requests and reports finish_reason "brownout".
 const finishLength = "length"
+
+// finishReasonFor maps a gateway result to its finish_reason: the
+// gateway's own reason when it set one (brownout cap), else "length".
+func finishReasonFor(res gateway.Result) string {
+	if res.FinishReason != "" {
+		return res.FinishReason
+	}
+	return finishLength
+}
 
 // promptTokens estimates a chat prompt's token count: one token per
 // content character (the texttoken contract) plus a fixed per-message
@@ -233,6 +247,7 @@ func (c *chatCompletionsRequest) toGenerate() (GenerateRequest, error) {
 		Stream:        c.Stream,
 		StreamOptions: c.StreamOptions,
 		Cache:         c.Cache,
+		Priority:      c.Priority,
 		prefix:        chatSegments(c.Messages),
 	}, nil
 }
@@ -263,6 +278,7 @@ func (c *completionsRequest) toGenerate() (GenerateRequest, error) {
 		Stream:        c.Stream,
 		StreamOptions: c.StreamOptions,
 		Cache:         c.Cache,
+		Priority:      c.Priority,
 		prefix:        promptSegments(c.Prompt),
 	}, nil
 }
@@ -303,7 +319,7 @@ type chatShape struct {
 }
 
 func (c *chatShape) buffered(res gateway.Result) any {
-	reason := finishLength
+	reason := finishReasonFor(res)
 	u := usageFor(res)
 	return chatCompletionResponse{
 		ID: c.id, Object: "chat.completion", Created: c.created, Model: c.model,
@@ -328,7 +344,7 @@ func (c *chatShape) token(ev gateway.TokenEvent) any {
 }
 
 func (c *chatShape) terminal(res gateway.Result, includeUsage bool) []any {
-	reason := finishLength
+	reason := finishReasonFor(res)
 	out := []any{chatCompletionResponse{
 		ID: c.id, Object: "chat.completion.chunk", Created: c.created, Model: c.model,
 		Choices: []chatChoice{{Delta: &chatDelta{}, FinishReason: &reason}},
@@ -371,7 +387,7 @@ type completionsShape struct {
 }
 
 func (c *completionsShape) buffered(res gateway.Result) any {
-	reason := finishLength
+	reason := finishReasonFor(res)
 	u := usageFor(res)
 	return completionsResponse{
 		ID: c.id, Object: "text_completion", Created: c.created, Model: c.model,
@@ -389,7 +405,7 @@ func (c *completionsShape) token(ev gateway.TokenEvent) any {
 }
 
 func (c *completionsShape) terminal(res gateway.Result, includeUsage bool) []any {
-	reason := finishLength
+	reason := finishReasonFor(res)
 	out := []any{completionsResponse{
 		ID: c.id, Object: "text_completion", Created: c.created, Model: c.model,
 		Choices: []textChoice{{FinishReason: &reason}},

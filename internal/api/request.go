@@ -25,6 +25,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/memsim"
 	"repro/internal/model"
+	"repro/internal/overload"
 	"repro/internal/prefixcache"
 	"repro/internal/serve"
 	"repro/internal/tensor"
@@ -91,6 +92,12 @@ type GenerateRequest struct {
 	// out, "min_prefix_tokens" discards short matches). Kept raw so
 	// malformed options produce the typed invalid_cache_param error.
 	Cache json.RawMessage `json:"cache"`
+	// Priority is the request's SLO class (interactive | standard |
+	// batch; default standard). It orders queue admission and selects
+	// shedding victims under overload: batch work is shed before
+	// interactive ever sees a 503. Equivalent to the X-SLO-Class header;
+	// when both are present they must agree.
+	Priority string `json:"priority"`
 
 	// prefix carries pre-built cache segments from adapter routes (chat
 	// messages, completion prompt chunks); when nil, prefixSegments
@@ -163,6 +170,38 @@ func parseCacheOptions(raw json.RawMessage) (cacheOptions, error) {
 			errInvalidCacheParam, opts.MinPrefixTokens)
 	}
 	return opts, nil
+}
+
+// errInvalidSLOClass marks an unknown priority / X-SLO-Class value or a
+// body-header disagreement; handlers map it to HTTP 400 with the typed
+// invalid_slo_class code.
+var errInvalidSLOClass = errors.New("invalid SLO class")
+
+// resolveClass validates the request's SLO class from the priority body
+// field and the X-SLO-Class header at the service boundary. Either
+// source alone sets the class; both together must agree — silently
+// preferring one would let a proxy-injected header override what the
+// client asked for (or vice versa) without anyone noticing. Unknown
+// values are a typed 400, never a silent downgrade to standard. An
+// empty result means the caller expressed no preference (the gateway
+// defaults it to standard).
+func resolveClass(bodyPriority, header string) (string, error) {
+	for _, v := range []string{bodyPriority, header} {
+		if v == "" {
+			continue
+		}
+		if _, err := overload.ParseClass(v); err != nil {
+			return "", fmt.Errorf("%w: %v", errInvalidSLOClass, err)
+		}
+	}
+	if bodyPriority != "" && header != "" && bodyPriority != header {
+		return "", fmt.Errorf("%w: priority %q disagrees with X-SLO-Class %q",
+			errInvalidSLOClass, bodyPriority, header)
+	}
+	if bodyPriority != "" {
+		return bodyPriority, nil
+	}
+	return header, nil
 }
 
 // errUnsupportedMediaType marks POST bodies sent without a JSON

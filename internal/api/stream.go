@@ -199,17 +199,27 @@ func (s *Server) serveGeneration(w http.ResponseWriter, r *http.Request, admit t
 		writeError(w, http.StatusNotAcceptable, CodeNotAcceptable, err)
 		return
 	}
+	class, err := resolveClass(req.Priority, r.Header.Get("X-SLO-Class"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSLOClass, err)
+		return
+	}
 	ctx, cancel, err := requestDeadline(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidDeadline, err)
 		return
 	}
 	defer cancel()
+	// Surface the degradation ladder on every generation response; the
+	// header must be set before streaming commits the 200.
+	if lvl := s.gw.BrownoutLevel(); lvl > 0 {
+		w.Header().Set("X-Brownout-Level", strconv.Itoa(lvl))
+	}
 	tr.Add(trace.SpanData{Name: trace.PhaseAdmission, Start: admit, End: time.Now(),
 		Attrs: map[string]string{"lane": req.laneKey()}})
 	greq := gateway.Request{
 		Lane: req.laneKey(), InputLen: req.InputLen, OutputLen: req.OutputLen,
-		Client: clientID(r), Class: r.Header.Get("X-SLO-Class"), Trace: tr,
+		Client: clientID(r), Class: class, Trace: tr,
 		Prefix:          req.prefixSegments(),
 		CacheDisabled:   copts.disabled(),
 		MinPrefixTokens: copts.MinPrefixTokens,

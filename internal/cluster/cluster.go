@@ -53,6 +53,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/govern"
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/trace"
 )
 
@@ -442,6 +443,92 @@ func (r *Router) MemoryPressure() bool {
 	return routable == 0 || shedding == routable
 }
 
+// Saturated reports whether the cluster has no unsaturated capacity:
+// every routable replica's admission queue has been pinned at capacity
+// past its saturation window (or nothing is routable). One saturated
+// replica does not flip cluster readiness — the router routes around it.
+func (r *Router) Saturated() bool {
+	routable, saturated := 0, 0
+	for _, rep := range r.replicas {
+		st := rep.stateNow()
+		if st != healthy && st != halfOpen {
+			continue
+		}
+		routable++
+		if rep.gateway().Saturated() {
+			saturated++
+		}
+	}
+	return routable == 0 || saturated == routable
+}
+
+// BrownoutLevel is the cluster's effective degradation level: the
+// minimum across routable replicas, because the policies steer new work
+// toward the least-degraded replica — the X-Brownout-Level a client
+// sees should describe the service it will actually get. With nothing
+// routable it reports the worst replica instead.
+func (r *Router) BrownoutLevel() int {
+	min, max, routable := 0, 0, 0
+	for _, rep := range r.replicas {
+		lvl := rep.gateway().BrownoutLevel()
+		if lvl > max {
+			max = lvl
+		}
+		st := rep.stateNow()
+		if st != healthy && st != halfOpen {
+			continue
+		}
+		if routable == 0 || lvl < min {
+			min = lvl
+		}
+		routable++
+	}
+	if routable == 0 {
+		return max
+	}
+	return min
+}
+
+// OverloadStatus aggregates overload control across replicas (GET
+// /v1/overload under a cluster backend): the worst brownout level and
+// pressure, summed concurrency capacity and per-class counters. The
+// per-replica breakdown lives at GET /v1/cluster.
+func (r *Router) OverloadStatus() overload.Status {
+	var agg overload.Status
+	for _, rep := range r.replicas {
+		st := rep.gateway().OverloadStatus()
+		if !st.Enabled {
+			continue
+		}
+		if !agg.Enabled {
+			agg = st
+			continue
+		}
+		if st.BrownoutLevel > agg.BrownoutLevel {
+			agg.BrownoutLevel = st.BrownoutLevel
+			agg.Actions = st.Actions
+		}
+		if st.Pressure > agg.Pressure {
+			agg.Pressure = st.Pressure
+		}
+		agg.Limit += st.Limit
+		agg.Inflight += st.Inflight
+		agg.BrownoutSteps += st.BrownoutSteps
+		for i := range agg.Classes {
+			if i >= len(st.Classes) {
+				break
+			}
+			agg.Classes[i].Admitted += st.Classes[i].Admitted
+			agg.Classes[i].Limited += st.Classes[i].Limited
+			agg.Classes[i].Shed += st.Classes[i].Shed
+			if st.Classes[i].TTFTEWMAMs > agg.Classes[i].TTFTEWMAMs {
+				agg.Classes[i].TTFTEWMAMs = st.Classes[i].TTFTEWMAMs
+			}
+		}
+	}
+	return agg
+}
+
 // RetryAfterSeconds aggregates the backpressure hint across replicas:
 // the soonest any routable replica expects capacity.
 func (r *Router) RetryAfterSeconds() int {
@@ -627,6 +714,9 @@ type ReplicaStatus struct {
 	Failed            uint64  `json:"failed,omitempty"`
 	KVUtilization     float64 `json:"kv_utilization,omitempty"`
 	Shedding          bool    `json:"shedding,omitempty"`
+	// BrownoutLevel is the replica's degradation-ladder rung (0 nominal);
+	// routing policies steer interactive traffic away from non-zero rungs.
+	BrownoutLevel int `json:"brownout_level,omitempty"`
 	// Prefix-cache effectiveness on this replica, omitted while caching
 	// is disabled. The full per-lane breakdown lives at GET /v1/cache.
 	CacheHitRate        float64 `json:"cache_hit_rate,omitempty"`
@@ -672,6 +762,7 @@ func (r *Router) Snapshot() Status {
 		rs.QueueDepth = gw.QueueDepth()
 		rs.KVUtilization = kvUtilization(gw)
 		rs.Shedding = gw.MemoryPressure()
+		rs.BrownoutLevel = gw.BrownoutLevel()
 		if cs := gw.CacheSnapshot(); cs.Enabled {
 			rs.CacheHitRate = cs.HitRate
 			rs.CacheRetainedBlocks = cs.RetainedBlocks

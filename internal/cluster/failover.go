@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/gateway"
 	"repro/internal/govern"
+	"repro/internal/overload"
 	"repro/internal/trace"
 )
 
@@ -26,6 +27,8 @@ func retryable(err error) bool {
 		errors.Is(err, gateway.ErrLaneBroken),
 		errors.Is(err, gateway.ErrWatchdogTimeout),
 		errors.Is(err, gateway.ErrQueueFull),
+		errors.Is(err, gateway.ErrClassShed),
+		errors.Is(err, gateway.ErrConcurrencyLimited),
 		errors.Is(err, govern.ErrShedding),
 		errors.Is(err, govern.ErrKVExhausted):
 		return true
@@ -41,6 +44,9 @@ func countsAgainstHealth(err error) bool {
 	switch {
 	case err == nil,
 		errors.Is(err, gateway.ErrQueueFull),
+		errors.Is(err, gateway.ErrClassShed),
+		errors.Is(err, gateway.ErrConcurrencyLimited),
+		errors.Is(err, gateway.ErrDeadlineUnmeetable),
 		errors.Is(err, govern.ErrShedding),
 		errors.Is(err, govern.ErrQuotaExceeded),
 		errors.Is(err, govern.ErrNeverFits),
@@ -273,7 +279,7 @@ func (r *Router) dispatch(ctx context.Context, rep *replica, req gateway.Request
 	start := time.Now()
 	var res gateway.Result
 	var err error
-	if r.hedgeEligible(req, attempt) {
+	if r.hedgeEligible(rep, req, attempt) {
 		res, err = r.hedgedDispatch(ctx, rep, req)
 	} else {
 		err = r.runOnReplica(ctx, rep, func(dctx context.Context) error {
@@ -303,12 +309,15 @@ func (r *Router) dispatch(ctx context.Context, rep *replica, req gateway.Request
 // non-streamed requests: duplicating a stream would need cross-replica
 // token reconciliation, and duplicating a long decode doubles the most
 // expensive phase for a latency win only short prefill-dominated jobs
-// can realize.
-func (r *Router) hedgeEligible(req gateway.Request, attempt int) bool {
+// can realize. Hedging is also the brownout ladder's first rung: a
+// primary at or past LevelNoHedge is overloaded enough that speculative
+// duplicates would only feed the overload.
+func (r *Router) hedgeEligible(primary *replica, req gateway.Request, attempt int) bool {
 	return r.cfg.HedgeAfter > 0 &&
 		attempt == 0 &&
 		req.Sink == nil &&
-		req.OutputLen <= r.cfg.HedgeMaxOut
+		req.OutputLen <= r.cfg.HedgeMaxOut &&
+		primary.gateway().BrownoutLevel() < overload.LevelNoHedge
 }
 
 // hedgeOutcome is one arm's result in a hedged race.

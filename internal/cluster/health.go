@@ -204,6 +204,7 @@ func (r *Router) routable(tried map[string]bool) []Candidate {
 			QueueDepth:    gw.QueueDepth(),
 			KVUtilization: kvUtilization(gw),
 			Shedding:      gw.MemoryPressure(),
+			BrownoutLevel: gw.BrownoutLevel(),
 			EWMAMillis:    ewma,
 			SlowDelay:     time.Duration(rep.slowNs.Load()),
 		})

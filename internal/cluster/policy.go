@@ -24,6 +24,10 @@ type Candidate struct {
 	KVUtilization float64
 	// Shedding reports the replica above its KV high watermark.
 	Shedding bool
+	// BrownoutLevel is the replica's degradation-ladder rung (0 nominal;
+	// see internal/overload). Policies steer traffic toward nominal
+	// replicas so one overloaded box degrades alone.
+	BrownoutLevel int
 	// EWMAMillis is the replica's success-latency EWMA (0 = no samples).
 	EWMAMillis float64
 	// SlowDelay is the standing replica-slow injection delay, if any.
@@ -111,6 +115,10 @@ func (p *llPolicy) score(c Candidate) float64 {
 	if c.Shedding {
 		s += 1000
 	}
+	// Each brownout rung weighs like a growing queue backlog, so traffic
+	// drains toward nominal replicas without excluding a degraded one
+	// outright (a fully browned-out cluster still routes).
+	s += float64(c.BrownoutLevel) * 50
 	if c.SlowDelay > 0 {
 		s += c.SlowDelay.Seconds() * 100
 	}
@@ -163,11 +171,12 @@ func (p *wPolicy) Name() string { return "weighted" }
 func (p *wPolicy) Pick(req *gateway.Request, candidates []Candidate) Candidate {
 	interactive := req != nil && (req.Class == "" || req.Class == "interactive")
 	if interactive {
-		// Prefer the subset not shedding and not slow-injected; fall back
-		// to everything when the preference would empty the pool.
+		// Prefer the subset not shedding, not browned out and not
+		// slow-injected; fall back to everything when the preference would
+		// empty the pool.
 		var clean []Candidate
 		for _, c := range candidates {
-			if !c.Shedding && c.SlowDelay == 0 {
+			if !c.Shedding && c.SlowDelay == 0 && c.BrownoutLevel == 0 {
 				clean = append(clean, c)
 			}
 		}

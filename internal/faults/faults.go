@@ -13,6 +13,7 @@
 //	cost.prefill  inside the primary cost model's prefill pricing
 //	cost.decode   inside the primary cost model's decode pricing
 //	govern.kv     standing mem-pressure queries by the memory governor
+//	overload      standing load-spike queries by the overload controller
 //
 // An Injector is safe for concurrent use and nil-safe: a nil *Injector
 // applies nothing, so callers never branch on whether chaos is enabled.
@@ -65,6 +66,12 @@ const (
 	// replica alternates dead and alive with half-period DelayMillis,
 	// exercising ejection, half-open probing and readmission in a loop.
 	ReplicaFlap
+	// LoadSpike is a standing condition for overload drills: while
+	// armed, the gateway's overload controller reads Fraction as extra
+	// admission pressure (offered load beyond capacity), driving the
+	// adaptive limiter and the brownout ladder deterministically. The
+	// controller queries it with Spike; Apply ignores it.
+	LoadSpike
 )
 
 // String names the class; ParseClass is its inverse.
@@ -86,6 +93,8 @@ func (c Class) String() string {
 		return "replica-slow"
 	case ReplicaFlap:
 		return "replica-flap"
+	case LoadSpike:
+		return "load-spike"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -110,8 +119,10 @@ func ParseClass(s string) (Class, error) {
 		return ReplicaSlow, nil
 	case "replica-flap", "replica_flap":
 		return ReplicaFlap, nil
+	case "load-spike", "load_spike", "loadspike":
+		return LoadSpike, nil
 	default:
-		return 0, fmt.Errorf("faults: unknown class %q (want latency, stall, panic, cost-error, mem-pressure, replica-down, replica-slow or replica-flap)", s)
+		return 0, fmt.Errorf("faults: unknown class %q (want latency, stall, panic, cost-error, mem-pressure, replica-down, replica-slow, replica-flap or load-spike)", s)
 	}
 }
 
@@ -162,13 +173,13 @@ func (r Rule) Validate() error {
 	if r.Every < 0 || r.Count < 0 || r.P < 0 || r.P > 1 || r.DelayMillis < 0 {
 		return fmt.Errorf("faults: rule %s has negative or out-of-range trigger fields", r.Class)
 	}
-	if r.Class == MemPressure {
-		// A standing condition: armed is active, so it has no trigger.
+	if r.Class == MemPressure || r.Class == LoadSpike {
+		// Standing conditions: armed is active, so they have no trigger.
 		if r.Fraction <= 0 || r.Fraction > 1 {
-			return fmt.Errorf("faults: mem-pressure rule needs fraction in (0, 1], got %g", r.Fraction)
+			return fmt.Errorf("faults: %s rule needs fraction in (0, 1], got %g", r.Class, r.Fraction)
 		}
 		if r.Every != 0 || r.P != 0 || r.Count != 0 || r.DelayMillis != 0 {
-			return fmt.Errorf("faults: mem-pressure rules take only site, lane and fraction")
+			return fmt.Errorf("faults: %s rules take only site, lane and fraction", r.Class)
 		}
 		return nil
 	}
@@ -187,7 +198,7 @@ func (r Rule) Validate() error {
 		return nil
 	}
 	if r.Fraction != 0 {
-		return fmt.Errorf("faults: fraction applies only to mem-pressure rules")
+		return fmt.Errorf("faults: fraction applies only to mem-pressure and load-spike rules")
 	}
 	if r.Every == 0 && r.P == 0 {
 		return fmt.Errorf("faults: rule %s needs every > 0 or p > 0", r.Class)
@@ -303,6 +314,7 @@ func (i *Injector) Instrument(reg *metrics.Registry) *Injector {
 		ReplicaDown: reg.Counter("faults_injected_replica_down_total", "replica-down conditions applied"),
 		ReplicaSlow: reg.Counter("faults_injected_replica_slow_total", "replica-slow conditions applied"),
 		ReplicaFlap: reg.Counter("faults_injected_replica_flap_total", "replica-flap conditions applied"),
+		LoadSpike:   reg.Counter("faults_injected_load_spike_total", "load-spike conditions applied"),
 	}
 	return i
 }
@@ -380,8 +392,9 @@ func (i *Injector) Apply(site, lane string) error {
 	for idx := range i.rules {
 		r := &i.rules[idx]
 		if r.Class == MemPressure || r.Class == ReplicaDown ||
-			r.Class == ReplicaSlow || r.Class == ReplicaFlap {
-			continue // standing conditions, queried via Pressure / Outage
+			r.Class == ReplicaSlow || r.Class == ReplicaFlap ||
+			r.Class == LoadSpike {
+			continue // standing conditions, queried via Pressure/Outage/Spike
 		}
 		if !r.matches(site, lane) {
 			continue
@@ -459,6 +472,42 @@ func (i *Injector) Pressure(site, lane string) float64 {
 			if i.total != nil {
 				i.total.Inc()
 				i.byClass[MemPressure].Inc()
+			}
+		}
+		frac += r.Fraction
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// Spike returns the extra admission pressure standing load-spike rules
+// exert at (site, lane): the sum of matching rules' fractions, capped at
+// 1. The overload controller folds it into its pressure signal, so an
+// armed load-spike drives the brownout ladder exactly as real offered
+// load beyond capacity would — and disarming it recovers. Nil-safe;
+// each query counts as an evaluation, and the first query that observes
+// a rule's effect counts as its fire.
+func (i *Injector) Spike(site, lane string) float64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var frac float64
+	for idx := range i.rules {
+		r := &i.rules[idx]
+		if r.Class != LoadSpike || !r.matches(site, lane) {
+			continue
+		}
+		r.evals++
+		if r.fired == 0 {
+			r.fired = 1
+			i.injected++
+			if i.total != nil {
+				i.total.Inc()
+				i.byClass[LoadSpike].Inc()
 			}
 		}
 		frac += r.Fraction

@@ -38,6 +38,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/govern"
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/prefixcache"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -51,6 +52,20 @@ var (
 	// ErrDraining rejects submissions arriving after Shutdown began
 	// (HTTP 503).
 	ErrDraining = errors.New("gateway: draining")
+	// ErrClassShed rejects a request shed class-ordered by overload
+	// control: a queued lower-priority victim evicted so a higher class
+	// could admit, or a batch-class submission refused at the top
+	// brownout rung (HTTP 503).
+	ErrClassShed = errors.New("gateway: shed by overload control")
+	// ErrConcurrencyLimited rejects a submission the adaptive
+	// concurrency limiter cannot fit right now: observed TTFT is busting
+	// SLO targets, so the front door closes before the queue or the KV
+	// watermark would (HTTP 429).
+	ErrConcurrencyLimited = errors.New("gateway: adaptive concurrency limit reached")
+	// ErrDeadlineUnmeetable rejects a queued request at dequeue when its
+	// propagated deadline can no longer be met by the recently observed
+	// TTFT — no prefill compute is burned on doomed work (HTTP 504).
+	ErrDeadlineUnmeetable = errors.New("gateway: deadline can no longer be met")
 )
 
 // Policy selects the lane batching discipline.
@@ -113,6 +128,17 @@ type Config struct {
 	// preemption-by-recompute under optimistic mode, watermark load
 	// shedding, and per-client token quotas. Nil serves ungoverned.
 	Governor *govern.Governor
+	// Overload, when non-nil, enables SLO-class overload control
+	// (internal/overload): class-priority queueing and shedding, the
+	// AIMD adaptive concurrency limiter gating admission ahead of the KV
+	// watermark, deadline-aware queue eviction, and the brownout
+	// degradation ladder. Nil serves with the legacy blunt backpressure
+	// (queue-full 429s and watermark 503s only).
+	Overload *overload.Config
+	// SaturationWindow is how long the admission queue must stay at
+	// capacity before the gateway reports itself saturated (flipping
+	// /readyz and the cluster shedding signal). Default 500ms.
+	SaturationWindow time.Duration
 
 	// Tracer records per-request phase spans. When nil a default tracer
 	// is created over Registry (sample rate 1), so traces are always
@@ -200,6 +226,9 @@ func (c Config) withDefaults() Config {
 	if c.BreakerOpenPeriod <= 0 {
 		c.BreakerOpenPeriod = 5 * time.Second
 	}
+	if c.SaturationWindow <= 0 {
+		c.SaturationWindow = 500 * time.Millisecond
+	}
 	return c
 }
 
@@ -215,9 +244,12 @@ type Request struct {
 	// quotas (the API layer fills it from X-Client-ID, falling back to
 	// the remote address). Empty means anonymous.
 	Client string
-	// Class is the request's SLO class ("interactive", "batch", ...).
-	// The gateway itself ignores it; the cluster router's SLO-weighted
-	// policy keys on it. The API layer fills it from X-SLO-Class.
+	// Class is the request's SLO class ("interactive", "standard" or
+	// "batch"; empty means standard). The overload layer keys admission
+	// priority, limiter shares and brownout shedding on it, and the
+	// cluster router's SLO-weighted policy steers on it. The API layer
+	// fills it from the validated `priority` body field / X-SLO-Class
+	// header; unrecognized values are treated as standard.
 	Class string
 	// Trace, when non-nil, receives the request's phase spans (queue
 	// wait, batching, prefill, per-token decode, pricing) as the
@@ -261,6 +293,10 @@ type Result struct {
 	// TraceID identifies the request's trace when one was recorded; its
 	// full phase timeline is served by GET /v1/traces?id=.
 	TraceID string `json:"trace_id,omitempty"`
+	// FinishReason is set to "brownout" when the brownout ladder capped
+	// this request's output length (batch class at LevelCapBatch and
+	// above); the OpenAI-shaped endpoints surface it as finish_reason.
+	FinishReason string `json:"finish_reason,omitempty"`
 
 	// Cluster attribution, filled by the cluster router (internal/cluster)
 	// when the request was served through a multi-replica front end; a
@@ -308,6 +344,9 @@ type instruments struct {
 	cacheHits, cacheMisses *metrics.Counter
 	cacheTokens            *metrics.Counter
 	cacheSaved             *metrics.Histogram
+
+	// Overload-control instruments (overload.go).
+	classShed, deadlineEvicted, brownoutCapped *metrics.Counter
 }
 
 func newInstruments(r *metrics.Registry) instruments {
@@ -352,6 +391,10 @@ func newInstruments(r *metrics.Registry) instruments {
 		cacheMisses: r.Counter("gateway_cache_misses_total", "cache-eligible admissions that found no usable prefix"),
 		cacheTokens: r.Counter("gateway_cache_cached_tokens_total", "prompt tokens served from the prefix cache instead of prefill"),
 		cacheSaved:  r.Histogram("gateway_cache_prefill_saved_seconds", "prefill model-seconds saved per cache-hit request", lat),
+
+		classShed:       r.Counter("gateway_class_shed_total", "requests shed class-ordered by overload control (queued victims evicted or batch refused under brownout)"),
+		deadlineEvicted: r.Counter("gateway_deadline_evicted_total", "queued requests evicted at dequeue because their deadline could no longer be met"),
+		brownoutCapped:  r.Counter("gateway_brownout_capped_total", "batch-class requests whose output length was capped by the brownout ladder"),
 	}
 }
 
@@ -361,6 +404,7 @@ type Gateway struct {
 	resolve Resolver
 	inj     *faults.Injector
 	gov     *govern.Governor
+	ctl     *overload.Controller // nil when overload control is off
 	tracer  *trace.Tracer
 	log     *slog.Logger
 	m       instruments
@@ -371,6 +415,9 @@ type Gateway struct {
 	lanes    map[string]*lane
 	waiting  int // jobs admitted but not yet executing (queue depth)
 	draining bool
+	// satSince anchors sustained queue saturation: set when the queue
+	// reaches capacity, cleared when it drains below half (overload.go).
+	satSince time.Time
 	wg       sync.WaitGroup // lane goroutines and unary jobs
 
 	// Drain-rate estimator feeding Retry-After hints (guarded by mu).
@@ -385,11 +432,20 @@ func New(cfg Config, resolve Resolver) *Gateway {
 	if cfg.Injector != nil {
 		cfg.Injector.Instrument(cfg.Registry)
 	}
+	var ctl *overload.Controller
+	if cfg.Overload != nil {
+		oc := *cfg.Overload
+		if oc.Registry == nil {
+			oc.Registry = cfg.Registry
+		}
+		ctl = overload.New(oc)
+	}
 	return &Gateway{
 		cfg:     cfg,
 		resolve: resolve,
 		inj:     cfg.Injector,
 		gov:     cfg.Governor,
+		ctl:     ctl,
 		tracer:  cfg.Tracer,
 		log:     cfg.Logger,
 		m:       newInstruments(cfg.Registry),
@@ -417,9 +473,12 @@ func (g *Gateway) Injector() *faults.Injector { return g.inj }
 // governance is disabled); the API layer serves its snapshot at /v1/kv.
 func (g *Gateway) Governor() *govern.Governor { return g.gov }
 
-// MemoryPressure reports whether any lane is shedding above its KV high
-// watermark (for /readyz). False without a governor.
-func (g *Gateway) MemoryPressure() bool { return g.gov.Shedding() }
+// MemoryPressure reports whether the gateway should be steered around:
+// any lane shedding above its KV high watermark, or the admission queue
+// saturated for a sustained window. Feeds /readyz and the cluster
+// router's shedding signal — a replica whose queue is wedged returning
+// 429s is as unready as one out of KV, even though its pool is healthy.
+func (g *Gateway) MemoryPressure() bool { return g.gov.Shedding() || g.Saturated() }
 
 // CacheSnapshot exposes the governor's prefix-cache status (for
 // GET /v1/cache). Disabled without a governor.
@@ -453,7 +512,15 @@ func (g *Gateway) Generate(ctx context.Context, req Request) (Result, error) {
 		return Result{}, err
 	}
 	now := time.Now()
-	j := &job{req: req, ctx: ctx, submitted: now, lastMark: now, done: make(chan jobOutcome, 1)}
+	// Without overload control every request is plain Standard: class
+	// ordering, eviction and shedding all become no-ops and the gateway
+	// behaves as the legacy class-blind FIFO (the overload-demo baseline).
+	cls := overload.Standard
+	if g.ctl != nil {
+		cls = overload.ClassOf(req.Class)
+	}
+	j := &job{req: req, ctx: ctx, class: cls,
+		submitted: now, lastMark: now, done: make(chan jobOutcome, 1)}
 	req.Trace.SetLane(req.Lane)
 
 	reject := func(err error) (Result, error) {
@@ -469,9 +536,41 @@ func (g *Gateway) Generate(ctx context.Context, req Request) (Result, error) {
 		g.mu.Unlock()
 		return reject(ErrDraining)
 	}
-	if g.waiting >= g.cfg.MaxQueue {
+	// Overload control: sample pressure, advance the brownout ladder and
+	// apply its class-ordered degradations before any queue or KV check.
+	level, flush := g.overloadEvalLocked(now)
+	if overload.ShedsClass(level, j.class) {
+		g.noteSaturationLocked(now)
 		g.mu.Unlock()
-		return reject(ErrQueueFull)
+		g.runOverloadActions(flush)
+		g.m.classShed.Inc()
+		g.ctl.NoteShed(j.class)
+		req.Trace.Event("overload", time.Now(), map[string]string{
+			"action": "shed-batch", "level": fmt.Sprint(level)})
+		return reject(fmt.Errorf("%w: brownout level %d sheds %s-class work",
+			ErrClassShed, level, j.class))
+	}
+	if g.ctl != nil {
+		if tokenCap := overload.CapFor(level, j.class, g.ctl.Config().BatchTokenCap); tokenCap > 0 && j.req.OutputLen > tokenCap {
+			j.req.OutputLen = tokenCap
+			j.brownout = true
+			g.m.brownoutCapped.Inc()
+			req.Trace.Event("overload", now, map[string]string{
+				"action": "cap-batch-tokens", "level": fmt.Sprint(level),
+				"max_tokens": fmt.Sprint(tokenCap)})
+		}
+	}
+	if g.waiting >= g.cfg.MaxQueue {
+		// Shedding drops the lowest class first: a full queue rejects
+		// this request only if no strictly lower-priority job can be
+		// evicted to make room — batch sheds before interactive ever
+		// sees a rejection.
+		if !g.evictLowerClassLocked(j.class, now) {
+			g.noteSaturationLocked(now)
+			g.mu.Unlock()
+			g.runOverloadActions(flush)
+			return reject(ErrQueueFull)
+		}
 	}
 	l := g.lanes[req.Lane]
 	if l != nil && !l.quarantinedUntil.IsZero() {
@@ -498,24 +597,38 @@ func (g *Gateway) Generate(ctx context.Context, req Request) (Result, error) {
 		}
 		g.lanes[req.Lane] = l
 	}
+	// Adaptive concurrency limiter: the front door closes ahead of the
+	// KV watermark when observed TTFT busts per-class SLO targets, and
+	// lower classes lose their share of the shrinking limit first.
+	if !g.ctl.Acquire(j.class) {
+		g.mu.Unlock()
+		g.runOverloadActions(flush)
+		req.Trace.Event("overload", time.Now(), map[string]string{
+			"action": "concurrency-limited", "class": j.class.String()})
+		return reject(fmt.Errorf("%w: %s class", ErrConcurrencyLimited, j.class))
+	}
 	// Memory governance: structural fit, client quota and watermark shed
 	// checks, charging the client's quota on success. The lease follows
 	// the job through every terminal path.
-	lease, err := g.gov.Admit(req.Lane, req.Client, req.InputLen, req.OutputLen)
+	lease, err := g.gov.Admit(req.Lane, req.Client, j.req.InputLen, j.req.OutputLen)
 	if err != nil {
 		g.mu.Unlock()
+		g.ctl.Release(j.class)
 		return reject(err)
 	}
 	j.lease = lease
-	l.queue = append(l.queue, j)
+	l.enqueueLocked(j)
 	g.waiting++
+	g.noteSaturationLocked(now)
 	g.m.queueDepth.Inc()
 	g.m.admitted.Inc()
 	g.ensureRunningLocked(l)
 	g.mu.Unlock()
+	g.runOverloadActions(flush)
 
 	select {
 	case out := <-j.done:
+		g.ctl.Release(j.class)
 		if out.err != nil {
 			req.Trace.SetError(out.err)
 		} else if out.res.Degraded {
@@ -528,6 +641,7 @@ func (g *Gateway) Generate(ctx context.Context, req Request) (Result, error) {
 		// Already executing: the lane evicts it (and releases the lease) at
 		// the next iteration boundary.
 		g.abandonQueued(j)
+		g.ctl.Release(j.class)
 		req.Trace.SetError(ctx.Err())
 		return Result{}, ctx.Err()
 	}

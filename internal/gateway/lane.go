@@ -17,10 +17,12 @@ package gateway
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strconv"
 	"time"
 
 	"repro/internal/govern"
+	"repro/internal/overload"
 	"repro/internal/trace"
 )
 
@@ -36,6 +38,14 @@ type job struct {
 	ctx       context.Context
 	submitted time.Time
 	done      chan jobOutcome
+
+	// class is the request's parsed SLO class; it orders queue insertion
+	// (interactive ahead of batch) and selects shedding victims under
+	// brownout.
+	class overload.Class
+	// brownout records that admission clamped the request's output length
+	// (the cap-batch-tokens rung); surfaced as finish_reason "brownout".
+	brownout bool
 
 	// Set at admission by the lane goroutine.
 	admitWall time.Time
@@ -108,6 +118,22 @@ type lane struct {
 	restarts int
 
 	vclock float64
+}
+
+// enqueueLocked inserts j into the lane queue in class-priority order:
+// ahead of any strictly lower class (batch yields to interactive) but
+// behind equal-class work, preserving arrival order within a class.
+// Watchdog/preemption requeues sit at the front with compute already
+// paid for; the scan stops at them so a new arrival never jumps a
+// requeued job regardless of class. Callers hold g.mu.
+func (l *lane) enqueueLocked(j *job) {
+	i := len(l.queue)
+	for i > 0 && l.queue[i-1].class > j.class && l.queue[i-1].requeues == 0 {
+		i--
+	}
+	l.queue = append(l.queue, nil)
+	copy(l.queue[i+1:], l.queue[i:])
+	l.queue[i] = j
 }
 
 // costModel is serve.CostModel, restated locally to keep the lane file
@@ -221,6 +247,7 @@ func (g *Gateway) laneSession(l *lane) (parked bool) {
 			return true
 		}
 		g.waiting -= len(admitted)
+		g.noteSaturationLocked(time.Now())
 		g.mu.Unlock()
 
 		if len(admitted) == 0 && len(l.running) == 0 && l.pre == nil && memBlocked {
@@ -277,9 +304,13 @@ func (g *Gateway) laneSession(l *lane) (parked bool) {
 	}
 }
 
-// dropCanceledLocked filters dead jobs out of a queue slice, maintaining
-// the waiting count. Callers hold g.mu.
+// dropCanceledLocked filters dead and deadline-unmeetable jobs out of a
+// queue slice, maintaining the waiting count. A job whose context
+// carries a deadline the limiter's modeled TTFT says can no longer be
+// met is failed here with a typed error rather than burning prefill
+// compute on a response the client will discard. Callers hold g.mu.
 func (g *Gateway) dropCanceledLocked(queue []*job) []*job {
+	now := time.Now()
 	kept := queue[:0]
 	for _, j := range queue {
 		if j.ctx.Err() != nil {
@@ -288,6 +319,22 @@ func (g *Gateway) dropCanceledLocked(queue []*job) []*job {
 			g.m.queueDepth.Dec()
 			g.m.canceled.Inc()
 			continue
+		}
+		if g.ctl != nil {
+			if dl, ok := j.ctx.Deadline(); ok {
+				if est := g.ctl.ExpectedTTFT(j.class); est > 0 && now.Add(est).After(dl) {
+					g.waiting--
+					g.m.queueDepth.Dec()
+					g.m.deadlineEvicted.Inc()
+					j.req.Trace.Event("overload", now, map[string]string{
+						"action": "deadline-evict", "class": j.class.String(),
+						"expected_ttft": est.String()})
+					g.failQueuedJob(j, fmt.Errorf(
+						"%w: modeled TTFT %v overruns the request deadline",
+						ErrDeadlineUnmeetable, est.Round(time.Millisecond)))
+					continue
+				}
+			}
 		}
 		kept = append(kept, j)
 	}
@@ -547,6 +594,9 @@ func (g *Gateway) completeSeq(l *lane, s *seq) {
 		res.TokensPerSecond = float64(j.req.OutputLen) / e2e
 	}
 	res.PrefillSavedSeconds = j.saved
+	if j.brownout {
+		res.FinishReason = "brownout"
+	}
 	g.m.ttft.Observe(ttft)
 	if tpot > 0 {
 		g.m.tpot.Observe(tpot)

@@ -1,0 +1,488 @@
+package gateway
+
+// overload_test.go covers the overload-control wiring: class-ordered
+// queueing (with a testing/quick ordering property), class-ordered
+// eviction of queued victims, deadline-aware queue eviction, sustained-
+// saturation readiness, the brownout ladder's batch degradations, and a
+// chaos drill (TestChaosOverload) that drives a standing load-spike
+// through 64 mixed-class clients and asserts interactive goodput
+// survives while batch is shed, then full recovery after disarm.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/overload"
+)
+
+// overloadConfig is a gateway with overload control on and the ladder
+// timers pinned so tests control every transition: StepUp is instant on
+// the second high sample, StepDown is effectively never unless a test
+// opts in.
+func overloadConfig(oc *overload.Config) Config {
+	return Config{
+		MaxQueue: 256,
+		MaxBatch: 8,
+		Workers:  2,
+		Registry: metrics.NewRegistry(),
+		Overload: oc,
+	}
+}
+
+func mkJob(cls overload.Class, id int, requeues int) *job {
+	return &job{
+		req:       Request{Lane: "ol", InputLen: id, OutputLen: 4},
+		ctx:       context.Background(),
+		class:     cls,
+		requeues:  requeues,
+		submitted: time.Now().Add(time.Duration(id) * time.Microsecond),
+		done:      make(chan jobOutcome, 1),
+	}
+}
+
+func TestEnqueueClassOrdering(t *testing.T) {
+	l := &lane{key: "ol"}
+	l.enqueueLocked(mkJob(overload.Standard, 0, 0))
+	l.enqueueLocked(mkJob(overload.Batch, 1, 0))
+	l.enqueueLocked(mkJob(overload.Interactive, 2, 0))
+	l.enqueueLocked(mkJob(overload.Batch, 3, 0))
+	l.enqueueLocked(mkJob(overload.Interactive, 4, 0))
+
+	wantClass := []overload.Class{overload.Interactive, overload.Interactive,
+		overload.Standard, overload.Batch, overload.Batch}
+	wantID := []int{2, 4, 0, 1, 3} // FIFO within class
+	for i, j := range l.queue {
+		if j.class != wantClass[i] || j.req.InputLen != wantID[i] {
+			t.Fatalf("queue[%d] = class %v id %d, want class %v id %d",
+				i, j.class, j.req.InputLen, wantClass[i], wantID[i])
+		}
+	}
+}
+
+func TestEnqueueNeverJumpsRequeuedJobs(t *testing.T) {
+	// A watchdog requeue puts a batch job back at the queue front with
+	// its compute already paid for; a newly arriving interactive request
+	// must not leapfrog it.
+	l := &lane{key: "ol"}
+	requeued := mkJob(overload.Batch, 0, 1)
+	l.queue = []*job{requeued}
+	l.enqueueLocked(mkJob(overload.Interactive, 1, 0))
+	if l.queue[0] != requeued {
+		t.Fatal("new interactive arrival jumped ahead of a requeued job")
+	}
+}
+
+// TestQuickClassOrderingProperty is the satellite ordering property: for
+// any arrival sequence, the queue never inverts priorities — classes are
+// non-decreasing front to back, and equal-class jobs keep arrival order.
+func TestQuickClassOrderingProperty(t *testing.T) {
+	prop := func(arrivals []uint8) bool {
+		l := &lane{key: "ol"}
+		for i, a := range arrivals {
+			l.enqueueLocked(mkJob(overload.Class(int(a)%3), i, 0))
+		}
+		for i := 1; i < len(l.queue); i++ {
+			prev, cur := l.queue[i-1], l.queue[i]
+			if cur.class < prev.class {
+				return false // priority inverted
+			}
+			if cur.class == prev.class && cur.req.InputLen < prev.req.InputLen {
+				return false // arrival order broken within a class
+			}
+		}
+		return len(l.queue) == len(arrivals)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictLowerClassPicksNewestLowestPriority(t *testing.T) {
+	g := New(overloadConfig(&overload.Config{}), fixedResolver(fakeCost{pre: 0.001, dec: 0.0005}))
+	l := &lane{key: "ol"}
+	g.lanes["ol"] = l
+	jobs := []*job{
+		mkJob(overload.Standard, 0, 0),
+		mkJob(overload.Batch, 1, 0),
+		mkJob(overload.Batch, 2, 0), // newest batch job: the victim
+	}
+	for _, j := range jobs {
+		l.enqueueLocked(j)
+	}
+	g.waiting = len(jobs)
+
+	g.mu.Lock()
+	ok := g.evictLowerClassLocked(overload.Interactive, time.Now())
+	g.mu.Unlock()
+	if !ok {
+		t.Fatal("expected a batch victim to be evicted for interactive admission")
+	}
+	select {
+	case out := <-jobs[2].done:
+		if !errors.Is(out.err, ErrClassShed) {
+			t.Fatalf("victim outcome = %v, want ErrClassShed", out.err)
+		}
+	default:
+		t.Fatal("newest batch job was not the evicted victim")
+	}
+	if g.waiting != 2 || len(l.queue) != 2 {
+		t.Fatalf("waiting=%d queue=%d after eviction, want 2/2", g.waiting, len(l.queue))
+	}
+	if got := g.Registry().Counter("gateway_class_shed_total", "").Value(); got != 1 {
+		t.Fatalf("gateway_class_shed_total = %d, want 1", got)
+	}
+
+	// No strictly lower class left for a batch arrival: nothing to evict.
+	g.mu.Lock()
+	ok = g.evictLowerClassLocked(overload.Batch, time.Now())
+	g.mu.Unlock()
+	if ok {
+		t.Fatal("batch arrival must not evict batch or better")
+	}
+}
+
+func TestEvictLowerClassSparesRequeuedJobs(t *testing.T) {
+	g := New(overloadConfig(&overload.Config{}), fixedResolver(fakeCost{pre: 0.001, dec: 0.0005}))
+	l := &lane{key: "ol"}
+	g.lanes["ol"] = l
+	l.queue = []*job{mkJob(overload.Batch, 0, 1)} // requeued: compute already paid
+	g.waiting = 1
+
+	g.mu.Lock()
+	ok := g.evictLowerClassLocked(overload.Interactive, time.Now())
+	g.mu.Unlock()
+	if ok {
+		t.Fatal("requeued job must never be an eviction victim")
+	}
+}
+
+// TestGenerateClassEviction drives the eviction end to end: a full queue
+// rejects batch to admit interactive instead of bouncing the higher
+// class.
+func TestGenerateClassEviction(t *testing.T) {
+	cost := &latchCost{fakeCost: fakeCost{pre: 0.001, dec: 0.0005}, ready: make(chan struct{})}
+	cfg := overloadConfig(&overload.Config{StepUp: time.Minute, StepDown: time.Minute})
+	cfg.MaxQueue = 2
+	cfg.MaxBatch = 1
+	cfg.Workers = 1
+	g := New(cfg, fixedResolver(cost))
+
+	// Filler occupies the lane's only batch slot, blocked in prefill.
+	fillerErr := make(chan error, 1)
+	go func() {
+		_, err := g.Generate(context.Background(), Request{Lane: "ol", InputLen: 64, OutputLen: 4})
+		fillerErr <- err
+	}()
+	waitFor(t, func() bool {
+		return g.Registry().Gauge("gateway_inflight", "").Value() == 1
+	})
+
+	// Two batch-class requests fill the queue to MaxQueue.
+	batchErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := g.Generate(context.Background(),
+				Request{Lane: "ol", InputLen: 64, OutputLen: 4, Class: "batch"})
+			batchErrs <- err
+		}()
+	}
+	waitFor(t, func() bool { return g.QueueDepth() == 2 })
+
+	// Interactive arrival against the full queue: a batch victim is
+	// evicted immediately (so the shed error arrives before the latch
+	// opens) and the interactive request takes its place.
+	interErr := make(chan error, 1)
+	go func() {
+		_, err := g.Generate(context.Background(),
+			Request{Lane: "ol", InputLen: 64, OutputLen: 4, Class: "interactive"})
+		interErr <- err
+	}()
+	select {
+	case err := <-batchErrs:
+		if !errors.Is(err, ErrClassShed) {
+			t.Fatalf("evicted batch request got %v, want ErrClassShed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no batch request was evicted for the interactive arrival")
+	}
+
+	close(cost.ready)
+	for ch, name := range map[chan error]string{fillerErr: "filler", interErr: "interactive", batchErrs: "surviving batch"} {
+		if err := <-ch; err != nil {
+			t.Fatalf("%s request failed: %v", name, err)
+		}
+	}
+}
+
+func TestDeadlineEvictionInQueue(t *testing.T) {
+	cost := &latchCost{fakeCost: fakeCost{pre: 0.001, dec: 0.0005}, ready: make(chan struct{})}
+	cfg := overloadConfig(&overload.Config{StepUp: time.Minute, StepDown: time.Minute})
+	cfg.MaxBatch = 1
+	cfg.Workers = 1
+	g := New(cfg, fixedResolver(cost))
+
+	// Teach the limiter that standard-class TTFT is ~1 s, so a queued
+	// request with a 300 ms deadline is provably doomed.
+	g.ctl.Observe(overload.Standard, time.Second, time.Now())
+
+	fillerErr := make(chan error, 1)
+	go func() {
+		_, err := g.Generate(context.Background(), Request{Lane: "ol", InputLen: 64, OutputLen: 8})
+		fillerErr <- err
+	}()
+	waitFor(t, func() bool {
+		return g.Registry().Gauge("gateway_inflight", "").Value() == 1
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	doomedErr := make(chan error, 1)
+	go func() {
+		_, err := g.Generate(ctx, Request{Lane: "ol", InputLen: 64, OutputLen: 4})
+		doomedErr <- err
+	}()
+	waitFor(t, func() bool { return g.QueueDepth() == 1 })
+
+	// Open the latch: the scheduler's next admission scan models the
+	// queued request's TTFT against its deadline and evicts it with the
+	// typed 504 instead of burning prefill on it.
+	close(cost.ready)
+	select {
+	case err := <-doomedErr:
+		if !errors.Is(err, ErrDeadlineUnmeetable) {
+			t.Fatalf("doomed request got %v, want ErrDeadlineUnmeetable", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline-doomed request was never evicted")
+	}
+	if err := <-fillerErr; err != nil {
+		t.Fatalf("filler failed: %v", err)
+	}
+	if got := g.Registry().Counter("gateway_deadline_evicted_total", "").Value(); got != 1 {
+		t.Fatalf("gateway_deadline_evicted_total = %d, want 1", got)
+	}
+}
+
+func TestSaturationHysteresis(t *testing.T) {
+	cfg := overloadConfig(&overload.Config{StepUp: time.Minute, StepDown: time.Minute})
+	cfg.MaxQueue = 4
+	cfg.SaturationWindow = 20 * time.Millisecond
+	g := New(cfg, fixedResolver(fakeCost{pre: 0.001, dec: 0.0005}))
+
+	setWaiting := func(n int) {
+		g.mu.Lock()
+		g.waiting = n
+		g.noteSaturationLocked(time.Now())
+		g.mu.Unlock()
+	}
+
+	setWaiting(4)
+	if g.Saturated() {
+		t.Fatal("saturated before the window elapsed")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if !g.Saturated() {
+		t.Fatal("not saturated after a full window at capacity")
+	}
+	if !g.MemoryPressure() {
+		t.Fatal("MemoryPressure must fold in sustained saturation")
+	}
+
+	// Draining to half-full (hysteresis midpoint) keeps the anchor: a
+	// queue oscillating just below capacity is still saturated.
+	setWaiting(3)
+	if !g.Saturated() {
+		t.Fatal("anchor dropped inside the hysteresis band")
+	}
+
+	// Below half clears it.
+	setWaiting(2)
+	if g.Saturated() {
+		t.Fatal("still saturated after draining below half")
+	}
+}
+
+// climb steps the ladder up n rungs by feeding full-pressure samples
+// with controlled timestamps (StepUp apart).
+func climb(t *testing.T, ctl *overload.Controller, n int) {
+	t.Helper()
+	base := time.Now()
+	step := ctl.Config().StepUp
+	ctl.Evaluate(1, base)
+	for i := 1; i <= n; i++ {
+		lvl, _ := ctl.Evaluate(1, base.Add(time.Duration(i)*(step+time.Millisecond)))
+		if lvl != i {
+			t.Fatalf("ladder at %d after %d up-samples, want %d", lvl, i, i)
+		}
+	}
+}
+
+func TestBrownoutCapsBatchTokens(t *testing.T) {
+	// StepDown is pinned far out so Generate's own low-pressure samples
+	// cannot walk the ladder back down mid-test.
+	g := New(overloadConfig(&overload.Config{
+		StepUp: time.Millisecond, StepDown: time.Hour, BatchTokenCap: 4,
+	}), fixedResolver(fakeCost{pre: 0.001, dec: 0.0005}))
+	climb(t, g.ctl, overload.LevelCapBatch)
+
+	res, err := g.Generate(context.Background(),
+		Request{Lane: "ol", InputLen: 64, OutputLen: 32, Class: "batch"})
+	if err != nil {
+		t.Fatalf("capped batch request failed: %v", err)
+	}
+	if res.FinishReason != "brownout" || res.OutputLen != 4 {
+		t.Fatalf("got finish_reason %q output_len %d, want \"brownout\" / 4",
+			res.FinishReason, res.OutputLen)
+	}
+	if got := g.Registry().Counter("gateway_brownout_capped_total", "").Value(); got != 1 {
+		t.Fatalf("gateway_brownout_capped_total = %d, want 1", got)
+	}
+
+	// Interactive is never capped, at any rung.
+	res, err = g.Generate(context.Background(),
+		Request{Lane: "ol", InputLen: 64, OutputLen: 32, Class: "interactive"})
+	if err != nil || res.FinishReason != "" || res.OutputLen != 32 {
+		t.Fatalf("interactive under brownout: res=%+v err=%v", res, err)
+	}
+}
+
+func TestBrownoutShedsBatchAtTopRung(t *testing.T) {
+	g := New(overloadConfig(&overload.Config{
+		StepUp: time.Millisecond, StepDown: time.Hour,
+	}), fixedResolver(fakeCost{pre: 0.001, dec: 0.0005}))
+	climb(t, g.ctl, overload.LevelShedBatch)
+
+	if _, err := g.Generate(context.Background(),
+		Request{Lane: "ol", InputLen: 64, OutputLen: 4, Class: "batch"}); !errors.Is(err, ErrClassShed) {
+		t.Fatalf("batch at LevelShedBatch got %v, want ErrClassShed", err)
+	}
+	if _, err := g.Generate(context.Background(),
+		Request{Lane: "ol", InputLen: 64, OutputLen: 4, Class: "interactive"}); err != nil {
+		t.Fatalf("interactive at LevelShedBatch failed: %v", err)
+	}
+}
+
+// runClassWave fires n concurrent requests cycling interactive /
+// standard / batch and returns the outcome error per class.
+func runClassWave(t *testing.T, g *Gateway, n int) map[overload.Class][]error {
+	t.Helper()
+	classes := []string{"interactive", "standard", "batch"}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = g.Generate(context.Background(), Request{
+				Lane: "chaos", InputLen: 64, OutputLen: 4, Class: classes[i%3]})
+		}(i)
+	}
+	wg.Wait()
+	out := map[overload.Class][]error{}
+	for i, err := range errs {
+		cls := overload.ClassOf(classes[i%3])
+		out[cls] = append(out[cls], err)
+	}
+	return out
+}
+
+func countOK(errs []error) int {
+	n := 0
+	for _, err := range errs {
+		if err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TestChaosOverload is the overload chaos drill: a standing load-spike
+// (offered load at 2× capacity) drives the ladder to its top rung under
+// 64 mixed-class clients. Interactive goodput must survive — batch is
+// shed class-ordered, never the other way — and once the spike is
+// disarmed the ladder must walk back to nominal and full availability.
+func TestChaosOverload(t *testing.T) {
+	inj := faults.New(1)
+	cfg := chaosConfig(inj)
+	cfg.Overload = &overload.Config{
+		StepUp:   time.Millisecond,
+		StepDown: 5 * time.Millisecond,
+		// Generous limits: this drill isolates the ladder; the limiter's
+		// own gating is covered by the overload package tests.
+		InitialLimit: 128,
+		MaxLimit:     256,
+	}
+	g := New(cfg, fixedResolver(fakeCost{pre: 0.002, dec: 0.0005}))
+
+	if err := inj.Arm(faults.Rule{Class: faults.LoadSpike, Site: siteOverload, Fraction: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wave 1 rides the ladder up; classes race the climb, so assert only
+	// the invariant: interactive goodput is never worse than batch.
+	wave1 := runClassWave(t, g, chaosClients)
+	okI, okB := countOK(wave1[overload.Interactive]), countOK(wave1[overload.Batch])
+	if okI < okB {
+		t.Fatalf("interactive goodput (%d) below batch (%d) under spike", okI, okB)
+	}
+	if okI == 0 {
+		t.Fatal("interactive goodput collapsed to zero under spike")
+	}
+	for _, err := range wave1[overload.Interactive] {
+		if err != nil && !errors.Is(err, ErrConcurrencyLimited) && !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("interactive saw unexpected error under spike: %v", err)
+		}
+	}
+
+	// The standing spike holds pressure at 1: the ladder must reach the
+	// top rung and stay there.
+	waitFor(t, func() bool { return g.BrownoutLevel() == overload.LevelShedBatch })
+
+	// Wave 2 at the top rung is deterministic: every batch request is
+	// shed with the typed 503, every interactive request completes.
+	wave2 := runClassWave(t, g, chaosClients)
+	if n := countOK(wave2[overload.Interactive]); n != len(wave2[overload.Interactive]) {
+		t.Fatalf("interactive goodput %d/%d at top rung, want all",
+			n, len(wave2[overload.Interactive]))
+	}
+	for _, err := range wave2[overload.Batch] {
+		if !errors.Is(err, ErrClassShed) {
+			t.Fatalf("batch at top rung got %v, want ErrClassShed", err)
+		}
+	}
+
+	// Disarm: pressure drops to the (empty) queue's fill fraction, the
+	// ladder steps down one rung per StepDown, and service fully
+	// recovers — the brownout satellite's monotonic-recovery property,
+	// observed end to end.
+	inj.Disarm()
+	last := overload.LevelShedBatch
+	waitFor(t, func() bool {
+		lvl := g.BrownoutLevel()
+		if lvl > last {
+			t.Errorf("ladder climbed from %d to %d during recovery", last, lvl)
+		}
+		last = lvl
+		return lvl == overload.LevelNominal
+	})
+
+	wave3 := runClassWave(t, g, chaosClients)
+	for cls, errs := range wave3 {
+		if n := countOK(errs); n != len(errs) {
+			t.Fatalf("%v goodput %d/%d after recovery, want all", cls, n, len(errs))
+		}
+	}
+	if got := g.Registry().Counter("overload_brownout_steps_up_total", "").Value(); got < uint64(overload.LevelShedBatch) {
+		t.Errorf("brownout steps up = %d, want >= %d", got, overload.LevelShedBatch)
+	}
+
+	if err := g.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

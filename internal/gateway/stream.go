@@ -63,6 +63,7 @@ func (g *Gateway) emitToken(l *lane, s *seq, batch int, degraded bool, now time.
 	j.emitted = idx + 1
 	if idx == 0 {
 		g.m.firstToken.Observe(now.Sub(j.submitted).Seconds())
+		g.ctl.Observe(j.class, now.Sub(j.submitted), now)
 		if tr := j.req.Trace; tr != nil {
 			tr.Add(trace.SpanData{Name: trace.PhaseFirstToken,
 				Start: j.submitted, End: now,

@@ -1,0 +1,74 @@
+package overload
+
+import "fmt"
+
+// Class is a request's SLO class. Numeric order is priority order:
+// lower values are more latency-sensitive and are admitted, queued and
+// kept ahead of higher values under pressure.
+type Class int
+
+const (
+	// Interactive is user-facing latency-sensitive traffic (chat UIs).
+	Interactive Class = iota
+	// Standard is the default class for unlabeled traffic.
+	Standard
+	// Batch is throughput traffic (offline evaluation, backfills): the
+	// first class capped, shed and evicted when the gateway browns out.
+	Batch
+
+	numClasses
+)
+
+// String names the class; ParseClass is its inverse.
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	default:
+		return "standard"
+	}
+}
+
+// share is the fraction of the adaptive concurrency limit the class may
+// occupy: under a shrinking limit batch hits its ceiling first, then
+// standard, and interactive keeps the full limit.
+func (c Class) share() float64 {
+	switch c {
+	case Interactive:
+		return 1.0
+	case Batch:
+		return 0.6
+	default:
+		return 0.85
+	}
+}
+
+// ParseClass resolves an SLO-class name from the API surface (the
+// `priority` body field or the X-SLO-Class header). The empty string is
+// rejected — callers decide their own default; use ClassOf for the
+// tolerant mapping.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "interactive":
+		return Interactive, nil
+	case "standard":
+		return Standard, nil
+	case "batch":
+		return Batch, nil
+	default:
+		return 0, fmt.Errorf("overload: unknown SLO class %q (want interactive, standard or batch)", s)
+	}
+}
+
+// ClassOf maps an already-validated class string to its Class, treating
+// the empty string (and anything unrecognized) as Standard. The API
+// layer validates user input with ParseClass; internal callers that see
+// a free-form gateway Request use this.
+func ClassOf(s string) Class {
+	if c, err := ParseClass(s); err == nil {
+		return c
+	}
+	return Standard
+}
