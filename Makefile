@@ -3,8 +3,9 @@
 GO ?= go
 
 .PHONY: all build vet test check chaos chaos-cluster chaos-overload bench \
-        bench-decode bench-decode-short figures scorecard examples trace-demo \
-        memdemo stream-demo cluster-demo cache-demo overload-demo clean
+        bench-decode bench-decode-short bench-spec bench-spec-short figures \
+        scorecard examples trace-demo memdemo stream-demo cluster-demo \
+        cache-demo overload-demo clean
 
 all: build vet test
 
@@ -207,6 +208,18 @@ bench-decode:
 # CI-sized variant: smaller shapes, fewer reps, still writes the artifact.
 bench-decode-short:
 	$(GO) run ./cmd/gemmbench -decode -short -json BENCH_decode.json
+
+# Speculative decoding sweep: measured draft+verify vs fused greedy
+# baseline across kernel tiers and acceptance rates (bit-identity asserted
+# per point), plus the modeled roofline sweep on the paper platform where
+# memory-bound decode makes speculation pay. Writes BENCH_specdec.json.
+bench-spec:
+	$(GO) run ./cmd/gemmbench -spec -json BENCH_specdec.json
+
+# CI-sized variant: one kernel tier, one acceptance rate, same modeled
+# sweep and the same >= 1.5x tile-tier self-check.
+bench-spec-short:
+	$(GO) run ./cmd/gemmbench -spec -short -json BENCH_specdec.json
 
 # Regenerate every table and figure of the evaluation as text.
 figures:

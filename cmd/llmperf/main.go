@@ -228,6 +228,9 @@ func loadGenerate(base, platform, modelName string, in, out, n, concurrency int)
 		replicas  = map[string]int{}
 		failovers int
 		hedged    int
+		// spec accumulates speculation totals from X-Speculation headers;
+		// silent when the server never advertises speculation.
+		spec specStats
 	)
 	jobs := make(chan struct{})
 	var wg sync.WaitGroup
@@ -261,6 +264,7 @@ func loadGenerate(base, platform, modelName string, in, out, n, concurrency int)
 						if resp.Header.Get("X-Hedged") == "true" {
 							hedged++
 						}
+						spec.observe(resp.Header.Get("X-Speculation"))
 					}
 					resp.Body.Close()
 				}
@@ -296,6 +300,65 @@ func loadGenerate(base, platform, modelName string, in, out, n, concurrency int)
 	}
 	printReplicaDistribution(replicas, failovers, hedged)
 	printPhaseBreakdown(phases)
+	spec.print()
+}
+
+// specStats accumulates the server's speculative-decoding outcomes from
+// X-Speculation headers ("on;proposed=N;accepted=N;passes=N" / "off").
+type specStats struct {
+	on, off                    int
+	proposed, accepted, passes int
+}
+
+func (s *specStats) observe(header string) {
+	if header == "" {
+		return
+	}
+	fields := strings.Split(header, ";")
+	if fields[0] != "on" {
+		s.off++
+		return
+	}
+	s.on++
+	for _, f := range fields[1:] {
+		name, val, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "proposed":
+			s.proposed += v
+		case "accepted":
+			s.accepted += v
+		case "passes":
+			s.passes += v
+		}
+	}
+}
+
+// print renders the speculation section of the report: how much of the
+// decode work the draft proposed, how much the target accepted, and the
+// verification passes it cost. Silent when the server never sent
+// X-Speculation (no draft model configured).
+func (s *specStats) print() {
+	if s.on+s.off == 0 {
+		return
+	}
+	fmt.Println("  speculation (X-Speculation):")
+	fmt.Printf("    requests     : %d speculative, %d plain\n", s.on, s.off)
+	if s.passes == 0 {
+		return
+	}
+	fmt.Printf("    acceptance   : %.1f%% (%d of %d proposed)\n",
+		100*float64(s.accepted)/float64(max(s.proposed, 1)), s.accepted, s.proposed)
+	fmt.Printf("    accepted run : %.2f tokens mean per verify pass\n",
+		float64(s.accepted)/float64(s.passes))
+	fmt.Printf("    verify passes: %d (%.2f per speculative request)\n",
+		s.passes, float64(s.passes)/float64(max(s.on, 1)))
 }
 
 // printReplicaDistribution renders how a clustered llmperfd spread the
@@ -355,6 +418,9 @@ func loadStream(base, platform, modelName string, in, out, n, concurrency int) {
 		replicas  = map[string]int{}
 		failovers int
 		hedged    int
+		// spec accumulates speculation totals from the terminal event's
+		// in-band "speculation" field (same format as X-Speculation).
+		spec specStats
 	)
 	jobs := make(chan struct{})
 	var wg sync.WaitGroup
@@ -384,6 +450,7 @@ func loadStream(base, platform, modelName string, in, out, n, concurrency int) {
 				var reqReplica string
 				var reqFailovers int
 				var reqHedged bool
+				var reqSpec string
 				reqTokens, done := 0, false
 				last := t0
 				sc := bufio.NewScanner(resp.Body)
@@ -398,14 +465,16 @@ func loadStream(base, platform, modelName string, in, out, n, concurrency int) {
 						break
 					}
 					var ev struct {
-						Object    string `json:"object"`
-						Replica   string `json:"replica"`
-						Failovers int    `json:"failovers"`
-						Hedged    bool   `json:"hedged"`
+						Object      string `json:"object"`
+						Replica     string `json:"replica"`
+						Failovers   int    `json:"failovers"`
+						Hedged      bool   `json:"hedged"`
+						Speculation string `json:"speculation"`
 					}
 					if json.Unmarshal([]byte(data), &ev) != nil || ev.Object != "generate.token" {
 						if ev.Object == "generate.result" {
 							reqReplica, reqFailovers, reqHedged = ev.Replica, ev.Failovers, ev.Hedged
+							reqSpec = ev.Speculation
 						}
 						continue // terminal result event, or error envelope
 					}
@@ -434,6 +503,7 @@ func loadStream(base, platform, modelName string, in, out, n, concurrency int) {
 						hedged++
 					}
 				}
+				spec.observe(reqSpec)
 				if !done {
 					aborted++
 				}
@@ -482,6 +552,7 @@ func loadStream(base, platform, modelName string, in, out, n, concurrency int) {
 			float64(tokens)/wall, float64(len(e2es))/wall)
 	}
 	printReplicaDistribution(replicas, failovers, hedged)
+	spec.print()
 }
 
 // printPhaseBreakdown renders the server-side phase percentiles collected

@@ -43,6 +43,12 @@ func FuzzGenerateBody(f *testing.F) {
 		`{"platform":"tiny-opt","priority":""}`,
 		`{"platform":"tiny-opt","cache":{"min_prefix_tokens":-5}}`,
 		`{"platform":"tiny-opt","priority":42}`,
+		// Speculation options, valid and not.
+		`{"platform":"tiny-opt","speculation":{"enabled":false}}`,
+		`{"platform":"tiny-opt","speculation":{"lookahead":2}}`,
+		`{"platform":"tiny-opt","speculation":{"lookahead":-1}}`,
+		`{"platform":"tiny-opt","speculation":{"lookhaed":3}}`,
+		`{"platform":"tiny-opt","speculation":"yes"}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s), "", "")

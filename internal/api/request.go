@@ -92,6 +92,12 @@ type GenerateRequest struct {
 	// out, "min_prefix_tokens" discards short matches). Kept raw so
 	// malformed options produce the typed invalid_cache_param error.
 	Cache json.RawMessage `json:"cache"`
+	// Speculation tunes speculative decoding per request on lanes whose
+	// server runs with a draft model ({"enabled": false} opts out,
+	// "lookahead" caps the per-cycle proposal length below the server's
+	// -spec-k). Kept raw so malformed options produce the typed
+	// invalid_spec_param error.
+	Speculation json.RawMessage `json:"speculation"`
 	// Priority is the request's SLO class (interactive | standard |
 	// batch; default standard). It orders queue admission and selects
 	// shedding victims under overload: batch work is shed before
@@ -168,6 +174,45 @@ func parseCacheOptions(raw json.RawMessage) (cacheOptions, error) {
 	if opts.MinPrefixTokens < 0 {
 		return opts, fmt.Errorf("%w: cache.min_prefix_tokens must be non-negative, got %d",
 			errInvalidCacheParam, opts.MinPrefixTokens)
+	}
+	return opts, nil
+}
+
+// specOptions is the decoded form of the speculation body field.
+type specOptions struct {
+	// Enabled opts the request out of speculative decoding when false:
+	// its sequences decode one token per iteration even on a lane with a
+	// draft. Absent means enabled.
+	Enabled *bool `json:"enabled"`
+	// Lookahead caps this request's per-cycle draft proposal length below
+	// the server's configured maximum; 0 means no per-request cap.
+	Lookahead int `json:"lookahead"`
+}
+
+// disabled reports whether the options opt the request out.
+func (s specOptions) disabled() bool { return s.Enabled != nil && !*s.Enabled }
+
+// errInvalidSpecParam marks malformed speculation options; handlers map
+// it to HTTP 400 with the typed invalid_spec_param code.
+var errInvalidSpecParam = errors.New("invalid speculation parameter")
+
+// parseSpecOptions strictly validates the speculation body field, with
+// the same posture as parseCacheOptions: unknown fields and wrong types
+// are rejected so a client that misspells "enabled" cannot believe it
+// opted out.
+func parseSpecOptions(raw json.RawMessage) (specOptions, error) {
+	var opts specOptions
+	if len(raw) == 0 || string(raw) == "null" {
+		return opts, nil
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&opts); err != nil {
+		return opts, fmt.Errorf("%w: speculation: %v", errInvalidSpecParam, err)
+	}
+	if opts.Lookahead < 0 {
+		return opts, fmt.Errorf("%w: speculation.lookahead must be non-negative, got %d",
+			errInvalidSpecParam, opts.Lookahead)
 	}
 	return opts, nil
 }
@@ -500,6 +545,62 @@ func LaneResolver() gateway.Resolver {
 			return serve.NewCPUCost(setup, m), nil
 		}
 		return serve.NewGPUCost(*entry.GPU, m), nil
+	}
+}
+
+// SpecLaneResolver is LaneResolver with draft-model speculation: lanes
+// that can price a draft return a serve.SpecCostModel, which the gateway
+// detects and upgrades to draft-assisted decode cycles. Tiny-* lanes pair
+// the measured target engine with a one-layer draft of the same family
+// (draftModel is ignored — the engines must share a vocabulary); analytic
+// CPU lanes price the named registry draft model on the lane's platform.
+// GPU lanes fall back to plain pricing — the paper's CPU-side speculation
+// argument doesn't transfer, and the GPU model has no draft calibration.
+func SpecLaneResolver(draftModel string) gateway.Resolver {
+	base := LaneResolver()
+	return func(lane string) (serve.CostModel, error) {
+		parts := strings.Split(lane, "|")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("api: malformed lane key %q", lane)
+		}
+		platform, modelName, coresStr, memMode, cluster := parts[0], parts[1], parts[2], parts[3], parts[4]
+		if strings.HasPrefix(platform, "tiny-") {
+			fam := strings.TrimPrefix(platform, "tiny-")
+			opts := engine.Options{Kernel: engine.KernelTileBF16Parallel, Pool: sharedLanePool()}
+			target, err := core.TinyEngineWith(fam, opts)
+			if err != nil {
+				return nil, err
+			}
+			draft, err := core.TinyDraftEngineWith(fam, opts)
+			if err != nil {
+				return nil, err
+			}
+			return serve.NewSpecEngineCost(target, draft), nil
+		}
+		m, err := core.ModelByName(modelName)
+		if err != nil {
+			return nil, err
+		}
+		entry, err := hw.PlatformByKey(platform)
+		if err != nil {
+			return nil, err
+		}
+		if entry.Kind != hw.CPUPlatform {
+			return base(lane)
+		}
+		dm, err := core.ModelByName(draftModel)
+		if err != nil {
+			return nil, fmt.Errorf("api: draft model: %w", err)
+		}
+		cores, err := strconv.Atoi(coresStr)
+		if err != nil {
+			return nil, fmt.Errorf("api: malformed lane cores in %q", lane)
+		}
+		setup, err := cpuSetup(entry, cores, memMode, cluster)
+		if err != nil {
+			return nil, err
+		}
+		return serve.NewSpecCPUCost(setup, m, dm), nil
 	}
 }
 

@@ -140,7 +140,34 @@ func TinyEngineWith(family string, opts engine.Options) (*engine.Engine, error) 
 	if err != nil {
 		return nil, err
 	}
-	if opts.Kernel == engine.KernelInt8 {
+	if opts.Kernel == engine.KernelInt8 || opts.Kernel == engine.KernelLUT {
+		w.QuantizeAll()
+	}
+	return engine.New(w, opts)
+}
+
+// TinyDraftEngineWith builds the draft companion for a tiny-* lane: the
+// same family and shapes as TinyEngineWith's target but a single
+// transformer layer, so one draft decode step is a small fraction of a
+// target step. The vocabulary and embedding width match the target, which
+// speculative verification requires.
+func TinyDraftEngineWith(family string, opts engine.Options) (*engine.Engine, error) {
+	var f model.Family
+	switch family {
+	case "opt":
+		f = model.OPT
+	case "llama":
+		f = model.LLaMA2
+	default:
+		return nil, fmt.Errorf("core: unknown family %q (want opt or llama)", family)
+	}
+	cfg := model.Tiny(f)
+	cfg.Layers = 1
+	w, err := engine.NewWeights(cfg, 43, tensor.BF16)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Kernel == engine.KernelInt8 || opts.Kernel == engine.KernelLUT {
 		w.QuantizeAll()
 	}
 	return engine.New(w, opts)

@@ -117,8 +117,11 @@ func New(w *Weights, opts Options) (*Engine, error) {
 	if w == nil {
 		return nil, fmt.Errorf("engine: nil weights")
 	}
-	if opts.Kernel == KernelInt8 && w.Layers[0].Wq.Q == nil {
-		return nil, fmt.Errorf("engine: int8 kernel requires quantized weights (call QuantizeAll)")
+	if (opts.Kernel == KernelInt8 || opts.Kernel == KernelLUT) && w.Layers[0].Wq.Q == nil {
+		return nil, fmt.Errorf("engine: %s kernel requires quantized weights (call QuantizeAll)", opts.Kernel)
+	}
+	if opts.Kernel == KernelLUT && opts.DisablePacking {
+		return nil, fmt.Errorf("engine: lut-gemv kernel requires packing (codebooks are built at pack time)")
 	}
 	pool := opts.Pool
 	if pool == nil && (opts.Kernel == KernelParallel || opts.Kernel == KernelTileBF16Parallel) {
@@ -188,6 +191,11 @@ func (s *Session) KVBytes() int64 {
 // the unpacked kernel — numerically bit-identical, but the per-call weight
 // conversion and strided streaming disappear.
 func (e *Engine) linear(m int, x []float32, l *Linear, out []float32) {
+	if pl := e.lutOf(l); pl != nil {
+		kernels.GemmLUT(m, x, pl, out)
+		e.addBias(m, l, out)
+		return
+	}
 	if pb := e.packOf(l); pb != nil {
 		var j kernels.PackedJob
 		kernels.GemmPackedPooled(e.pool, &j, m, x, pb, out)
@@ -221,6 +229,15 @@ func (e *Engine) packOf(l *Linear) *kernels.PackedB {
 	return l.packFor(e.opts.Kernel)
 }
 
+// lutOf returns l's codebook pack when the LUT tier is active and the
+// layer has one (the logits head deliberately has none — it stays exact).
+func (e *Engine) lutOf(l *Linear) *kernels.PackedLUT {
+	if e.opts.Kernel != KernelLUT || e.opts.DisablePacking {
+		return nil
+	}
+	return l.plut
+}
+
 func (e *Engine) addBias(m int, l *Linear, out []float32) {
 	if l.Bias == nil {
 		return
@@ -236,6 +253,13 @@ func (e *Engine) addBias(m int, l *Linear, out []float32) {
 // per row — each sequence keeps its own scale, exactly as the legacy
 // per-sequence loop did, so fused and per-seq decode stay bit-identical.
 func (e *Engine) linBatch(ar *arena, m int, x []float32, l *Linear, out []float32) {
+	if pl := e.lutOf(l); pl != nil {
+		// Row-independent lookups: fused and per-seq LUT decode agree bit
+		// for bit, like every other tier.
+		kernels.GemmLUT(m, x, pl, out)
+		e.addBias(m, l, out)
+		return
+	}
 	if e.opts.Kernel == KernelInt8 && l.Q != nil {
 		for i := 0; i < m; i++ {
 			xq := ar.xq[:l.In]

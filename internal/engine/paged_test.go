@@ -165,7 +165,7 @@ func TestSpeculativeOnPagedStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	next, err := e.verifyRows(s, []int{first[0], 1, 2})
+	next, err := e.VerifyRows(s, []int{first[0], 1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,107 @@
+package engine
+
+// spec_tiers_test.go asserts speculative decoding's defining invariant on
+// every kernel tier and attention/session variant: greedy output through
+// the draft+verify path is bit-identical to the same engine's own greedy
+// generation. The lut-gemv tier is approximate relative to the exact
+// tiers (bounded error, asserted in kernels/lut_test.go), but speculation
+// on it must still match *its own* greedy decode bit for bit — the
+// verification pass and the plain decode path run the same kernels.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+var allKernelTiers = []Kernel{KernelBlocked, KernelParallel, KernelTileBF16,
+	KernelTileBF16Parallel, KernelInt8, KernelLUT}
+
+func TestSpeculativeBitIdenticalOnAllTiers(t *testing.T) {
+	cfg := model.Tiny(model.OPT)
+	tw, err := NewWeights(cfg, 42, tensor.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw.QuantizeAll() // int8 and lut-gemv tiers need the INT8 shadow
+	dcfg := cfg
+	dcfg.Layers = 1
+	dw, err := NewWeights(dcfg, 7, tensor.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw.QuantizeAll()
+
+	const maxNew, lookahead = 12, 3
+	for _, kern := range allKernelTiers {
+		for _, flash := range []bool{false, true} {
+			for _, paged := range []bool{false, true} {
+				name := fmt.Sprintf("%s/flash=%v/paged=%v", kern, flash, paged)
+				t.Run(name, func(t *testing.T) {
+					opts := Options{Kernel: kern, FlashAttention: flash}
+					target, err := New(tw, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					draft, err := New(dw, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p := prompt(target, 10, 41)
+					want, _, err := target.Generate([][]int{p}, maxNew)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, st, err := SpeculativeGenerateOpts(target, draft, p, maxNew,
+						SpecOptions{Lookahead: lookahead, Paged: paged, BlockSize: 8})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != maxNew {
+						t.Fatalf("got %d tokens, want %d", len(got), maxNew)
+					}
+					for i := range want[0] {
+						if got[i] != want[0][i] {
+							t.Fatalf("diverged from greedy at token %d (%d vs %d), stats %+v",
+								i, got[i], want[0][i], st)
+						}
+					}
+					if st.Proposed <= 0 || st.TargetPasses <= 0 {
+						t.Errorf("degenerate stats %+v", st)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSpeculativeSteeringPreservesGreedy: an adversarial Steer function —
+// one that rewrites every proposal to a fixed wrong token — must not
+// change the output, only the acceptance rate. This is what lets
+// gemmbench pin acceptance at arbitrary α without compromising the
+// bit-identity guarantee.
+func TestSpeculativeSteeringPreservesGreedy(t *testing.T) {
+	target, draft := specEngines(t, 7)
+	p := prompt(target, 10, 41)
+	want, _, err := target.Generate([][]int{p}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := SpeculativeGenerateOpts(target, draft, p, 12, SpecOptions{
+		Lookahead: 4,
+		Steer:     func(outLen, i, proposed int) int { return (proposed + 1) % target.cfg.Vocab },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want[0] {
+		if got[i] != want[0][i] {
+			t.Fatalf("steered speculation diverged at %d", i)
+		}
+	}
+	if st.AcceptanceRate() >= 1 {
+		t.Errorf("uniformly wrong steering should not be fully accepted: %+v", st)
+	}
+}

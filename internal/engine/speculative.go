@@ -34,12 +34,38 @@ func (s SpecStats) AcceptanceRate() float64 {
 	return float64(s.Accepted) / float64(s.Proposed)
 }
 
+// SpecOptions tunes SpeculativeGenerateOpts beyond the plain lookahead.
+type SpecOptions struct {
+	// Lookahead is the draft proposal length k per cycle.
+	Lookahead int
+	// Paged allocates paged KV sessions (vLLM-style blocks) for both
+	// engines instead of dense caches; BlockSize defaults to 16.
+	Paged     bool
+	BlockSize int
+	// Steer, when non-nil, rewrites each draft proposal before
+	// verification: it receives the output length so far, the proposal
+	// index i within the cycle, and the draft's proposed token, and
+	// returns the token to propose instead. Benchmarks use it to pin the
+	// measured acceptance rate (propose the known-correct token with
+	// probability α) while the draft still runs honestly for cost — the
+	// verification pass repairs any wrong proposal, so greedy output is
+	// unchanged by any Steer function.
+	Steer func(outLen, i, proposed int) int
+}
+
 // SpeculativeGenerate generates maxNew tokens for a single prompt using
 // draft to propose lookahead batches of k tokens and the target engine to
 // verify them greedily. Both engines must share the vocabulary. The
 // returned tokens are identical to target.Generate's greedy output.
 func SpeculativeGenerate(target, draft *Engine, prompt []int, maxNew, k int) ([]int, SpecStats, error) {
+	return SpeculativeGenerateOpts(target, draft, prompt, maxNew, SpecOptions{Lookahead: k})
+}
+
+// SpeculativeGenerateOpts is SpeculativeGenerate with session and
+// steering control (see SpecOptions).
+func SpeculativeGenerateOpts(target, draft *Engine, prompt []int, maxNew int, opts SpecOptions) ([]int, SpecStats, error) {
 	var st SpecStats
+	k := opts.Lookahead
 	if maxNew <= 0 {
 		return nil, st, errMaxNew
 	}
@@ -51,8 +77,18 @@ func SpeculativeGenerate(target, draft *Engine, prompt []int, maxNew, k int) ([]
 			draft.cfg.Vocab, target.cfg.Vocab)
 	}
 	maxSeq := len(prompt) + maxNew + k + 1
-	ts := target.NewSession(1, maxSeq)
-	ds := draft.NewSession(1, maxSeq)
+	var ts, ds *Session
+	if opts.Paged {
+		bs := opts.BlockSize
+		if bs <= 0 {
+			bs = 16
+		}
+		ts = target.NewPagedSession(1, maxSeq, bs)
+		ds = draft.NewPagedSession(1, maxSeq, bs)
+	} else {
+		ts = target.NewSession(1, maxSeq)
+		ds = draft.NewSession(1, maxSeq)
+	}
 
 	// Both models prefill the prompt; the target's greedy token is the
 	// first output.
@@ -84,15 +120,22 @@ func SpeculativeGenerate(target, draft *Engine, prompt []int, maxNew, k int) ([]
 			if err != nil {
 				return nil, st, err
 			}
-			proposal = append(proposal, next[0])
-			last = next[0]
+			tok := next[0]
+			if opts.Steer != nil {
+				tok = opts.Steer(len(out), i, tok)
+				if tok < 0 || tok >= target.cfg.Vocab {
+					return nil, st, fmt.Errorf("engine: steered token %d outside vocab %d", tok, target.cfg.Vocab)
+				}
+			}
+			proposal = append(proposal, tok)
+			last = tok
 		}
 		st.Proposed += len(proposal)
 
 		// Target verifies: one forward pass over [lastAccepted, proposal...]
 		// produces the target's greedy next-token at every position.
 		verify := append([]int{out[len(out)-1]}, proposal...)
-		targetNext, err := target.verifyRows(ts, verify)
+		targetNext, err := target.VerifyRows(ts, verify)
 		if err != nil {
 			return nil, st, err
 		}
@@ -119,11 +162,14 @@ func SpeculativeGenerate(target, draft *Engine, prompt []int, maxNew, k int) ([]
 	return out[:maxNew], st, nil
 }
 
-// verifyRows runs one multi-row target pass over toks (continuing the
-// committed cache) and returns the greedy next token after each row. The
-// cache is left *uncommitted* beyond the current position; the caller
-// commits the accepted prefix via rollback.
-func (e *Engine) verifyRows(s *Session, toks []int) ([]int, error) {
+// VerifyRows runs one multi-row target pass over toks (continuing the
+// committed cache) and returns the greedy next token after each row —
+// the fused verification step of speculative decoding, exported so cost
+// models and benchmarks can time the pass in isolation. The cache is
+// left *uncommitted* beyond the current position; the caller commits the
+// accepted prefix via Commit (or discards by committing the old
+// position).
+func (e *Engine) VerifyRows(s *Session, toks []int) ([]int, error) {
 	if err := e.checkTokens(toks); err != nil {
 		return nil, err
 	}
@@ -141,15 +187,20 @@ func (e *Engine) verifyRows(s *Session, toks []int) ([]int, error) {
 	return next, nil
 }
 
-// rollback commits the session's caches to exactly n positions (which may
-// be beyond the previous commit — forwardSeq has already written the KV
-// entries — but never before it).
-func (s *Session) rollback(n int) {
+// Commit fixes the session's caches at exactly n positions (which may be
+// beyond the previous commit — VerifyRows has already written the KV
+// entries — but never before it). It is the acceptance step after a
+// verification pass: commit pos+1+accepted to keep the consumed row for
+// the previous token plus the accepted proposals.
+func (s *Session) Commit(n int) {
 	for _, c := range s.caches {
 		c.ExtendTo(n)
 	}
 	s.pos = n
 }
+
+// rollback is the historical internal name for Commit.
+func (s *Session) rollback(n int) { s.Commit(n) }
 
 // syncDraft replays target-accepted tokens the draft has not processed
 // yet, so the draft cache always reflects the accepted sequence.

@@ -35,6 +35,11 @@ const (
 	KernelTileBF16Parallel
 	// KernelInt8 uses INT8 weights with VNNI-style int32 accumulation.
 	KernelInt8
+	// KernelLUT uses NoMAD/SAIL-style lookup-table GEMV over codebook-
+	// quantized weights, built on the INT8 path (the codebooks quantize
+	// the dequantized INT8 shadow). Approximate: outputs are bounded-error
+	// rather than bit-identical to FP32; the logits head stays exact.
+	KernelLUT
 )
 
 // String returns the kernel name.
@@ -50,6 +55,8 @@ func (k Kernel) String() string {
 		return "parallel-tile-bf16"
 	case KernelInt8:
 		return "int8"
+	case KernelLUT:
+		return "lut-gemv"
 	default:
 		return fmt.Sprintf("kernel(%d)", int(k))
 	}
@@ -67,8 +74,9 @@ type Linear struct {
 	Q       []int8    // int8 shadow, populated by Quantize
 	QScale  float32
 
-	pf32  *kernels.PackedB // FP32 panel pack (blocked/parallel tiers)
-	pbf16 *kernels.PackedB // BF16 pre-rounded panel pack (tile tiers)
+	pf32  *kernels.PackedB   // FP32 panel pack (blocked/parallel tiers)
+	pbf16 *kernels.PackedB   // BF16 pre-rounded panel pack (tile tiers)
+	plut  *kernels.PackedLUT // codebook pack (LUT tier, from the INT8 shadow)
 }
 
 // Quantize populates the INT8 shadow representation.
@@ -136,6 +144,17 @@ func (w *Weights) ensurePacked(k Kernel) {
 			if l.pf32 == nil {
 				l.pf32 = kernels.PackB(l.In, l.Out, l.W)
 			}
+		case KernelLUT:
+			if l.plut == nil && l.Q != nil {
+				// The codebooks quantize the dequantized INT8 shadow, so
+				// the LUT tier sits on the INT8 path's numerics rather
+				// than introducing a third weight representation.
+				deq := make([]float32, l.In*l.Out)
+				for i, q := range l.Q {
+					deq[i] = float32(q) * l.QScale
+				}
+				l.plut = kernels.PackLUT(l.In, l.Out, deq)
+			}
 		}
 	}
 	for i := range w.Layers {
@@ -144,7 +163,11 @@ func (w *Weights) ensurePacked(k Kernel) {
 			pack(l)
 		}
 	}
-	pack(&w.LMHead)
+	if k != KernelLUT {
+		// The logits head stays exact on the LUT tier: argmax over ~vocab
+		// logits is the one place bounded error flips discrete outputs.
+		pack(&w.LMHead)
+	}
 	if w.Config.Family == model.OPT && w.tiedHead == nil {
 		// The tied head is computed in FP32 by every kernel tier
 		// (GemmTransB previously), so its pack is always FP32.

@@ -76,6 +76,12 @@ type job struct {
 	// model-seconds that adoption avoided, fixed at prefill pricing.
 	cached int
 	saved  float64
+	// Speculative-decoding attribution (spec.go): draft tokens proposed
+	// for this job, those verification accepted, and the fused passes it
+	// rode. Job-level so they survive requeues, like emitted.
+	specProposed int
+	specAccepted int
+	specPasses   int
 }
 
 // seq is one in-flight sequence being decoded.
@@ -116,6 +122,10 @@ type lane struct {
 	br       breaker
 	crashes  []time.Time
 	restarts int
+
+	// spec is the lane's speculative-decoding state (spec.go); nil when
+	// the gateway or this lane's cost model doesn't support speculation.
+	spec *laneSpec
 
 	vclock float64
 }
@@ -410,6 +420,13 @@ func (g *Gateway) continuousIteration(l *lane, admitted []*job) (float64, error)
 		}
 	}
 	batch := len(l.running)
+	if l.spec != nil {
+		if g.specSuspended(l, time.Now()) {
+			g.m.specSuspended.Inc()
+		} else if cost, ok, err := g.speculativeDecode(l, batch, maxCtx); ok || err != nil {
+			return cost, err
+		}
+	}
 	cost, info, err := g.priceIteration(l, false, batch, maxCtx)
 	if err != nil {
 		return 0, err
@@ -594,6 +611,9 @@ func (g *Gateway) completeSeq(l *lane, s *seq) {
 		res.TokensPerSecond = float64(j.req.OutputLen) / e2e
 	}
 	res.PrefillSavedSeconds = j.saved
+	res.SpecProposed = j.specProposed
+	res.SpecAccepted = j.specAccepted
+	res.SpecPasses = j.specPasses
 	if j.brownout {
 		res.FinishReason = "brownout"
 	}

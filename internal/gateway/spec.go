@@ -1,0 +1,256 @@
+package gateway
+
+// spec.go wires speculative decoding (internal/specdec, engine
+// speculative.go) into the live serving path. A lane whose cost model
+// implements serve.SpecCostModel gains a draft engine: each decode
+// iteration becomes one speculation cycle — k draft steps plus one fused
+// multi-row verification pass over the running batch — and every sequence
+// commits its accepted run plus the verification bonus token. The cycle
+// is priced through the same watchdog/injection/breaker weave as a plain
+// decode step (pricedCall), so chaos faults, watchdog requeues, KV
+// preemption and degraded mode keep working; committed tokens flow
+// through the exactly-once emission path (stream.go), so SSE streaming
+// and requeue deduplication are untouched.
+//
+// The gateway schedules priced iterations over synthetic index-only
+// tokens, so acceptance is sampled rather than computed from logits: each
+// sequence's accepted run is the leading Bernoulli(α) successes of its
+// proposal, with α the configured acceptance rate and the sampler seeded
+// per lane for reproducibility. The adaptive controller
+// (specdec.Adaptive) tracks realized acceptance and shrinks k — to 1
+// when α is poor — exactly as a logit-verifying scheduler would. Greedy
+// equivalence of real speculative decoding is the engine layer's
+// property (bit-identity tests in internal/engine); this layer models
+// its scheduling, pricing and governance.
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"repro/internal/overload"
+	"repro/internal/serve"
+	"repro/internal/specdec"
+	"repro/internal/trace"
+)
+
+// SpecConfig tunes gateway-wide speculative decoding.
+type SpecConfig struct {
+	// Lookahead is the maximum draft proposal length k per cycle; the
+	// per-lane adaptive controller works downward from it. Default 4.
+	Lookahead int
+	// Acceptance is the modeled per-token probability α that the target
+	// accepts a draft token. Default 0.8.
+	Acceptance float64
+	// Seed seeds the per-lane acceptance samplers (combined with the
+	// lane key, so distinct lanes draw independent streams). 0 means 1.
+	Seed int64
+}
+
+func (c *SpecConfig) withDefaults() SpecConfig {
+	s := *c
+	if s.Lookahead <= 0 {
+		s.Lookahead = 4
+	}
+	if s.Acceptance <= 0 {
+		s.Acceptance = 0.8
+	}
+	if s.Acceptance > 1 {
+		s.Acceptance = 1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// laneSpec is a lane's speculative state, owned by the lane goroutine
+// except adapt (internally locked) which metrics snapshots may read.
+type laneSpec struct {
+	cm    serve.SpecCostModel
+	rng   *rand.Rand
+	adapt *specdec.Adaptive
+	alpha float64
+	maxK  int
+}
+
+// initLaneSpec attaches speculative state to a newly created lane when
+// the gateway is configured for speculation and the lane's cost model can
+// price draft steps and verification passes. Lanes whose model cannot
+// simply decode plainly.
+func (g *Gateway) initLaneSpec(l *lane) {
+	if g.cfg.Spec == nil {
+		return
+	}
+	scm, ok := l.cost.(serve.SpecCostModel)
+	if !ok {
+		return
+	}
+	sc := g.cfg.Spec.withDefaults()
+	h := fnv.New64a()
+	h.Write([]byte(l.key))
+	l.spec = &laneSpec{
+		cm:    scm,
+		rng:   rand.New(rand.NewSource(sc.Seed ^ int64(h.Sum64()))),
+		adapt: specdec.NewAdaptive(sc.Lookahead),
+		alpha: sc.Acceptance,
+		maxK:  sc.Lookahead,
+	}
+}
+
+// specSuspended reports whether this iteration must decode plainly even
+// though the lane is speculation-capable: the brownout ladder at or above
+// the cap-batch rung sheds the draft's extra compute first, and an open
+// breaker means pricing would come from the fallback model, which cannot
+// price a draft. The read is non-advancing (Controller.Level), so
+// checking it here never moves the ladder.
+func (g *Gateway) specSuspended(l *lane, now time.Time) bool {
+	if g.ctl.Level() >= overload.LevelCapBatch {
+		return true
+	}
+	return !l.br.allowPrimary(now)
+}
+
+// speculativeDecode runs one speculation cycle for the lane's running
+// batch. It returns ok=false — without pricing anything — when no
+// sequence can usefully speculate this iteration (all disabled or on
+// their final token), letting the caller fall through to a plain decode
+// step. Sequences are assumed to have grown their leases by one token
+// already (growRunning); the extra proposal pages are claimed here and
+// are the first thing dropped under KV pressure.
+func (g *Gateway) speculativeDecode(l *lane, batch, maxCtx int) (cost float64, ok bool, err error) {
+	sp := l.spec
+	k := sp.adapt.K()
+	if k > sp.maxK {
+		k = sp.maxK
+	}
+
+	// Plan each sequence's proposal and sample its accepted run up front:
+	// acceptance drives KV growth, and the sampler must advance exactly
+	// once per participating sequence per cycle for reproducibility.
+	type plan struct {
+		proposed, accepted, committed int
+	}
+	plans := make([]plan, len(l.running))
+	cycleK := 0
+	for i, s := range l.running {
+		prop := k
+		if lim := s.j.req.SpecLookahead; lim > 0 && lim < prop {
+			prop = lim
+		}
+		if rem := s.remaining - 1; prop > rem {
+			prop = rem
+		}
+		if s.j.req.SpecDisabled || prop < 0 {
+			prop = 0
+		}
+		acc := 0
+		for acc < prop && sp.rng.Float64() < sp.alpha {
+			acc++
+		}
+		plans[i] = plan{proposed: prop, accepted: acc, committed: acc + 1}
+		if prop > cycleK {
+			cycleK = prop
+		}
+	}
+	if cycleK == 0 {
+		return 0, false, nil
+	}
+
+	// KV governance: each sequence's lease must also cover the proposal
+	// rows beyond the one token growRunning already granted. Draft state
+	// is the first casualty of memory pressure — a sequence whose extra
+	// pages don't fit falls back to a plain single-token commit (its
+	// sampled run is discarded with the pages) instead of anyone being
+	// preempted.
+	for i, s := range l.running {
+		if extra := plans[i].committed - 1; extra > 0 {
+			if gerr := s.j.lease.Grow(extra); gerr != nil {
+				plans[i] = plan{proposed: plans[i].proposed, accepted: 0, committed: 1}
+			}
+		}
+	}
+
+	// Price the cycle — cycleK draft steps plus one fused verification
+	// pass over cycleK+1 rows — through the resilience weave. A fallback
+	// model cannot price a draft, so degraded pricing charges a plain
+	// decode step and the cycle commits one token per sequence.
+	var fallback func() (float64, error)
+	if l.fallback != nil {
+		fallback = func() (float64, error) { return l.fallback.DecodeStepCost(batch, maxCtx) }
+	}
+	cost, info, err := g.pricedCall(l, siteDecode, func() (float64, error) {
+		d, derr := sp.cm.DraftStepCost(batch, maxCtx)
+		if derr != nil {
+			return 0, derr
+		}
+		v, verr := sp.cm.VerifyCost(batch, maxCtx, cycleK+1)
+		if verr != nil {
+			return 0, verr
+		}
+		return float64(cycleK)*d + v, nil
+	}, fallback)
+	if err != nil {
+		return 0, true, err
+	}
+	specOK := !info.degraded
+
+	l.vclock += cost
+	now := time.Now()
+	g.m.batchSize.Observe(float64(batch))
+	cycleProp, cycleAcc := 0, 0
+	kept := l.running[:0]
+	for i, s := range l.running {
+		p := plans[i]
+		if !specOK {
+			p = plan{committed: 1}
+		}
+		s.degraded = s.degraded || info.degraded
+		j := s.j
+		if specOK && p.proposed > 0 {
+			j.specProposed += p.proposed
+			j.specAccepted += p.accepted
+			j.specPasses++
+			cycleProp += p.proposed
+			cycleAcc += p.accepted
+			g.iterSpans(s, trace.PhaseSpeculative, now, cost, info, nil,
+				map[string]string{
+					"k":         strconv.Itoa(cycleK),
+					"proposed":  strconv.Itoa(p.proposed),
+					"accepted":  strconv.Itoa(p.accepted),
+					"committed": strconv.Itoa(p.committed),
+					"batch":     strconv.Itoa(batch),
+					"ctx":       strconv.Itoa(s.ctxLen + p.committed),
+				})
+		} else {
+			g.iterSpans(s, trace.PhaseDecode, now, cost, info, nil,
+				map[string]string{
+					"token": strconv.Itoa(s.j.req.OutputLen - s.remaining + 1),
+					"batch": strconv.Itoa(batch),
+					"ctx":   strconv.Itoa(s.ctxLen + 1),
+				})
+		}
+		for t := 0; t < p.committed; t++ {
+			s.ctxLen++
+			s.remaining--
+			g.emitToken(l, s, batch, info.degraded, now)
+		}
+		if s.remaining == 0 {
+			g.completeSeq(l, s)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.running = kept
+
+	if specOK {
+		g.m.specCycles.Inc()
+		g.m.specProposed.Add(uint64(cycleProp))
+		g.m.specAccepted.Add(uint64(cycleAcc))
+		sp.adapt.Observe(cycleProp, cycleAcc)
+	} else {
+		g.m.specSuspended.Inc()
+	}
+	return cost, true, nil
+}

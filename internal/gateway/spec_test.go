@@ -1,0 +1,301 @@
+package gateway
+
+// spec_test.go exercises speculative decoding in the serving path: the
+// scheduler's cycle accounting against the specdec analytic model, the
+// per-request opt-out and lookahead cap, brownout/breaker suspension,
+// degraded-pricing fallback to plain commits, and a chaos wave proving
+// speculation composes with watchdog requeues and exactly-once outcomes.
+// Bit-identity of real speculative generation is the engine layer's
+// property (internal/engine/spec_tiers_test.go); here the contract is
+// scheduling, pricing and governance.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/overload"
+	"repro/internal/serve"
+	"repro/internal/specdec"
+)
+
+// fakeSpecCost prices draft steps and verification passes with fixed
+// constants on top of fakeCost, making any lane speculation-capable.
+type fakeSpecCost struct {
+	fakeCost
+	draft, verify float64
+}
+
+func (f fakeSpecCost) DraftStepCost(batch, ctx int) (float64, error)    { return f.draft, nil }
+func (f fakeSpecCost) VerifyCost(batch, ctx, rows int) (float64, error) { return f.verify, nil }
+
+var _ serve.SpecCostModel = fakeSpecCost{}
+
+func specTestConfig(spec *SpecConfig) Config {
+	return Config{
+		MaxQueue: 256,
+		MaxBatch: 8,
+		Workers:  2,
+		Registry: metrics.NewRegistry(),
+		Spec:     spec,
+	}
+}
+
+func TestSpeculationEndToEnd(t *testing.T) {
+	g := New(specTestConfig(&SpecConfig{Lookahead: 4, Acceptance: 0.9, Seed: 7}),
+		fixedResolver(fakeSpecCost{fakeCost: fakeCost{pre: 0.002, dec: 0.001},
+			draft: 0.0001, verify: 0.0012}))
+
+	const n, outputLen = 32, 16
+	results := make([]Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = g.Generate(context.Background(),
+				Request{Lane: "spec/OPT-13B", InputLen: 64, OutputLen: outputLen})
+		}(i)
+	}
+	wg.Wait()
+
+	var proposed, accepted, passes int
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		r := results[i]
+		if r.OutputLen != outputLen {
+			t.Errorf("request %d: output len %d, want %d", i, r.OutputLen, outputLen)
+		}
+		if r.SpecPasses <= 0 {
+			t.Errorf("request %d: no speculation passes recorded: %+v", i, r)
+		}
+		if r.SpecPasses > outputLen-1 {
+			t.Errorf("request %d: %d verify passes for %d decode tokens", i,
+				r.SpecPasses, outputLen-1)
+		}
+		if r.SpecAccepted > r.SpecProposed {
+			t.Errorf("request %d: accepted %d > proposed %d", i, r.SpecAccepted, r.SpecProposed)
+		}
+		proposed += r.SpecProposed
+		accepted += r.SpecAccepted
+		passes += r.SpecPasses
+	}
+	// At α = 0.9 the aggregate acceptance over 32×15 decode tokens is far
+	// from the coin-flip regime; well above one committed token per pass.
+	if rate := float64(accepted) / float64(proposed); rate < 0.5 {
+		t.Errorf("aggregate acceptance %.2f at modeled α=0.9", rate)
+	}
+	if perPass := float64(accepted+passes) / float64(passes); perPass < 1.5 {
+		t.Errorf("%.2f committed tokens per verify pass, speculation not paying off", perPass)
+	}
+
+	reg := g.Registry()
+	if got := reg.Counter("gateway_completed_total", "").Value(); got != n {
+		t.Errorf("completed counter %d, want %d", got, n)
+	}
+	if got := reg.Counter("gateway_spec_cycles_total", "").Value(); got == 0 {
+		t.Error("gateway_spec_cycles_total did not advance")
+	}
+	if p, a := reg.Counter("gateway_spec_proposed_total", "").Value(),
+		reg.Counter("gateway_spec_accepted_total", "").Value(); p != uint64(proposed) || a != uint64(accepted) {
+		t.Errorf("spec counters proposed=%d accepted=%d, results say %d/%d", p, a, proposed, accepted)
+	}
+}
+
+// TestSpeculationAnalyticCrossCheck pins the live path's cycle accounting
+// to the specdec analytic model at α = 1: every proposal is accepted, so
+// each cycle commits exactly k+1 tokens and the pass count is the
+// deterministic ceil((out-1)/(k+1)) — the prefill emits the first token,
+// speculation covers the rest.
+func TestSpeculationAnalyticCrossCheck(t *testing.T) {
+	const k, outputLen = 4, 11
+	cfg := specTestConfig(&SpecConfig{Lookahead: k, Acceptance: 1, Seed: 1})
+	cfg.MaxBatch, cfg.Workers = 1, 1
+	g := New(cfg, fixedResolver(fakeSpecCost{fakeCost: fakeCost{pre: 0.002, dec: 0.001},
+		draft: 0.0001, verify: 0.0012}))
+
+	res, err := g.Generate(context.Background(),
+		Request{Lane: "spec", InputLen: 32, OutputLen: outputLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decodeTokens := outputLen - 1
+	wantPasses := (decodeTokens + k) / (k + 1)
+	if res.SpecPasses != wantPasses {
+		t.Errorf("verify passes %d, want %d", res.SpecPasses, wantPasses)
+	}
+	if res.SpecProposed != decodeTokens-wantPasses || res.SpecAccepted != res.SpecProposed {
+		t.Errorf("proposed/accepted %d/%d, want %d/%d (all accepted at α=1)",
+			res.SpecProposed, res.SpecAccepted, decodeTokens-wantPasses, decodeTokens-wantPasses)
+	}
+	// The realized tokens-per-cycle must match the analytic expectation:
+	// at α = 1 a cycle of lookahead k yields exactly k+1 tokens, which is
+	// also specdec.ExpectedTokensPerCycle's limit value.
+	want := specdec.ExpectedTokensPerCycle(1, k)
+	if got := float64(res.SpecAccepted+res.SpecPasses) / float64(res.SpecPasses); got != want {
+		t.Errorf("tokens per cycle %.3f, analytic model says %.3f", got, want)
+	}
+}
+
+func TestSpeculationPerRequestControls(t *testing.T) {
+	newGateway := func() *Gateway {
+		cfg := specTestConfig(&SpecConfig{Lookahead: 4, Acceptance: 1, Seed: 1})
+		cfg.MaxBatch, cfg.Workers = 1, 1
+		return New(cfg, fixedResolver(fakeSpecCost{fakeCost: fakeCost{pre: 0.002, dec: 0.001},
+			draft: 0.0001, verify: 0.0012}))
+	}
+
+	t.Run("disabled", func(t *testing.T) {
+		g := newGateway()
+		res, err := g.Generate(context.Background(),
+			Request{Lane: "spec", InputLen: 32, OutputLen: 8, SpecDisabled: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SpecPasses != 0 || res.SpecProposed != 0 || res.SpecAccepted != 0 {
+			t.Errorf("opted-out request has speculation attribution: %+v", res)
+		}
+		if res.OutputLen != 8 {
+			t.Errorf("output len %d, want 8", res.OutputLen)
+		}
+		if got := g.Registry().Counter("gateway_spec_cycles_total", "").Value(); got != 0 {
+			t.Errorf("spec cycles %d for a fully opted-out lane", got)
+		}
+	})
+
+	t.Run("lookahead cap", func(t *testing.T) {
+		g := newGateway()
+		// With the per-request cap at 1 and α = 1, every cycle commits
+		// exactly 2 tokens: 6 decode tokens take exactly 3 passes.
+		res, err := g.Generate(context.Background(),
+			Request{Lane: "spec", InputLen: 32, OutputLen: 7, SpecLookahead: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SpecPasses != 3 || res.SpecProposed != 3 || res.SpecAccepted != 3 {
+			t.Errorf("capped lookahead accounting %+v, want passes=3 proposed=3 accepted=3", res)
+		}
+	})
+}
+
+// TestSpeculationBrownoutSuspends: at or above the cap-batch rung the
+// draft's extra compute is the first thing shed — speculation-capable
+// lanes decode plainly and count the suspension.
+func TestSpeculationBrownoutSuspends(t *testing.T) {
+	cfg := overloadConfig(&overload.Config{StepUp: time.Millisecond, StepDown: time.Hour})
+	cfg.Spec = &SpecConfig{Lookahead: 4, Acceptance: 1, Seed: 1}
+	g := New(cfg, fixedResolver(fakeSpecCost{fakeCost: fakeCost{pre: 0.002, dec: 0.001},
+		draft: 0.0001, verify: 0.0012}))
+	climb(t, g.ctl, overload.LevelCapBatch)
+
+	res, err := g.Generate(context.Background(),
+		Request{Lane: "spec", InputLen: 32, OutputLen: 4, Class: "interactive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpecPasses != 0 || res.SpecProposed != 0 {
+		t.Errorf("speculation ran at brownout level %d: %+v", overload.LevelCapBatch, res)
+	}
+	if got := g.Registry().Counter("gateway_spec_suspended_total", "").Value(); got == 0 {
+		t.Error("gateway_spec_suspended_total did not advance under brownout")
+	}
+}
+
+// TestSpeculationDegradedFallsBack: when primary pricing fails and the
+// fallback model takes over, a fallback cannot price a draft — the cycle
+// charges a plain decode step and commits one token per sequence, with
+// no speculation attribution on the result.
+func TestSpeculationDegradedFallsBack(t *testing.T) {
+	inj := faults.New(1)
+	cfg := chaosConfig(inj)
+	cfg.Spec = &SpecConfig{Lookahead: 4, Acceptance: 1, Seed: 1}
+	cfg.Fallback = fixedResolver(fakeCost{pre: 0.001, dec: 0.0005})
+	if err := inj.Arm(faults.Rule{Class: faults.CostError, Site: "cost.decode", Every: 1}); err != nil {
+		t.Fatal(err)
+	}
+	g := New(cfg, fixedResolver(fakeSpecCost{fakeCost: fakeCost{pre: 0.002, dec: 0.001},
+		draft: 0.0001, verify: 0.0012}))
+
+	res, err := g.Generate(context.Background(),
+		Request{Lane: "chaos", InputLen: 64, OutputLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Error("result not marked degraded with every decode priced by the fallback")
+	}
+	if res.SpecPasses != 0 || res.SpecProposed != 0 || res.SpecAccepted != 0 {
+		t.Errorf("degraded cycles carry speculation attribution: %+v", res)
+	}
+	if res.OutputLen != 4 {
+		t.Errorf("output len %d, want 4", res.OutputLen)
+	}
+	if got := g.Registry().Counter("gateway_spec_suspended_total", "").Value(); got == 0 {
+		t.Error("gateway_spec_suspended_total did not advance for degraded cycles")
+	}
+}
+
+// TestChaosSpeculation runs the chaos wave with speculation enabled:
+// watchdog-cancelled speculative iterations requeue like plain ones,
+// every request still sees exactly one outcome, and the spec counters
+// prove cycles actually ran. Named TestChaos* so `make chaos` picks it
+// up under -race.
+func TestChaosSpeculation(t *testing.T) {
+	inj := faults.New(1)
+	cfg := chaosConfig(inj)
+	cfg.Spec = &SpecConfig{Lookahead: 4, Acceptance: 0.8, Seed: 3}
+	cfg.WatchdogBudget = 15 * time.Millisecond
+	// Two stall fires stay inside every job's requeue budget, so the
+	// whole wave still completes (matching the plain-decode chaos case).
+	if err := inj.Arm(faults.Rule{Class: faults.Stall, Site: "cost.decode",
+		Every: 2, Count: 2, DelayMillis: 100}); err != nil {
+		t.Fatal(err)
+	}
+	g := New(cfg, fixedResolver(fakeSpecCost{fakeCost: fakeCost{pre: 0.002, dec: 0.0005},
+		draft: 0.00005, verify: 0.0006}))
+
+	results, errs := runWave(t, g, chaosClients)
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+		} else if results[i].OutputLen != 4 {
+			t.Errorf("request %d: output len %d, want 4", i, results[i].OutputLen)
+		}
+	}
+
+	reg := g.Registry()
+	if got := reg.Counter("gateway_completed_total", "").Value(); got != chaosClients {
+		t.Errorf("completed counter %d, want %d", got, chaosClients)
+	}
+	if got := reg.Counter("gateway_spec_cycles_total", "").Value(); got == 0 {
+		t.Error("no speculation cycles ran under chaos")
+	}
+	if got := reg.Counter("gateway_requeued_total", "").Value(); got == 0 {
+		t.Error("stall faults armed but nothing requeued")
+	}
+
+	// Recovery: disarm and the next wave is fault-free and still speculating.
+	inj.Disarm()
+	cycles := reg.Counter("gateway_spec_cycles_total", "").Value()
+	recResults, recErrs := runWave(t, g, chaosClients)
+	for i, err := range recErrs {
+		if err != nil {
+			t.Errorf("post-disarm request %d failed: %v", i, err)
+		} else if recResults[i].SpecPasses == 0 {
+			t.Errorf("post-disarm request %d did not speculate: %+v", i, recResults[i])
+		}
+	}
+	if got := reg.Counter("gateway_spec_cycles_total", "").Value(); got <= cycles {
+		t.Error("speculation did not resume after disarm")
+	}
+	if g.QueueDepth() != 0 {
+		t.Errorf("queue depth %d after recovery wave", g.QueueDepth())
+	}
+}

@@ -136,21 +136,40 @@ type priceInfo struct {
 // fallback. The returned priceInfo reports whether the cost came from the
 // fallback and which model priced it.
 func (g *Gateway) priceIteration(l *lane, prefill bool, batch, length int) (float64, priceInfo, error) {
-	info := priceInfo{start: time.Now(), site: siteDecode, model: l.cost}
+	site := siteDecode
+	primary := func() (float64, error) { return l.cost.DecodeStepCost(batch, length) }
 	if prefill {
-		info.site = sitePrefill
+		site = sitePrefill
+		primary = func() (float64, error) { return l.cost.PrefillCost(batch, length) }
 	}
+	var fallback func() (float64, error)
+	if l.fallback != nil {
+		fallback = func() (float64, error) {
+			if prefill {
+				return l.fallback.PrefillCost(batch, length)
+			}
+			return l.fallback.DecodeStepCost(batch, length)
+		}
+	}
+	return g.pricedCall(l, site, primary, fallback)
+}
+
+// pricedCall runs one priced call through the lane's resilience weave:
+// fault injection at site, the watchdog deadline, the circuit breaker,
+// and — when the primary fails or the breaker is open — the degraded-mode
+// fallback (nil when the lane has none). The speculative scheduler routes
+// its cycle pricing through here too, so chaos faults, watchdog requeues
+// and breaker trips behave identically with and without speculation.
+func (g *Gateway) pricedCall(l *lane, site string, primary, fallback func() (float64, error)) (float64, priceInfo, error) {
+	info := priceInfo{start: time.Now(), site: site, model: l.cost}
 	var cost float64
 	var err error
 	if l.br.allowPrimary(info.start) {
 		cost, err = g.watchdogCall(l, func() (float64, error) {
-			if ierr := g.inj.Apply(info.site, l.key); ierr != nil {
+			if ierr := g.inj.Apply(site, l.key); ierr != nil {
 				return 0, ierr
 			}
-			if prefill {
-				return l.cost.PrefillCost(batch, length)
-			}
-			return l.cost.DecodeStepCost(batch, length)
+			return primary()
 		})
 		info.end = time.Now()
 		if err == nil {
@@ -171,21 +190,17 @@ func (g *Gateway) priceIteration(l *lane, prefill bool, batch, length int) (floa
 			g.m.breakerOpenLanes.Inc()
 			g.log.Warn("gateway: breaker opened", "lane", l.key, "err", err)
 		}
-		if l.fallback == nil {
+		if fallback == nil {
 			return 0, info, err
 		}
 		// Primary failed but a fallback exists: serve this very call
 		// degraded rather than failing the batch.
-	} else if l.fallback == nil {
+	} else if fallback == nil {
 		info.end = info.start
 		return 0, info, fmt.Errorf("%w: lane %s", ErrLaneBroken, l.key)
 	}
 	info.model = l.fallback
-	if prefill {
-		cost, err = l.fallback.PrefillCost(batch, length)
-	} else {
-		cost, err = l.fallback.DecodeStepCost(batch, length)
-	}
+	cost, err = fallback()
 	info.end = time.Now()
 	if err != nil {
 		return 0, info, err

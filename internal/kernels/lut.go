@@ -1,0 +1,234 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// Lookup-table GEMV (NoMAD-Attention / SAIL style). The decode-phase GEMV
+// is memory-bandwidth-bound: every generated token streams the full weight
+// matrix once (the paper, Figs 9-12). Product quantization attacks the
+// bytes term directly: weight columns are chopped into LUTGroupSize-row
+// subvectors, each group learns LUTCentroids representative subvectors
+// (a codebook), and every column stores one byte code per group. A GEMV
+// then builds a tiny per-group table of x·centroid partial dot products
+// and replaces the multiply-accumulate stream with add-only table
+// lookups — bytes streamed per token drop from 4·K·N (FP32) to K·N/2
+// (4-bit-equivalent codes stored as bytes per 2-row group), and the
+// in-register shuffle LUT is the CPU analog of NoMAD's SIMD codebook
+// lookups.
+//
+// The result is approximate. The error is provably bounded: each output
+// |y[j] - x·B[:,j]| ≤ ‖x‖₂ · ‖B[:,j] - B̂[:,j]‖₂ where B̂ is the codebook
+// reconstruction, and the pack records the worst column reconstruction
+// norm so callers (and guard tests) can assert the bound without knowing
+// the codebooks.
+
+const (
+	// LUTGroupSize is the subvector length quantized per code (NoMAD uses
+	// 2-dimensional subquantizers so codes stay 4-bit shuffle-friendly).
+	LUTGroupSize = 2
+	// LUTCentroids is the codebook size per group (4-bit codes).
+	LUTCentroids = 16
+
+	// lutKMeansIters bounds the Lloyd iterations at pack time.
+	lutKMeansIters = 8
+	// lutTrainColumns bounds the columns sampled for codebook training;
+	// assignment still covers every column.
+	lutTrainColumns = 256
+)
+
+// PackedLUT is a product-quantized weight matrix for the LUT-GEMV tier:
+// per-group codebooks plus one uint8 code per (group, column).
+type PackedLUT struct {
+	K, N   int
+	Groups int
+	// centroids holds Groups × LUTCentroids × LUTGroupSize values; ragged
+	// final groups are zero-padded.
+	centroids []float32
+	// codes holds Groups × N codebook indices, group-major.
+	codes []uint8
+	// maxColErr is max_j ‖B[:,j] - B̂[:,j]‖₂, fixed at pack time.
+	maxColErr float64
+}
+
+// Bytes returns the packed storage footprint (codes + codebooks).
+func (pl *PackedLUT) Bytes() int64 {
+	return int64(len(pl.codes)) + int64(len(pl.centroids))*4
+}
+
+// MaxColumnError returns the worst-case column reconstruction norm
+// max_j ‖B[:,j] - B̂[:,j]‖₂. For any activation row x the LUT GEMV error
+// per output element is at most ‖x‖₂ · MaxColumnError (Cauchy-Schwarz).
+func (pl *PackedLUT) MaxColumnError() float64 { return pl.maxColErr }
+
+// At returns the codebook reconstruction B̂[p, j].
+func (pl *PackedLUT) At(p, j int) float32 {
+	g := p / LUTGroupSize
+	s := p % LUTGroupSize
+	code := int(pl.codes[g*pl.N+j])
+	return pl.centroids[(g*LUTCentroids+code)*LUTGroupSize+s]
+}
+
+// groupRows returns the row span [p0, p1) group g covers.
+func (pl *PackedLUT) groupRows(g int) (int, int) {
+	p0 := g * LUTGroupSize
+	p1 := min(p0+LUTGroupSize, pl.K)
+	return p0, p1
+}
+
+// PackLUT learns per-group codebooks for row-major B (k×n) with a
+// deterministic k-means (stride-sampled training columns, fixed
+// iteration count, lowest-index tie breaking) and assigns every column a
+// code per group. Packing the same matrix always yields the same
+// codebooks and codes.
+func PackLUT(k, n int, b []float32) *PackedLUT {
+	if len(b) < k*n {
+		panic(fmt.Sprintf("kernels: PackLUT %dx%d: slice too short (%d)", k, n, len(b)))
+	}
+	groups := (k + LUTGroupSize - 1) / LUTGroupSize
+	pl := &PackedLUT{
+		K: k, N: n, Groups: groups,
+		centroids: make([]float32, groups*LUTCentroids*LUTGroupSize),
+		codes:     make([]uint8, groups*n),
+	}
+
+	// Training sample: every stride-th column, at most lutTrainColumns.
+	stride := 1
+	if n > lutTrainColumns {
+		stride = n / lutTrainColumns
+	}
+
+	point := make([]float32, LUTGroupSize)
+	colErr := make([]float64, n)
+	for g := 0; g < groups; g++ {
+		p0, p1 := pl.groupRows(g)
+		w := p1 - p0
+		cent := pl.centroids[g*LUTCentroids*LUTGroupSize : (g+1)*LUTCentroids*LUTGroupSize]
+
+		// Init: centroids from evenly spaced sampled columns.
+		var sampled []int
+		for j := 0; j < n; j += stride {
+			sampled = append(sampled, j)
+		}
+		for c := 0; c < LUTCentroids; c++ {
+			j := sampled[c*len(sampled)/LUTCentroids%len(sampled)]
+			for s := 0; s < w; s++ {
+				cent[c*LUTGroupSize+s] = b[(p0+s)*n+j]
+			}
+		}
+
+		// Lloyd iterations over the sample.
+		sums := make([]float64, LUTCentroids*LUTGroupSize)
+		counts := make([]int, LUTCentroids)
+		for it := 0; it < lutKMeansIters; it++ {
+			for i := range sums {
+				sums[i] = 0
+			}
+			for i := range counts {
+				counts[i] = 0
+			}
+			for _, j := range sampled {
+				for s := 0; s < w; s++ {
+					point[s] = b[(p0+s)*n+j]
+				}
+				c := nearestCentroid(cent, point[:w])
+				counts[c]++
+				for s := 0; s < w; s++ {
+					sums[c*LUTGroupSize+s] += float64(point[s])
+				}
+			}
+			for c := 0; c < LUTCentroids; c++ {
+				if counts[c] == 0 {
+					continue // keep the old centroid for empty clusters
+				}
+				for s := 0; s < w; s++ {
+					cent[c*LUTGroupSize+s] = float32(sums[c*LUTGroupSize+s] / float64(counts[c]))
+				}
+			}
+		}
+
+		// Assign every column and accumulate its squared reconstruction
+		// error.
+		for j := 0; j < n; j++ {
+			for s := 0; s < w; s++ {
+				point[s] = b[(p0+s)*n+j]
+			}
+			c := nearestCentroid(cent, point[:w])
+			pl.codes[g*n+j] = uint8(c)
+			for s := 0; s < w; s++ {
+				d := float64(point[s] - cent[c*LUTGroupSize+s])
+				colErr[j] += d * d
+			}
+		}
+	}
+	for _, e := range colErr {
+		if e > pl.maxColErr {
+			pl.maxColErr = e
+		}
+	}
+	pl.maxColErr = math.Sqrt(pl.maxColErr)
+	return pl
+}
+
+// nearestCentroid returns the index of the centroid closest to point in
+// squared L2 distance, lowest index winning ties.
+func nearestCentroid(cent, point []float32) int {
+	best, bestD := 0, float64(-1)
+	for c := 0; c < LUTCentroids; c++ {
+		var d float64
+		for s, v := range point {
+			dv := float64(v - cent[c*LUTGroupSize+s])
+			d += dv * dv
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// GemvLUT computes y ≈ x·B over a packed LUT: per group it builds the
+// 16-entry table of x-subvector · centroid partial products, then sweeps
+// the group's codes with add-only lookups. The multiply count drops from
+// K·N to Groups·LUTCentroids·LUTGroupSize (≈ 8·K), everything else is
+// additions over the code stream.
+func GemvLUT(x []float32, pl *PackedLUT, y []float32) {
+	if len(x) < pl.K || len(y) < pl.N {
+		panic(fmt.Sprintf("kernels: GemvLUT %dx%d: slices too short (x=%d y=%d)",
+			pl.K, pl.N, len(x), len(y)))
+	}
+	n := pl.N
+	for j := 0; j < n; j++ {
+		y[j] = 0
+	}
+	var table [LUTCentroids]float32
+	for g := 0; g < pl.Groups; g++ {
+		p0, p1 := pl.groupRows(g)
+		cent := pl.centroids[g*LUTCentroids*LUTGroupSize:]
+		for c := 0; c < LUTCentroids; c++ {
+			var acc float32
+			for s := 0; s < p1-p0; s++ {
+				acc += x[p0+s] * cent[c*LUTGroupSize+s]
+			}
+			table[c] = acc
+		}
+		codes := pl.codes[g*n : (g+1)*n]
+		for j, code := range codes {
+			y[j] += table[code]
+		}
+	}
+}
+
+// GemmLUT computes C ≈ A·B row by row over a packed LUT (A row-major
+// m×K, C m×N). Rows are independent, so multi-row verification passes
+// produce exactly the same per-row values as m separate GemvLUT calls.
+func GemmLUT(m int, a []float32, pl *PackedLUT, c []float32) {
+	if len(a) < m*pl.K || len(c) < m*pl.N {
+		panic(fmt.Sprintf("kernels: GemmLUT %dx%dx%d: slices too short (a=%d c=%d)",
+			m, pl.N, pl.K, len(a), len(c)))
+	}
+	for i := 0; i < m; i++ {
+		GemvLUT(a[i*pl.K:(i+1)*pl.K], pl, c[i*pl.N:(i+1)*pl.N])
+	}
+}

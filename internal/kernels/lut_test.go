@@ -1,0 +1,161 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randVec(rng *rand.Rand, n int, scale float64) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64() * scale)
+	}
+	return v
+}
+
+// TestGemvLUTBoundedError asserts the pack-time error bound: every output
+// element of the LUT GEMV is within ‖x‖₂ · MaxColumnError of the exact
+// product, across shapes including ragged group and panel edges.
+func TestGemvLUTBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range [][2]int{{64, 48}, {128, 200}, {257, 96}, {33, 17}} {
+		k, n := shape[0], shape[1]
+		b := randVec(rng, k*n, 0.02)
+		pl := PackLUT(k, n, b)
+		if pl.MaxColumnError() <= 0 {
+			t.Fatalf("%dx%d: MaxColumnError = %g, want positive for random weights",
+				k, n, pl.MaxColumnError())
+		}
+		x := randVec(rng, k, 1)
+		var xNorm float64
+		for _, v := range x {
+			xNorm += float64(v) * float64(v)
+		}
+		xNorm = math.Sqrt(xNorm)
+		bound := xNorm*pl.MaxColumnError() + 1e-5
+
+		y := make([]float32, n)
+		exact := make([]float32, n)
+		GemvLUT(x, pl, y)
+		GemmNaive(1, n, k, x, b, exact)
+		for j := range y {
+			if err := math.Abs(float64(y[j] - exact[j])); err > bound {
+				t.Fatalf("%dx%d col %d: |lut-exact| = %g exceeds bound %g",
+					k, n, j, err, bound)
+			}
+		}
+	}
+}
+
+// TestGemvLUTDeterministic asserts packing and evaluation are fully
+// deterministic: two packs of the same matrix agree code-for-code and
+// value-for-value.
+func TestGemvLUTDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	k, n := 96, 80
+	b := randVec(rng, k*n, 0.02)
+	p1, p2 := PackLUT(k, n, b), PackLUT(k, n, b)
+	if p1.MaxColumnError() != p2.MaxColumnError() {
+		t.Fatalf("pack error differs: %g vs %g", p1.MaxColumnError(), p2.MaxColumnError())
+	}
+	x := randVec(rng, k, 1)
+	y1, y2 := make([]float32, n), make([]float32, n)
+	GemvLUT(x, p1, y1)
+	GemvLUT(x, p2, y2)
+	for j := range y1 {
+		if y1[j] != y2[j] {
+			t.Fatalf("col %d: %v vs %v", j, y1[j], y2[j])
+		}
+	}
+}
+
+// TestGemmLUTMatchesRowwise asserts a multi-row LUT GEMM equals per-row
+// GEMV calls bit for bit — the property the speculative verification
+// pass depends on.
+func TestGemmLUTMatchesRowwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	k, n, m := 64, 56, 5
+	b := randVec(rng, k*n, 0.02)
+	pl := PackLUT(k, n, b)
+	a := randVec(rng, m*k, 1)
+	c := make([]float32, m*n)
+	GemmLUT(m, a, pl, c)
+	row := make([]float32, n)
+	for i := 0; i < m; i++ {
+		GemvLUT(a[i*k:(i+1)*k], pl, row)
+		for j := range row {
+			if c[i*n+j] != row[j] {
+				t.Fatalf("row %d col %d: gemm %v vs gemv %v", i, j, c[i*n+j], row[j])
+			}
+		}
+	}
+}
+
+// TestPackLUTCompression asserts the packed footprint is well under the
+// FP32 weight bytes — the whole point of the tier.
+func TestPackLUTCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	k, n := 256, 512
+	b := randVec(rng, k*n, 0.02)
+	pl := PackLUT(k, n, b)
+	dense := int64(k * n * 4)
+	if pl.Bytes() >= dense/4 {
+		t.Fatalf("packed %d bytes, want < 1/4 of dense %d", pl.Bytes(), dense)
+	}
+}
+
+func TestGemmSparseBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, shape := range [][2]int{{64, 48}, {130, 100}, {96, PanelCols}} {
+		k, n := shape[0], shape[1]
+		b := randVec(rng, k*n, 0.02)
+		// Zero out ~40% of the k-rows entirely (structured row sparsity)
+		// plus a few scattered values (unstructured, not elidable).
+		for p := 0; p < k; p++ {
+			if rng.Float64() < 0.4 {
+				for j := 0; j < n; j++ {
+					b[p*n+j] = 0
+				}
+			}
+		}
+		ps := PackBSparse(k, n, b)
+		pd := PackB(k, n, b)
+		if ps.Density() >= 1 {
+			t.Fatalf("%dx%d: density %g, rows were zeroed", k, n, ps.Density())
+		}
+		m := 3
+		a := randVec(rng, m*k, 1)
+		cs := make([]float32, m*n)
+		cd := make([]float32, m*n)
+		GemmSparse(m, a, ps, cs)
+		GemmPacked(m, a, pd, cd)
+		for i := range cs {
+			if cs[i] != cd[i] {
+				t.Fatalf("%dx%d elem %d: sparse %v vs packed %v", k, n, i, cs[i], cd[i])
+			}
+		}
+	}
+}
+
+// TestGemmSparseDense asserts a fully dense matrix round-trips (bitmap
+// all ones) and the GEMV wrapper agrees with the GEMM.
+func TestGemmSparseDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	k, n := 40, 24
+	b := randVec(rng, k*n, 0.02)
+	ps := PackBSparse(k, n, b)
+	if ps.Density() != 1 {
+		t.Fatalf("density %g, want 1 for dense weights", ps.Density())
+	}
+	x := randVec(rng, k, 1)
+	y := make([]float32, n)
+	c := make([]float32, n)
+	GemvSparse(x, ps, y)
+	GemmSparse(1, x, ps, c)
+	for j := range y {
+		if y[j] != c[j] {
+			t.Fatalf("col %d: gemv %v vs gemm %v", j, y[j], c[j])
+		}
+	}
+}

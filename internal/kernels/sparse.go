@@ -1,0 +1,136 @@
+package kernels
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Sparsity-aware panel packing (SparAMX style). Unstructured weight
+// sparsity cannot feed a dense tile kernel, but the panel layout makes a
+// cheap structured form available for free: within one column panel, a
+// k-row whose PanelCols values are all zero contributes nothing to any
+// output in the panel. PackBSparse records a per-panel bitmap of the
+// nonzero k-rows and stores only those rows, so the inner GEMM loop
+// streams sparsity-proportional bytes — the decode-GEMV bandwidth lever
+// SparAMX applies at the AMX tile level.
+//
+// Skipping exactly-zero rows leaves each output element's FP32
+// accumulation order unchanged (the skipped terms are exact zeros), so
+// results are bit-identical to GemmPacked over the same matrix.
+
+// sparsePanel is one column panel: a bitmap of the k-rows present and
+// their values, compacted in ascending-k order, PanelCols wide each.
+type sparsePanel struct {
+	bitmap []uint64  // bit p set ⇒ k-row p is stored
+	rows   []float32 // nnz × PanelCols, ascending k
+}
+
+// PackedBSparse is a weight matrix packed into column panels with
+// all-zero k-rows elided per panel.
+type PackedBSparse struct {
+	K, N    int
+	panels  []sparsePanel
+	nnzRows int // total stored rows across panels (for Density)
+}
+
+// Panels returns the number of column panels.
+func (pb *PackedBSparse) Panels() int { return len(pb.panels) }
+
+// Density returns the fraction of panel rows actually stored (1 = fully
+// dense, lower = more bytes elided from the decode stream).
+func (pb *PackedBSparse) Density() float64 {
+	total := pb.K * len(pb.panels)
+	if total == 0 {
+		return 0
+	}
+	return float64(pb.nnzRows) / float64(total)
+}
+
+// Bytes returns the packed storage footprint (values + bitmaps).
+func (pb *PackedBSparse) Bytes() int64 {
+	var b int64
+	for _, p := range pb.panels {
+		b += int64(len(p.rows))*4 + int64(len(p.bitmap))*8
+	}
+	return b
+}
+
+// PackBSparse packs row-major B (k×n) into sparsity-aware column panels:
+// within each panel, k-rows whose values are all exactly zero are elided
+// and a bitmap records which rows remain.
+func PackBSparse(k, n int, b []float32) *PackedBSparse {
+	if len(b) < k*n {
+		panic(fmt.Sprintf("kernels: PackBSparse %dx%d: slice too short (%d)", k, n, len(b)))
+	}
+	panels := (n + PanelCols - 1) / PanelCols
+	pb := &PackedBSparse{K: k, N: n, panels: make([]sparsePanel, panels)}
+	words := (k + 63) / 64
+	for pn := 0; pn < panels; pn++ {
+		j0 := pn * PanelCols
+		w := min(PanelCols, n-j0)
+		sp := &pb.panels[pn]
+		sp.bitmap = make([]uint64, words)
+		for p := 0; p < k; p++ {
+			zero := true
+			for j := 0; j < w; j++ {
+				if b[p*n+j0+j] != 0 {
+					zero = false
+					break
+				}
+			}
+			if zero {
+				continue
+			}
+			sp.bitmap[p/64] |= 1 << (p % 64)
+			row := make([]float32, PanelCols)
+			for j := 0; j < w; j++ {
+				row[j] = b[p*n+j0+j]
+			}
+			sp.rows = append(sp.rows, row...)
+			pb.nnzRows++
+		}
+	}
+	return pb
+}
+
+// GemmSparse computes C = A·B (A row-major m×K, C m×N) over a
+// sparsity-packed B. Bit-identical to GemmPacked over the same matrix:
+// the elided rows are exact zeros and the surviving accumulation order
+// is unchanged.
+func GemmSparse(m int, a []float32, pb *PackedBSparse, c []float32) {
+	if len(a) < m*pb.K || len(c) < m*pb.N {
+		panic(fmt.Sprintf("kernels: GemmSparse %dx%dx%d: slices too short (a=%d c=%d)",
+			m, pb.N, pb.K, len(a), len(c)))
+	}
+	k, n := pb.K, pb.N
+	for pn := range pb.panels {
+		sp := &pb.panels[pn]
+		j0 := pn * PanelCols
+		w := min(PanelCols, n-j0)
+		for i := 0; i < m; i++ {
+			arow := a[i*k : i*k+k]
+			var acc [PanelCols]float32
+			ri := 0
+			for wi, word := range sp.bitmap {
+				base := wi * 64
+				for word != 0 {
+					p := base + bits.TrailingZeros64(word)
+					word &= word - 1
+					av := arow[p]
+					prow := sp.rows[ri*PanelCols : ri*PanelCols+PanelCols]
+					ri++
+					for j := range acc {
+						acc[j] += av * prow[j]
+					}
+				}
+			}
+			copy(c[i*n+j0:i*n+j0+w], acc[:w])
+		}
+	}
+}
+
+// GemvSparse computes y = x·B for one activation row — the decode GEMV
+// shape where elided bytes translate directly into tok/s.
+func GemvSparse(x []float32, pb *PackedBSparse, y []float32) {
+	GemmSparse(1, x, pb, y)
+}

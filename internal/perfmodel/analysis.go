@@ -20,6 +20,14 @@ type OpAnalysis struct {
 	Seconds    float64 // max of the two
 	MemBound   bool
 	Path       string // compute path used (amx-bf16 / avx512-bf16)
+
+	// WeightSec and IOSec split MemorySec into the weight-streaming term
+	// and the activation/KV IO term (MemorySec = WeightSec + IOSec).
+	// Multi-row passes over one sequence — speculative verification —
+	// stream the weights once while the IO term scales with the row
+	// count, so pricing them correctly needs the split.
+	WeightSec float64
+	IOSec     float64
 }
 
 // Analyze prices each op of one forward pass and returns the per-op
@@ -39,12 +47,11 @@ func (r CPURun) Analyze(ph model.Phase, seq, ctx int) ([]OpAnalysis, error) {
 	for _, o := range ops {
 		path := r.Setup.CPU.BestPath(o.M, o.N, o.K)
 		compute := o.FLOPs() / (path.EffectiveFLOPS(o.M, o.N, o.K) * scale)
-		mem := float64(o.WeightBytes)
-		if o.Attention {
-			mem += float64(o.IOBytes)
-		} else {
-			mem += float64(o.IOBytes) * activationSpillFraction
+		io := float64(o.IOBytes)
+		if !o.Attention {
+			io *= activationSpillFraction
 		}
+		mem := float64(o.WeightBytes) + io
 		memSec := mem / (bw.EffectiveGBs * 1e9)
 		a := OpAnalysis{
 			Name:       o.Name,
@@ -55,6 +62,8 @@ func (r CPURun) Analyze(ph model.Phase, seq, ctx int) ([]OpAnalysis, error) {
 			Seconds:    maxF(compute, memSec),
 			MemBound:   memSec > compute,
 			Path:       path.Name,
+			WeightSec:  float64(o.WeightBytes) / (bw.EffectiveGBs * 1e9),
+			IOSec:      io / (bw.EffectiveGBs * 1e9),
 		}
 		if mem > 0 {
 			a.Intensity = o.FLOPs() / mem

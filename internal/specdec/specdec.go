@@ -11,6 +11,7 @@ package specdec
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/memsim"
 	"repro/internal/model"
@@ -94,27 +95,138 @@ func (r Run) Simulate() (Result, error) {
 	return res, nil
 }
 
-// verifyCost prices the (k+1)-row verification pass: per-op roofline with
-// the compute term scaled by the row count and the memory term unchanged.
+// verifyCost prices the (k+1)-row verification pass.
 func (r Run) verifyCost(targetStep float64) float64 {
-	run := perfmodel.CPURun{Model: r.Target, Setup: r.Setup, Batch: r.Batch,
-		InputLen: r.InputLen, OutputLen: 2, Weights: tensor.BF16}
-	ops, err := run.Analyze(model.Decode, 1, r.InputLen)
+	t, err := VerifySeconds(r.Target, r.Setup, r.Batch, r.InputLen, r.Lookahead+1)
 	if err != nil {
 		return targetStep // conservative fallback
 	}
-	rows := float64(r.Lookahead + 1)
+	return t
+}
+
+// VerifySeconds prices one fused verification pass of `rows` rows over a
+// single sequence at KV context ctx, with BF16 weights (the paper's
+// default dtype). Per op the roofline is
+//
+//	max(ComputeSec·rows, WeightSec + IOSec·rows)
+//
+// — the weights stream exactly once regardless of the row count (that is
+// the whole point of fused verification), while compute and the
+// activation/KV traffic scale with the rows. An earlier version charged
+// the undivided memory term unscaled, which under-priced long-context
+// verification where KV reads dominate; the serving path charges this
+// exact formula, so the analytic Result and live accounting reconcile.
+func VerifySeconds(m model.Config, setup memsim.Config, batch, ctx, rows int) (float64, error) {
+	return VerifySecondsDT(m, setup, batch, ctx, rows, tensor.BF16)
+}
+
+// VerifySecondsDT is VerifySeconds with an explicit weight dtype, for
+// pricing verification on quantized (INT8) or unquantized (FP32) kernel
+// tiers: the dtype scales the streamed weight bytes, which is exactly the
+// term fused verification amortizes.
+func VerifySecondsDT(m model.Config, setup memsim.Config, batch, ctx, rows int, dt tensor.DType) (float64, error) {
+	run := perfmodel.CPURun{Model: m, Setup: setup, Batch: batch,
+		InputLen: ctx, OutputLen: 2, Weights: dt}
+	ops, err := run.Analyze(model.Decode, 1, ctx)
+	if err != nil {
+		return 0, err
+	}
+	rf := float64(rows)
 	var t float64
 	for _, o := range ops {
-		compute := o.ComputeSec * rows
-		if o.MemorySec > compute {
-			t += o.MemorySec
+		compute := o.ComputeSec * rf
+		mem := o.WeightSec + o.IOSec*rf
+		if mem > compute {
+			t += mem
 		} else {
 			t += compute
 		}
 	}
-	t += r.Setup.CPU.StepOverheadMS / 1e3
-	return t
+	t += setup.CPU.StepOverheadMS / 1e3
+	return t, nil
+}
+
+// Adaptive picks the lookahead k from an EWMA of the observed acceptance
+// rate. Speculation only pays when the draft agrees with the target often
+// enough to amortize its own steps, so the controller starts optimistic at
+// the configured maximum, tracks acceptance per verification cycle, and
+// shrinks k — all the way to 1 when α is poor — as the estimate degrades.
+// Safe for concurrent use.
+type Adaptive struct {
+	mu     sync.Mutex
+	maxK   int
+	alpha  float64
+	warmed bool
+}
+
+const (
+	// adaptiveEWMAWeight is the weight of the newest cycle's acceptance.
+	adaptiveEWMAWeight = 0.2
+	// adaptiveFloor is the acceptance below which speculation is priced as
+	// pure overhead and the lookahead collapses to 1.
+	adaptiveFloor = 0.3
+)
+
+// NewAdaptive returns a controller bounded by maxK (clamped to ≥ 1).
+func NewAdaptive(maxK int) *Adaptive {
+	if maxK < 1 {
+		maxK = 1
+	}
+	return &Adaptive{maxK: maxK}
+}
+
+// Observe folds one verification cycle's outcome into the estimate.
+func (a *Adaptive) Observe(proposed, accepted int) {
+	if proposed <= 0 {
+		return
+	}
+	rate := float64(accepted) / float64(proposed)
+	a.mu.Lock()
+	if !a.warmed {
+		a.alpha, a.warmed = rate, true
+	} else {
+		a.alpha += adaptiveEWMAWeight * (rate - a.alpha)
+	}
+	a.mu.Unlock()
+}
+
+// Acceptance returns the current EWMA estimate (the optimistic 1.0 before
+// any observation).
+func (a *Adaptive) Acceptance() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.warmed {
+		return 1
+	}
+	return a.alpha
+}
+
+// K returns the lookahead to use for the next cycle: maxK before any
+// observation, 1 below the acceptance floor, and otherwise the k that
+// balances expected accepted run length against drafting overhead —
+// 1 + round(α/(1-α)), the mean geometric run length — clamped to
+// [1, maxK].
+func (a *Adaptive) K() int {
+	a.mu.Lock()
+	alpha, warmed := a.alpha, a.warmed
+	a.mu.Unlock()
+	if !warmed {
+		return a.maxK
+	}
+	if alpha < adaptiveFloor {
+		return 1
+	}
+	if alpha >= 1 {
+		return a.maxK
+	}
+	k := 1 + int(alpha/(1-alpha)+0.5)
+	if k > a.maxK {
+		k = a.maxK
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 func (r Run) validate() error {

@@ -3,6 +3,7 @@ package specdec
 import (
 	"math"
 	"testing"
+	"testing/quick"
 
 	"repro/internal/hw"
 	"repro/internal/memsim"
@@ -101,6 +102,118 @@ func TestVerifyNearOneStep(t *testing.T) {
 	if verify < res.BaselineTPOT*0.9 {
 		t.Errorf("verify pass cheaper than a decode step: %.1fms vs %.1fms",
 			verify*1e3, res.BaselineTPOT*1e3)
+	}
+}
+
+// TestLiveAccountingWithinAnalyticBound is the reconciliation property:
+// the cycle the live serving path charges (k draft steps + one fused
+// (k+1)-row verification pass) must reproduce the analytic SpecTPOT
+// exactly, and the verification pass itself must stay within its physical
+// bounds — at least one decode step (the weights stream once no matter
+// what) and strictly cheaper than k+1 independent steps (or fused
+// verification would be pointless).
+func TestLiveAccountingWithinAnalyticBound(t *testing.T) {
+	prop := func(a8, k8 uint8) bool {
+		alpha := float64(a8) / 255
+		k := 1 + int(k8%6)
+		r := run(alpha, k)
+		res, err := r.Simulate()
+		if err != nil {
+			return false
+		}
+		draftRun := r
+		draftRun.Target = r.Draft
+		dres, err := draftRun.Simulate()
+		if err != nil {
+			return false
+		}
+		verify, err := VerifySeconds(r.Target, r.Setup, r.Batch, r.InputLen, k+1)
+		if err != nil {
+			return false
+		}
+		// Physical bounds on the fused pass.
+		if verify < res.BaselineTPOT*0.9 {
+			t.Logf("verify %.3fms below one step %.3fms", verify*1e3, res.BaselineTPOT*1e3)
+			return false
+		}
+		if verify > float64(k+1)*res.BaselineTPOT*1.01 {
+			t.Logf("verify %.3fms above %d unfused steps", verify*1e3, k+1)
+			return false
+		}
+		// Reconciliation: live cycle accounting == analytic TPOT.
+		cycle := float64(k)*dres.BaselineTPOT + verify
+		want := cycle / ExpectedTokensPerCycle(alpha, k)
+		return math.Abs(res.SpecTPOT-want) <= 1e-12*math.Max(1, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyScalesWithContext: at long KV contexts the per-row KV reads
+// matter, so a (k+1)-row verification must cost measurably more than at a
+// short context — the regression the WeightSec/IOSec split fixed (the old
+// formula charged the undivided memory term once, independent of rows).
+func TestVerifyScalesWithContext(t *testing.T) {
+	r := run(0.8, 4)
+	short, err := VerifySeconds(r.Target, r.Setup, r.Batch, 128, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := VerifySeconds(r.Target, r.Setup, r.Batch, 4096, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long <= short {
+		t.Errorf("verify at ctx=4096 (%.3fms) not above ctx=128 (%.3fms)", long*1e3, short*1e3)
+	}
+	one, err := VerifySeconds(r.Target, r.Setup, r.Batch, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long <= one {
+		t.Errorf("5-row verify (%.3fms) not above 1-row (%.3fms) at long context", long*1e3, one*1e3)
+	}
+}
+
+func TestAdaptiveLookahead(t *testing.T) {
+	a := NewAdaptive(8)
+	if a.K() != 8 {
+		t.Errorf("unwarmed K = %d, want optimistic max 8", a.K())
+	}
+	if a.Acceptance() != 1 {
+		t.Errorf("unwarmed acceptance = %g, want 1", a.Acceptance())
+	}
+	// Sustained poor acceptance collapses the lookahead to 1.
+	for i := 0; i < 50; i++ {
+		a.Observe(8, 0)
+	}
+	if a.K() != 1 {
+		t.Errorf("K after zero acceptance = %d, want 1", a.K())
+	}
+	// Sustained good acceptance grows it back toward the cap.
+	for i := 0; i < 50; i++ {
+		a.Observe(8, 8)
+	}
+	if a.K() != 8 {
+		t.Errorf("K after perfect acceptance = %d, want 8", a.K())
+	}
+	// Mid acceptance lands strictly between.
+	b := NewAdaptive(8)
+	for i := 0; i < 50; i++ {
+		b.Observe(10, 7)
+	}
+	if k := b.K(); k < 2 || k > 5 {
+		t.Errorf("K at α≈0.7 = %d, want in [2,5]", k)
+	}
+	if math.Abs(b.Acceptance()-0.7) > 0.02 {
+		t.Errorf("EWMA acceptance = %g, want ≈ 0.7", b.Acceptance())
+	}
+	// Observing nothing changes nothing.
+	prev := b.K()
+	b.Observe(0, 0)
+	if b.K() != prev {
+		t.Errorf("Observe(0,0) moved K from %d to %d", prev, b.K())
 	}
 }
 
